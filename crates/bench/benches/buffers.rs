@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks: buffering policies and the shared digest
+//! store (the per-notification cost at buffering virtual clients).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rebeca_core::{ClientId, Notification, SimDuration, SimTime};
+use rebeca_mobility::{BufferSpec, SharedBuffer};
+use std::hint::black_box;
+
+fn note(i: u64) -> Notification {
+    Notification::builder()
+        .attr("service", "menu")
+        .attr("restaurant", (i % 20) as i64)
+        .attr("seq", i as i64)
+        .publish(ClientId::new(1), i, SimTime::from_millis(i))
+}
+
+fn bench_offer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffers/offer-1000");
+    let specs: Vec<(&str, BufferSpec)> = vec![
+        ("unbounded", BufferSpec::Unbounded),
+        ("time-10s", BufferSpec::TimeBased { ttl: SimDuration::from_secs(10) }),
+        ("history-100", BufferSpec::HistoryBased { capacity: 100 }),
+        (
+            "combined",
+            BufferSpec::Combined { ttl: SimDuration::from_secs(10), capacity: 100 },
+        ),
+        ("semantic", BufferSpec::Semantic { key_attrs: vec!["restaurant".into()] }),
+    ];
+    let notes: Vec<Notification> = (0..1000).map(note).collect();
+    for (name, spec) in specs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| {
+                let mut buf = spec.build();
+                for (i, n) in notes.iter().enumerate() {
+                    buf.offer(SimTime::from_millis(i as u64), n.clone());
+                }
+                black_box(buf.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_drain(c: &mut Criterion) {
+    let notes: Vec<Notification> = (0..1000).map(note).collect();
+    c.bench_function("buffers/drain-1000", |b| {
+        b.iter(|| {
+            let mut buf = BufferSpec::Unbounded.build();
+            for (i, n) in notes.iter().enumerate() {
+                buf.offer(SimTime::from_millis(i as u64), n.clone());
+            }
+            black_box(buf.drain(SimTime::from_secs(10)))
+        });
+    });
+}
+
+fn bench_shared(c: &mut Criterion) {
+    let notes: Vec<Notification> = (0..1000).map(note).collect();
+    c.bench_function("buffers/shared-insert-release-8refs", |b| {
+        b.iter(|| {
+            let mut s = SharedBuffer::new();
+            let mut digests = Vec::new();
+            for n in &notes {
+                for _ in 0..8 {
+                    digests.push(s.insert(n));
+                }
+            }
+            for d in digests {
+                s.release(d);
+            }
+            black_box(s.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_offer, bench_drain, bench_shared);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! The experiment harness: regenerates every table of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo bench -p rebeca-bench --bench figures             # all, quick scale
+//! cargo bench -p rebeca-bench --bench figures -- E3      # one experiment
+//! FIGURES_SCALE=full cargo bench -p rebeca-bench --bench figures
+//! ```
+
+use rebeca_bench::{run_all, run_experiment, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a.starts_with('E') || a.starts_with('e'))
+        .collect();
+    println!("== REBECA mobility reproduction — experiment suite ({scale:?} scale) ==\n");
+    if args.is_empty() {
+        print!("{}", run_all(scale));
+    } else {
+        for id in args {
+            print!("{}", run_experiment(&id, scale));
+            println!();
+        }
+    }
+}

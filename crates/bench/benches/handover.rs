@@ -1,0 +1,74 @@
+//! Criterion macro-benchmark: the cost of a full hand-over cycle
+//! (simulated events processed per depart→arrive→settle round-trip), for
+//! the broker-side relocation and the replicator deployment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rebeca::{
+    BrokerId, Deployment, Filter, MobileBrokerConfig, MovementGraph, Notification,
+    ReplicatorConfig, SimDuration, System, SystemBuilder, Topology,
+};
+use std::hint::black_box;
+
+fn build(deployment: Deployment) -> (System, rebeca::ClientId, rebeca::ClientId) {
+    let mut sys = SystemBuilder::new(Topology::line(4).unwrap())
+        .deployment(deployment)
+        .build();
+    let p = sys.add_client(BrokerId::new(1));
+    let m = sys.add_mobile_client();
+    sys.arrive(m, BrokerId::new(0));
+    sys.run_for(SimDuration::from_millis(300));
+    sys.subscribe(
+        m,
+        Filter::builder().eq("service", "t").myloc("location").build(),
+    );
+    sys.subscribe(m, Filter::builder().eq("service", "global").build());
+    sys.run_for(SimDuration::from_millis(300));
+    (sys, p, m)
+}
+
+fn cycle(sys: &mut System, p: rebeca::ClientId, m: rebeca::ClientId, round: &mut u32) {
+    let to = BrokerId::new(*round % 2 + 1); // bounce between B1 and B2
+    *round += 1;
+    for i in 0..5 {
+        sys.publish(
+            p,
+            Notification::builder()
+                .attr("service", "t")
+                .attr("location", rebeca::LocationId::new(to.raw()))
+                .attr("i", i as i64),
+        );
+    }
+    sys.run_for(SimDuration::from_millis(200));
+    sys.depart(m);
+    sys.run_for(SimDuration::from_millis(200));
+    sys.arrive(m, to);
+    sys.run_for(SimDuration::from_secs(1));
+}
+
+fn bench_handover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("handover-cycle");
+    group.sample_size(20);
+    let deployments: Vec<(&str, fn() -> Deployment)> = vec![
+        ("broker-relocation", || {
+            Deployment::BrokerMobility(MobileBrokerConfig::default())
+        }),
+        ("replicator", || Deployment::Replicated {
+            movement: MovementGraph::line(4),
+            config: ReplicatorConfig::default(),
+        }),
+    ];
+    for (name, make) in deployments {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            let (mut sys, p, m) = build(make());
+            let mut round = 0u32;
+            b.iter(|| {
+                cycle(&mut sys, p, m, &mut round);
+                black_box(sys.now())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_handover);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks: content-based matching (the per-hop hot
+//! path of every broker).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rebeca_core::{ClientId, Filter, MatchIndex, Notification, SimTime, SubscriptionId};
+use std::hint::black_box;
+
+fn build_filters(n: usize) -> Vec<Filter> {
+    (0..n)
+        .map(|i| match i % 4 {
+            0 => Filter::builder().eq("service", format!("svc-{}", i % 17)).build(),
+            1 => Filter::builder()
+                .eq("service", format!("svc-{}", i % 17))
+                .eq("room", (i % 29) as i64)
+                .build(),
+            2 => Filter::builder().between("level", (i % 5) as i64, (i % 5 + 10) as i64).build(),
+            _ => Filter::builder()
+                .eq("service", format!("svc-{}", i % 17))
+                .prefix("topic", "sport")
+                .build(),
+        })
+        .collect()
+}
+
+fn notification(i: u64) -> Notification {
+    Notification::builder()
+        .attr("service", format!("svc-{}", i % 17))
+        .attr("room", (i % 29) as i64)
+        .attr("level", (i % 13) as i64)
+        .attr("topic", if i % 2 == 0 { "sports-news" } else { "finance" })
+        .publish(ClientId::new(0), i, SimTime::ZERO)
+}
+
+fn bench_match_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for n in [100usize, 1000, 5000] {
+        let filters = build_filters(n);
+        let mut index = MatchIndex::new();
+        for (i, f) in filters.iter().enumerate() {
+            index.insert(SubscriptionId::new(i as u32), f.clone());
+        }
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("counting-index", n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(index.matching(&notification(i)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("linear-scan", n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(index.scan_matching(&notification(i)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_remove(c: &mut Criterion) {
+    let filters = build_filters(1000);
+    c.bench_function("matching/insert+remove-1000", |b| {
+        b.iter(|| {
+            let mut index = MatchIndex::new();
+            for (i, f) in filters.iter().enumerate() {
+                index.insert(SubscriptionId::new(i as u32), f.clone());
+            }
+            for i in 0..filters.len() {
+                index.remove(&SubscriptionId::new(i as u32));
+            }
+            black_box(index.len())
+        });
+    });
+}
+
+fn bench_covering_checks(c: &mut Criterion) {
+    let filters = build_filters(200);
+    c.bench_function("matching/covers-200x200", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for f in &filters {
+                for g in &filters {
+                    if f.covers(g) {
+                        count += 1;
+                    }
+                }
+            }
+            black_box(count)
+        });
+    });
+}
+
+criterion_group!(benches, bench_match_index, bench_insert_remove, bench_covering_checks);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks: routing-strategy computations (the cost of
+//! covering/merging optimisations that E7 trades against table size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rebeca_broker::{minimal_cover, RoutingStrategy};
+use rebeca_core::filter::merge_set;
+use rebeca_core::Filter;
+use std::hint::black_box;
+
+fn filter_population(n: usize) -> Vec<Filter> {
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => Filter::builder().eq("service", format!("s{}", i % 5)).build(),
+            1 => Filter::builder()
+                .eq("service", format!("s{}", i % 5))
+                .eq("room", (i % 11) as i64)
+                .build(),
+            _ => Filter::builder()
+                .eq("service", format!("s{}", i % 5))
+                .ge("level", (i % 7) as i64)
+                .build(),
+        })
+        .collect()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/announcements");
+    for n in [16usize, 64, 256] {
+        let filters = filter_population(n);
+        for strategy in [
+            RoutingStrategy::Simple,
+            RoutingStrategy::Covering,
+            RoutingStrategy::Merging,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.to_string(), n),
+                &filters,
+                |b, filters| {
+                    b.iter(|| black_box(strategy.announcements(filters)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_minimal_cover(c: &mut Criterion) {
+    let filters = filter_population(128);
+    c.bench_function("routing/minimal-cover-128", |b| {
+        b.iter(|| black_box(minimal_cover(&filters)));
+    });
+}
+
+fn bench_merge_set(c: &mut Criterion) {
+    let filters = filter_population(64);
+    c.bench_function("routing/merge-set-64", |b| {
+        b.iter(|| black_box(merge_set(filters.clone())));
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_minimal_cover, bench_merge_set);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! # rebeca-bench — the experiment harness
+//!
+//! Regenerates every experiment table of EXPERIMENTS.md (the paper has no
+//! quantitative evaluation of its own; DESIGN.md §5 maps each experiment to
+//! the claims it validates). Run everything with
+//!
+//! ```text
+//! cargo bench -p rebeca-bench --bench figures            # quick scale
+//! FIGURES_SCALE=full cargo bench -p rebeca-bench --bench figures
+//! cargo run -p rebeca-bench --release --bin figures -- E3
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::{run_all, run_experiment, Scale};

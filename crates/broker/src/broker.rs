@@ -1,0 +1,389 @@
+//! The broker state machine.
+//!
+//! [`BrokerCore`] is the routing engine: it owns the routing table, applies
+//! the configured [`RoutingStrategy`], forwards notifications, propagates
+//! subscriptions, and routes point-to-point control messages through the
+//! tree. It is *not* a [`Node`] itself — [`BrokerNode`] wraps it for plain
+//! (immobile) deployments, and the mobility crate wraps the same core with
+//! relocation and replication behaviour. The core hands mobility messages
+//! back to its wrapper instead of interpreting them.
+
+use crate::message::{Message, MobilityMsg};
+use crate::routing::RoutingStrategy;
+use crate::table::{RouteDecision, RoutingTable};
+use rebeca_core::{BrokerId, ClientId, Digest, Filter, Notification, SubscriptionId};
+use rebeca_net::{Ctx, Node, NodeId, Payload, Topology};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Counters exposed by every broker (inputs to experiments E7/E8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Notifications that crossed this broker (published or forwarded).
+    pub notifications_routed: u64,
+    /// `Forward` messages emitted to neighbour brokers.
+    pub forwards_sent: u64,
+    /// Deliveries handed to locally attached clients.
+    pub local_deliveries: u64,
+    /// `SubForward`/`UnsubForward` messages emitted.
+    pub control_sent: u64,
+}
+
+/// A pending delivery to a locally attached client, produced by
+/// [`BrokerCore::handle`]. The wrapper decides how to execute it (send,
+/// buffer for a disconnected client, ...).
+#[derive(Debug, Clone)]
+pub struct LocalDelivery {
+    /// The receiving client.
+    pub client: ClientId,
+    /// The node the client is (last known to be) reachable at.
+    pub node: NodeId,
+    /// The matching notification.
+    pub notification: Notification,
+}
+
+/// Result of handling one message in the core.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Deliveries to local clients the wrapper must execute.
+    pub deliveries: Vec<LocalDelivery>,
+    /// Mobility messages the core does not interpret, with their effective
+    /// sender (after `Routed` unwrapping).
+    pub unhandled: Vec<(NodeId, MobilityMsg)>,
+}
+
+/// The routing engine of one broker.
+pub struct BrokerCore {
+    id: BrokerId,
+    strategy: RoutingStrategy,
+    topology: Arc<Topology>,
+    /// Maps every broker id (raw index) to its node id in the world.
+    broker_nodes: Arc<Vec<NodeId>>,
+    /// Node ids of the neighbouring brokers.
+    neighbors: Vec<NodeId>,
+    table: RoutingTable,
+    /// What this broker has announced to each neighbour, by digest.
+    announced: HashMap<NodeId, HashMap<Digest, Filter>>,
+    stats: BrokerStats,
+}
+
+impl fmt::Debug for BrokerCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BrokerCore")
+            .field("id", &self.id)
+            .field("strategy", &self.strategy)
+            .field("table", &self.table)
+            .finish()
+    }
+}
+
+impl BrokerCore {
+    /// Creates the core for broker `id` of `topology`, with `broker_nodes`
+    /// mapping broker ids to world node ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not part of the topology or the node map is
+    /// shorter than the topology.
+    pub fn new(
+        id: BrokerId,
+        topology: Arc<Topology>,
+        broker_nodes: Arc<Vec<NodeId>>,
+        strategy: RoutingStrategy,
+    ) -> Self {
+        assert!(
+            (id.raw() as usize) < topology.broker_count(),
+            "broker {id} not in topology"
+        );
+        assert!(
+            broker_nodes.len() >= topology.broker_count(),
+            "broker node map incomplete"
+        );
+        let neighbors = topology
+            .neighbors(id)
+            .iter()
+            .map(|b| broker_nodes[b.raw() as usize])
+            .collect();
+        BrokerCore {
+            id,
+            strategy,
+            topology,
+            broker_nodes,
+            neighbors,
+            table: RoutingTable::new(),
+            announced: HashMap::new(),
+            stats: BrokerStats::default(),
+        }
+    }
+
+    /// This broker's id.
+    pub fn id(&self) -> BrokerId {
+        self.id
+    }
+
+    /// The routing strategy in effect.
+    pub fn strategy(&self) -> RoutingStrategy {
+        self.strategy
+    }
+
+    /// Read access to the routing table (stats, tests).
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> BrokerStats {
+        self.stats
+    }
+
+    /// Node ids of neighbouring brokers.
+    pub fn neighbor_nodes(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// The world node of a broker id (for wrappers sending control traffic).
+    pub fn node_of(&self, broker: BrokerId) -> NodeId {
+        self.broker_nodes[broker.raw() as usize]
+    }
+
+    /// Number of filters currently announced to `neighbor`.
+    pub fn announced_count(&self, neighbor: NodeId) -> usize {
+        self.announced.get(&neighbor).map_or(0, |m| m.len())
+    }
+
+    /// Handles one message, returning local deliveries and unhandled
+    /// mobility traffic.
+    pub fn handle(&mut self, ctx: &mut Ctx<'_, Message>, from: NodeId, msg: Message) -> Outcome {
+        let mut out = Outcome::default();
+        self.handle_into(ctx, from, msg, &mut out);
+        out
+    }
+
+    fn handle_into(
+        &mut self,
+        ctx: &mut Ctx<'_, Message>,
+        from: NodeId,
+        msg: Message,
+        out: &mut Outcome,
+    ) {
+        match msg {
+            Message::ClientAttach { client } => {
+                self.table.attach_client(client, from);
+            }
+            Message::ClientDetach { client } => {
+                self.table.detach_client(client);
+                self.recompute_announcements(ctx);
+            }
+            Message::Subscribe { subscription } => {
+                // Subscribing implies attachment (first contact may race).
+                self.table.attach_client(subscription.client(), from);
+                self.table.subscribe_client(
+                    subscription.client(),
+                    subscription.id(),
+                    subscription.filter().clone(),
+                );
+                self.recompute_announcements(ctx);
+            }
+            Message::Unsubscribe { client, id } => {
+                self.table.unsubscribe_client(client, id);
+                self.recompute_announcements(ctx);
+            }
+            Message::Publish { notification } | Message::Forward { notification } => {
+                let deliveries = self.route_notification(ctx, from, notification);
+                out.deliveries.extend(deliveries);
+            }
+            Message::SubForward { filter } => {
+                self.table.neighbor_subscribe(from, filter);
+                self.recompute_announcements(ctx);
+            }
+            Message::UnsubForward { filter } => {
+                self.table.neighbor_unsubscribe(from, filter.digest());
+                self.recompute_announcements(ctx);
+            }
+            Message::Routed { to, inner } => {
+                if to == self.id {
+                    self.handle_into(ctx, from, *inner, out);
+                } else {
+                    match self.topology.next_hop(self.id, to) {
+                        Some(nh) => {
+                            let node = self.broker_nodes[nh.raw() as usize];
+                            ctx.send(node, Message::Routed { to, inner });
+                        }
+                        None => {
+                            debug_assert!(false, "routed message to self not unwrapped");
+                        }
+                    }
+                }
+            }
+            Message::Mobility(m) => out.unhandled.push((from, m)),
+            // Application-level and client-bound messages are not broker
+            // business; they are silently ignored if misdelivered.
+            Message::AppPublish { .. }
+            | Message::AppSubscribe { .. }
+            | Message::AppUnsubscribe { .. }
+            | Message::Deliver { .. } => {}
+        }
+    }
+
+    /// Forwards a notification per routing table / strategy and returns the
+    /// local deliveries. `from` is the link the notification arrived on and
+    /// is excluded from forwarding.
+    pub fn route_notification(
+        &mut self,
+        ctx: &mut Ctx<'_, Message>,
+        from: NodeId,
+        n: Notification,
+    ) -> Vec<LocalDelivery> {
+        self.stats.notifications_routed += 1;
+        let RouteDecision { clients, neighbors } = self.table.route(&n);
+        let forward_to: Vec<NodeId> = if self.strategy.is_flooding() {
+            self.neighbors.iter().copied().filter(|nb| *nb != from).collect()
+        } else {
+            neighbors.into_iter().filter(|nb| *nb != from).collect()
+        };
+        for nb in &forward_to {
+            ctx.send(*nb, Message::Forward { notification: n.clone() });
+        }
+        self.stats.forwards_sent += forward_to.len() as u64;
+        self.stats.local_deliveries += clients.len() as u64;
+        clients
+            .into_iter()
+            .map(|(client, node)| LocalDelivery { client, node, notification: n.clone() })
+            .collect()
+    }
+
+    /// Attaches a client programmatically (used by mobility wrappers).
+    pub fn attach_client(&mut self, client: ClientId, node: NodeId) {
+        self.table.attach_client(client, node);
+    }
+
+    /// Detaches a client and drops its subscriptions, then re-announces.
+    pub fn detach_client(&mut self, ctx: &mut Ctx<'_, Message>, client: ClientId) {
+        self.table.detach_client(client);
+        self.recompute_announcements(ctx);
+    }
+
+    /// Installs a client subscription programmatically and re-announces.
+    pub fn subscribe_client(
+        &mut self,
+        ctx: &mut Ctx<'_, Message>,
+        client: ClientId,
+        id: SubscriptionId,
+        filter: Filter,
+    ) {
+        self.table.subscribe_client(client, id, filter);
+        self.recompute_announcements(ctx);
+    }
+
+    /// Removes a client subscription programmatically and re-announces.
+    pub fn unsubscribe_client(
+        &mut self,
+        ctx: &mut Ctx<'_, Message>,
+        client: ClientId,
+        id: SubscriptionId,
+    ) {
+        self.table.unsubscribe_client(client, id);
+        self.recompute_announcements(ctx);
+    }
+
+    /// Recomputes the desired announcement set for every neighbour link and
+    /// emits the difference (SubForward before UnsubForward, so coverage
+    /// never has a gap — make-before-break over FIFO links).
+    pub fn recompute_announcements(&mut self, ctx: &mut Ctx<'_, Message>) {
+        if self.strategy.is_flooding() {
+            return;
+        }
+        for nb in self.neighbors.clone() {
+            let desired_vec = self
+                .strategy
+                .announcements(&self.table.filters_excluding(nb));
+            let desired: HashMap<Digest, Filter> = desired_vec
+                .into_iter()
+                .map(|f| (f.digest(), f))
+                .collect();
+            let current = self.announced.entry(nb).or_default();
+
+            let mut added: Vec<(Digest, Filter)> = desired
+                .iter()
+                .filter(|(d, _)| !current.contains_key(*d))
+                .map(|(d, f)| (*d, f.clone()))
+                .collect();
+            added.sort_unstable_by_key(|(d, _)| *d);
+            let mut removed: Vec<(Digest, Filter)> = current
+                .iter()
+                .filter(|(d, _)| !desired.contains_key(*d))
+                .map(|(d, f)| (*d, f.clone()))
+                .collect();
+            removed.sort_unstable_by_key(|(d, _)| *d);
+            self.stats.control_sent += (added.len() + removed.len()) as u64;
+
+            for (_, f) in &added {
+                ctx.send(nb, Message::SubForward { filter: f.clone() });
+            }
+            for (d, f) in &removed {
+                current.remove(d);
+                ctx.send(nb, Message::UnsubForward { filter: f.clone() });
+            }
+            for (d, f) in added {
+                current.insert(d, f);
+            }
+        }
+    }
+}
+
+/// A plain (immobile) broker node: executes the core and sends local
+/// deliveries straight to the client nodes. Mobility messages are counted
+/// and dropped — this is the pre-mobility REBECA broker.
+pub struct BrokerNode {
+    core: BrokerCore,
+    ignored_mobility: u64,
+}
+
+impl fmt::Debug for BrokerNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BrokerNode")
+            .field("core", &self.core)
+            .field("ignored_mobility", &self.ignored_mobility)
+            .finish()
+    }
+}
+
+impl BrokerNode {
+    /// Wraps a routing core.
+    pub fn new(core: BrokerCore) -> Self {
+        BrokerNode { core, ignored_mobility: 0 }
+    }
+
+    /// Access to the routing core.
+    pub fn core(&self) -> &BrokerCore {
+        &self.core
+    }
+
+    /// Mobility messages received and dropped (should be zero in immobile
+    /// deployments).
+    pub fn ignored_mobility(&self) -> u64 {
+        self.ignored_mobility
+    }
+}
+
+impl Node<Message> for BrokerNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Message>, from: NodeId, msg: Message) {
+        let outcome = self.core.handle(ctx, from, msg);
+        for d in outcome.deliveries {
+            ctx.send(d.node, Message::Deliver { client: d.client, notification: d.notification });
+        }
+        self.ignored_mobility += outcome.unhandled.len() as u64;
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+// Keep the unused-import lint honest for Payload (used in doc examples).
+const _: fn(&Message) -> usize = Payload::wire_size;

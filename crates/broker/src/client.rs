@@ -1,0 +1,293 @@
+//! The client-side library: the *local broker*.
+//!
+//! "Local brokers constitute the clients' access point to the middleware
+//! and are part of the communication library loaded into the clients"
+//! (paper, §2). [`LocalBroker`] implements that library as a sans-io core:
+//! it stamps publisher identity and sequence numbers, remembers active
+//! subscriptions (so they can be re-issued after reconnecting), queues
+//! publications while disconnected, and performs duplicate suppression and
+//! FIFO accounting on the delivery path. [`ClientNode`] wraps it for
+//! immobile deployments; the mobility crate wraps the same core with
+//! movement behaviour.
+
+use crate::message::Message;
+use rebeca_core::{
+    ClientId, Filter, Notification, NotificationBuilder, NotificationId, SimTime, Subscription,
+    SubscriptionId,
+};
+use rebeca_net::{Ctx, Node, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// One delivered notification plus its delivery time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveryRecord {
+    /// When the local broker received the notification.
+    pub at: SimTime,
+    /// The notification.
+    pub notification: Notification,
+}
+
+/// The client communication library (sans-io core).
+pub struct LocalBroker {
+    client: ClientId,
+    border: Option<NodeId>,
+    seq: u64,
+    subs: HashMap<SubscriptionId, Filter>,
+    delivered: Vec<DeliveryRecord>,
+    seen: HashSet<NotificationId>,
+    duplicates: u64,
+    fifo_violations: u64,
+    last_seq: HashMap<ClientId, u64>,
+    pending_pubs: VecDeque<(u64, NotificationBuilder)>,
+}
+
+impl fmt::Debug for LocalBroker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalBroker")
+            .field("client", &self.client)
+            .field("border", &self.border)
+            .field("subs", &self.subs.len())
+            .field("delivered", &self.delivered.len())
+            .finish()
+    }
+}
+
+impl LocalBroker {
+    /// Creates the library for a client.
+    pub fn new(client: ClientId) -> Self {
+        LocalBroker {
+            client,
+            border: None,
+            seq: 0,
+            subs: HashMap::new(),
+            delivered: Vec::new(),
+            seen: HashSet::new(),
+            duplicates: 0,
+            fifo_violations: 0,
+            last_seq: HashMap::new(),
+            pending_pubs: VecDeque::new(),
+        }
+    }
+
+    /// The owning client.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// The border-broker node currently attached to, if any.
+    pub fn border(&self) -> Option<NodeId> {
+        self.border
+    }
+
+    /// Returns `true` while attached to a border broker with a live link.
+    pub fn is_connected(&self, ctx: &Ctx<'_, Message>) -> bool {
+        self.border.is_some_and(|b| ctx.link_up(b))
+    }
+
+    /// The active subscriptions (original filters, markers unresolved).
+    pub fn subscriptions(&self) -> impl Iterator<Item = (&SubscriptionId, &Filter)> {
+        self.subs.iter()
+    }
+
+    /// The active subscriptions as [`Subscription`] values (for re-issuing
+    /// during relocation).
+    pub fn subscription_set(&self) -> Vec<Subscription> {
+        let mut v: Vec<Subscription> = self
+            .subs
+            .iter()
+            .map(|(id, f)| Subscription::new(*id, self.client, f.clone()))
+            .collect();
+        v.sort_by_key(|s| s.id());
+        v
+    }
+
+    /// Attaches to a border broker: announces the client, re-issues every
+    /// subscription, and flushes publications queued while disconnected.
+    pub fn attach(&mut self, ctx: &mut Ctx<'_, Message>, border: NodeId) {
+        self.border = Some(border);
+        ctx.send(border, Message::ClientAttach { client: self.client });
+        for sub in self.subscription_set() {
+            ctx.send(border, Message::Subscribe { subscription: sub });
+        }
+        self.flush_pending(ctx);
+    }
+
+    /// Orderly detach: tells the border broker to forget the client.
+    pub fn detach(&mut self, ctx: &mut Ctx<'_, Message>) {
+        if let Some(b) = self.border.take() {
+            ctx.send(b, Message::ClientDetach { client: self.client });
+        }
+    }
+
+    /// Silent disconnect (power-off / leaving coverage): the network is not
+    /// told anything; it notices the dead link.
+    pub fn disconnect_silently(&mut self) {
+        self.border = None;
+    }
+
+    /// Sets the border without sending anything — used by relocation, where
+    /// the `MoveIn` message (not `ClientAttach`) announces the client.
+    pub fn attach_silent(&mut self, border: NodeId) {
+        self.border = Some(border);
+    }
+
+    /// Publishes a notification. While disconnected the publication is
+    /// queued (with its sequence number already assigned, preserving
+    /// publisher FIFO) and flushed on the next attach.
+    pub fn publish(&mut self, ctx: &mut Ctx<'_, Message>, attrs: NotificationBuilder) -> NotificationId {
+        let seq = self.seq;
+        self.seq += 1;
+        let id = NotificationId::new(self.client, seq);
+        if self.is_connected(ctx) {
+            let n = attrs.publish(self.client, seq, ctx.now());
+            let border = self.border.expect("connected implies border");
+            ctx.send(border, Message::Publish { notification: n });
+        } else {
+            self.pending_pubs.push_back((seq, attrs));
+        }
+        id
+    }
+
+    /// Registers a subscription (forwarded immediately when connected;
+    /// re-issued on every attach either way).
+    pub fn subscribe(&mut self, ctx: &mut Ctx<'_, Message>, id: SubscriptionId, filter: Filter) {
+        self.subs.insert(id, filter.clone());
+        if self.is_connected(ctx) {
+            let border = self.border.expect("connected implies border");
+            ctx.send(
+                border,
+                Message::Subscribe {
+                    subscription: Subscription::new(id, self.client, filter),
+                },
+            );
+        }
+    }
+
+    /// Revokes a subscription.
+    pub fn unsubscribe(&mut self, ctx: &mut Ctx<'_, Message>, id: SubscriptionId) {
+        if self.subs.remove(&id).is_some() {
+            if self.is_connected(ctx) {
+                let border = self.border.expect("connected implies border");
+                ctx.send(border, Message::Unsubscribe { client: self.client, id });
+            }
+        }
+    }
+
+    /// Handles a delivered notification: suppresses duplicates (replays
+    /// from relocation/replication) and counts per-publisher FIFO
+    /// violations.
+    pub fn on_deliver(&mut self, now: SimTime, n: Notification) {
+        if !self.seen.insert(n.id()) {
+            self.duplicates += 1;
+            return;
+        }
+        let last = self.last_seq.entry(n.publisher()).or_insert(0);
+        if n.seq() < *last {
+            self.fifo_violations += 1;
+        } else {
+            *last = n.seq();
+        }
+        self.delivered.push(DeliveryRecord { at: now, notification: n });
+    }
+
+    /// Drains and returns everything delivered so far.
+    pub fn take_delivered(&mut self) -> Vec<DeliveryRecord> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Everything delivered and not yet taken.
+    pub fn delivered(&self) -> &[DeliveryRecord] {
+        &self.delivered
+    }
+
+    /// Number of duplicate deliveries suppressed.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Number of per-publisher FIFO violations observed.
+    pub fn fifo_violations(&self) -> u64 {
+        self.fifo_violations
+    }
+
+    /// Publications still queued while disconnected.
+    pub fn pending_publications(&self) -> usize {
+        self.pending_pubs.len()
+    }
+
+    /// Sends publications queued while disconnected (no-op unless
+    /// connected). Called automatically by [`LocalBroker::attach`];
+    /// relocation-style attachment calls it explicitly after `MoveIn`.
+    pub fn flush_pending(&mut self, ctx: &mut Ctx<'_, Message>) {
+        if !self.is_connected(ctx) {
+            return;
+        }
+        let border = self.border.expect("connected implies border");
+        while let Some((seq, attrs)) = self.pending_pubs.pop_front() {
+            let n = attrs.publish(self.client, seq, ctx.now());
+            ctx.send(border, Message::Publish { notification: n });
+        }
+    }
+}
+
+/// An immobile client node: attaches to one border broker at start and
+/// translates application messages (injected externally) into the client
+/// library.
+pub struct ClientNode {
+    local: LocalBroker,
+    home: Option<NodeId>,
+}
+
+impl fmt::Debug for ClientNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientNode").field("local", &self.local).finish()
+    }
+}
+
+impl ClientNode {
+    /// Creates a client that will attach to `home` on start.
+    pub fn new(client: ClientId, home: Option<NodeId>) -> Self {
+        ClientNode { local: LocalBroker::new(client), home }
+    }
+
+    /// The client library (delivery log, stats).
+    pub fn local(&self) -> &LocalBroker {
+        &self.local
+    }
+
+    /// Mutable access (drain the delivery log).
+    pub fn local_mut(&mut self) -> &mut LocalBroker {
+        &mut self.local
+    }
+}
+
+impl Node<Message> for ClientNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Message>) {
+        if let Some(home) = self.home {
+            self.local.attach(ctx, home);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Message>, _from: NodeId, msg: Message) {
+        match msg {
+            Message::AppPublish { attrs } => {
+                self.local.publish(ctx, attrs);
+            }
+            Message::AppSubscribe { id, filter } => self.local.subscribe(ctx, id, filter),
+            Message::AppUnsubscribe { id } => self.local.unsubscribe(ctx, id),
+            Message::Deliver { notification, .. } => {
+                self.local.on_deliver(ctx.now(), notification)
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

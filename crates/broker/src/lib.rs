@@ -1,0 +1,36 @@
+//! # rebeca-broker — the REBECA router network
+//!
+//! Broker state machines implementing content-based routing over an acyclic
+//! broker graph, per the paper's §2:
+//!
+//! * [`Message`] — the complete wire protocol (client ↔ broker, broker ↔
+//!   broker, and the mobility sub-protocol interpreted by the mobility
+//!   crate's wrappers);
+//! * [`RoutingStrategy`] — flooding / simple / covering / merging;
+//! * [`RoutingTable`] — `(Filter, Link)` entries backed by the counting
+//!   match index;
+//! * [`BrokerCore`] / [`BrokerNode`] — the routing engine and its plain
+//!   (immobile) node wrapper;
+//! * [`LocalBroker`] / [`ClientNode`] — the client-side library ("local
+//!   broker") and its immobile node wrapper.
+//!
+//! The mobility crate composes [`BrokerCore`] and [`LocalBroker`] into
+//! mobility-aware nodes without touching the routing framework — the
+//! layering the paper advertises ("without having to change the internals
+//! of the underlying routing framework", §3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod broker;
+mod client;
+pub mod message;
+pub mod routing;
+pub mod table;
+
+pub use broker::{BrokerCore, BrokerNode, BrokerStats, LocalDelivery, Outcome};
+pub use client::{ClientNode, DeliveryRecord, LocalBroker};
+pub use message::{Message, MobilityMsg};
+pub use routing::{minimal_cover, RoutingStrategy};
+pub use table::{ClientEntry, RouteDecision, RouteKey, RoutingTable};

@@ -1,0 +1,288 @@
+//! Routing strategies.
+//!
+//! "The basic form of routing is simple routing: active filters are simply
+//! added to the routing table according to the link they belong to.
+//! Although improvements to this strategy (e.g., covering and merging) are
+//! available in REBECA, for the sake of simplicity we assume simple routing
+//! throughout this paper." (paper, §2)
+//!
+//! All four classic strategies are implemented behind one uniform
+//! abstraction: given the deduplicated set of filters a broker must serve
+//! through a link, [`RoutingStrategy::announcements`] computes the filter
+//! set actually *announced* over that link. The broker then diffs desired
+//! against currently-announced filters and emits
+//! [`SubForward`](crate::Message::SubForward) /
+//! [`UnsubForward`](crate::Message::UnsubForward) messages.
+
+use rebeca_core::filter::merge_set;
+use rebeca_core::Filter;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Content-based routing strategy of a broker network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingStrategy {
+    /// Notifications go everywhere; no subscription state at all. The
+    /// degenerate baseline ("the scheme would degenerate to flooding, a
+    /// very unpleasant situation", §4).
+    Flooding,
+    /// Every distinct filter is propagated (the paper's default).
+    Simple,
+    /// Filters covered by an already-propagated filter are suppressed.
+    Covering,
+    /// Covering plus perfect merging of the remaining filters.
+    Merging,
+}
+
+impl RoutingStrategy {
+    /// Returns `true` if notifications are forwarded on every link
+    /// regardless of subscriptions.
+    pub fn is_flooding(self) -> bool {
+        matches!(self, RoutingStrategy::Flooding)
+    }
+
+    /// Computes the set of filters to announce over a link, given every
+    /// (deduplicated) filter that must be served through that link.
+    ///
+    /// The result is deterministic: ties between mutually covering filters
+    /// are broken by digest order.
+    pub fn announcements(self, filters: &[Filter]) -> Vec<Filter> {
+        match self {
+            RoutingStrategy::Flooding => Vec::new(),
+            RoutingStrategy::Simple => dedup_by_digest(filters),
+            RoutingStrategy::Covering => minimal_cover(filters),
+            RoutingStrategy::Merging => merge_set(minimal_cover(filters)),
+        }
+    }
+
+    /// All strategies, in increasing order of sophistication.
+    pub const ALL: [RoutingStrategy; 4] = [
+        RoutingStrategy::Flooding,
+        RoutingStrategy::Simple,
+        RoutingStrategy::Covering,
+        RoutingStrategy::Merging,
+    ];
+}
+
+impl fmt::Display for RoutingStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RoutingStrategy::Flooding => "flooding",
+            RoutingStrategy::Simple => "simple",
+            RoutingStrategy::Covering => "covering",
+            RoutingStrategy::Merging => "merging",
+        };
+        write!(f, "{s}")
+    }
+}
+
+fn dedup_by_digest(filters: &[Filter]) -> Vec<Filter> {
+    let mut seen = HashMap::new();
+    for f in filters {
+        seen.entry(f.digest()).or_insert_with(|| f.clone());
+    }
+    let mut out: Vec<Filter> = seen.into_values().collect();
+    out.sort_by_key(Filter::digest);
+    out
+}
+
+/// Reduces a filter set to a minimal covering subset: a filter is dropped
+/// when another kept filter covers it. Mutually covering (equivalent)
+/// filters are collapsed to the digest-smallest representative, keeping the
+/// result deterministic.
+pub fn minimal_cover(filters: &[Filter]) -> Vec<Filter> {
+    let filters = dedup_by_digest(filters);
+    let mut keep = vec![true; filters.len()];
+    for i in 0..filters.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..filters.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            // Drop i if j covers i — unless they cover each other and i
+            // comes first in digest order (then i is the representative).
+            if filters[j].covers(&filters[i]) && !(filters[i].covers(&filters[j]) && i < j) {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    filters
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(f, k)| k.then_some(f))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f_service(s: &str) -> Filter {
+        Filter::builder().eq("service", s).build()
+    }
+
+    fn f_service_room(s: &str, r: i64) -> Filter {
+        Filter::builder().eq("service", s).eq("room", r).build()
+    }
+
+    #[test]
+    fn flooding_announces_nothing() {
+        let fs = vec![f_service("a"), f_service("b")];
+        assert!(RoutingStrategy::Flooding.announcements(&fs).is_empty());
+        assert!(RoutingStrategy::Flooding.is_flooding());
+    }
+
+    #[test]
+    fn simple_dedups_identical_filters() {
+        let fs = vec![f_service("a"), f_service("a"), f_service("b")];
+        let out = RoutingStrategy::Simple.announcements(&fs);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn covering_suppresses_covered_filters() {
+        let fs = vec![
+            f_service("t"),
+            f_service_room("t", 1),
+            f_service_room("t", 2),
+            f_service("news"),
+        ];
+        let out = RoutingStrategy::Covering.announcements(&fs);
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&f_service("t")));
+        assert!(out.contains(&f_service("news")));
+    }
+
+    #[test]
+    fn covering_collapses_equivalent_filters_deterministically() {
+        // Two structurally identical filters are removed by dedup; build
+        // two semantically equivalent but structurally different ones.
+        let a = Filter::builder().one_of("x", [1i64]).build();
+        let b = Filter::builder().eq("x", 1i64).build();
+        assert!(a.covers(&b) && b.covers(&a));
+        let out = RoutingStrategy::Covering.announcements(&[a.clone(), b.clone()]);
+        assert_eq!(out.len(), 1);
+        let out2 = RoutingStrategy::Covering.announcements(&[b, a]);
+        assert_eq!(out, out2, "representative choice must not depend on input order");
+    }
+
+    #[test]
+    fn merging_merges_siblings() {
+        let fs = vec![f_service_room("t", 1), f_service_room("t", 2)];
+        let out = RoutingStrategy::Merging.announcements(&fs);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].covers(&fs[0]) && out[0].covers(&fs[1]));
+    }
+
+    #[test]
+    fn strategies_never_lose_coverage() {
+        let fs = vec![
+            f_service("t"),
+            f_service_room("t", 1),
+            f_service_room("x", 2),
+            Filter::builder().ge("level", 3i64).build(),
+        ];
+        for strat in [
+            RoutingStrategy::Simple,
+            RoutingStrategy::Covering,
+            RoutingStrategy::Merging,
+        ] {
+            let out = strat.announcements(&fs);
+            for f in &fs {
+                assert!(
+                    out.iter().any(|o| o.covers(f)),
+                    "{strat}: {f} not covered by announcement set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        for strat in RoutingStrategy::ALL {
+            assert!(strat.announcements(&[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RoutingStrategy::Covering.to_string(), "covering");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rebeca_core::{ClientId, Notification, SimTime};
+
+    fn arb_filter() -> impl Strategy<Value = Filter> {
+        (
+            proptest::option::of(0i64..3),
+            proptest::option::of(0i64..3),
+            proptest::option::of(0i64..3),
+        )
+            .prop_map(|(a, b, c)| {
+                let mut f = Filter::builder();
+                if let Some(v) = a {
+                    f = f.eq("a", v);
+                }
+                if let Some(v) = b {
+                    f = f.ge("b", v);
+                }
+                if let Some(v) = c {
+                    f = f.one_of("c", [v, v + 1]);
+                }
+                f.build()
+            })
+    }
+
+    fn arb_note() -> impl Strategy<Value = Notification> {
+        (0i64..4, 0i64..4, 0i64..4).prop_map(|(a, b, c)| {
+            Notification::builder()
+                .attr("a", a)
+                .attr("b", b)
+                .attr("c", c)
+                .publish(ClientId::new(0), 0, SimTime::ZERO)
+        })
+    }
+
+    proptest! {
+        /// For every non-flooding strategy, the announced set matches a
+        /// notification iff the original filter set does (no false
+        /// negatives, no false positives beyond merging's exactness).
+        #[test]
+        fn announcements_preserve_matching(
+            filters in proptest::collection::vec(arb_filter(), 0..7),
+            n in arb_note(),
+        ) {
+            let want = filters.iter().any(|f| f.matches(&n));
+            for strat in [RoutingStrategy::Simple, RoutingStrategy::Covering, RoutingStrategy::Merging] {
+                let out = strat.announcements(&filters);
+                let got = out.iter().any(|f| f.matches(&n));
+                // Simple and covering are exact; merging uses only perfect
+                // merges and covering absorption, so it is exact too.
+                prop_assert_eq!(want, got, "strategy {} filters {:?}", strat, filters.len());
+            }
+        }
+
+        /// Covering output is antichain-like: no announced filter strictly
+        /// covers another.
+        #[test]
+        fn covering_output_is_minimal(filters in proptest::collection::vec(arb_filter(), 0..7)) {
+            let out = RoutingStrategy::Covering.announcements(&filters);
+            for (i, f) in out.iter().enumerate() {
+                for (j, g) in out.iter().enumerate() {
+                    if i != j {
+                        prop_assert!(!(f.covers(g) && !g.covers(f)), "{f} strictly covers {g}");
+                        prop_assert!(!(f.covers(g) && g.covers(f)), "equivalent filters both kept");
+                    }
+                }
+            }
+        }
+    }
+}

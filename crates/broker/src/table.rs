@@ -1,0 +1,303 @@
+//! The broker routing table.
+//!
+//! "Each broker maintains a routing table that determines in which
+//! directions a notification is forwarded. Each table entry is a pair
+//! (F, L) containing a filter and the link from which it was received"
+//! (paper, §2). Entries come from two kinds of links: *client* links
+//! (local subscriptions, keyed by subscription id) and *broker* links
+//! (filters announced by neighbours, keyed by filter digest). A
+//! [`MatchIndex`] over both answers the per-notification routing decision.
+
+use rebeca_core::{ClientId, Digest, Filter, MatchIndex, Notification, SubscriptionId};
+use rebeca_net::NodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Key of one routing-table entry in the match index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteKey {
+    /// A filter announced by a neighbouring broker.
+    Neighbor {
+        /// The neighbour's node id.
+        node: NodeId,
+        /// Digest of the announced filter.
+        digest: Digest,
+    },
+    /// A subscription of a locally attached client.
+    Client {
+        /// The subscribing client.
+        client: ClientId,
+        /// The subscription id.
+        sub: SubscriptionId,
+    },
+}
+
+/// State of one locally attached client.
+#[derive(Debug, Clone)]
+pub struct ClientEntry {
+    /// Node to which deliveries are sent.
+    pub node: NodeId,
+    /// Active subscriptions (concrete filters; markers must be resolved by
+    /// the mobility layer before they reach the table).
+    pub subs: HashMap<SubscriptionId, Filter>,
+}
+
+/// The result of a routing decision for one notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Locally attached clients that must receive the notification.
+    pub clients: Vec<(ClientId, NodeId)>,
+    /// Neighbour broker nodes the notification must be forwarded to.
+    pub neighbors: Vec<NodeId>,
+}
+
+/// A broker's routing state: neighbour announcements plus local clients.
+#[derive(Default)]
+pub struct RoutingTable {
+    index: MatchIndex<RouteKey>,
+    neighbor_filters: HashMap<NodeId, HashMap<Digest, Filter>>,
+    clients: HashMap<ClientId, ClientEntry>,
+}
+
+impl fmt::Debug for RoutingTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoutingTable")
+            .field("clients", &self.clients.len())
+            .field("neighbor_links", &self.neighbor_filters.len())
+            .field("entries", &self.entry_count())
+            .finish()
+    }
+}
+
+impl RoutingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- clients -----
+
+    /// Registers a client behind the given node. Re-attaching updates the
+    /// node and keeps existing subscriptions (used by relocation).
+    pub fn attach_client(&mut self, client: ClientId, node: NodeId) {
+        self.clients
+            .entry(client)
+            .and_modify(|e| e.node = node)
+            .or_insert_with(|| ClientEntry { node, subs: HashMap::new() });
+    }
+
+    /// Removes a client and all its subscriptions (orderly detach or
+    /// relocation retirement). Returns its entry if it existed.
+    pub fn detach_client(&mut self, client: ClientId) -> Option<ClientEntry> {
+        let entry = self.clients.remove(&client)?;
+        for sub in entry.subs.keys() {
+            self.index.remove(&RouteKey::Client { client, sub: *sub });
+        }
+        Some(entry)
+    }
+
+    /// Returns the entry of an attached client.
+    pub fn client(&self, client: ClientId) -> Option<&ClientEntry> {
+        self.clients.get(&client)
+    }
+
+    /// Iterates over attached clients.
+    pub fn clients(&self) -> impl Iterator<Item = (&ClientId, &ClientEntry)> {
+        self.clients.iter()
+    }
+
+    /// Adds (or replaces) a client subscription. The client must be
+    /// attached; unattached subscriptions are ignored (returns `false`).
+    pub fn subscribe_client(
+        &mut self,
+        client: ClientId,
+        sub: SubscriptionId,
+        filter: Filter,
+    ) -> bool {
+        let Some(entry) = self.clients.get_mut(&client) else {
+            return false;
+        };
+        entry.subs.insert(sub, filter.clone());
+        self.index.insert(RouteKey::Client { client, sub }, filter);
+        true
+    }
+
+    /// Removes a client subscription. Returns the removed filter.
+    pub fn unsubscribe_client(
+        &mut self,
+        client: ClientId,
+        sub: SubscriptionId,
+    ) -> Option<Filter> {
+        let entry = self.clients.get_mut(&client)?;
+        let f = entry.subs.remove(&sub)?;
+        self.index.remove(&RouteKey::Client { client, sub });
+        Some(f)
+    }
+
+    // ----- neighbour brokers -----
+
+    /// Records a filter announced by a neighbour broker.
+    pub fn neighbor_subscribe(&mut self, node: NodeId, filter: Filter) {
+        let digest = filter.digest();
+        self.neighbor_filters
+            .entry(node)
+            .or_default()
+            .insert(digest, filter.clone());
+        self.index.insert(RouteKey::Neighbor { node, digest }, filter);
+    }
+
+    /// Removes a filter retraction from a neighbour broker (by digest).
+    pub fn neighbor_unsubscribe(&mut self, node: NodeId, digest: Digest) -> Option<Filter> {
+        let f = self.neighbor_filters.get_mut(&node)?.remove(&digest)?;
+        self.index.remove(&RouteKey::Neighbor { node, digest });
+        Some(f)
+    }
+
+    /// Filters currently announced by one neighbour.
+    pub fn neighbor_filters(&self, node: NodeId) -> impl Iterator<Item = &Filter> {
+        self.neighbor_filters.get(&node).into_iter().flat_map(|m| m.values())
+    }
+
+    // ----- queries -----
+
+    /// The routing decision for a notification: matching local clients and
+    /// matching neighbour links (deduplicated, deterministic order).
+    pub fn route(&self, n: &Notification) -> RouteDecision {
+        let mut clients = Vec::new();
+        let mut neighbors = Vec::new();
+        for key in self.index.matching(n) {
+            match key {
+                RouteKey::Client { client, .. } => {
+                    if let Some(e) = self.clients.get(&client) {
+                        clients.push((client, e.node));
+                    }
+                }
+                RouteKey::Neighbor { node, .. } => neighbors.push(node),
+            }
+        }
+        clients.sort_unstable_by_key(|(c, _)| *c);
+        clients.dedup_by_key(|(c, _)| *c);
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        RouteDecision { clients, neighbors }
+    }
+
+    /// All distinct filters that must be served through links *other than*
+    /// `exclude`: every local client filter plus every filter announced by
+    /// the other neighbours. This is the input to
+    /// [`RoutingStrategy::announcements`](crate::RoutingStrategy::announcements)
+    /// for the link towards `exclude`.
+    pub fn filters_excluding(&self, exclude: NodeId) -> Vec<Filter> {
+        let mut out = Vec::new();
+        for entry in self.clients.values() {
+            out.extend(entry.subs.values().cloned());
+        }
+        for (node, filters) in &self.neighbor_filters {
+            if *node != exclude {
+                out.extend(filters.values().cloned());
+            }
+        }
+        out
+    }
+
+    /// Total number of routing entries (client subscriptions + neighbour
+    /// announcements) — the table-size metric of experiment E7.
+    pub fn entry_count(&self) -> usize {
+        self.clients.values().map(|e| e.subs.len()).sum::<usize>()
+            + self.neighbor_filters.values().map(|m| m.len()).sum::<usize>()
+    }
+
+    /// Number of entries contributed by neighbour announcements only.
+    pub fn neighbor_entry_count(&self) -> usize {
+        self.neighbor_filters.values().map(|m| m.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_core::SimTime;
+
+    fn note(service: &str) -> Notification {
+        Notification::builder()
+            .attr("service", service)
+            .publish(ClientId::new(9), 0, SimTime::ZERO)
+    }
+
+    fn f(service: &str) -> Filter {
+        Filter::builder().eq("service", service).build()
+    }
+
+    #[test]
+    fn client_lifecycle() {
+        let mut t = RoutingTable::new();
+        let c = ClientId::new(1);
+        let n = NodeId::new(10);
+        assert!(!t.subscribe_client(c, SubscriptionId::new(1), f("t")), "not attached yet");
+        t.attach_client(c, n);
+        assert!(t.subscribe_client(c, SubscriptionId::new(1), f("t")));
+        assert_eq!(t.entry_count(), 1);
+        let d = t.route(&note("t"));
+        assert_eq!(d.clients, vec![(c, n)]);
+        assert!(d.neighbors.is_empty());
+        // Re-attach at a new node keeps the subscription (relocation).
+        t.attach_client(c, NodeId::new(11));
+        let d = t.route(&note("t"));
+        assert_eq!(d.clients, vec![(c, NodeId::new(11))]);
+        // Unsubscribe then detach.
+        assert!(t.unsubscribe_client(c, SubscriptionId::new(1)).is_some());
+        assert!(t.unsubscribe_client(c, SubscriptionId::new(1)).is_none());
+        assert!(t.detach_client(c).is_some());
+        assert!(t.detach_client(c).is_none());
+        assert_eq!(t.entry_count(), 0);
+    }
+
+    #[test]
+    fn detach_removes_index_entries() {
+        let mut t = RoutingTable::new();
+        let c = ClientId::new(1);
+        t.attach_client(c, NodeId::new(10));
+        t.subscribe_client(c, SubscriptionId::new(1), f("t"));
+        t.detach_client(c);
+        assert!(t.route(&note("t")).clients.is_empty());
+    }
+
+    #[test]
+    fn neighbor_announcements() {
+        let mut t = RoutingTable::new();
+        let nb = NodeId::new(5);
+        t.neighbor_subscribe(nb, f("t"));
+        t.neighbor_subscribe(nb, f("t")); // idempotent by digest
+        assert_eq!(t.neighbor_entry_count(), 1);
+        assert_eq!(t.route(&note("t")).neighbors, vec![nb]);
+        assert!(t.neighbor_unsubscribe(nb, f("t").digest()).is_some());
+        assert!(t.neighbor_unsubscribe(nb, f("t").digest()).is_none());
+        assert!(t.route(&note("t")).neighbors.is_empty());
+    }
+
+    #[test]
+    fn route_dedups_client_with_overlapping_subs() {
+        let mut t = RoutingTable::new();
+        let c = ClientId::new(1);
+        t.attach_client(c, NodeId::new(10));
+        t.subscribe_client(c, SubscriptionId::new(1), f("t"));
+        t.subscribe_client(c, SubscriptionId::new(2), Filter::all());
+        let d = t.route(&note("t"));
+        assert_eq!(d.clients.len(), 1, "one delivery per client, not per subscription");
+    }
+
+    #[test]
+    fn filters_excluding_splits_horizon() {
+        let mut t = RoutingTable::new();
+        let (nb1, nb2) = (NodeId::new(5), NodeId::new(6));
+        let c = ClientId::new(1);
+        t.attach_client(c, NodeId::new(10));
+        t.subscribe_client(c, SubscriptionId::new(1), f("local"));
+        t.neighbor_subscribe(nb1, f("from1"));
+        t.neighbor_subscribe(nb2, f("from2"));
+        let towards_nb1 = t.filters_excluding(nb1);
+        assert!(towards_nb1.contains(&f("local")));
+        assert!(towards_nb1.contains(&f("from2")));
+        assert!(!towards_nb1.contains(&f("from1")), "never announce back what nb1 sent");
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types of the core data model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the core data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A floating-point attribute value was NaN or infinite.
+    NonFiniteFloat {
+        /// The attribute the value was destined for.
+        attribute: String,
+    },
+    /// A wire message could not be decoded.
+    Decode(String),
+    /// A filter containing an unresolved marker (`myloc` / `myctx`) was used
+    /// where a concrete filter is required.
+    UnresolvedMarker {
+        /// The marker that was left unresolved, e.g. `"myloc"`.
+        marker: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NonFiniteFloat { attribute } => {
+                write!(f, "non-finite float value for attribute `{attribute}`")
+            }
+            CoreError::Decode(msg) => write!(f, "malformed wire message: {msg}"),
+            CoreError::UnresolvedMarker { marker } => {
+                write!(f, "filter still contains unresolved marker `{marker}`")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = CoreError::NonFiniteFloat { attribute: "x".into() };
+        assert_eq!(e.to_string(), "non-finite float value for attribute `x`");
+        let e = CoreError::UnresolvedMarker { marker: "myloc".into() };
+        assert!(e.to_string().contains("myloc"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,348 @@
+//! Filter merging — combining several routing-table filters into fewer,
+//! broader ones ("improvements to this strategy (e.g., covering and merging)
+//! are available in REBECA", paper §2).
+
+use super::{Constraint, Filter};
+use std::fmt;
+
+/// Result of attempting to merge two filters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeOutcome {
+    /// One operand already covers the other; the merge is simply the
+    /// covering filter.
+    Covered(Filter),
+    /// A *perfect merge* was found: the result matches **exactly** the
+    /// union of the two operands.
+    Perfect(Filter),
+    /// No single filter representing the exact union exists within the
+    /// predicate language.
+    NotMergeable,
+}
+
+impl MergeOutcome {
+    /// Extracts the merged filter, if any.
+    pub fn into_filter(self) -> Option<Filter> {
+        match self {
+            MergeOutcome::Covered(f) | MergeOutcome::Perfect(f) => Some(f),
+            MergeOutcome::NotMergeable => None,
+        }
+    }
+}
+
+impl fmt::Display for MergeOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeOutcome::Covered(x) => write!(f, "covered: {x}"),
+            MergeOutcome::Perfect(x) => write!(f, "perfect: {x}"),
+            MergeOutcome::NotMergeable => write!(f, "not mergeable"),
+        }
+    }
+}
+
+/// Attempts an **exact** merge of two filters.
+///
+/// Rules (the classic perfect-merging conditions):
+/// 1. if one filter covers the other, the covering filter is the merge;
+/// 2. if both filters constrain the same attribute set, agree on all
+///    attributes but one, each constrain that attribute exactly once, and
+///    the two predicates have an exact union
+///    ([`Predicate::union`](super::Predicate::union)), the merge replaces
+///    that predicate pair by their union.
+///
+/// ```
+/// use rebeca_core::filter::{try_merge, MergeOutcome};
+/// use rebeca_core::Filter;
+/// let a = Filter::builder().eq("service", "t").eq("room", 1i64).build();
+/// let b = Filter::builder().eq("service", "t").eq("room", 2i64).build();
+/// let m = match try_merge(&a, &b) {
+///     MergeOutcome::Perfect(f) => f,
+///     other => panic!("expected perfect merge, got {other:?}"),
+/// };
+/// assert!(m.covers(&a) && m.covers(&b));
+/// ```
+pub fn try_merge(a: &Filter, b: &Filter) -> MergeOutcome {
+    if a.covers(b) {
+        return MergeOutcome::Covered(a.clone());
+    }
+    if b.covers(a) {
+        return MergeOutcome::Covered(b.clone());
+    }
+
+    let ca: Vec<&Constraint> = a.constraints().collect();
+    let cb: Vec<&Constraint> = b.constraints().collect();
+    if ca.len() != cb.len() {
+        return MergeOutcome::NotMergeable;
+    }
+    // Same sorted attribute sequence?
+    if ca.iter().zip(&cb).any(|(x, y)| x.attr() != y.attr()) {
+        return MergeOutcome::NotMergeable;
+    }
+    // Exactly one differing predicate, on an attribute constrained once in
+    // each filter.
+    let mut differing: Option<usize> = None;
+    for (i, (x, y)) in ca.iter().zip(&cb).enumerate() {
+        if x.predicate() != y.predicate() {
+            if differing.is_some() {
+                return MergeOutcome::NotMergeable;
+            }
+            differing = Some(i);
+        }
+    }
+    let Some(i) = differing else {
+        // Structurally identical filters are caught by covering above, but
+        // be safe.
+        return MergeOutcome::Covered(a.clone());
+    };
+    let attr = ca[i].attr();
+    if ca.iter().filter(|c| c.attr() == attr).count() != 1
+        || cb.iter().filter(|c| c.attr() == attr).count() != 1
+    {
+        return MergeOutcome::NotMergeable;
+    }
+    match ca[i].predicate().union(cb[i].predicate()) {
+        Some(u) => {
+            let merged = ca
+                .iter()
+                .enumerate()
+                .map(|(j, c)| {
+                    if j == i {
+                        Constraint::new(c.attr(), u.clone())
+                    } else {
+                        (*c).clone()
+                    }
+                })
+                .collect::<Vec<_>>();
+            MergeOutcome::Perfect(Filter::from_constraints(merged))
+        }
+        None => MergeOutcome::NotMergeable,
+    }
+}
+
+/// An **imperfect** merge that always succeeds: keeps only the constraints
+/// on which both filters agree. The result covers both operands but may be
+/// strictly broader (trades selectivity for table size).
+pub fn loose_merge(a: &Filter, b: &Filter) -> Filter {
+    let kept = a
+        .constraints()
+        .filter(|ca| b.constraints().any(|cb| cb == *ca))
+        .cloned()
+        .collect::<Vec<_>>();
+    Filter::from_constraints(kept)
+}
+
+/// Greedily merges a set of filters to a fixpoint using [`try_merge`]
+/// (covered filters are absorbed, perfect merges applied). Used by the
+/// merging routing strategy; complexity is O(n³) worst case, acceptable for
+/// routing-table sizes.
+pub fn merge_set(filters: Vec<Filter>) -> Vec<Filter> {
+    let mut out = filters;
+    'retry: loop {
+        for i in 0..out.len() {
+            for j in (i + 1)..out.len() {
+                match try_merge(&out[i], &out[j]) {
+                    MergeOutcome::Covered(f) | MergeOutcome::Perfect(f) => {
+                        out.swap_remove(j);
+                        out[i] = f;
+                        continue 'retry;
+                    }
+                    MergeOutcome::NotMergeable => {}
+                }
+            }
+        }
+        return out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{ClientId, LocationId};
+    use crate::notification::Notification;
+    use crate::time::SimTime;
+    use crate::value::Value;
+
+    fn note(room: i64) -> Notification {
+        Notification::builder()
+            .attr("service", "t")
+            .attr("room", room)
+            .publish(ClientId::new(0), 0, SimTime::ZERO)
+    }
+
+    #[test]
+    fn covered_merge() {
+        let broad = Filter::builder().eq("service", "t").build();
+        let narrow = Filter::builder().eq("service", "t").eq("room", 1i64).build();
+        assert_eq!(try_merge(&broad, &narrow), MergeOutcome::Covered(broad.clone()));
+        assert_eq!(try_merge(&narrow, &broad), MergeOutcome::Covered(broad));
+    }
+
+    #[test]
+    fn perfect_merge_on_single_attribute() {
+        let a = Filter::builder().eq("service", "t").eq("room", 1i64).build();
+        let b = Filter::builder().eq("service", "t").eq("room", 2i64).build();
+        let MergeOutcome::Perfect(m) = try_merge(&a, &b) else {
+            panic!("expected perfect merge");
+        };
+        assert!(m.matches(&note(1)));
+        assert!(m.matches(&note(2)));
+        assert!(!m.matches(&note(3)));
+    }
+
+    #[test]
+    fn perfect_merge_of_location_sets() {
+        let a = Filter::builder()
+            .eq("service", "t")
+            .in_locations("location", [LocationId::new(1)])
+            .build();
+        let b = Filter::builder()
+            .eq("service", "t")
+            .in_locations("location", [LocationId::new(2)])
+            .build();
+        let MergeOutcome::Perfect(m) = try_merge(&a, &b) else {
+            panic!("expected perfect merge");
+        };
+        assert!(m.covers(&a) && m.covers(&b));
+    }
+
+    #[test]
+    fn unmergeable_when_two_attributes_differ() {
+        let a = Filter::builder().eq("x", 1i64).eq("y", 1i64).build();
+        let b = Filter::builder().eq("x", 2i64).eq("y", 2i64).build();
+        assert_eq!(try_merge(&a, &b), MergeOutcome::NotMergeable);
+    }
+
+    #[test]
+    fn unmergeable_when_attribute_sets_differ() {
+        let a = Filter::builder().eq("x", 1i64).build();
+        let b = Filter::builder().eq("y", 1i64).build();
+        assert_eq!(try_merge(&a, &b), MergeOutcome::NotMergeable);
+    }
+
+    #[test]
+    fn unmergeable_range_gap() {
+        let a = Filter::builder().lt("x", 1i64).build();
+        let b = Filter::builder().gt("x", 5i64).build();
+        assert_eq!(try_merge(&a, &b), MergeOutcome::NotMergeable);
+    }
+
+    #[test]
+    fn loose_merge_keeps_common_constraints() {
+        let a = Filter::builder().eq("service", "t").eq("room", 1i64).build();
+        let b = Filter::builder().eq("service", "t").eq("room", 2i64).build();
+        let m = loose_merge(&a, &b);
+        assert!(m.covers(&a) && m.covers(&b));
+        assert_eq!(m.len(), 1);
+        // Broader than the exact union:
+        assert!(m.matches(&note(3)));
+    }
+
+    #[test]
+    fn merge_set_reaches_fixpoint() {
+        let filters = vec![
+            Filter::builder().eq("service", "t").eq("room", 1i64).build(),
+            Filter::builder().eq("service", "t").eq("room", 2i64).build(),
+            Filter::builder().eq("service", "t").eq("room", 3i64).build(),
+            Filter::builder().eq("service", "t").build(), // covers all above
+            Filter::builder().eq("service", "news").build(),
+        ];
+        let merged = merge_set(filters);
+        // The room-specific filters are covered by `service == t`, which
+        // then perfectly merges with `service == news` into an In-set.
+        assert_eq!(merged.len(), 1);
+        assert!(merged.iter().any(|f| f.matches(&note(42))));
+        let news = Notification::builder()
+            .attr("service", "news")
+            .publish(ClientId::new(0), 1, SimTime::ZERO);
+        assert!(merged.iter().any(|f| f.matches(&news)));
+    }
+
+    #[test]
+    fn merge_set_on_empty_and_singleton() {
+        assert!(merge_set(vec![]).is_empty());
+        let one = vec![Filter::builder().eq("x", Value::from(1i64)).build()];
+        assert_eq!(merge_set(one.clone()), one);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::id::ClientId;
+    use crate::time::SimTime;
+    use proptest::prelude::*;
+
+    fn arb_filter() -> impl Strategy<Value = Filter> {
+        (
+            proptest::option::of(-3i64..3),
+            proptest::option::of(-3i64..3),
+            proptest::option::of(-3i64..3),
+        )
+            .prop_map(|(a, b, c)| {
+                let mut f = Filter::builder();
+                if let Some(v) = a {
+                    f = f.eq("a", v);
+                }
+                if let Some(v) = b {
+                    f = f.ge("b", v);
+                }
+                if let Some(v) = c {
+                    f = f.one_of("c", [v, v + 1]);
+                }
+                f.build()
+            })
+    }
+
+    fn arb_note() -> impl Strategy<Value = crate::Notification> {
+        (-4i64..4, -4i64..4, -4i64..4).prop_map(|(a, b, c)| {
+            crate::Notification::builder()
+                .attr("a", a)
+                .attr("b", b)
+                .attr("c", c)
+                .publish(ClientId::new(0), 0, SimTime::ZERO)
+        })
+    }
+
+    proptest! {
+        /// A perfect merge matches exactly the union of its operands; a
+        /// covered merge covers both.
+        #[test]
+        fn merge_soundness(a in arb_filter(), b in arb_filter(), n in arb_note()) {
+            match try_merge(&a, &b) {
+                MergeOutcome::Perfect(m) => {
+                    prop_assert_eq!(m.matches(&n), a.matches(&n) || b.matches(&n),
+                        "a={} b={} m={} n={}", a, b, m, n);
+                }
+                MergeOutcome::Covered(m) => {
+                    if a.matches(&n) || b.matches(&n) {
+                        prop_assert!(m.matches(&n));
+                    }
+                }
+                MergeOutcome::NotMergeable => {}
+            }
+        }
+
+        /// loose_merge always covers both operands.
+        #[test]
+        fn loose_merge_covers(a in arb_filter(), b in arb_filter(), n in arb_note()) {
+            let m = loose_merge(&a, &b);
+            if a.matches(&n) || b.matches(&n) {
+                prop_assert!(m.matches(&n));
+            }
+        }
+
+        /// merge_set preserves the union of matched notifications.
+        #[test]
+        fn merge_set_preserves_union(
+            filters in proptest::collection::vec(arb_filter(), 0..6),
+            n in arb_note(),
+        ) {
+            let before = filters.iter().any(|f| f.matches(&n));
+            let merged = merge_set(filters);
+            let after = merged.iter().any(|f| f.matches(&n));
+            // merge_set may only broaden (covered/perfect merges), never drop.
+            if before {
+                prop_assert!(after);
+            }
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! The counting-based matching index.
+//!
+//! Brokers must decide, for every incoming notification, which routing-table
+//! entries (and which locally attached clients) it matches. The classic
+//! algorithm for conjunctive content filters is *counting*: index every
+//! constraint under its attribute; evaluate, per notification, only the
+//! constraints whose attribute actually occurs; a filter matches when its
+//! satisfied-constraint count reaches the filter's total constraint count.
+
+use crate::filter::Filter;
+use crate::notification::Notification;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A matching index over a keyed set of [`Filter`]s.
+///
+/// `K` is the caller's handle for a filter (a subscription id, a routing
+/// link, ...). Inserting a key that is already present replaces its filter.
+///
+/// ```
+/// use rebeca_core::{ClientId, Filter, MatchIndex, Notification, SimTime, SubscriptionId};
+/// let mut idx = MatchIndex::new();
+/// idx.insert(SubscriptionId::new(1), Filter::builder().eq("service", "t").build());
+/// idx.insert(SubscriptionId::new(2), Filter::builder().eq("service", "x").build());
+/// let n = Notification::builder()
+///     .attr("service", "t")
+///     .publish(ClientId::new(0), 0, SimTime::ZERO);
+/// assert_eq!(idx.matching(&n), vec![SubscriptionId::new(1)]);
+/// ```
+#[derive(Clone)]
+pub struct MatchIndex<K> {
+    /// All filters plus the number of constraints each must satisfy.
+    filters: HashMap<K, Filter>,
+    /// attribute → (key → predicates indexed for that attribute).
+    by_attr: HashMap<String, HashMap<K, Vec<crate::filter::Predicate>>>,
+    /// Keys of empty (match-all) filters.
+    universal: Vec<K>,
+}
+
+impl<K> Default for MatchIndex<K> {
+    fn default() -> Self {
+        MatchIndex {
+            filters: HashMap::new(),
+            by_attr: HashMap::new(),
+            universal: Vec::new(),
+        }
+    }
+}
+
+impl<K: fmt::Debug> fmt::Debug for MatchIndex<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MatchIndex")
+            .field("filters", &self.filters.len())
+            .field("attributes", &self.by_attr.len())
+            .field("universal", &self.universal.len())
+            .finish()
+    }
+}
+
+impl<K: Copy + Eq + Hash> MatchIndex<K> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a filter under the given key.
+    ///
+    /// Filters containing unresolved markers (`myloc`/`myctx`) are legal to
+    /// insert but never match — resolve them first (the mobility layer does).
+    pub fn insert(&mut self, key: K, filter: Filter) {
+        self.remove(&key);
+        if filter.is_empty() {
+            self.universal.push(key);
+        } else {
+            for c in filter.constraints() {
+                self.by_attr
+                    .entry(c.attr().to_owned())
+                    .or_default()
+                    .entry(key)
+                    .or_default()
+                    .push(c.predicate().clone());
+            }
+        }
+        self.filters.insert(key, filter);
+    }
+
+    /// Removes the filter stored under `key`. Returns the filter if it was
+    /// present.
+    pub fn remove(&mut self, key: &K) -> Option<Filter> {
+        let filter = self.filters.remove(key)?;
+        if filter.is_empty() {
+            self.universal.retain(|k| k != key);
+        } else {
+            for c in filter.constraints() {
+                if let Some(m) = self.by_attr.get_mut(c.attr()) {
+                    m.remove(key);
+                    if m.is_empty() {
+                        self.by_attr.remove(c.attr());
+                    }
+                }
+            }
+        }
+        Some(filter)
+    }
+
+    /// Number of indexed filters.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Returns `true` if no filter is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Returns the filter stored under `key`.
+    pub fn get(&self, key: &K) -> Option<&Filter> {
+        self.filters.get(key)
+    }
+
+    /// Iterates over `(key, filter)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &Filter)> {
+        self.filters.iter()
+    }
+
+    /// Returns the keys of all filters matching the notification, in
+    /// unspecified order (the counting algorithm).
+    pub fn matching(&self, n: &Notification) -> Vec<K> {
+        let mut counts: HashMap<K, usize> = HashMap::new();
+        for (attr, value) in n.attrs() {
+            if let Some(per_key) = self.by_attr.get(attr) {
+                for (key, predicates) in per_key {
+                    let satisfied = predicates.iter().filter(|p| p.matches(value)).count();
+                    if satisfied > 0 {
+                        *counts.entry(*key).or_insert(0) += satisfied;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<K> = counts
+            .into_iter()
+            .filter(|(key, count)| {
+                self.filters
+                    .get(key)
+                    .is_some_and(|f| f.len() == *count)
+            })
+            .map(|(key, _)| key)
+            .collect();
+        out.extend(self.universal.iter().copied());
+        out
+    }
+
+    /// Returns `true` if at least one indexed filter matches — cheaper than
+    /// [`MatchIndex::matching`] when only existence is needed.
+    pub fn matches_any(&self, n: &Notification) -> bool {
+        if !self.universal.is_empty() {
+            return true;
+        }
+        !self.matching(n).is_empty()
+    }
+
+    /// Brute-force matching (linear scan), used to cross-check the index in
+    /// tests and benchmarks.
+    pub fn scan_matching(&self, n: &Notification) -> Vec<K> {
+        self.filters
+            .iter()
+            .filter(|(_, f)| f.matches(n))
+            .map(|(k, _)| *k)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{ClientId, SubscriptionId};
+    use crate::time::SimTime;
+
+    fn sid(i: u32) -> SubscriptionId {
+        SubscriptionId::new(i)
+    }
+
+    fn note(pairs: &[(&str, i64)]) -> Notification {
+        let mut b = Notification::builder();
+        for (k, v) in pairs {
+            b = b.attr(*k, *v);
+        }
+        b.publish(ClientId::new(0), 0, SimTime::ZERO)
+    }
+
+    #[test]
+    fn matches_conjunctions() {
+        let mut idx = MatchIndex::new();
+        idx.insert(sid(1), Filter::builder().eq("a", 1i64).build());
+        idx.insert(sid(2), Filter::builder().eq("a", 1i64).eq("b", 2i64).build());
+        idx.insert(sid(3), Filter::builder().eq("b", 2i64).build());
+
+        let mut hits = idx.matching(&note(&[("a", 1), ("b", 2)]));
+        hits.sort();
+        assert_eq!(hits, vec![sid(1), sid(2), sid(3)]);
+
+        let mut hits = idx.matching(&note(&[("a", 1)]));
+        hits.sort();
+        assert_eq!(hits, vec![sid(1)]);
+    }
+
+    #[test]
+    fn universal_filter_always_matches() {
+        let mut idx = MatchIndex::new();
+        idx.insert(sid(1), Filter::all());
+        assert_eq!(idx.matching(&note(&[("x", 0)])), vec![sid(1)]);
+        assert!(idx.matches_any(&note(&[])));
+    }
+
+    #[test]
+    fn multiple_constraints_per_attribute() {
+        let mut idx = MatchIndex::new();
+        idx.insert(sid(1), Filter::builder().between("x", 0i64, 10i64).build());
+        assert_eq!(idx.matching(&note(&[("x", 5)])), vec![sid(1)]);
+        assert!(idx.matching(&note(&[("x", 11)])).is_empty());
+        assert!(idx.matching(&note(&[("x", -1)])).is_empty());
+    }
+
+    #[test]
+    fn replace_and_remove() {
+        let mut idx = MatchIndex::new();
+        idx.insert(sid(1), Filter::builder().eq("a", 1i64).build());
+        idx.insert(sid(1), Filter::builder().eq("a", 2i64).build()); // replace
+        assert_eq!(idx.len(), 1);
+        assert!(idx.matching(&note(&[("a", 1)])).is_empty());
+        assert_eq!(idx.matching(&note(&[("a", 2)])), vec![sid(1)]);
+        assert!(idx.remove(&sid(1)).is_some());
+        assert!(idx.remove(&sid(1)).is_none());
+        assert!(idx.is_empty());
+        assert!(idx.matching(&note(&[("a", 2)])).is_empty());
+    }
+
+    #[test]
+    fn unresolved_markers_never_match() {
+        let mut idx = MatchIndex::new();
+        idx.insert(sid(1), Filter::builder().myloc("location").build());
+        assert!(idx.matching(&note(&[("location", 1)])).is_empty());
+    }
+
+    #[test]
+    fn index_agrees_with_scan() {
+        let mut idx = MatchIndex::new();
+        idx.insert(sid(1), Filter::builder().eq("a", 1i64).build());
+        idx.insert(sid(2), Filter::builder().ge("a", 0i64).lt("b", 5i64).build());
+        idx.insert(sid(3), Filter::all());
+        for n in [
+            note(&[("a", 1), ("b", 3)]),
+            note(&[("a", 0), ("b", 9)]),
+            note(&[("b", 1)]),
+            note(&[]),
+        ] {
+            let mut a = idx.matching(&n);
+            let mut b = idx.scan_matching(&n);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "for {n}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::id::{ClientId, SubscriptionId};
+    use crate::time::SimTime;
+    use proptest::prelude::*;
+
+    fn arb_filter() -> impl Strategy<Value = Filter> {
+        (
+            proptest::option::of(-3i64..3),
+            proptest::option::of(-3i64..3),
+            proptest::option::of((-3i64..3, -3i64..3)),
+            any::<bool>(),
+        )
+            .prop_map(|(a, b, c, all)| {
+                if all {
+                    return Filter::all();
+                }
+                let mut f = Filter::builder();
+                if let Some(v) = a {
+                    f = f.eq("a", v);
+                }
+                if let Some(v) = b {
+                    f = f.lt("b", v);
+                }
+                if let Some((lo, hi)) = c {
+                    f = f.between("c", lo.min(hi), lo.max(hi));
+                }
+                f.build()
+            })
+    }
+
+    fn arb_note() -> impl Strategy<Value = Notification> {
+        proptest::collection::btree_map("[a-d]", -4i64..4, 0..4).prop_map(|m| {
+            let mut b = Notification::builder();
+            for (k, v) in m {
+                b = b.attr(k, v);
+            }
+            b.publish(ClientId::new(0), 0, SimTime::ZERO)
+        })
+    }
+
+    proptest! {
+        /// The counting index is equivalent to brute-force scanning.
+        #[test]
+        fn index_equals_scan(
+            filters in proptest::collection::vec(arb_filter(), 0..8),
+            notes in proptest::collection::vec(arb_note(), 0..8),
+            removals in proptest::collection::vec(0usize..8, 0..4),
+        ) {
+            let mut idx = MatchIndex::new();
+            for (i, f) in filters.iter().enumerate() {
+                idx.insert(SubscriptionId::new(i as u32), f.clone());
+            }
+            for r in removals {
+                idx.remove(&SubscriptionId::new(r as u32));
+            }
+            for n in &notes {
+                let mut a = idx.matching(n);
+                let mut b = idx.scan_matching(n);
+                a.sort();
+                b.sort();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

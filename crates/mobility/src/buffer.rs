@@ -1,0 +1,494 @@
+//! Buffering policies for virtual clients and event histories.
+//!
+//! The paper's research agenda (§4, *Embedding event histories*) names the
+//! policy space: "Garbage collection can be time-based, history-based or
+//! semantic-based. In a time-based scheme, all notifications published more
+//! than t seconds ago are deleted from the buffer. In a history-based
+//! scheme, the buffer always keeps the last n notifications. Both schemes
+//! can be combined. In semantic-based scheme new events can nullify old
+//! events." All four are implemented by [`ReplayBuffer`], configured
+//! through [`BufferSpec`]; [`SharedBuffer`] implements the shared
+//! digest-store of the same section ("a shared buffer at the border broker
+//! can be used and virtual clients can keep only the digest").
+
+use rebeca_core::{Digest, Notification, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Configuration of a virtual client's replay buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BufferSpec {
+    /// No buffering at all (arrivals replay nothing).
+    None,
+    /// Keep everything (unbounded; useful as oracle in tests).
+    Unbounded,
+    /// Drop notifications older than `ttl`.
+    TimeBased {
+        /// Maximum age.
+        ttl: SimDuration,
+    },
+    /// Keep only the most recent `capacity` notifications.
+    HistoryBased {
+        /// Maximum buffer length.
+        capacity: usize,
+    },
+    /// Time- and history-based combined (both limits enforced).
+    Combined {
+        /// Maximum age.
+        ttl: SimDuration,
+        /// Maximum buffer length.
+        capacity: usize,
+    },
+    /// New events nullify old events with equal values on `key_attrs`
+    /// (e.g. only the latest menu per restaurant is kept).
+    Semantic {
+        /// Attributes forming the nullification key.
+        key_attrs: Vec<String>,
+    },
+}
+
+impl BufferSpec {
+    /// Builds an empty buffer with this policy.
+    pub fn build(&self) -> ReplayBuffer {
+        ReplayBuffer::new(self.clone())
+    }
+}
+
+impl fmt::Display for BufferSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferSpec::None => write!(f, "none"),
+            BufferSpec::Unbounded => write!(f, "unbounded"),
+            BufferSpec::TimeBased { ttl } => write!(f, "time({ttl})"),
+            BufferSpec::HistoryBased { capacity } => write!(f, "history({capacity})"),
+            BufferSpec::Combined { ttl, capacity } => write!(f, "combined({ttl},{capacity})"),
+            BufferSpec::Semantic { key_attrs } => write!(f, "semantic({})", key_attrs.join(",")),
+        }
+    }
+}
+
+/// An ordered notification buffer with pluggable garbage collection.
+///
+/// ```
+/// use rebeca_core::{ClientId, Notification, SimDuration, SimTime};
+/// use rebeca_mobility::BufferSpec;
+/// let mut buf = BufferSpec::HistoryBased { capacity: 2 }.build();
+/// for i in 0..3 {
+///     let n = Notification::builder().attr("i", i as i64)
+///         .publish(ClientId::new(0), i, SimTime::from_secs(i));
+///     buf.offer(SimTime::from_secs(i), n);
+/// }
+/// assert_eq!(buf.len(), 2, "history-based keeps the last n");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    spec: BufferSpec,
+    items: VecDeque<(SimTime, Notification)>,
+    bytes: usize,
+    peak_len: usize,
+    peak_bytes: usize,
+    total_offered: u64,
+    total_evicted: u64,
+}
+
+impl ReplayBuffer {
+    /// Creates an empty buffer with the given policy.
+    pub fn new(spec: BufferSpec) -> Self {
+        ReplayBuffer {
+            spec,
+            items: VecDeque::new(),
+            bytes: 0,
+            peak_len: 0,
+            peak_bytes: 0,
+            total_offered: 0,
+            total_evicted: 0,
+        }
+    }
+
+    /// The configured policy.
+    pub fn spec(&self) -> &BufferSpec {
+        &self.spec
+    }
+
+    /// Offers a notification at time `now`, applying the policy.
+    pub fn offer(&mut self, now: SimTime, n: Notification) {
+        self.total_offered += 1;
+        match &self.spec {
+            BufferSpec::None => return,
+            BufferSpec::Semantic { key_attrs } => {
+                let key = semantic_key(&n, key_attrs);
+                if let Some(pos) = self
+                    .items
+                    .iter()
+                    .position(|(_, old)| semantic_key(old, key_attrs) == key)
+                {
+                    let (_, old) = self.items.remove(pos).expect("position valid");
+                    self.bytes -= old.wire_size();
+                    self.total_evicted += 1;
+                }
+            }
+            _ => {}
+        }
+        self.bytes += n.wire_size();
+        self.items.push_back((now, n));
+        self.gc(now);
+        self.peak_len = self.peak_len.max(self.items.len());
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+    }
+
+    /// Applies garbage collection at time `now` (also called by `offer`).
+    pub fn gc(&mut self, now: SimTime) {
+        let (ttl, capacity) = match &self.spec {
+            BufferSpec::None => (None, Some(0)),
+            BufferSpec::Unbounded | BufferSpec::Semantic { .. } => (None, None),
+            BufferSpec::TimeBased { ttl } => (Some(*ttl), None),
+            BufferSpec::HistoryBased { capacity } => (None, Some(*capacity)),
+            BufferSpec::Combined { ttl, capacity } => (Some(*ttl), Some(*capacity)),
+        };
+        if let Some(ttl) = ttl {
+            let cutoff = now - ttl;
+            while let Some((at, _)) = self.items.front() {
+                if *at < cutoff {
+                    let (_, old) = self.items.pop_front().expect("front exists");
+                    self.bytes -= old.wire_size();
+                    self.total_evicted += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        if let Some(cap) = capacity {
+            while self.items.len() > cap {
+                let (_, old) = self.items.pop_front().expect("len > cap");
+                self.bytes -= old.wire_size();
+                self.total_evicted += 1;
+            }
+        }
+    }
+
+    /// Drains the buffer in insertion order (the handover replay), after a
+    /// final garbage collection at `now`.
+    pub fn drain(&mut self, now: SimTime) -> Vec<Notification> {
+        self.gc(now);
+        self.bytes = 0;
+        self.items.drain(..).map(|(_, n)| n).collect()
+    }
+
+    /// Returns the buffered notifications without draining (exception-mode
+    /// fetch keeps the buffer).
+    pub fn snapshot(&mut self, now: SimTime) -> Vec<Notification> {
+        self.gc(now);
+        self.items.iter().map(|(_, n)| n.clone()).collect()
+    }
+
+    /// Current number of buffered notifications.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Current buffered bytes (wire-size estimate).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Largest length ever reached.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Largest byte footprint ever reached.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Notifications offered over the buffer's lifetime.
+    pub fn total_offered(&self) -> u64 {
+        self.total_offered
+    }
+
+    /// Notifications evicted by the policy.
+    pub fn total_evicted(&self) -> u64 {
+        self.total_evicted
+    }
+}
+
+fn semantic_key(n: &Notification, key_attrs: &[String]) -> u64 {
+    use rebeca_core::digest::Fnv1a;
+    let mut h = Fnv1a::new();
+    for attr in key_attrs {
+        match n.get(attr) {
+            Some(v) => {
+                h.write_u8(1);
+                // Reuse the value encoding through a tiny detour: hash the
+                // display form (stable for our value types).
+                h.write(v.to_string().as_bytes());
+            }
+            None => h.write_u8(0),
+        }
+    }
+    h.finish().raw()
+}
+
+/// The shared digest-store of §4: one buffer per border broker, shared by
+/// all virtual clients there; each virtual client keeps only digests.
+/// Entries are reference-counted and vanish when no virtual client needs
+/// them.
+#[derive(Debug, Default)]
+pub struct SharedBuffer {
+    store: HashMap<Digest, (Notification, usize)>,
+    bytes: usize,
+    peak_bytes: usize,
+}
+
+impl SharedBuffer {
+    /// Creates an empty shared buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or references) a notification, returning its digest.
+    pub fn insert(&mut self, n: &Notification) -> Digest {
+        let d = n.digest();
+        let entry = self.store.entry(d).or_insert_with(|| {
+            self.bytes += n.wire_size();
+            (n.clone(), 0)
+        });
+        entry.1 += 1;
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+        d
+    }
+
+    /// Fetches a notification by digest.
+    pub fn get(&self, d: Digest) -> Option<&Notification> {
+        self.store.get(&d).map(|(n, _)| n)
+    }
+
+    /// Releases one reference; the entry is dropped at zero.
+    pub fn release(&mut self, d: Digest) {
+        if let Some((n, count)) = self.store.get_mut(&d) {
+            *count -= 1;
+            if *count == 0 {
+                let size = n.wire_size();
+                self.store.remove(&d);
+                self.bytes -= size;
+            }
+        }
+    }
+
+    /// Number of distinct stored notifications.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Returns `true` if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Current byte footprint (each notification counted once).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Largest byte footprint ever reached.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_core::ClientId;
+
+    fn note(i: u64, at: SimTime) -> Notification {
+        Notification::builder()
+            .attr("service", "menu")
+            .attr("restaurant", (i % 3) as i64)
+            .attr("seq", i as i64)
+            .publish(ClientId::new(1), i, at)
+    }
+
+    #[test]
+    fn none_buffers_nothing() {
+        let mut b = BufferSpec::None.build();
+        b.offer(SimTime::ZERO, note(0, SimTime::ZERO));
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), 0);
+    }
+
+    #[test]
+    fn unbounded_keeps_everything_in_order() {
+        let mut b = BufferSpec::Unbounded.build();
+        for i in 0..10 {
+            b.offer(SimTime::from_secs(i), note(i, SimTime::from_secs(i)));
+        }
+        assert_eq!(b.len(), 10);
+        let drained = b.drain(SimTime::from_secs(10));
+        let seqs: Vec<u64> = drained.iter().map(Notification::seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), 0);
+    }
+
+    #[test]
+    fn time_based_evicts_old() {
+        let mut b = BufferSpec::TimeBased { ttl: SimDuration::from_secs(5) }.build();
+        for i in 0..10 {
+            b.offer(SimTime::from_secs(i), note(i, SimTime::from_secs(i)));
+        }
+        // At t=9, cutoff is t=4: items from t in [4..9] remain.
+        assert_eq!(b.len(), 6);
+        b.gc(SimTime::from_secs(20));
+        assert!(b.is_empty(), "everything expires eventually");
+        assert_eq!(b.total_evicted(), 10);
+    }
+
+    #[test]
+    fn history_based_keeps_last_n() {
+        let mut b = BufferSpec::HistoryBased { capacity: 3 }.build();
+        for i in 0..10 {
+            b.offer(SimTime::from_secs(i), note(i, SimTime::from_secs(i)));
+        }
+        let seqs: Vec<u64> = b.drain(SimTime::from_secs(10)).iter().map(Notification::seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn combined_applies_both_limits() {
+        let mut b = BufferSpec::Combined { ttl: SimDuration::from_secs(5), capacity: 3 }.build();
+        for i in 0..10 {
+            b.offer(SimTime::from_secs(i), note(i, SimTime::from_secs(i)));
+        }
+        assert_eq!(b.len(), 3, "capacity binds first here");
+        b.gc(SimTime::from_secs(13));
+        assert_eq!(b.len(), 2, "cutoff 13-5=8 evicts the t=7 item");
+        b.gc(SimTime::from_secs(20));
+        assert!(b.is_empty(), "everything expires eventually");
+    }
+
+    #[test]
+    fn semantic_nullifies_by_key() {
+        let mut b = BufferSpec::Semantic { key_attrs: vec!["restaurant".into()] }.build();
+        for i in 0..9 {
+            b.offer(SimTime::from_secs(i), note(i, SimTime::from_secs(i)));
+        }
+        // 3 restaurants → only the latest menu per restaurant survives.
+        assert_eq!(b.len(), 3);
+        let seqs: Vec<u64> = b.drain(SimTime::from_secs(9)).iter().map(Notification::seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn semantic_distinguishes_missing_attr() {
+        let mut b = BufferSpec::Semantic { key_attrs: vec!["room".into()] }.build();
+        let with = Notification::builder()
+            .attr("room", 1i64)
+            .publish(ClientId::new(0), 0, SimTime::ZERO);
+        let without = Notification::builder()
+            .attr("other", 1i64)
+            .publish(ClientId::new(0), 1, SimTime::ZERO);
+        b.offer(SimTime::ZERO, with);
+        b.offer(SimTime::ZERO, without);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_keeps_items() {
+        let mut b = BufferSpec::Unbounded.build();
+        b.offer(SimTime::ZERO, note(0, SimTime::ZERO));
+        let snap = b.snapshot(SimTime::ZERO);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(b.len(), 1, "snapshot must not drain");
+    }
+
+    #[test]
+    fn peaks_and_counters() {
+        let mut b = BufferSpec::HistoryBased { capacity: 2 }.build();
+        for i in 0..5 {
+            b.offer(SimTime::from_secs(i), note(i, SimTime::from_secs(i)));
+        }
+        assert_eq!(b.peak_len(), 2);
+        assert!(b.peak_bytes() > 0);
+        assert_eq!(b.total_offered(), 5);
+        assert_eq!(b.total_evicted(), 3);
+    }
+
+    #[test]
+    fn shared_buffer_refcounts() {
+        let mut s = SharedBuffer::new();
+        let n = note(0, SimTime::ZERO);
+        let d1 = s.insert(&n);
+        let d2 = s.insert(&n);
+        assert_eq!(d1, d2);
+        assert_eq!(s.len(), 1);
+        let one_size = s.bytes();
+        assert_eq!(one_size, n.wire_size(), "deduplicated storage");
+        s.release(d1);
+        assert_eq!(s.len(), 1, "still referenced once");
+        assert!(s.get(d1).is_some());
+        s.release(d1);
+        assert!(s.is_empty());
+        assert_eq!(s.bytes(), 0);
+        assert!(s.get(d1).is_none());
+        assert_eq!(s.peak_bytes(), one_size);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rebeca_core::ClientId;
+
+    fn arb_spec() -> impl Strategy<Value = BufferSpec> {
+        prop_oneof![
+            Just(BufferSpec::None),
+            Just(BufferSpec::Unbounded),
+            (1u64..20).prop_map(|s| BufferSpec::TimeBased { ttl: SimDuration::from_secs(s) }),
+            (0usize..10).prop_map(|c| BufferSpec::HistoryBased { capacity: c }),
+            ((1u64..20), (0usize..10)).prop_map(|(s, c)| BufferSpec::Combined {
+                ttl: SimDuration::from_secs(s),
+                capacity: c
+            }),
+            Just(BufferSpec::Semantic { key_attrs: vec!["k".into()] }),
+        ]
+    }
+
+    proptest! {
+        /// Invariants that hold for every policy: drain yields items in
+        /// insertion order (a subsequence of offers), byte accounting is
+        /// exact, and the length respects the policy's capacity.
+        #[test]
+        fn buffer_invariants(spec in arb_spec(), offers in proptest::collection::vec((0u64..30, 0i64..5), 0..40)) {
+            let mut buf = spec.build();
+            let mut times: Vec<u64> = offers.iter().map(|(t, _)| *t).collect();
+            times.sort_unstable();
+            let mut now = SimTime::ZERO;
+            for (i, (t, k)) in offers.iter().enumerate() {
+                now = now.max(SimTime::from_secs(*t));
+                let n = Notification::builder()
+                    .attr("k", *k)
+                    .publish(ClientId::new(0), i as u64, now);
+                buf.offer(now, n);
+                if let BufferSpec::HistoryBased { capacity } = buf.spec() {
+                    prop_assert!(buf.len() <= *capacity);
+                }
+                let expect_bytes: usize = buf.snapshot(now).iter().map(|n| n.wire_size()).sum();
+                prop_assert_eq!(buf.bytes(), expect_bytes);
+            }
+            let drained = buf.drain(now);
+            let seqs: Vec<u64> = drained.iter().map(|n| n.seq()).collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(seqs, sorted, "replay must preserve insertion order");
+            prop_assert_eq!(buf.bytes(), 0);
+        }
+    }
+}

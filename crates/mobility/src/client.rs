@@ -1,0 +1,234 @@
+//! The mobile client node.
+//!
+//! Wraps the client library ([`LocalBroker`]) with movement behaviour. Two
+//! modes model the design space:
+//!
+//! * [`ClientMobilityMode::Naive`] — the JEDI-style baseline: explicit
+//!   `moveOut` (orderly detach while still in range) and `moveIn`
+//!   (re-attach + re-subscribe). No buffering anywhere: whatever is
+//!   published during the hand-off is lost.
+//! * [`ClientMobilityMode::Relocation`] — mobile REBECA: leaving is
+//!   *silent* (movement is uncertain; nobody announces it); arriving sends
+//!   [`MobilityMsg::MoveIn`] so the infrastructure performs the buffered
+//!   relocation hand-off.
+//!
+//! The node also owns the client's [`ContextMap`]: `myctx` markers are
+//! resolved at the edge and affected subscriptions are automatically
+//! re-issued when the context changes (§4's state-dependent subscriptions).
+
+use crate::context::ContextMap;
+use rebeca_broker::{LocalBroker, Message, MobilityMsg};
+use rebeca_core::{BrokerId, ClientId, Filter, SubscriptionId};
+use rebeca_net::{Ctx, Node, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// How a client handles movement between border brokers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientMobilityMode {
+    /// Explicit moveOut/moveIn, no buffering (JEDI-style baseline).
+    Naive,
+    /// Silent departure + `MoveIn` relocation hand-off (mobile REBECA).
+    Relocation,
+}
+
+impl fmt::Display for ClientMobilityMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientMobilityMode::Naive => write!(f, "naive"),
+            ClientMobilityMode::Relocation => write!(f, "relocation"),
+        }
+    }
+}
+
+/// A roaming client node.
+pub struct MobileClientNode {
+    local: LocalBroker,
+    mode: ClientMobilityMode,
+    /// Maps every broker id to the node a client attaches to there (the
+    /// broker itself, or its replicator when the replicator layer is
+    /// deployed).
+    access_nodes: Arc<Vec<NodeId>>,
+    current: Option<BrokerId>,
+    last_attached: Option<BrokerId>,
+    context: ContextMap,
+    /// The application's original filters (markers intact); effective
+    /// filters are re-derived when the context changes.
+    originals: HashMap<SubscriptionId, Filter>,
+    moves: u64,
+}
+
+impl fmt::Debug for MobileClientNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MobileClientNode")
+            .field("client", &self.local.client())
+            .field("mode", &self.mode)
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl MobileClientNode {
+    /// Creates a mobile client. It attaches to nothing until the first
+    /// [`MobilityMsg::AppMoveTo`] arrives.
+    pub fn new(client: ClientId, mode: ClientMobilityMode, access_nodes: Arc<Vec<NodeId>>) -> Self {
+        MobileClientNode {
+            local: LocalBroker::new(client),
+            mode,
+            access_nodes,
+            current: None,
+            last_attached: None,
+            context: ContextMap::new(),
+            originals: HashMap::new(),
+            moves: 0,
+        }
+    }
+
+    /// The client library (delivery log, duplicate/FIFO counters).
+    pub fn local(&self) -> &LocalBroker {
+        &self.local
+    }
+
+    /// Mutable access to the client library.
+    pub fn local_mut(&mut self) -> &mut LocalBroker {
+        &mut self.local
+    }
+
+    /// The broker currently attached to, if any.
+    pub fn current_broker(&self) -> Option<BrokerId> {
+        self.current
+    }
+
+    /// The movement mode.
+    pub fn mode(&self) -> ClientMobilityMode {
+        self.mode
+    }
+
+    /// Number of completed `AppMoveTo` handovers.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// The client's context store.
+    pub fn context(&self) -> &ContextMap {
+        &self.context
+    }
+
+    fn effective(&self, original: &Filter) -> Filter {
+        self.context.resolve(original)
+    }
+
+    fn handle_app_mobility(&mut self, ctx: &mut Ctx<'_, Message>, msg: MobilityMsg) {
+        match msg {
+            MobilityMsg::AppPrepareMove => {
+                if self.mode == ClientMobilityMode::Naive {
+                    // JEDI-style moveOut: orderly detach while in range.
+                    self.local.detach(ctx);
+                    self.current = None;
+                }
+                // Relocation mode: silence — uncertainty is the premise.
+            }
+            MobilityMsg::AppMoveTo { border } => {
+                let access = self.access_nodes[border.raw() as usize];
+                let old = self.last_attached;
+                self.moves += 1;
+                self.current = Some(border);
+                self.last_attached = Some(border);
+                match self.mode {
+                    ClientMobilityMode::Naive => {
+                        // moveIn: plain attach + re-subscribe.
+                        self.local.attach(ctx, access);
+                    }
+                    ClientMobilityMode::Relocation => {
+                        self.local.attach_silent(access);
+                        ctx.send(
+                            access,
+                            Message::Mobility(MobilityMsg::MoveIn {
+                                client: self.local.client(),
+                                // The same-broker case (silent disconnect +
+                                // reappearance) replays the local buffer.
+                                old_border: old,
+                                subscriptions: self.local.subscription_set(),
+                            }),
+                        );
+                        self.local.flush_pending(ctx);
+                    }
+                }
+            }
+            MobilityMsg::AppDisconnect => {
+                self.local.disconnect_silently();
+                self.current = None;
+            }
+            MobilityMsg::AppSetContext { key, predicate } => {
+                self.context.set(key, predicate);
+                // Re-issue every context-dependent subscription with its
+                // new effective filter (same id ⇒ in-place replacement).
+                let affected: Vec<(SubscriptionId, Filter)> = self
+                    .originals
+                    .iter()
+                    .filter(|(_, f)| f.is_context_dependent())
+                    .map(|(id, f)| (*id, self.effective(f)))
+                    .collect();
+                for (id, f) in affected {
+                    self.local.subscribe(ctx, id, f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Node<Message> for MobileClientNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Message>, _from: NodeId, msg: Message) {
+        match msg {
+            Message::AppPublish { attrs } => {
+                self.local.publish(ctx, attrs);
+            }
+            Message::AppSubscribe { id, filter } => {
+                self.originals.insert(id, filter.clone());
+                let eff = self.effective(&filter);
+                self.local.subscribe(ctx, id, eff);
+            }
+            Message::AppUnsubscribe { id } => {
+                self.originals.remove(&id);
+                self.local.unsubscribe(ctx, id);
+            }
+            Message::Deliver { notification, .. } => {
+                self.local.on_deliver(ctx.now(), notification);
+            }
+            Message::Mobility(m) => self.handle_app_mobility(ctx, m),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(ClientMobilityMode::Naive.to_string(), "naive");
+        assert_eq!(ClientMobilityMode::Relocation.to_string(), "relocation");
+    }
+
+    #[test]
+    fn starts_detached() {
+        let node = MobileClientNode::new(
+            ClientId::new(1),
+            ClientMobilityMode::Relocation,
+            Arc::new(vec![NodeId::new(0)]),
+        );
+        assert_eq!(node.current_broker(), None);
+        assert_eq!(node.moves(), 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Context-aware subscriptions (the §4 generalisation of `myloc`).
+//!
+//! "Another important building block … is to generalize the concept of
+//! location-dependent subscriptions to 'state-dependent' subscriptions."
+//! A [`ContextMap`] holds the client's current context as named concrete
+//! predicates; filters using `myctx(key)` markers are resolved against it
+//! at the edge (in the client's local broker) and **re-issued
+//! automatically** whenever the context entry changes — dynamic filters
+//! that depend on a function of the client's local state.
+
+use rebeca_core::{Filter, Predicate};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The client's current context: named predicates that `myctx(key)`
+/// markers resolve to.
+///
+/// ```
+/// use rebeca_core::{Filter, Predicate, Value};
+/// use rebeca_mobility::ContextMap;
+/// let mut ctx = ContextMap::new();
+/// ctx.set("speed-class", Predicate::Le(Value::from(50i64)));
+/// let f = Filter::builder().eq("service", "traffic").myctx("speed", "speed-class").build();
+/// let resolved = ctx.resolve(&f);
+/// assert!(!resolved.is_context_dependent());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ContextMap {
+    entries: BTreeMap<String, Predicate>,
+    version: u64,
+}
+
+impl ContextMap {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (or replaces) a context entry; bumps the context version.
+    pub fn set(&mut self, key: impl Into<String>, predicate: Predicate) {
+        self.entries.insert(key.into(), predicate);
+        self.version += 1;
+    }
+
+    /// Removes a context entry. Returns the old predicate.
+    pub fn remove(&mut self, key: &str) -> Option<Predicate> {
+        let old = self.entries.remove(key);
+        if old.is_some() {
+            self.version += 1;
+        }
+        old
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, key: &str) -> Option<&Predicate> {
+        self.entries.get(key)
+    }
+
+    /// A counter incremented on every change — used to detect stale
+    /// resolutions that need re-issuing.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no entry is set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolves every `myctx` marker of `filter` against this context
+    /// (unknown keys stay unresolved and match nothing).
+    #[must_use]
+    pub fn resolve(&self, filter: &Filter) -> Filter {
+        filter.resolve_context(|key| self.entries.get(key).cloned())
+    }
+}
+
+impl fmt::Display for ContextMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "context(v{}, {} entries)", self.version, self.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_core::{ClientId, Notification, SimTime, Value};
+
+    #[test]
+    fn set_get_remove_and_version() {
+        let mut c = ContextMap::new();
+        assert_eq!(c.version(), 0);
+        c.set("k", Predicate::Eq(Value::from(1i64)));
+        assert_eq!(c.version(), 1);
+        assert_eq!(c.get("k"), Some(&Predicate::Eq(Value::from(1i64))));
+        c.set("k", Predicate::Eq(Value::from(2i64)));
+        assert_eq!(c.version(), 2);
+        assert!(c.remove("k").is_some());
+        assert_eq!(c.version(), 3);
+        assert!(c.remove("k").is_none());
+        assert_eq!(c.version(), 3, "removing a missing key is not a change");
+    }
+
+    #[test]
+    fn resolution_follows_context_changes() {
+        let mut c = ContextMap::new();
+        let f = Filter::builder().myctx("zone", "current-zone").build();
+        c.set("current-zone", Predicate::Eq(Value::from("north")));
+        let north = c.resolve(&f);
+        c.set("current-zone", Predicate::Eq(Value::from("south")));
+        let south = c.resolve(&f);
+        let n = |z: &str| {
+            Notification::builder()
+                .attr("zone", z)
+                .publish(ClientId::new(0), 0, SimTime::ZERO)
+        };
+        assert!(north.matches(&n("north")) && !north.matches(&n("south")));
+        assert!(south.matches(&n("south")) && !south.matches(&n("north")));
+    }
+
+    #[test]
+    fn unknown_keys_stay_unresolved() {
+        let c = ContextMap::new();
+        let f = Filter::builder().myctx("zone", "nope").build();
+        let r = c.resolve(&f);
+        assert!(r.is_context_dependent());
+    }
+}

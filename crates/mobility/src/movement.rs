@@ -1,0 +1,346 @@
+//! Movement graphs: formalised movement uncertainty.
+//!
+//! "We formalize this restriction as a movement graph with brokers as
+//! vertices. In this graph, an edge exists between broker b1 and b2 if and
+//! only if the client may connect to b2 after disconnecting from b1."
+//! (paper, §3.2). The neighbourhood function `nlb : B → 2^B` yields the
+//! brokers reachable in exactly one edge — the places where virtual
+//! clients are pre-created. The k-hop generalisation lets experiments trade
+//! coverage against replication overhead (§4: "as large as necessary … as
+//! small as possible"); `k = ∞` degenerates to flooding-like replication
+//! everywhere.
+
+use rebeca_core::BrokerId;
+use rebeca_net::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// An undirected movement graph over border brokers.
+///
+/// ```
+/// use rebeca_core::BrokerId;
+/// use rebeca_mobility::MovementGraph;
+/// let g = MovementGraph::line(4);
+/// let nlb1 = g.nlb(BrokerId::new(1));
+/// assert!(nlb1.contains(&BrokerId::new(0)) && nlb1.contains(&BrokerId::new(2)));
+/// assert!(!nlb1.contains(&BrokerId::new(1)), "nlb excludes the broker itself");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MovementGraph {
+    adj: BTreeMap<BrokerId, BTreeSet<BrokerId>>,
+}
+
+impl MovementGraph {
+    /// Creates an empty movement graph (no movement allowed at all).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a graph from undirected edges.
+    pub fn from_edges(edges: impl IntoIterator<Item = (BrokerId, BrokerId)>) -> Self {
+        let mut g = MovementGraph::new();
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Movement along a corridor: `B0 ↔ B1 ↔ … ↔ B(n-1)`.
+    pub fn line(n: usize) -> Self {
+        Self::from_edges((1..n).map(|i| (BrokerId::new(i as u32 - 1), BrokerId::new(i as u32))))
+    }
+
+    /// Movement around a ring (a circular corridor).
+    pub fn ring(n: usize) -> Self {
+        let mut g = Self::line(n);
+        if n > 2 {
+            g.add_edge(BrokerId::new(0), BrokerId::new(n as u32 - 1));
+        }
+        g
+    }
+
+    /// An office floor / city grid of `w × h` cells, numbered row-major;
+    /// movement to the 4-neighbourhood.
+    pub fn grid(w: usize, h: usize) -> Self {
+        let mut g = MovementGraph::new();
+        let id = |x: usize, y: usize| BrokerId::new((y * w + x) as u32);
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    g.add_edge(id(x, y), id(x + 1, y));
+                }
+                if y + 1 < h {
+                    g.add_edge(id(x, y), id(x, y + 1));
+                }
+            }
+        }
+        g
+    }
+
+    /// A hexagonal cell layout of the given `radius` around a centre cell —
+    /// the GSM base-station neighbourhood of the paper's example ("if base
+    /// stations in a GSM network contain a local broker each, the
+    /// neighborhood relationship between them defines the movement
+    /// graph"). `radius = 0` is a single cell; `radius = 1` has 7 cells;
+    /// in general `3r(r+1) + 1` cells, numbered in axial-coordinate order.
+    pub fn hex_cells(radius: i32) -> Self {
+        // Axial coordinates (q, r) with |q| ≤ radius, |r| ≤ radius,
+        // |q + r| ≤ radius; neighbours differ by one of six unit steps.
+        let mut cells = Vec::new();
+        for q in -radius..=radius {
+            for r in -radius..=radius {
+                if (q + r).abs() <= radius {
+                    cells.push((q, r));
+                }
+            }
+        }
+        let index = |q: i32, r: i32| -> Option<usize> {
+            cells.iter().position(|&(cq, cr)| cq == q && cr == r)
+        };
+        let mut g = MovementGraph::new();
+        const DIRS: [(i32, i32); 6] = [(1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1)];
+        for (i, &(q, r)) in cells.iter().enumerate() {
+            for (dq, dr) in DIRS {
+                if let Some(j) = index(q + dq, r + dr) {
+                    g.add_edge(BrokerId::new(i as u32), BrokerId::new(j as u32));
+                }
+            }
+        }
+        g
+    }
+
+    /// Unconstrained movement between `n` brokers (complete graph) — the
+    /// degenerate case where `nlb` covers everything.
+    pub fn complete(n: usize) -> Self {
+        let mut g = MovementGraph::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                g.add_edge(BrokerId::new(a as u32), BrokerId::new(b as u32));
+            }
+        }
+        g
+    }
+
+    /// Uses the broker tree itself as movement graph ("the movement graph
+    /// in logical mobility is a refinement of the graph of possible border
+    /// brokers").
+    pub fn from_topology(topology: &Topology) -> Self {
+        Self::from_edges(topology.edges().iter().copied())
+    }
+
+    /// Adds one undirected edge.
+    pub fn add_edge(&mut self, a: BrokerId, b: BrokerId) {
+        if a == b {
+            return;
+        }
+        self.adj.entry(a).or_default().insert(b);
+        self.adj.entry(b).or_default().insert(a);
+    }
+
+    /// Returns `true` if the client may move directly from `a` to `b`.
+    pub fn is_edge(&self, a: BrokerId, b: BrokerId) -> bool {
+        self.adj.get(&a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// The `nlb` function: brokers reachable in exactly one movement edge
+    /// (the broker itself is excluded).
+    pub fn nlb(&self, b: BrokerId) -> BTreeSet<BrokerId> {
+        self.adj.get(&b).cloned().unwrap_or_default()
+    }
+
+    /// The k-hop neighbourhood: brokers reachable within `k` movement
+    /// edges, excluding `b` itself. `k = 0` yields the empty set
+    /// (replication off), `k = 1` is [`MovementGraph::nlb`].
+    pub fn k_hop(&self, b: BrokerId, k: u32) -> BTreeSet<BrokerId> {
+        let mut seen: BTreeSet<BrokerId> = BTreeSet::new();
+        if k == 0 {
+            return seen;
+        }
+        let mut frontier = VecDeque::from([(b, 0u32)]);
+        let mut visited: BTreeSet<BrokerId> = [b].into();
+        while let Some((x, d)) = frontier.pop_front() {
+            if d == k {
+                continue;
+            }
+            for &y in self.adj.get(&x).into_iter().flatten() {
+                if visited.insert(y) {
+                    seen.insert(y);
+                    frontier.push_back((y, d + 1));
+                }
+            }
+        }
+        seen
+    }
+
+    /// All brokers that appear in the graph.
+    pub fn brokers(&self) -> impl Iterator<Item = BrokerId> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Number of brokers with at least one movement edge.
+    pub fn broker_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// Checks that every vertex is a valid broker of `topology`.
+    pub fn is_consistent_with(&self, topology: &Topology) -> bool {
+        self.adj
+            .keys()
+            .all(|b| (b.raw() as usize) < topology.broker_count())
+    }
+}
+
+impl fmt::Display for MovementGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "movement graph: {} brokers, {} edges",
+            self.broker_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u32) -> BrokerId {
+        BrokerId::new(i)
+    }
+
+    #[test]
+    fn line_nlb() {
+        let g = MovementGraph::line(4);
+        assert_eq!(g.nlb(b(0)), [b(1)].into());
+        assert_eq!(g.nlb(b(1)), [b(0), b(2)].into());
+        assert_eq!(g.nlb(b(3)), [b(2)].into());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let g = MovementGraph::ring(5);
+        assert!(g.is_edge(b(0), b(4)));
+        assert_eq!(g.nlb(b(0)), [b(1), b(4)].into());
+        // Tiny rings degenerate gracefully.
+        assert_eq!(MovementGraph::ring(2).edge_count(), 1);
+    }
+
+    #[test]
+    fn grid_four_neighbourhood() {
+        let g = MovementGraph::grid(3, 3);
+        // Centre cell (1,1) = broker 4 has 4 neighbours.
+        assert_eq!(g.nlb(b(4)).len(), 4);
+        // Corner (0,0) = broker 0 has 2.
+        assert_eq!(g.nlb(b(0)), [b(1), b(3)].into());
+        assert_eq!(g.broker_count(), 9);
+        assert_eq!(g.edge_count(), 12);
+    }
+
+    #[test]
+    fn hex_cells_gsm_neighbourhoods() {
+        // radius 0: one isolated cell.
+        assert_eq!(MovementGraph::hex_cells(0).broker_count(), 0, "no edges, no entries");
+        // radius 1: 7 cells; the centre has 6 neighbours, ring cells have
+        // 2 ring neighbours + the centre = 3.
+        let g = MovementGraph::hex_cells(1);
+        let degrees: Vec<usize> = g.brokers().map(|b| g.nlb(b).len()).collect();
+        assert_eq!(degrees.len(), 7);
+        assert_eq!(degrees.iter().filter(|&&d| d == 6).count(), 1, "one centre");
+        assert_eq!(degrees.iter().filter(|&&d| d == 3).count(), 6, "six ring cells");
+        assert_eq!(g.edge_count(), 12);
+        // radius 2: 19 cells, inner cells all have degree 6.
+        let g2 = MovementGraph::hex_cells(2);
+        assert_eq!(g2.broker_count(), 19);
+        assert_eq!(
+            g2.brokers().map(|b| g2.nlb(b).len()).max(),
+            Some(6),
+            "hex degree never exceeds 6"
+        );
+    }
+
+    #[test]
+    fn complete_graph_covers_everything() {
+        let g = MovementGraph::complete(4);
+        for i in 0..4 {
+            assert_eq!(g.nlb(b(i)).len(), 3);
+        }
+    }
+
+    #[test]
+    fn k_hop_neighbourhoods() {
+        let g = MovementGraph::line(6);
+        assert!(g.k_hop(b(2), 0).is_empty());
+        assert_eq!(g.k_hop(b(2), 1), g.nlb(b(2)));
+        assert_eq!(g.k_hop(b(2), 2), [b(0), b(1), b(3), b(4)].into());
+        assert_eq!(g.k_hop(b(2), 10).len(), 5, "saturates at the whole graph minus self");
+        assert!(!g.k_hop(b(2), 3).contains(&b(2)));
+    }
+
+    #[test]
+    fn from_topology_refines_broker_graph() {
+        let t = Topology::star(4).unwrap();
+        let g = MovementGraph::from_topology(&t);
+        assert_eq!(g.nlb(b(0)).len(), 3);
+        assert_eq!(g.nlb(b(1)), [b(0)].into());
+        assert!(g.is_consistent_with(&t));
+    }
+
+    #[test]
+    fn self_loops_ignored_and_unknown_brokers_empty() {
+        let mut g = MovementGraph::new();
+        g.add_edge(b(1), b(1));
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.nlb(b(7)).is_empty());
+    }
+
+    #[test]
+    fn consistency_check_catches_out_of_range() {
+        let t = Topology::line(2).unwrap();
+        let g = MovementGraph::line(5);
+        assert!(!g.is_consistent_with(&t));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// k-hop neighbourhoods are monotone in k and never contain the
+        /// centre.
+        #[test]
+        fn k_hop_monotone(
+            w in 1usize..5, h in 1usize..5,
+            cx in 0u32..25, k in 0u32..5,
+        ) {
+            let g = MovementGraph::grid(w, h);
+            let c = BrokerId::new(cx % (w * h) as u32);
+            let smaller = g.k_hop(c, k);
+            let larger = g.k_hop(c, k + 1);
+            prop_assert!(smaller.is_subset(&larger));
+            prop_assert!(!larger.contains(&c));
+        }
+
+        /// nlb is symmetric: a ∈ nlb(b) ⇔ b ∈ nlb(a).
+        #[test]
+        fn nlb_symmetric(n in 2usize..8, edges in proptest::collection::vec((0u32..8, 0u32..8), 0..16)) {
+            let g = MovementGraph::from_edges(
+                edges.into_iter().map(|(a, b)| (BrokerId::new(a % n as u32), BrokerId::new(b % n as u32)))
+            );
+            for a in g.brokers().collect::<Vec<_>>() {
+                for b in g.nlb(a) {
+                    prop_assert!(g.nlb(b).contains(&a));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # rebeca-net — deterministic distributed substrate
+//!
+//! The REBECA paper assumes a very small set of network properties: an
+//! acyclic, connected graph of broker processes, point-to-point links, FIFO
+//! delivery per link, and — for the mobile extensions — *connection
+//! awareness* (a client and its virtual counterpart can tell whether the
+//! wireless link is up). This crate provides exactly that substrate, twice:
+//!
+//! * [`World`] — a deterministic **discrete-event simulator**. All protocol
+//!   state machines implement the sans-io [`Node`] trait; the simulator owns
+//!   time, links and delivery. Runs are exactly reproducible, which is what
+//!   the experiment harness needs.
+//! * [`thread_rt::ThreadRuntime`] — a **live runtime** that runs the *same*
+//!   node state machines on one OS thread each, connected by crossbeam
+//!   channels. It demonstrates that nothing in the protocol layer depends on
+//!   the simulator.
+//!
+//! [`topology`] builds the acyclic broker graphs (line, star, balanced and
+//! random trees) and answers the tree-path/junction queries that the
+//! physical-mobility relocation protocol needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod link;
+pub mod metrics;
+pub mod node;
+pub mod rng;
+pub mod thread_rt;
+pub mod topology;
+pub mod world;
+
+pub use link::{LatencyModel, LinkConfig, LinkKey};
+pub use metrics::NetMetrics;
+pub use node::{Ctx, Node, NodeId, Payload, TimerId};
+pub use rng::SplitMix64;
+pub use topology::Topology;
+pub use world::World;

@@ -1,0 +1,203 @@
+//! Point-to-point FIFO links.
+//!
+//! "The edges are communication links that are point-to-point. Furthermore,
+//! messages are required to be delivered in FIFO order on each link."
+//! (paper, §2). Links carry a latency model; the simulator enforces FIFO by
+//! never scheduling a delivery earlier than the previously scheduled one on
+//! the same directed link, even under latency jitter.
+
+use crate::node::NodeId;
+use crate::rng::SplitMix64;
+use rebeca_core::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A directed link key (`from → to`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkKey {
+    /// Sending endpoint.
+    pub from: NodeId,
+    /// Receiving endpoint.
+    pub to: NodeId,
+}
+
+/// Latency model of a link.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(SimDuration),
+    /// Uniform jitter in `[min, max]` (FIFO still enforced).
+    Uniform {
+        /// Minimum latency.
+        min: SimDuration,
+        /// Maximum latency.
+        max: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// Samples one message latency.
+    pub fn sample(&self, rng: &mut SplitMix64) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                let lo = min.as_micros();
+                let hi = max.as_micros().max(lo);
+                SimDuration::from_micros(lo + rng.next_below(hi - lo + 1))
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Constant(SimDuration::from_millis(1))
+    }
+}
+
+/// Configuration of a (bidirectional) link.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Latency model applied per direction.
+    pub latency: LatencyModel,
+    /// Whether the link starts in the *up* state.
+    pub up: bool,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig { latency: LatencyModel::default(), up: true }
+    }
+}
+
+impl LinkConfig {
+    /// Convenience: a link with constant latency, initially up.
+    pub fn constant(latency: SimDuration) -> Self {
+        LinkConfig { latency: LatencyModel::Constant(latency), up: true }
+    }
+
+    /// Convenience: a link with uniform jitter, initially up.
+    pub fn jittered(min: SimDuration, max: SimDuration) -> Self {
+        LinkConfig { latency: LatencyModel::Uniform { min, max }, up: true }
+    }
+}
+
+/// State of one direction of a link.
+#[derive(Debug)]
+pub(crate) struct LinkState {
+    pub(crate) latency: LatencyModel,
+    pub(crate) up: bool,
+    pub(crate) rng: SplitMix64,
+    /// Earliest time the next delivery may be scheduled (FIFO floor).
+    pub(crate) fifo_floor: SimTime,
+}
+
+/// All links of a world, keyed by direction.
+#[derive(Debug, Default)]
+pub struct LinkTable {
+    links: HashMap<LinkKey, LinkState>,
+}
+
+impl LinkTable {
+    /// Installs a bidirectional link with independent per-direction RNGs.
+    pub(crate) fn insert(&mut self, a: NodeId, b: NodeId, cfg: &LinkConfig, rng: &mut SplitMix64) {
+        for key in [LinkKey { from: a, to: b }, LinkKey { from: b, to: a }] {
+            self.links.insert(
+                key,
+                LinkState {
+                    latency: cfg.latency.clone(),
+                    up: cfg.up,
+                    rng: rng.fork(u64::from(key.from.raw()) << 32 | u64::from(key.to.raw())),
+                    fifo_floor: SimTime::ZERO,
+                },
+            );
+        }
+    }
+
+    /// Removes a bidirectional link entirely.
+    pub(crate) fn remove(&mut self, a: NodeId, b: NodeId) {
+        self.links.remove(&LinkKey { from: a, to: b });
+        self.links.remove(&LinkKey { from: b, to: a });
+    }
+
+    /// Sets the up/down state of both directions.
+    pub(crate) fn set_up(&mut self, a: NodeId, b: NodeId, up: bool) -> bool {
+        let mut found = false;
+        for key in [LinkKey { from: a, to: b }, LinkKey { from: b, to: a }] {
+            if let Some(l) = self.links.get_mut(&key) {
+                l.up = up;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Returns `true` if a live (existing and up) directed link exists.
+    pub fn is_up(&self, from: NodeId, to: NodeId) -> bool {
+        self.links
+            .get(&LinkKey { from, to })
+            .is_some_and(|l| l.up)
+    }
+
+    /// Returns `true` if the directed link exists at all (up or down).
+    pub fn exists(&self, from: NodeId, to: NodeId) -> bool {
+        self.links.contains_key(&LinkKey { from, to })
+    }
+
+    pub(crate) fn get_mut(&mut self, from: NodeId, to: NodeId) -> Option<&mut LinkState> {
+        self.links.get_mut(&LinkKey { from, to })
+    }
+
+    /// Number of directed links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Returns `true` if no links are installed.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_latency_sampling() {
+        let m = LatencyModel::Constant(SimDuration::from_millis(3));
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(m.sample(&mut rng), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn uniform_latency_within_bounds() {
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_micros(100),
+            max: SimDuration::from_micros(200),
+        };
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= SimDuration::from_micros(100) && d <= SimDuration::from_micros(200));
+        }
+    }
+
+    #[test]
+    fn table_insert_query_toggle_remove() {
+        let mut t = LinkTable::default();
+        let mut rng = SplitMix64::new(1);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        assert!(!t.exists(a, b));
+        t.insert(a, b, &LinkConfig::default(), &mut rng);
+        assert!(t.exists(a, b) && t.exists(b, a));
+        assert!(t.is_up(a, b) && t.is_up(b, a));
+        assert!(t.set_up(a, b, false));
+        assert!(!t.is_up(a, b) && !t.is_up(b, a));
+        assert!(t.exists(a, b));
+        t.remove(a, b);
+        assert!(!t.exists(a, b));
+        assert!(!t.set_up(a, b, true));
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Link-level traffic accounting.
+//!
+//! The experiment harness charges every sent message against its directed
+//! link and its coarse message class (`kind`), which is how the bandwidth
+//! overhead of pre-subscription replication (experiment E3) and the control
+//! traffic of routing strategies (E7) are measured.
+
+use crate::link::LinkKey;
+use crate::node::NodeId;
+use std::collections::HashMap;
+
+/// Counters for one directed link or one message kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Messages sent.
+    pub msgs: u64,
+    /// Bytes sent (estimated wire size).
+    pub bytes: u64,
+}
+
+impl Counters {
+    fn add(&mut self, bytes: usize) {
+        self.msgs += 1;
+        self.bytes += bytes as u64;
+    }
+}
+
+/// Traffic metrics of one [`World`](crate::World) run.
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    per_link: HashMap<LinkKey, Counters>,
+    per_kind: HashMap<&'static str, Counters>,
+    dropped: u64,
+    delivered: u64,
+}
+
+impl NetMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_send(&mut self, from: NodeId, to: NodeId, kind: &'static str, bytes: usize) {
+        self.per_link.entry(LinkKey { from, to }).or_default().add(bytes);
+        self.per_kind.entry(kind).or_default().add(bytes);
+    }
+
+    pub(crate) fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    pub(crate) fn record_delivery(&mut self) {
+        self.delivered += 1;
+    }
+
+    /// Counters of one directed link.
+    pub fn link(&self, from: NodeId, to: NodeId) -> Counters {
+        self.per_link.get(&LinkKey { from, to }).copied().unwrap_or_default()
+    }
+
+    /// Counters aggregated for a message kind.
+    pub fn kind(&self, kind: &str) -> Counters {
+        self.per_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// All kinds seen so far, sorted.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        let mut v: Vec<_> = self.per_kind.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total messages sent on any link.
+    pub fn total_msgs(&self) -> u64 {
+        self.per_kind.values().map(|c| c.msgs).sum()
+    }
+
+    /// Total bytes sent on any link.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_kind.values().map(|c| c.bytes).sum()
+    }
+
+    /// Messages dropped because no live link existed (down wireless link,
+    /// disconnected client).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages actually handed to a node handler.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_link_and_kind() {
+        let mut m = NetMetrics::new();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        m.record_send(a, b, "pub", 100);
+        m.record_send(a, b, "pub", 50);
+        m.record_send(b, a, "sub", 10);
+        assert_eq!(m.link(a, b), Counters { msgs: 2, bytes: 150 });
+        assert_eq!(m.link(b, a), Counters { msgs: 1, bytes: 10 });
+        assert_eq!(m.kind("pub"), Counters { msgs: 2, bytes: 150 });
+        assert_eq!(m.kind("sub").msgs, 1);
+        assert_eq!(m.kind("none"), Counters::default());
+        assert_eq!(m.total_msgs(), 3);
+        assert_eq!(m.total_bytes(), 160);
+        assert_eq!(m.kinds(), vec!["pub", "sub"]);
+    }
+
+    #[test]
+    fn drop_and_delivery_counters() {
+        let mut m = NetMetrics::new();
+        m.record_drop();
+        m.record_delivery();
+        m.record_delivery();
+        assert_eq!(m.dropped(), 1);
+        assert_eq!(m.delivered(), 2);
+    }
+}

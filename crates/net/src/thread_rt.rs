@@ -1,0 +1,418 @@
+//! A live runtime: the same [`Node`] state machines on real threads.
+//!
+//! Each node runs on its own OS thread with a crossbeam channel as its
+//! inbox; links are channel pairs plus a shared up/down set (the
+//! "connection awareness" the paper assumes of the wireless hop). There is
+//! no virtual clock — `now` is wall-clock time since runtime start — and no
+//! artificial latency. The purpose of this runtime is to demonstrate that
+//! the protocol layer is runtime-agnostic; quantitative experiments use the
+//! deterministic [`World`](crate::World).
+
+use crate::node::{Action, Ctx, Node, NodeId, Payload, TimerId};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+use rebeca_core::SimTime;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+enum Envelope<M> {
+    Msg { from: NodeId, msg: M },
+    SetLinkNotice, // wake-up so link changes are observed promptly
+    Stop,
+}
+
+#[derive(Debug, Default)]
+struct LinkSet {
+    up: HashSet<(NodeId, NodeId)>,
+}
+
+/// Builder + handle for a threaded deployment of nodes.
+///
+/// Typical lifecycle: [`ThreadRuntime::new`] → [`add_node`] / [`connect`] →
+/// [`start`] → interact via [`send_external`] → [`stop`] (returns the nodes
+/// for inspection).
+///
+/// [`add_node`]: ThreadRuntime::add_node
+/// [`connect`]: ThreadRuntime::connect
+/// [`start`]: ThreadRuntime::start
+/// [`send_external`]: ThreadRuntime::send_external
+/// [`stop`]: ThreadRuntime::stop
+pub struct ThreadRuntime<M: Payload> {
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    senders: Vec<Sender<Envelope<M>>>,
+    receivers: Vec<Option<Receiver<Envelope<M>>>>,
+    links: Arc<RwLock<LinkSet>>,
+    handles: Vec<std::thread::JoinHandle<Box<dyn Node<M>>>>,
+    started: bool,
+}
+
+impl<M: Payload> fmt::Debug for ThreadRuntime<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadRuntime")
+            .field("nodes", &self.senders.len())
+            .field("started", &self.started)
+            .finish()
+    }
+}
+
+impl<M: Payload> ThreadRuntime<M> {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        ThreadRuntime {
+            nodes: Vec::new(),
+            senders: Vec::new(),
+            receivers: Vec::new(),
+            links: Arc::new(RwLock::new(LinkSet::default())),
+            handles: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Adds a node before start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime has already started.
+    pub fn add_node(&mut self, node: Box<dyn Node<M>>) -> NodeId {
+        assert!(!self.started, "cannot add nodes after start");
+        let id = NodeId::new(self.nodes.len() as u32);
+        let (tx, rx) = unbounded();
+        self.nodes.push(Some(node));
+        self.senders.push(tx);
+        self.receivers.push(Some(rx));
+        id
+    }
+
+    /// Installs a bidirectional link (initially up).
+    pub fn connect(&mut self, a: NodeId, b: NodeId) {
+        let mut l = self.links.write();
+        l.up.insert((a, b));
+        l.up.insert((b, a));
+    }
+
+    /// Marks a link up or down; nodes observe the change on their next
+    /// action.
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId, up: bool) {
+        {
+            let mut l = self.links.write();
+            if up {
+                l.up.insert((a, b));
+                l.up.insert((b, a));
+            } else {
+                l.up.remove(&(a, b));
+                l.up.remove(&(b, a));
+            }
+        }
+        for id in [a, b] {
+            if let Some(tx) = self.senders.get(id.raw() as usize) {
+                let _ = tx.send(Envelope::SetLinkNotice);
+            }
+        }
+    }
+
+    /// Spawns all node threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self) {
+        assert!(!self.started, "already started");
+        self.started = true;
+        let t0 = Instant::now();
+        for i in 0..self.nodes.len() {
+            let node = self.nodes[i].take().expect("node present before start");
+            let rx = self.receivers[i].take().expect("receiver present");
+            let senders = self.senders.clone();
+            let links = Arc::clone(&self.links);
+            let me = NodeId::new(i as u32);
+            let handle = std::thread::Builder::new()
+                .name(format!("rebeca-node-{i}"))
+                .spawn(move || run_node(node, me, rx, senders, links, t0))
+                .expect("spawn node thread");
+            self.handles.push(handle);
+        }
+    }
+
+    /// Sends a message into a node from outside ([`NodeId::EXTERNAL`]).
+    pub fn send_external(&self, to: NodeId, msg: M) {
+        if let Some(tx) = self.senders.get(to.raw() as usize) {
+            let _ = tx.send(Envelope::Msg { from: NodeId::EXTERNAL, msg });
+        }
+    }
+
+    /// Stops all threads and returns the nodes (in id order) for
+    /// inspection.
+    pub fn stop(mut self) -> Vec<Box<dyn Node<M>>> {
+        for tx in &self.senders {
+            let _ = tx.send(Envelope::Stop);
+        }
+        self.handles.drain(..).map(|h| h.join().expect("node thread panicked")).collect()
+    }
+}
+
+impl<M: Payload> Default for ThreadRuntime<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct PendingTimer {
+    at: SimTime,
+    id: TimerId,
+    tag: u64,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+fn run_node<M: Payload>(
+    mut node: Box<dyn Node<M>>,
+    me: NodeId,
+    rx: Receiver<Envelope<M>>,
+    senders: Vec<Sender<Envelope<M>>>,
+    links: Arc<RwLock<LinkSet>>,
+    t0: Instant,
+) -> Box<dyn Node<M>> {
+    let mut next_timer: u64 = 0;
+    let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
+    let mut cancelled: HashSet<u64> = HashSet::new();
+    let now_fn = |t0: Instant| SimTime::from_micros(t0.elapsed().as_micros() as u64);
+
+    // Helper that runs one handler invocation and applies its actions.
+    fn invoke<M: Payload>(
+        node: &mut dyn Node<M>,
+        me: NodeId,
+        now: SimTime,
+        next_timer: &mut u64,
+        timers: &mut BinaryHeap<PendingTimer>,
+        cancelled: &mut HashSet<u64>,
+        senders: &[Sender<Envelope<M>>],
+        links: &Arc<RwLock<LinkSet>>,
+        f: impl FnOnce(&mut dyn Node<M>, &mut Ctx<'_, M>),
+    ) {
+        let links_ref = Arc::clone(links);
+        let link_up = move |a: NodeId, b: NodeId| links_ref.read().up.contains(&(a, b));
+        let mut ctx = Ctx {
+            now,
+            me,
+            actions: Vec::new(),
+            next_timer,
+            link_up: &link_up,
+        };
+        f(node, &mut ctx);
+        let actions = std::mem::take(&mut ctx.actions);
+        drop(ctx);
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    let up = links.read().up.contains(&(me, to));
+                    if up {
+                        if let Some(tx) = senders.get(to.raw() as usize) {
+                            let _ = tx.send(Envelope::Msg { from: me, msg });
+                        }
+                    }
+                    // else: dropped, like an unplugged cable.
+                }
+                Action::SetTimer { at, id, tag } => timers.push(PendingTimer { at, id, tag }),
+                Action::CancelTimer(id) => {
+                    cancelled.insert(id.0);
+                }
+            }
+        }
+    }
+
+    invoke(
+        node.as_mut(),
+        me,
+        now_fn(t0),
+        &mut next_timer,
+        &mut timers,
+        &mut cancelled,
+        &senders,
+        &links,
+        |n, ctx| n.on_start(ctx),
+    );
+
+    loop {
+        // Fire due timers.
+        let now = now_fn(t0);
+        while let Some(head) = timers.peek() {
+            if head.at > now {
+                break;
+            }
+            let t = timers.pop().expect("peeked");
+            if cancelled.remove(&t.id.0) {
+                continue;
+            }
+            invoke(
+                node.as_mut(),
+                me,
+                now_fn(t0),
+                &mut next_timer,
+                &mut timers,
+                &mut cancelled,
+                &senders,
+                &links,
+                |n, ctx| n.on_timer(ctx, t.id, t.tag),
+            );
+        }
+        // Wait for the next message or timer deadline.
+        let timeout = timers
+            .peek()
+            .map(|t| {
+                let now = now_fn(t0);
+                Duration::from_micros(t.at.as_micros().saturating_sub(now.as_micros()))
+            })
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(Envelope::Msg { from, msg }) => {
+                invoke(
+                    node.as_mut(),
+                    me,
+                    now_fn(t0),
+                    &mut next_timer,
+                    &mut timers,
+                    &mut cancelled,
+                    &senders,
+                    &links,
+                    |n, ctx| n.on_message(ctx, from, msg),
+                );
+            }
+            Ok(Envelope::SetLinkNotice) => {}
+            Ok(Envelope::Stop) => return node,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebeca_core::SimDuration;
+    use std::any::Any;
+
+    #[derive(Debug)]
+    struct Tick(u64);
+    impl Payload for Tick {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    #[derive(Default)]
+    struct PingPong {
+        peer: Option<NodeId>,
+        received: Vec<u64>,
+        max_hops: u64,
+    }
+
+    impl Node<Tick> for PingPong {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Tick>, _from: NodeId, msg: Tick) {
+            self.received.push(msg.0);
+            if msg.0 < self.max_hops {
+                if let Some(p) = self.peer {
+                    ctx.send(p, Tick(msg.0 + 1));
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[derive(Default)]
+    struct TimerOnce {
+        fired: bool,
+    }
+    impl Node<Tick> for TimerOnce {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Tick>) {
+            ctx.set_timer(SimDuration::from_millis(5), 1);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, Tick>, _: NodeId, _: Tick) {}
+        fn on_timer(&mut self, _: &mut Ctx<'_, Tick>, _: TimerId, _: u64) {
+            self.fired = true;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn ping_pong_across_threads() {
+        let mut rt = ThreadRuntime::new();
+        let a = rt.add_node(Box::new(PingPong { max_hops: 10, ..Default::default() }));
+        let b = rt.add_node(Box::new(PingPong { max_hops: 10, ..Default::default() }));
+        rt.connect(a, b);
+        // Wire the peers before start (nodes owned until start).
+        {
+            let pa = rt.nodes[a.raw() as usize].as_mut().unwrap();
+            pa.as_any_mut().downcast_mut::<PingPong>().unwrap().peer = Some(b);
+            let pb = rt.nodes[b.raw() as usize].as_mut().unwrap();
+            pb.as_any_mut().downcast_mut::<PingPong>().unwrap().peer = Some(a);
+        }
+        rt.start();
+        rt.send_external(a, Tick(0));
+        std::thread::sleep(Duration::from_millis(200));
+        let nodes = rt.stop();
+        let ra = nodes[a.raw() as usize].as_any().downcast_ref::<PingPong>().unwrap();
+        let rb = nodes[b.raw() as usize].as_any().downcast_ref::<PingPong>().unwrap();
+        assert_eq!(ra.received, vec![0, 2, 4, 6, 8, 10]);
+        assert_eq!(rb.received, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn timers_fire_on_threads() {
+        let mut rt: ThreadRuntime<Tick> = ThreadRuntime::new();
+        let t = rt.add_node(Box::new(TimerOnce::default()));
+        rt.start();
+        std::thread::sleep(Duration::from_millis(100));
+        let nodes = rt.stop();
+        assert!(nodes[t.raw() as usize]
+            .as_any()
+            .downcast_ref::<TimerOnce>()
+            .unwrap()
+            .fired);
+    }
+
+    #[test]
+    fn down_links_block_traffic() {
+        let mut rt = ThreadRuntime::new();
+        let a = rt.add_node(Box::new(PingPong { max_hops: 10, ..Default::default() }));
+        let b = rt.add_node(Box::new(PingPong { max_hops: 10, ..Default::default() }));
+        rt.connect(a, b);
+        {
+            let pa = rt.nodes[a.raw() as usize].as_mut().unwrap();
+            pa.as_any_mut().downcast_mut::<PingPong>().unwrap().peer = Some(b);
+        }
+        rt.set_link_up(a, b, false);
+        rt.start();
+        rt.send_external(a, Tick(0));
+        std::thread::sleep(Duration::from_millis(100));
+        let nodes = rt.stop();
+        let rb = nodes[b.raw() as usize].as_any().downcast_ref::<PingPong>().unwrap();
+        assert!(rb.received.is_empty(), "message crossed a down link");
+    }
+}

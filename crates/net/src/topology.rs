@@ -1,0 +1,439 @@
+//! Acyclic broker topologies.
+//!
+//! "The communication topology of the pub/sub system is given by a graph,
+//! which is assumed to be acyclic and connected" (paper, §2). This module
+//! builds and validates such trees and answers the path and junction
+//! queries used by subscription forwarding and the physical-mobility
+//! relocation protocol (the *junction* is the broker where the old and new
+//! routing paths meet).
+
+use crate::rng::SplitMix64;
+use rebeca_core::BrokerId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from topology construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A topology must contain at least one broker.
+    Empty,
+    /// An edge referenced a broker index out of range.
+    OutOfRange(BrokerId),
+    /// An edge connected a broker to itself.
+    SelfLoop(BrokerId),
+    /// The edge set contains a cycle (or a duplicate edge).
+    Cyclic,
+    /// The graph is not connected.
+    Disconnected,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology must contain at least one broker"),
+            TopologyError::OutOfRange(b) => write!(f, "edge references unknown broker {b}"),
+            TopologyError::SelfLoop(b) => write!(f, "self-loop at broker {b}"),
+            TopologyError::Cyclic => write!(f, "edge set contains a cycle"),
+            TopologyError::Disconnected => write!(f, "broker graph is not connected"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// An acyclic, connected broker graph (a free tree).
+///
+/// ```
+/// use rebeca_core::BrokerId;
+/// use rebeca_net::Topology;
+/// let t = Topology::line(5).unwrap();
+/// let path = t.path(BrokerId::new(0), BrokerId::new(4));
+/// assert_eq!(path.len(), 5);
+/// assert_eq!(t.dist(BrokerId::new(0), BrokerId::new(4)), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    adj: Vec<Vec<BrokerId>>,
+    edges: Vec<(BrokerId, BrokerId)>,
+}
+
+impl Topology {
+    /// Builds a topology from `n` brokers and an explicit edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] unless the edges form a tree over all
+    /// `n` brokers (connected, acyclic, no self-loops, indexes in range).
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (BrokerId, BrokerId)>,
+    ) -> Result<Topology, TopologyError> {
+        if n == 0 {
+            return Err(TopologyError::Empty);
+        }
+        let mut adj = vec![Vec::new(); n];
+        let mut edge_list = Vec::new();
+        // Union-find for cycle detection.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (a, b) in edges {
+            if a.raw() as usize >= n {
+                return Err(TopologyError::OutOfRange(a));
+            }
+            if b.raw() as usize >= n {
+                return Err(TopologyError::OutOfRange(b));
+            }
+            if a == b {
+                return Err(TopologyError::SelfLoop(a));
+            }
+            let (ra, rb) = (
+                find(&mut parent, a.raw() as usize),
+                find(&mut parent, b.raw() as usize),
+            );
+            if ra == rb {
+                return Err(TopologyError::Cyclic);
+            }
+            parent[ra] = rb;
+            adj[a.raw() as usize].push(b);
+            adj[b.raw() as usize].push(a);
+            edge_list.push((a, b));
+        }
+        if edge_list.len() != n - 1 {
+            return Err(TopologyError::Disconnected);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+        Ok(Topology { adj, edges: edge_list })
+    }
+
+    /// A path graph `B0 — B1 — … — B(n-1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Empty`] when `n == 0`.
+    pub fn line(n: usize) -> Result<Topology, TopologyError> {
+        Topology::from_edges(
+            n,
+            (1..n).map(|i| (BrokerId::new(i as u32 - 1), BrokerId::new(i as u32))),
+        )
+    }
+
+    /// A star with `B0` as the hub.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Empty`] when `n == 0`.
+    pub fn star(n: usize) -> Result<Topology, TopologyError> {
+        Topology::from_edges(n, (1..n).map(|i| (BrokerId::new(0), BrokerId::new(i as u32))))
+    }
+
+    /// A balanced tree where every inner broker has `fanout` children and
+    /// the tree has `levels` levels (level 1 = root only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Empty`] if `fanout == 0` or `levels == 0`.
+    pub fn balanced(fanout: usize, levels: usize) -> Result<Topology, TopologyError> {
+        if fanout == 0 || levels == 0 {
+            return Err(TopologyError::Empty);
+        }
+        let mut n = 0usize;
+        let mut level_size = 1usize;
+        for _ in 0..levels {
+            n += level_size;
+            level_size *= fanout;
+        }
+        let edges = (1..n).map(|i| {
+            let parent = (i - 1) / fanout;
+            (BrokerId::new(parent as u32), BrokerId::new(i as u32))
+        });
+        Topology::from_edges(n, edges)
+    }
+
+    /// A random recursive tree: broker `i` attaches to a uniformly chosen
+    /// earlier broker. Deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Empty`] when `n == 0`.
+    pub fn random(n: usize, seed: u64) -> Result<Topology, TopologyError> {
+        if n == 0 {
+            return Err(TopologyError::Empty);
+        }
+        let mut rng = SplitMix64::new(seed);
+        let edges = (1..n)
+            .map(|i| {
+                let p = rng.next_below(i as u64) as u32;
+                (BrokerId::new(p), BrokerId::new(i as u32))
+            })
+            .collect::<Vec<_>>();
+        Topology::from_edges(n, edges)
+    }
+
+    /// Number of brokers.
+    pub fn broker_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Iterates over all broker ids.
+    pub fn brokers(&self) -> impl Iterator<Item = BrokerId> + '_ {
+        (0..self.adj.len() as u32).map(BrokerId::new)
+    }
+
+    /// The tree edges (each undirected edge once).
+    pub fn edges(&self) -> &[(BrokerId, BrokerId)] {
+        &self.edges
+    }
+
+    /// Direct neighbours of a broker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn neighbors(&self, b: BrokerId) -> &[BrokerId] {
+        &self.adj[b.raw() as usize]
+    }
+
+    /// Returns `true` if `a` and `b` are directly linked.
+    pub fn is_edge(&self, a: BrokerId, b: BrokerId) -> bool {
+        self.adj
+            .get(a.raw() as usize)
+            .is_some_and(|ns| ns.contains(&b))
+    }
+
+    /// The unique tree path from `a` to `b`, inclusive of both endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either broker is out of range.
+    pub fn path(&self, a: BrokerId, b: BrokerId) -> Vec<BrokerId> {
+        assert!((a.raw() as usize) < self.adj.len(), "unknown broker {a}");
+        assert!((b.raw() as usize) < self.adj.len(), "unknown broker {b}");
+        if a == b {
+            return vec![a];
+        }
+        // BFS from a, parents, walk back from b.
+        let n = self.adj.len();
+        let mut parent: Vec<Option<BrokerId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[a.raw() as usize] = true;
+        let mut q = VecDeque::from([a]);
+        'bfs: while let Some(x) = q.pop_front() {
+            for &y in &self.adj[x.raw() as usize] {
+                if !visited[y.raw() as usize] {
+                    visited[y.raw() as usize] = true;
+                    parent[y.raw() as usize] = Some(x);
+                    if y == b {
+                        break 'bfs;
+                    }
+                    q.push_back(y);
+                }
+            }
+        }
+        let mut path = vec![b];
+        let mut cur = b;
+        while let Some(p) = parent[cur.raw() as usize] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path.first(), Some(&a));
+        path
+    }
+
+    /// Hop distance between two brokers.
+    pub fn dist(&self, a: BrokerId, b: BrokerId) -> usize {
+        self.path(a, b).len() - 1
+    }
+
+    /// The next hop from `from` on the path towards `to` (`None` when
+    /// `from == to`).
+    pub fn next_hop(&self, from: BrokerId, to: BrokerId) -> Option<BrokerId> {
+        let p = self.path(from, to);
+        p.get(1).copied()
+    }
+
+    /// The *junction* of three brokers: the unique broker lying on all
+    /// three pairwise paths. For physical mobility this is where the path
+    /// from the old broker and the path from the new broker towards the
+    /// rest of the routing tree meet.
+    pub fn junction(&self, a: BrokerId, b: BrokerId, c: BrokerId) -> BrokerId {
+        let pa: std::collections::HashSet<BrokerId> = self.path(a, c).into_iter().collect();
+        // Walk from b towards c; the first broker also on the a→c path is
+        // the junction.
+        for x in self.path(b, c) {
+            if pa.contains(&x) {
+                return x;
+            }
+        }
+        c // unreachable on a tree, but c is always correct as a fallback
+    }
+
+    /// The maximum pairwise distance (tree diameter), via double BFS.
+    pub fn diameter(&self) -> usize {
+        let far = |s: BrokerId| -> BrokerId {
+            let n = self.adj.len();
+            let mut dist = vec![usize::MAX; n];
+            dist[s.raw() as usize] = 0;
+            let mut q = VecDeque::from([s]);
+            let mut last = s;
+            while let Some(x) = q.pop_front() {
+                last = x;
+                for &y in &self.adj[x.raw() as usize] {
+                    if dist[y.raw() as usize] == usize::MAX {
+                        dist[y.raw() as usize] = dist[x.raw() as usize] + 1;
+                        q.push_back(y);
+                    }
+                }
+            }
+            last
+        };
+        let u = far(BrokerId::new(0));
+        let v = far(u);
+        self.dist(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u32) -> BrokerId {
+        BrokerId::new(i)
+    }
+
+    #[test]
+    fn line_star_balanced_shapes() {
+        let line = Topology::line(4).unwrap();
+        assert_eq!(line.broker_count(), 4);
+        assert_eq!(line.neighbors(b(0)), &[b(1)]);
+        assert_eq!(line.neighbors(b(1)), &[b(0), b(2)]);
+        assert_eq!(line.diameter(), 3);
+
+        let star = Topology::star(5).unwrap();
+        assert_eq!(star.neighbors(b(0)).len(), 4);
+        assert_eq!(star.diameter(), 2);
+
+        let tree = Topology::balanced(2, 3).unwrap();
+        assert_eq!(tree.broker_count(), 7);
+        assert_eq!(tree.neighbors(b(0)), &[b(1), b(2)]);
+        assert_eq!(tree.dist(b(3), b(6)), 4);
+    }
+
+    #[test]
+    fn single_broker_topology() {
+        let t = Topology::line(1).unwrap();
+        assert_eq!(t.broker_count(), 1);
+        assert_eq!(t.path(b(0), b(0)), vec![b(0)]);
+        assert_eq!(t.dist(b(0), b(0)), 0);
+        assert_eq!(t.diameter(), 0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(Topology::line(0).unwrap_err(), TopologyError::Empty);
+        assert_eq!(
+            Topology::from_edges(2, [(b(0), b(0))]).unwrap_err(),
+            TopologyError::SelfLoop(b(0))
+        );
+        assert_eq!(
+            Topology::from_edges(2, [(b(0), b(5))]).unwrap_err(),
+            TopologyError::OutOfRange(b(5))
+        );
+        assert_eq!(
+            Topology::from_edges(3, [(b(0), b(1)), (b(1), b(2)), (b(2), b(0))]).unwrap_err(),
+            TopologyError::Cyclic
+        );
+        assert_eq!(
+            Topology::from_edges(3, [(b(0), b(1))]).unwrap_err(),
+            TopologyError::Disconnected
+        );
+        assert_eq!(
+            Topology::from_edges(2, [(b(0), b(1)), (b(1), b(0))]).unwrap_err(),
+            TopologyError::Cyclic,
+            "duplicate edges count as cycles"
+        );
+    }
+
+    #[test]
+    fn paths_on_line() {
+        let t = Topology::line(5).unwrap();
+        assert_eq!(t.path(b(1), b(4)), vec![b(1), b(2), b(3), b(4)]);
+        assert_eq!(t.path(b(4), b(1)), vec![b(4), b(3), b(2), b(1)]);
+        assert_eq!(t.next_hop(b(1), b(4)), Some(b(2)));
+        assert_eq!(t.next_hop(b(1), b(1)), None);
+    }
+
+    #[test]
+    fn junction_on_star_and_line() {
+        let star = Topology::star(5).unwrap();
+        // Paths 1→2 and 3→2 meet at the hub 0 ... junction(1,3,2) = 0.
+        assert_eq!(star.junction(b(1), b(3), b(2)), b(0));
+        let line = Topology::line(5).unwrap();
+        // junction(0, 4, 2): paths 0→2 and 4→2 meet at 2.
+        assert_eq!(line.junction(b(0), b(4), b(2)), b(2));
+        // junction(0, 1, 4): paths 0→4 and 1→4 meet at 1.
+        assert_eq!(line.junction(b(0), b(1), b(4)), b(1));
+        // Degenerate: all equal.
+        assert_eq!(line.junction(b(2), b(2), b(2)), b(2));
+    }
+
+    #[test]
+    fn random_trees_are_valid_and_deterministic() {
+        for n in [1usize, 2, 3, 10, 50] {
+            let t = Topology::random(n, 42).unwrap();
+            assert_eq!(t.broker_count(), n);
+            assert_eq!(t.edges().len(), n - 1);
+        }
+        assert_eq!(Topology::random(20, 7).unwrap(), Topology::random(20, 7).unwrap());
+        assert_ne!(Topology::random(20, 7).unwrap(), Topology::random(20, 8).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Paths in random trees are valid: consecutive hops are edges,
+        /// endpoints are correct, nodes are distinct.
+        #[test]
+        fn random_tree_paths_valid(n in 1usize..40, seed in 0u64..500, x in 0u32..40, y in 0u32..40) {
+            let t = Topology::random(n, seed).unwrap();
+            let a = BrokerId::new(x % n as u32);
+            let b = BrokerId::new(y % n as u32);
+            let p = t.path(a, b);
+            prop_assert_eq!(p.first(), Some(&a));
+            prop_assert_eq!(p.last(), Some(&b));
+            for w in p.windows(2) {
+                prop_assert!(t.is_edge(w[0], w[1]));
+            }
+            let set: std::collections::HashSet<_> = p.iter().collect();
+            prop_assert_eq!(set.len(), p.len(), "path revisits a broker");
+            // Symmetry of distance.
+            prop_assert_eq!(t.dist(a, b), t.dist(b, a));
+        }
+
+        /// The junction lies on all three pairwise paths.
+        #[test]
+        fn junction_on_all_paths(n in 1usize..30, seed in 0u64..200, xs in proptest::array::uniform3(0u32..30)) {
+            let t = Topology::random(n, seed).unwrap();
+            let [a, b, c] = xs.map(|v| BrokerId::new(v % n as u32));
+            let j = t.junction(a, b, c);
+            prop_assert!(t.path(a, b).contains(&j));
+            prop_assert!(t.path(b, c).contains(&j));
+            prop_assert!(t.path(a, c).contains(&j));
+        }
+    }
+}

@@ -1,0 +1,619 @@
+//! The deterministic discrete-event simulator.
+//!
+//! A [`World`] owns a set of [`Node`]s, the [`LinkTable`] connecting them,
+//! a virtual clock and an event queue. Event execution is fully
+//! deterministic: events are ordered by `(time, insertion sequence)`, link
+//! jitter comes from per-link [`SplitMix64`] generators forked off one world
+//! seed, and no iteration order of any hash map ever influences behaviour.
+
+use crate::link::{LinkConfig, LinkTable};
+use crate::metrics::NetMetrics;
+use crate::node::{Action, Ctx, Node, NodeId, Payload, TimerId};
+use crate::rng::SplitMix64;
+use rebeca_core::SimTime;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+enum Event<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, id: TimerId, tag: u64 },
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The deterministic discrete-event world.
+///
+/// ```
+/// use rebeca_core::{SimDuration, SimTime};
+/// use rebeca_net::{Ctx, LinkConfig, Node, NodeId, Payload, World};
+///
+/// #[derive(Debug)]
+/// struct Ping(u32);
+/// impl Payload for Ping {
+///     fn wire_size(&self) -> usize { 4 }
+/// }
+///
+/// #[derive(Default)]
+/// struct Counter { seen: u32 }
+/// impl Node<Ping> for Counter {
+///     fn on_message(&mut self, _ctx: &mut Ctx<'_, Ping>, _from: NodeId, msg: Ping) {
+///         self.seen += msg.0;
+///     }
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// }
+///
+/// let mut world = World::new(42);
+/// let a = world.add_node(Box::new(Counter::default()));
+/// let b = world.add_node(Box::new(Counter::default()));
+/// world.connect(a, b, LinkConfig::default());
+/// world.send_external(b, Ping(5));
+/// world.run_until(SimTime::from_secs(1));
+/// assert_eq!(world.node_as::<Counter>(b).unwrap().seen, 5);
+/// ```
+pub struct World<M: Payload> {
+    time: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    links: LinkTable,
+    metrics: NetMetrics,
+    rng: SplitMix64,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    started: bool,
+}
+
+impl<M: Payload> fmt::Debug for World<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("time", &self.time)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<M: Payload> World<M> {
+    /// Creates an empty world; `seed` drives all link jitter.
+    pub fn new(seed: u64) -> Self {
+        World {
+            time: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: LinkTable::default(),
+            metrics: NetMetrics::new(),
+            rng: SplitMix64::new(seed),
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            started: false,
+        }
+    }
+
+    /// Adds a node, returning its identifier. Nodes added after the world
+    /// has started receive their `on_start` callback immediately.
+    pub fn add_node(&mut self, node: Box<dyn Node<M>>) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        if self.started {
+            self.dispatch(id, |node, ctx| node.on_start(ctx));
+        }
+        id
+    }
+
+    /// Installs a bidirectional link between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not exist.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        assert!(
+            (a.raw() as usize) < self.nodes.len() && (b.raw() as usize) < self.nodes.len(),
+            "connect: unknown node"
+        );
+        self.links.insert(a, b, &cfg, &mut self.rng);
+    }
+
+    /// Marks a link up or down (both directions). Messages sent over a down
+    /// link are dropped and counted; messages already in flight still
+    /// arrive. Returns `false` if no such link exists.
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId, up: bool) -> bool {
+        self.links.set_up(a, b, up)
+    }
+
+    /// Removes a link entirely.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) {
+        self.links.remove(a, b);
+    }
+
+    /// Returns `true` if the directed link exists and is up.
+    pub fn link_up(&self, from: NodeId, to: NodeId) -> bool {
+        self.links.is_up(from, to)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Traffic metrics accumulated so far.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Injects a message into `to` as if it arrived from outside the world
+    /// (source [`NodeId::EXTERNAL`]), delivered at the current time.
+    pub fn send_external(&mut self, to: NodeId, msg: M) {
+        self.send_external_at(to, msg, self.time);
+    }
+
+    /// Injects an external message at an absolute future time — used to
+    /// pre-schedule workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past.
+    pub fn send_external_at(&mut self, to: NodeId, msg: M, at: SimTime) {
+        assert!(at >= self.time, "cannot schedule into the past");
+        let seq = self.next_seq();
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            event: Event::Deliver { from: NodeId::EXTERNAL, to, msg },
+        });
+    }
+
+    /// Downcasts a node to its concrete type for inspection.
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes
+            .get(id.raw() as usize)?
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable downcast of a node.
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes
+            .get_mut(id.raw() as usize)?
+            .as_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Runs `on_start` on all nodes that have not been started yet. Called
+    /// automatically by the run methods.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.dispatch(NodeId::new(i as u32), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some(s) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(s.at >= self.time, "time went backwards");
+        self.time = s.at;
+        match s.event {
+            Event::Deliver { from, to, msg } => {
+                if (to.raw() as usize) < self.nodes.len() {
+                    self.metrics.record_delivery();
+                    self.dispatch(to, |node, ctx| node.on_message(ctx, from, msg));
+                }
+            }
+            Event::Timer { node, id, tag } => {
+                if !self.cancelled.remove(&id.0) && (node.raw() as usize) < self.nodes.len() {
+                    self.dispatch(node, |n, ctx| n.on_timer(ctx, id, tag));
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs all events scheduled up to and including `deadline`; the clock
+    /// ends at `deadline` even if the queue drains earlier.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start();
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.time < deadline {
+            self.time = deadline;
+        }
+    }
+
+    /// Runs until no events remain or the cap is exceeded; returns the
+    /// final time. Useful for "let the protocol settle" phases.
+    pub fn run_until_quiescent(&mut self, cap: SimTime) -> SimTime {
+        self.run_until(cap);
+        self.time
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Core dispatch: takes the node out, runs the handler with a context,
+    /// puts it back and applies the emitted actions.
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node<M>, &mut Ctx<'_, M>)) {
+        let idx = id.raw() as usize;
+        let Some(slot) = self.nodes.get_mut(idx) else {
+            return;
+        };
+        let Some(mut node) = slot.take() else {
+            return;
+        };
+        let links = &self.links;
+        let link_up = move |from: NodeId, to: NodeId| links.is_up(from, to);
+        let mut ctx = Ctx {
+            now: self.time,
+            me: id,
+            actions: Vec::new(),
+            next_timer: &mut self.next_timer,
+            link_up: &link_up,
+        };
+        f(node.as_mut(), &mut ctx);
+        let actions = std::mem::take(&mut ctx.actions);
+        drop(ctx);
+        self.nodes[idx] = Some(node);
+        self.apply(id, actions);
+    }
+
+    fn apply(&mut self, from: NodeId, actions: Vec<Action<M>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let now = self.time;
+                    match self.links.get_mut(from, to) {
+                        Some(link) if link.up => {
+                            let delay = link.latency.sample(&mut link.rng);
+                            let mut at = now + delay;
+                            // FIFO: never deliver before an earlier send on
+                            // the same directed link.
+                            if at < link.fifo_floor {
+                                at = link.fifo_floor;
+                            }
+                            link.fifo_floor = at;
+                            self.metrics.record_send(from, to, msg.kind(), msg.wire_size());
+                            let seq = self.next_seq();
+                            self.queue.push(Scheduled {
+                                at,
+                                seq,
+                                event: Event::Deliver { from, to, msg },
+                            });
+                        }
+                        _ => self.metrics.record_drop(),
+                    }
+                }
+                Action::SetTimer { at, id, tag } => {
+                    let seq = self.next_seq();
+                    self.queue.push(Scheduled {
+                        at,
+                        seq,
+                        event: Event::Timer { node: from, id, tag },
+                    });
+                }
+                Action::CancelTimer(id) => {
+                    self.cancelled.insert(id.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LatencyModel;
+    use rebeca_core::SimDuration;
+    use std::any::Any;
+
+    /// Test payload: (sequence number, payload byte count).
+    #[derive(Debug, Clone)]
+    struct TestMsg {
+        seq: u64,
+        size: usize,
+    }
+
+    impl Payload for TestMsg {
+        fn wire_size(&self) -> usize {
+            self.size
+        }
+        fn kind(&self) -> &'static str {
+            "test"
+        }
+    }
+
+    /// Records every delivery; optionally echoes to a peer.
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(SimTime, NodeId, u64)>,
+        echo_to: Option<NodeId>,
+        timer_fired: Vec<u64>,
+    }
+
+    impl Node<TestMsg> for Recorder {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, from: NodeId, msg: TestMsg) {
+            self.seen.push((ctx.now(), from, msg.seq));
+            if let Some(to) = self.echo_to {
+                ctx.send(to, TestMsg { seq: msg.seq + 1000, size: msg.size });
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, TestMsg>, _id: TimerId, tag: u64) {
+            self.timer_fired.push(tag);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sets two timers on start (cancelling the second) and chains a third
+    /// from the first; records every firing with its time.
+    #[derive(Default)]
+    struct TimerNode {
+        fired: Vec<(SimTime, u64)>,
+    }
+    impl Node<TestMsg> for TimerNode {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            let _keep = ctx.set_timer(SimDuration::from_millis(5), 1);
+            let cancel = ctx.set_timer(SimDuration::from_millis(10), 2);
+            ctx.cancel_timer(cancel);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: NodeId, _: TestMsg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, _id: TimerId, tag: u64) {
+            self.fired.push((ctx.now(), tag));
+            if tag == 1 {
+                ctx.set_timer(SimDuration::from_millis(1), 3);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_node_world(cfg: LinkConfig) -> (World<TestMsg>, NodeId, NodeId) {
+        let mut w = World::new(7);
+        let a = w.add_node(Box::new(Recorder::default()));
+        let b = w.add_node(Box::new(Recorder::default()));
+        w.connect(a, b, cfg);
+        (w, a, b)
+    }
+
+    #[test]
+    fn external_injection_and_delivery() {
+        let (mut w, _a, b) = two_node_world(LinkConfig::default());
+        w.send_external(b, TestMsg { seq: 1, size: 10 });
+        w.run_until(SimTime::from_secs(1));
+        let r = w.node_as::<Recorder>(b).unwrap();
+        assert_eq!(r.seen.len(), 1);
+        assert_eq!(r.seen[0].1, NodeId::EXTERNAL);
+        assert_eq!(r.seen[0].2, 1);
+        assert_eq!(w.metrics().delivered(), 1);
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let (mut w, a, b) = two_node_world(LinkConfig::constant(SimDuration::from_millis(4)));
+        // a echoes to b.
+        w.node_as_mut::<Recorder>(a).unwrap().echo_to = Some(b);
+        w.send_external_at(a, TestMsg { seq: 1, size: 1 }, SimTime::from_millis(10));
+        w.run_until(SimTime::from_secs(1));
+        let r = w.node_as::<Recorder>(b).unwrap();
+        assert_eq!(r.seen.len(), 1);
+        assert_eq!(r.seen[0].0, SimTime::from_millis(14));
+    }
+
+    #[test]
+    fn fifo_preserved_under_jitter() {
+        let cfg = LinkConfig {
+            latency: LatencyModel::Uniform {
+                min: SimDuration::from_micros(10),
+                max: SimDuration::from_millis(50),
+            },
+            up: true,
+        };
+        let (mut w, a, b) = two_node_world(cfg);
+        w.node_as_mut::<Recorder>(a).unwrap().echo_to = Some(b);
+        for i in 0..200 {
+            w.send_external_at(a, TestMsg { seq: i, size: 1 }, SimTime::from_micros(i * 7));
+        }
+        w.run_until(SimTime::from_secs(10));
+        let r = w.node_as::<Recorder>(b).unwrap();
+        assert_eq!(r.seen.len(), 200);
+        let seqs: Vec<u64> = r.seen.iter().map(|(_, _, s)| *s - 1000).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "FIFO violated on jittered link");
+    }
+
+    #[test]
+    fn down_links_drop_and_count() {
+        let (mut w, a, b) = two_node_world(LinkConfig::default());
+        w.node_as_mut::<Recorder>(a).unwrap().echo_to = Some(b);
+        w.set_link_up(a, b, false);
+        w.send_external(a, TestMsg { seq: 1, size: 1 });
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.node_as::<Recorder>(b).unwrap().seen.len(), 0);
+        assert_eq!(w.metrics().dropped(), 1);
+        // Bring it back up: traffic flows again.
+        w.set_link_up(a, b, true);
+        w.send_external(a, TestMsg { seq: 2, size: 1 });
+        w.run_until(SimTime::from_secs(2));
+        assert_eq!(w.node_as::<Recorder>(b).unwrap().seen.len(), 1);
+    }
+
+    #[test]
+    fn sends_without_any_link_drop() {
+        let mut w = World::new(1);
+        let a = w.add_node(Box::new(Recorder { echo_to: Some(NodeId::new(9)), ..Default::default() }));
+        w.send_external(a, TestMsg { seq: 1, size: 1 });
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.metrics().dropped(), 1);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let mut w: World<TestMsg> = World::new(3);
+        let t = w.add_node(Box::new(TimerNode::default()));
+        w.run_until(SimTime::from_secs(1));
+        let fired = &w.node_as::<TimerNode>(t).unwrap().fired;
+        assert_eq!(
+            fired,
+            &vec![
+                (SimTime::from_millis(5), 1),
+                (SimTime::from_millis(6), 3),
+            ],
+            "tag 1 fires, tag 2 cancelled, tag 3 chained"
+        );
+    }
+
+    #[test]
+    fn recorder_timers_observable() {
+        struct Arm;
+        impl Node<TestMsg> for Arm {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+                ctx.set_timer(SimDuration::from_millis(1), 7);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: NodeId, _: TestMsg) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w: World<TestMsg> = World::new(0);
+        let a = w.add_node(Box::new(Recorder::default()));
+        let _b = w.add_node(Box::new(Arm));
+        w.run_until(SimTime::from_millis(2));
+        // Arm's timer fired (nothing observable on Recorder) — the point is
+        // the run terminates and the clock advanced deterministically.
+        assert_eq!(w.now(), SimTime::from_millis(2));
+        assert!(w.node_as::<Recorder>(a).unwrap().timer_fired.is_empty());
+    }
+
+    #[test]
+    fn metrics_account_bytes_per_link() {
+        let (mut w, a, b) = two_node_world(LinkConfig::default());
+        w.node_as_mut::<Recorder>(a).unwrap().echo_to = Some(b);
+        w.send_external(a, TestMsg { seq: 0, size: 123 });
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.metrics().link(a, b).bytes, 123);
+        assert_eq!(w.metrics().kind("test").msgs, 1);
+        assert_eq!(w.metrics().total_msgs(), 1);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        fn run(seed: u64) -> Vec<(SimTime, u64)> {
+            let cfg = LinkConfig::jittered(SimDuration::from_micros(5), SimDuration::from_millis(20));
+            let mut w = World::new(seed);
+            let a = w.add_node(Box::new(Recorder::default()));
+            let b = w.add_node(Box::new(Recorder::default()));
+            w.connect(a, b, cfg);
+            w.node_as_mut::<Recorder>(a).unwrap().echo_to = Some(b);
+            for i in 0..50 {
+                w.send_external_at(a, TestMsg { seq: i, size: 1 }, SimTime::from_micros(i * 11));
+            }
+            let _ = w.run_until_quiescent(SimTime::from_secs(5));
+            w.node_as::<Recorder>(b)
+                .unwrap()
+                .seen
+                .iter()
+                .map(|(t, _, s)| (*t, *s))
+                .collect()
+        }
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seeds should produce different jitter");
+    }
+
+    #[test]
+    fn late_added_nodes_get_started() {
+        struct Starter {
+            started: bool,
+        }
+        impl Node<TestMsg> for Starter {
+            fn on_start(&mut self, _: &mut Ctx<'_, TestMsg>) {
+                self.started = true;
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: NodeId, _: TestMsg) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w: World<TestMsg> = World::new(0);
+        w.start();
+        let id = w.add_node(Box::new(Starter { started: false }));
+        assert!(w.node_as::<Starter>(id).unwrap().started);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn connect_unknown_node_panics() {
+        let mut w: World<TestMsg> = World::new(0);
+        let a = w.add_node(Box::new(Recorder::default()));
+        w.connect(a, NodeId::new(5), LinkConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let (mut w, a, _b) = two_node_world(LinkConfig::default());
+        w.send_external_at(a, TestMsg { seq: 0, size: 0 }, SimTime::from_secs(10));
+        w.run_until(SimTime::from_secs(20));
+        w.send_external_at(a, TestMsg { seq: 1, size: 0 }, SimTime::from_secs(5));
+    }
+}

@@ -1,0 +1,250 @@
+//! Client movement schedules.
+//!
+//! A movement model turns a [`MovementGraph`] into a concrete, seeded
+//! schedule of *stints*: intervals during which a client is attached to a
+//! broker, separated by hand-off gaps (the disconnection windows whose
+//! uncertainty the middleware must absorb). The pop-up model additionally
+//! violates the movement graph with some probability — exactly the §4
+//! scenario ("a client may always pop up at any place in the broker
+//! network") that exception mode exists for.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rebeca_core::{BrokerId, SimDuration, SimTime};
+use rebeca_mobility::MovementGraph;
+
+/// How a client roams.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MovementModel {
+    /// Stay put (control group).
+    Stationary,
+    /// Uniform random walk along movement-graph edges.
+    RandomWalk,
+    /// Follow a fixed route of brokers, then stop at the last one.
+    Waypoint(Vec<BrokerId>),
+    /// Alternate between two brokers (home ↔ work).
+    Commuter {
+        /// The second endpoint (the first is the start broker).
+        other: BrokerId,
+    },
+    /// Random walk, but with probability `teleport_prob` the client pops
+    /// up at a *uniformly random* broker instead (graph violation).
+    PopUp {
+        /// Probability of a graph-violating jump per move.
+        teleport_prob: f64,
+    },
+}
+
+/// One attachment interval of a client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stint {
+    /// Arrival (attachment) time.
+    pub from: SimTime,
+    /// Departure time.
+    pub to: SimTime,
+    /// The broker attached to.
+    pub broker: BrokerId,
+}
+
+/// A client's complete movement schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoveSchedule {
+    /// Stints in chronological order; consecutive stints are separated by
+    /// the hand-off gap.
+    pub stints: Vec<Stint>,
+}
+
+impl MoveSchedule {
+    /// Generates a schedule.
+    ///
+    /// The client arrives at `start` at time `begin`, stays `dwell` per
+    /// stint, disconnects for `gap`, then moves per `model` until
+    /// `horizon`.
+    pub fn generate(
+        model: &MovementModel,
+        graph: &MovementGraph,
+        brokers: usize,
+        start: BrokerId,
+        begin: SimTime,
+        dwell: SimDuration,
+        gap: SimDuration,
+        horizon: SimTime,
+        seed: u64,
+    ) -> MoveSchedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stints = Vec::new();
+        let mut at = start;
+        let mut t = begin;
+        let mut waypoint_idx = 0usize;
+        while t < horizon {
+            let end = (t + dwell).min(horizon);
+            stints.push(Stint { from: t, to: end, broker: at });
+            if end >= horizon {
+                break;
+            }
+            let next = match model {
+                MovementModel::Stationary => break,
+                MovementModel::RandomWalk => pick_neighbor(&mut rng, graph, at).unwrap_or(at),
+                MovementModel::Waypoint(route) => {
+                    waypoint_idx += 1;
+                    match route.get(waypoint_idx) {
+                        Some(b) => *b,
+                        None => break,
+                    }
+                }
+                MovementModel::Commuter { other } => {
+                    if at == *other {
+                        start
+                    } else {
+                        *other
+                    }
+                }
+                MovementModel::PopUp { teleport_prob } => {
+                    if rng.random::<f64>() < *teleport_prob && brokers > 1 {
+                        // Uniform jump anywhere (possibly violating nlb).
+                        let mut b = BrokerId::new(rng.random_range(0..brokers as u32));
+                        if b == at {
+                            b = BrokerId::new((b.raw() + 1) % brokers as u32);
+                        }
+                        b
+                    } else {
+                        pick_neighbor(&mut rng, graph, at).unwrap_or(at)
+                    }
+                }
+            };
+            if next == at {
+                // Nowhere to go: extend the stay.
+                if let Some(last) = stints.last_mut() {
+                    last.to = horizon;
+                }
+                break;
+            }
+            at = next;
+            t = end + gap;
+        }
+        MoveSchedule { stints }
+    }
+
+    /// The broker the client is attached to at time `t`, if any.
+    pub fn broker_at(&self, t: SimTime) -> Option<BrokerId> {
+        self.stints
+            .iter()
+            .find(|s| s.from <= t && t < s.to)
+            .map(|s| s.broker)
+    }
+
+    /// Number of hand-offs (stints minus one).
+    pub fn moves(&self) -> usize {
+        self.stints.len().saturating_sub(1)
+    }
+
+    /// Returns `true` if every consecutive hand-off follows a movement
+    /// graph edge.
+    pub fn respects(&self, graph: &MovementGraph) -> bool {
+        self.stints
+            .windows(2)
+            .all(|w| graph.is_edge(w[0].broker, w[1].broker))
+    }
+}
+
+fn pick_neighbor(rng: &mut StdRng, graph: &MovementGraph, at: BrokerId) -> Option<BrokerId> {
+    let nbs: Vec<BrokerId> = graph.nlb(at).into_iter().collect();
+    if nbs.is_empty() {
+        None
+    } else {
+        Some(nbs[rng.random_range(0..nbs.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u32) -> BrokerId {
+        BrokerId::new(i)
+    }
+
+    fn gen(model: MovementModel, seed: u64) -> MoveSchedule {
+        MoveSchedule::generate(
+            &model,
+            &MovementGraph::line(5),
+            5,
+            b(2),
+            SimTime::from_secs(1),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(1),
+            SimTime::from_secs(100),
+            seed,
+        )
+    }
+
+    #[test]
+    fn stationary_is_one_stint() {
+        let s = gen(MovementModel::Stationary, 1);
+        assert_eq!(s.stints.len(), 1);
+        assert_eq!(s.moves(), 0);
+        assert_eq!(s.broker_at(SimTime::from_secs(5)), Some(b(2)));
+    }
+
+    #[test]
+    fn random_walk_respects_graph() {
+        for seed in 0..10 {
+            let s = gen(MovementModel::RandomWalk, seed);
+            assert!(s.respects(&MovementGraph::line(5)), "seed {seed}");
+            assert!(s.moves() >= 1);
+        }
+    }
+
+    #[test]
+    fn waypoint_follows_route() {
+        let s = gen(MovementModel::Waypoint(vec![b(2), b(3), b(4)]), 0);
+        let brokers: Vec<BrokerId> = s.stints.iter().map(|st| st.broker).collect();
+        assert_eq!(brokers, vec![b(2), b(3), b(4)]);
+    }
+
+    #[test]
+    fn commuter_alternates() {
+        let s = gen(MovementModel::Commuter { other: b(3) }, 0);
+        let brokers: Vec<BrokerId> = s.stints.iter().map(|st| st.broker).collect();
+        for (i, broker) in brokers.iter().enumerate() {
+            assert_eq!(*broker, if i % 2 == 0 { b(2) } else { b(3) });
+        }
+    }
+
+    #[test]
+    fn popup_violates_graph_sometimes() {
+        let mut violated = false;
+        for seed in 0..20 {
+            let s = gen(MovementModel::PopUp { teleport_prob: 0.8 }, seed);
+            if !s.respects(&MovementGraph::line(5)) {
+                violated = true;
+            }
+        }
+        assert!(violated, "high teleport probability must violate the graph");
+    }
+
+    #[test]
+    fn gaps_between_stints() {
+        let s = gen(MovementModel::RandomWalk, 3);
+        for w in s.stints.windows(2) {
+            assert_eq!(w[1].from, w[0].to + SimDuration::from_secs(1));
+        }
+    }
+
+    #[test]
+    fn broker_at_outside_stints_is_none() {
+        let s = gen(MovementModel::RandomWalk, 3);
+        assert_eq!(s.broker_at(SimTime::ZERO), None);
+        if s.stints.len() >= 2 {
+            // Inside the gap.
+            let gap_t = s.stints[0].to + SimDuration::from_millis(500);
+            assert_eq!(s.broker_at(gap_t), None);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(gen(MovementModel::RandomWalk, 5), gen(MovementModel::RandomWalk, 5));
+        assert_ne!(gen(MovementModel::RandomWalk, 5), gen(MovementModel::RandomWalk, 6));
+    }
+}

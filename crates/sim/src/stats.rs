@@ -1,0 +1,97 @@
+//! Summary statistics for experiment outputs.
+
+use std::fmt;
+
+/// Summary of a sample: count, mean and selected percentiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 for empty samples).
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample (the input need not be sorted).
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
+        let mut v: Vec<f64> = values.into_iter().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return Summary { count: 0, mean: 0.0, min: 0.0, p50: 0.0, p95: 0.0, p99: 0.0, max: 0.0 };
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let count = v.len();
+        let mean = v.iter().sum::<f64>() / count as f64;
+        let pct = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            v[idx.min(count - 1)]
+        };
+        Summary {
+            count,
+            mean,
+            min: v[0],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: v[count - 1],
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of([]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of((1..=100).map(|i| i as f64));
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.p50 - 50.0).abs() <= 1.0);
+        assert!((s.p95 - 95.0).abs() <= 1.0);
+        assert!((s.p99 - 99.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn non_finite_filtered() {
+        let s = Summary::of([1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn singleton() {
+        let s = Summary::of([7.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p99, 7.0);
+    }
+}

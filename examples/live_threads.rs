@@ -1,0 +1,76 @@
+//! Live runtime (Fig. 3): the same broker state machines on OS threads.
+//!
+//! Everything else in this repository drives the sans-io nodes through the
+//! deterministic simulator; this example deploys a broker line plus two
+//! clients on the crossbeam-channel threaded runtime to demonstrate that
+//! the protocol layer is runtime-agnostic — nothing in `rebeca-broker`
+//! knows which runtime it is on.
+//!
+//! Run with: `cargo run --example live_threads`
+
+use rebeca::broker::{BrokerCore, BrokerNode, ClientNode, Message, RoutingStrategy};
+use rebeca::{ClientId, Filter, Notification, SubscriptionId};
+use rebeca_net::{thread_rt::ThreadRuntime, NodeId, Topology};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let topology = Arc::new(Topology::line(3).expect("non-empty"));
+    let broker_nodes: Arc<Vec<NodeId>> = Arc::new((0..3).map(NodeId::new).collect());
+
+    let mut rt: ThreadRuntime<Message> = ThreadRuntime::new();
+    for b in topology.brokers() {
+        let core = BrokerCore::new(
+            b,
+            Arc::clone(&topology),
+            Arc::clone(&broker_nodes),
+            RoutingStrategy::Simple,
+        );
+        rt.add_node(Box::new(BrokerNode::new(core)));
+    }
+    let publisher = rt.add_node(Box::new(ClientNode::new(ClientId::new(1), Some(NodeId::new(0)))));
+    let consumer = rt.add_node(Box::new(ClientNode::new(ClientId::new(2), Some(NodeId::new(2)))));
+
+    for (a, b) in topology.edges() {
+        rt.connect(NodeId::new(a.raw()), NodeId::new(b.raw()));
+    }
+    rt.connect(publisher, NodeId::new(0));
+    rt.connect(consumer, NodeId::new(2));
+
+    rt.start();
+    std::thread::sleep(Duration::from_millis(50)); // attachments settle
+
+    rt.send_external(
+        consumer,
+        Message::AppSubscribe {
+            id: SubscriptionId::new(1),
+            filter: Filter::builder().eq("service", "live").build(),
+        },
+    );
+    std::thread::sleep(Duration::from_millis(100)); // subscription propagates
+
+    for i in 0..10 {
+        rt.send_external(
+            publisher,
+            Message::AppPublish {
+                attrs: Notification::builder().attr("service", "live").attr("i", i as i64),
+            },
+        );
+    }
+    std::thread::sleep(Duration::from_millis(200));
+
+    let nodes = rt.stop();
+    let client = nodes[consumer.raw() as usize]
+        .as_any()
+        .downcast_ref::<ClientNode>()
+        .expect("consumer node");
+    let got: Vec<i64> = client
+        .local()
+        .delivered()
+        .iter()
+        .filter_map(|r| r.notification.get("i").and_then(|v| v.as_int()))
+        .collect();
+    println!("consumer received {} notifications over real threads: {:?}", got.len(), got);
+    assert_eq!(got, (0..10).collect::<Vec<_>>(), "in order, nothing lost");
+    println!("same state machines, real OS threads — the sans-io layer pays off.");
+}

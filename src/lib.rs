@@ -1,0 +1,680 @@
+//! # rebeca — uncertainty-aware mobile publish/subscribe middleware
+//!
+//! A Rust reproduction of the system described in *Dealing with Uncertainty
+//! in Mobile Publish/Subscribe Middleware* (Fiege, Zeidler, Gärtner,
+//! Handurukande; Middleware 2003): the REBECA content-based
+//! publish/subscribe middleware with physical mobility (transparent
+//! relocation), logical mobility (location-dependent `myloc`
+//! subscriptions), and the paper's contribution — **extended logical
+//! mobility** through *pre-subscriptions and virtual clients* replicated
+//! along a movement graph.
+//!
+//! The component crates are re-exported ([`core`], [`net`], [`broker`],
+//! [`mobility`]); this crate adds the [`System`] facade that wires a
+//! complete deployment into the deterministic simulator and drives it from
+//! plain Rust code:
+//!
+//! ```
+//! use rebeca::{Deployment, Filter, SimDuration, SystemBuilder};
+//! use rebeca_net::Topology;
+//!
+//! # fn main() {
+//! // Three brokers in a line, mobile REBECA with the replicator layer.
+//! let mut sys = SystemBuilder::new(Topology::line(3).unwrap())
+//!     .deployment(Deployment::replicated_defaults())
+//!     .build();
+//!
+//! let walker = sys.add_mobile_client();
+//! let sensor = sys.add_client(rebeca::BrokerId::new(1));
+//!
+//! sys.arrive(walker, rebeca::BrokerId::new(0));
+//! sys.run_for(SimDuration::from_secs(1));
+//! sys.subscribe(
+//!     walker,
+//!     Filter::builder().eq("service", "temperature").myloc("location").build(),
+//! );
+//! sys.run_for(SimDuration::from_secs(1));
+//!
+//! sys.publish(
+//!     sensor,
+//!     rebeca::Notification::builder()
+//!         .attr("service", "temperature")
+//!         .attr("location", rebeca::LocationId::new(1))
+//!         .attr("celsius", 21.5),
+//! );
+//! sys.run_for(SimDuration::from_secs(1));
+//!
+//! // The walker is at B0 — the reading for L1 is buffered by the virtual
+//! // client at B1, not delivered yet.
+//! assert!(sys.delivered(walker).is_empty());
+//!
+//! // Walk next door: the buffered reading is replayed on arrival.
+//! sys.depart(walker);
+//! sys.run_for(SimDuration::from_secs(1));
+//! sys.arrive(walker, rebeca::BrokerId::new(1));
+//! sys.run_for(SimDuration::from_secs(1));
+//! assert_eq!(sys.delivered(walker).len(), 1);
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rebeca_broker as broker;
+pub use rebeca_core as core;
+pub use rebeca_mobility as mobility;
+pub use rebeca_net as net;
+
+pub use rebeca_broker::{
+    BrokerStats, DeliveryRecord, Message, MobilityMsg, RoutingStrategy,
+};
+pub use rebeca_core::{
+    ApplicationId, BrokerId, ClientId, Filter, LocationId, Notification, NotificationBuilder,
+    Predicate, SimDuration, SimTime, Subscription, SubscriptionId, Value,
+};
+pub use rebeca_mobility::{
+    BufferSpec, ClientMobilityMode, ContextMap, LocationMap, MobileBrokerConfig, MovementGraph,
+    ReplicatorConfig, ReplicatorStats,
+};
+pub use rebeca_net::{NetMetrics, Topology};
+
+use rebeca_broker::{BrokerCore, BrokerNode, ClientNode, LocalBroker};
+use rebeca_mobility::{MobileBrokerNode, MobileClientNode, ReplicatorNode};
+use rebeca_net::{LinkConfig, NodeId, World};
+use std::sync::Arc;
+
+/// Which mobility layers are deployed.
+#[derive(Debug, Clone)]
+pub enum Deployment {
+    /// Plain REBECA: immobile brokers and clients, no mobility support.
+    Static,
+    /// Broker-side mobility: physical relocation and (optionally) reactive
+    /// logical mobility, implemented inside the border brokers.
+    BrokerMobility(MobileBrokerConfig),
+    /// The full paper: plain brokers + a replicator per border broker
+    /// implementing pre-subscriptions and virtual clients over a movement
+    /// graph.
+    Replicated {
+        /// The movement graph constraining client movement.
+        movement: MovementGraph,
+        /// Replicator-layer configuration (nlb radius, buffering policy).
+        config: ReplicatorConfig,
+    },
+}
+
+impl Deployment {
+    /// Replicated deployment with the movement graph equal to the broker
+    /// tree and default replicator configuration — the common case.
+    pub fn replicated_defaults() -> Deployment {
+        Deployment::Replicated {
+            movement: MovementGraph::new(), // replaced by builder if empty
+            config: ReplicatorConfig::default(),
+        }
+    }
+}
+
+/// Builder for a complete simulated deployment.
+#[derive(Debug)]
+pub struct SystemBuilder {
+    topology: Topology,
+    strategy: RoutingStrategy,
+    deployment: Deployment,
+    locations: Option<LocationMap>,
+    link_latency: SimDuration,
+    seed: u64,
+}
+
+impl SystemBuilder {
+    /// Starts a builder over the given broker topology.
+    pub fn new(topology: Topology) -> Self {
+        SystemBuilder {
+            topology,
+            strategy: RoutingStrategy::Simple,
+            deployment: Deployment::Static,
+            locations: None,
+            link_latency: SimDuration::from_millis(1),
+            seed: 42,
+        }
+    }
+
+    /// Selects the routing strategy (default: simple routing, as the
+    /// paper assumes).
+    #[must_use]
+    pub fn strategy(mut self, strategy: RoutingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Selects the mobility deployment (default: static).
+    #[must_use]
+    pub fn deployment(mut self, deployment: Deployment) -> Self {
+        self.deployment = deployment;
+        self
+    }
+
+    /// Overrides the broker↔location mapping (default: one location per
+    /// broker).
+    #[must_use]
+    pub fn locations(mut self, locations: LocationMap) -> Self {
+        self.locations = Some(locations);
+        self
+    }
+
+    /// Sets the constant link latency (default 1 ms).
+    #[must_use]
+    pub fn link_latency(mut self, latency: SimDuration) -> Self {
+        self.link_latency = latency;
+        self
+    }
+
+    /// Sets the determinism seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the world: brokers, links, replicators.
+    pub fn build(self) -> System {
+        let topology = Arc::new(self.topology);
+        let n = topology.broker_count();
+        let locations = Arc::new(
+            self.locations
+                .unwrap_or_else(|| LocationMap::one_per_broker(&topology)),
+        );
+        let broker_nodes: Arc<Vec<NodeId>> = Arc::new((0..n as u32).map(NodeId::new).collect());
+        let link = LinkConfig::constant(self.link_latency);
+        let mut world = World::new(self.seed);
+
+        // Brokers.
+        for b in topology.brokers() {
+            let core = BrokerCore::new(
+                b,
+                Arc::clone(&topology),
+                Arc::clone(&broker_nodes),
+                self.strategy,
+            );
+            match &self.deployment {
+                Deployment::BrokerMobility(cfg) => {
+                    world.add_node(Box::new(MobileBrokerNode::new(
+                        core,
+                        Arc::clone(&locations),
+                        cfg.clone(),
+                    )));
+                }
+                _ => {
+                    world.add_node(Box::new(BrokerNode::new(core)));
+                }
+            }
+        }
+        for (a, b) in topology.edges() {
+            world.connect(
+                broker_nodes[a.raw() as usize],
+                broker_nodes[b.raw() as usize],
+                link.clone(),
+            );
+        }
+
+        // Replicators.
+        let (replicator_nodes, access_nodes) = match &self.deployment {
+            Deployment::Replicated { movement, config } => {
+                let movement = if movement.broker_count() == 0 {
+                    MovementGraph::from_topology(&topology)
+                } else {
+                    movement.clone()
+                };
+                let movement = Arc::new(movement);
+                let replicator_nodes: Arc<Vec<NodeId>> =
+                    Arc::new((n as u32..2 * n as u32).map(NodeId::new).collect());
+                for b in topology.brokers() {
+                    let node = world.add_node(Box::new(ReplicatorNode::new(
+                        b,
+                        broker_nodes[b.raw() as usize],
+                        Arc::clone(&replicator_nodes),
+                        Arc::clone(&movement),
+                        Arc::clone(&locations),
+                        config.clone(),
+                    )));
+                    world.connect(node, broker_nodes[b.raw() as usize], link.clone());
+                }
+                // Replicator ↔ replicator mesh ("direct TCP connections").
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        world.connect(replicator_nodes[i], replicator_nodes[j], link.clone());
+                    }
+                }
+                (Some(Arc::clone(&replicator_nodes)), replicator_nodes)
+            }
+            _ => (None, Arc::clone(&broker_nodes)),
+        };
+
+        System {
+            world,
+            topology,
+            locations,
+            broker_nodes,
+            access_nodes,
+            replicator_nodes,
+            link,
+            clients: Vec::new(),
+            next_client: 0,
+            next_sub: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ClientInfo {
+    id: ClientId,
+    node: NodeId,
+    mobile: bool,
+}
+
+/// Per-client delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Notifications delivered (after duplicate suppression).
+    pub delivered: u64,
+    /// Duplicate deliveries suppressed by the client library.
+    pub duplicates: u64,
+    /// Per-publisher FIFO violations observed.
+    pub fifo_violations: u64,
+}
+
+/// A complete simulated REBECA deployment.
+///
+/// Owns the [`World`] and offers an application-level API: add clients,
+/// publish, subscribe, move devices between brokers, advance time, inspect
+/// deliveries and metrics. See the crate-level example.
+#[derive(Debug)]
+pub struct System {
+    world: World<Message>,
+    topology: Arc<Topology>,
+    locations: Arc<LocationMap>,
+    broker_nodes: Arc<Vec<NodeId>>,
+    access_nodes: Arc<Vec<NodeId>>,
+    replicator_nodes: Option<Arc<Vec<NodeId>>>,
+    link: LinkConfig,
+    clients: Vec<ClientInfo>,
+    next_client: u32,
+    next_sub: u32,
+}
+
+impl System {
+    /// The broker topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The broker↔location mapping.
+    pub fn locations(&self) -> &LocationMap {
+        &self.locations
+    }
+
+    /// Adds an immobile client attached to `broker` (always connected).
+    pub fn add_client(&mut self, broker: BrokerId) -> ClientId {
+        let id = ClientId::new(self.next_client);
+        self.next_client += 1;
+        let access = self.access_nodes[broker.raw() as usize];
+        let node = self
+            .world
+            .add_node(Box::new(ClientNode::new(id, Some(access))));
+        self.world.connect(node, access, self.link.clone());
+        self.clients.push(ClientInfo { id, node, mobile: false });
+        id
+    }
+
+    /// Adds a mobile client (initially out of coverage; call
+    /// [`System::arrive`] to attach it somewhere). Uses the relocation
+    /// hand-off protocol.
+    pub fn add_mobile_client(&mut self) -> ClientId {
+        self.add_mobile_client_with_mode(ClientMobilityMode::Relocation)
+    }
+
+    /// Adds a mobile client with an explicit mobility mode (the naive
+    /// JEDI-style baseline or the relocation protocol).
+    pub fn add_mobile_client_with_mode(&mut self, mode: ClientMobilityMode) -> ClientId {
+        let id = ClientId::new(self.next_client);
+        self.next_client += 1;
+        let node = self.world.add_node(Box::new(MobileClientNode::new(
+            id,
+            mode,
+            Arc::clone(&self.access_nodes),
+        )));
+        for access in self.access_nodes.iter() {
+            self.world.connect(node, *access, self.link.clone());
+            self.world.set_link_up(node, *access, false);
+        }
+        self.clients.push(ClientInfo { id, node, mobile: true });
+        id
+    }
+
+    fn info(&self, client: ClientId) -> ClientInfo {
+        *self
+            .clients
+            .iter()
+            .find(|c| c.id == client)
+            .unwrap_or_else(|| panic!("unknown client {client}"))
+    }
+
+    /// Publishes a notification from `client` (sequence number and
+    /// timestamp are stamped by the client library).
+    pub fn publish(&mut self, client: ClientId, attrs: NotificationBuilder) {
+        let node = self.info(client).node;
+        self.world.send_external(node, Message::AppPublish { attrs });
+    }
+
+    /// Schedules a publication from `client` at a future simulated time —
+    /// used by workload generators to pre-load a whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past.
+    pub fn publish_at(&mut self, client: ClientId, attrs: NotificationBuilder, at: SimTime) {
+        let node = self.info(client).node;
+        self.world
+            .send_external_at(node, Message::AppPublish { attrs }, at);
+    }
+
+    /// Registers a subscription for `client`, returning its id.
+    pub fn subscribe(&mut self, client: ClientId, filter: Filter) -> SubscriptionId {
+        let id = SubscriptionId::new(self.next_sub);
+        self.next_sub += 1;
+        let node = self.info(client).node;
+        self.world
+            .send_external(node, Message::AppSubscribe { id, filter });
+        id
+    }
+
+    /// Revokes a subscription.
+    pub fn unsubscribe(&mut self, client: ClientId, id: SubscriptionId) {
+        let node = self.info(client).node;
+        self.world.send_external(node, Message::AppUnsubscribe { id });
+    }
+
+    /// Updates one entry of a mobile client's context (`myctx` markers are
+    /// re-resolved and affected subscriptions re-issued).
+    pub fn set_context(&mut self, client: ClientId, key: impl Into<String>, predicate: Predicate) {
+        let node = self.info(client).node;
+        self.world.send_external(
+            node,
+            Message::Mobility(MobilityMsg::AppSetContext { key: key.into(), predicate }),
+        );
+    }
+
+    /// Brings a mobile client into the range of `broker` and attaches it
+    /// (flips the wireless links, then injects `AppMoveTo`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client is not mobile.
+    pub fn arrive(&mut self, client: ClientId, broker: BrokerId) {
+        let info = self.info(client);
+        assert!(info.mobile, "client {client} is not mobile");
+        for (i, access) in self.access_nodes.clone().iter().enumerate() {
+            self.world
+                .set_link_up(info.node, *access, i == broker.raw() as usize);
+        }
+        self.world.send_external(
+            info.node,
+            Message::Mobility(MobilityMsg::AppMoveTo { border: broker }),
+        );
+    }
+
+    /// Takes a mobile client out of coverage: announces the move (for the
+    /// naive baseline's explicit moveOut), downs all wireless links, and
+    /// powers the device off.
+    pub fn depart(&mut self, client: ClientId) {
+        let info = self.info(client);
+        assert!(info.mobile, "client {client} is not mobile");
+        self.world
+            .send_external(info.node, Message::Mobility(MobilityMsg::AppPrepareMove));
+        // Give the (naive) moveOut a moment on the still-up link.
+        let t = self.world.now() + SimDuration::from_millis(50);
+        self.world.run_until(t);
+        for access in self.access_nodes.clone().iter() {
+            self.world.set_link_up(info.node, *access, false);
+        }
+        self.world
+            .send_external(info.node, Message::Mobility(MobilityMsg::AppDisconnect));
+    }
+
+    /// Orderly client shutdown: detaches at the current access point so the
+    /// middleware garbage-collects all state (including virtual clients).
+    pub fn shutdown_client(&mut self, client: ClientId, at: BrokerId) {
+        let access = self.access_nodes[at.raw() as usize];
+        self.world
+            .send_external(access, Message::ClientDetach { client });
+    }
+
+    /// Advances simulated time by `d`.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.world.now() + d;
+        self.world.run_until(t);
+    }
+
+    /// Advances simulated time to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    fn with_local<R>(&self, client: ClientId, f: impl FnOnce(&LocalBroker) -> R) -> R {
+        let info = self.info(client);
+        if info.mobile {
+            f(self
+                .world
+                .node_as::<MobileClientNode>(info.node)
+                .expect("mobile client node")
+                .local())
+        } else {
+            f(self
+                .world
+                .node_as::<ClientNode>(info.node)
+                .expect("client node")
+                .local())
+        }
+    }
+
+    fn with_local_mut<R>(&mut self, client: ClientId, f: impl FnOnce(&mut LocalBroker) -> R) -> R {
+        let info = self.info(client);
+        if info.mobile {
+            f(self
+                .world
+                .node_as_mut::<MobileClientNode>(info.node)
+                .expect("mobile client node")
+                .local_mut())
+        } else {
+            f(self
+                .world
+                .node_as_mut::<ClientNode>(info.node)
+                .expect("client node")
+                .local_mut())
+        }
+    }
+
+    /// The notifications delivered to `client` (and not yet drained).
+    pub fn delivered(&self, client: ClientId) -> Vec<DeliveryRecord> {
+        self.with_local(client, |l| l.delivered().to_vec())
+    }
+
+    /// Drains and returns the delivery log of `client`.
+    pub fn take_delivered(&mut self, client: ClientId) -> Vec<DeliveryRecord> {
+        self.with_local_mut(client, LocalBroker::take_delivered)
+    }
+
+    /// Delivery statistics of `client`.
+    pub fn client_stats(&self, client: ClientId) -> ClientStats {
+        self.with_local(client, |l| ClientStats {
+            delivered: l.delivered().len() as u64,
+            duplicates: l.duplicates(),
+            fifo_violations: l.fifo_violations(),
+        })
+    }
+
+    /// Link-level traffic metrics of the whole run.
+    pub fn metrics(&self) -> &NetMetrics {
+        self.world.metrics()
+    }
+
+    /// Routing statistics of one broker.
+    pub fn broker_stats(&self, broker: BrokerId) -> BrokerStats {
+        let node = self.broker_nodes[broker.raw() as usize];
+        if let Some(b) = self.world.node_as::<BrokerNode>(node) {
+            b.core().stats()
+        } else if let Some(b) = self.world.node_as::<MobileBrokerNode>(node) {
+            b.core().stats()
+        } else {
+            BrokerStats::default()
+        }
+    }
+
+    /// Routing-table size (entries) of one broker.
+    pub fn table_size(&self, broker: BrokerId) -> usize {
+        let node = self.broker_nodes[broker.raw() as usize];
+        if let Some(b) = self.world.node_as::<BrokerNode>(node) {
+            b.core().table().entry_count()
+        } else if let Some(b) = self.world.node_as::<MobileBrokerNode>(node) {
+            b.core().table().entry_count()
+        } else {
+            0
+        }
+    }
+
+    /// Sum of routing-table sizes over all brokers.
+    pub fn total_table_entries(&self) -> usize {
+        self.topology.brokers().map(|b| self.table_size(b)).sum()
+    }
+
+    /// Replicator statistics of one broker (replicated deployments only).
+    pub fn replicator_stats(&self, broker: BrokerId) -> Option<ReplicatorStats> {
+        let nodes = self.replicator_nodes.as_ref()?;
+        self.world
+            .node_as::<ReplicatorNode>(nodes[broker.raw() as usize])
+            .map(|r| r.stats())
+    }
+
+    /// Virtual clients hosted at one broker's replicator.
+    pub fn vc_count(&self, broker: BrokerId) -> usize {
+        self.replicator_nodes
+            .as_ref()
+            .and_then(|nodes| {
+                self.world
+                    .node_as::<ReplicatorNode>(nodes[broker.raw() as usize])
+                    .map(|r| r.vc_count())
+            })
+            .unwrap_or(0)
+    }
+
+    /// Total virtual clients across all replicators.
+    pub fn total_vc_count(&self) -> usize {
+        self.topology.brokers().map(|b| self.vc_count(b)).sum()
+    }
+
+    /// Bytes held in replication buffers at one broker.
+    pub fn buffer_bytes(&self, broker: BrokerId) -> usize {
+        self.replicator_nodes
+            .as_ref()
+            .and_then(|nodes| {
+                self.world
+                    .node_as::<ReplicatorNode>(nodes[broker.raw() as usize])
+                    .map(|r| r.buffer_bytes())
+            })
+            .unwrap_or(0)
+    }
+
+    /// Total buffered bytes across all replicators.
+    pub fn total_buffer_bytes(&self) -> usize {
+        self.topology.brokers().map(|b| self.buffer_bytes(b)).sum()
+    }
+
+    /// Direct access to the underlying world (advanced inspection).
+    pub fn world(&self) -> &World<Message> {
+        &self.world
+    }
+
+    /// Mutable access to the underlying world (fault injection).
+    pub fn world_mut(&mut self) -> &mut World<Message> {
+        &mut self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_deployment_delivers() {
+        let mut sys = SystemBuilder::new(Topology::line(3).unwrap()).build();
+        let publisher = sys.add_client(BrokerId::new(0));
+        let consumer = sys.add_client(BrokerId::new(2));
+        sys.run_for(SimDuration::from_secs(1));
+        sys.subscribe(consumer, Filter::builder().eq("service", "t").build());
+        sys.run_for(SimDuration::from_secs(1));
+        sys.publish(publisher, Notification::builder().attr("service", "t"));
+        sys.run_for(SimDuration::from_secs(1));
+        assert_eq!(sys.delivered(consumer).len(), 1);
+        assert_eq!(sys.client_stats(consumer).fifo_violations, 0);
+        assert!(sys.metrics().total_msgs() > 0);
+    }
+
+    #[test]
+    fn broker_mobility_deployment_relocates() {
+        let mut sys = SystemBuilder::new(Topology::line(3).unwrap())
+            .deployment(Deployment::BrokerMobility(MobileBrokerConfig::default()))
+            .build();
+        let publisher = sys.add_client(BrokerId::new(1));
+        let roamer = sys.add_mobile_client();
+        sys.arrive(roamer, BrokerId::new(0));
+        sys.run_for(SimDuration::from_secs(1));
+        sys.subscribe(roamer, Filter::builder().eq("service", "s").build());
+        sys.run_for(SimDuration::from_secs(1));
+        sys.depart(roamer);
+        sys.run_for(SimDuration::from_secs(1));
+        sys.publish(publisher, Notification::builder().attr("service", "s").attr("i", 1i64));
+        sys.run_for(SimDuration::from_secs(1));
+        sys.arrive(roamer, BrokerId::new(2));
+        sys.run_for(SimDuration::from_secs(2));
+        assert_eq!(sys.delivered(roamer).len(), 1, "buffered notification replayed");
+    }
+
+    #[test]
+    fn replicated_deployment_counts_vcs() {
+        let mut sys = SystemBuilder::new(Topology::line(3).unwrap())
+            .deployment(Deployment::Replicated {
+                movement: MovementGraph::line(3),
+                config: ReplicatorConfig::default(),
+            })
+            .build();
+        let c = sys.add_mobile_client();
+        sys.arrive(c, BrokerId::new(1));
+        sys.run_for(SimDuration::from_secs(1));
+        sys.subscribe(c, Filter::builder().myloc("location").build());
+        sys.run_for(SimDuration::from_secs(1));
+        assert_eq!(sys.total_vc_count(), 3, "self + both movement neighbours");
+        assert!(sys.replicator_stats(BrokerId::new(1)).unwrap().handovers >= 1);
+        // Orderly shutdown garbage-collects everything.
+        sys.shutdown_client(c, BrokerId::new(1));
+        sys.run_for(SimDuration::from_secs(1));
+        assert_eq!(sys.total_vc_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown client")]
+    fn unknown_client_panics() {
+        let sys = SystemBuilder::new(Topology::line(1).unwrap()).build();
+        let _ = sys.delivered(ClientId::new(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "not mobile")]
+    fn arriving_with_immobile_client_panics() {
+        let mut sys = SystemBuilder::new(Topology::line(2).unwrap()).build();
+        let c = sys.add_client(BrokerId::new(0));
+        sys.arrive(c, BrokerId::new(1));
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-style integration tests: system invariants under randomized
+//! movement and workload, checked through the scenario runner's oracle.
+
+use proptest::prelude::*;
+use rebeca::{BufferSpec, SimDuration};
+use rebeca_sim::scenario::{self, MovementKind, ScenarioConfig, SystemVariant, TopologyKind};
+use rebeca_sim::workload::{Arrivals, WorkloadConfig};
+use rebeca_sim::MovementModel;
+
+fn base_cfg(seed: u64, brokers: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        brokers,
+        topology: TopologyKind::Line,
+        movement_graph: MovementKind::Line,
+        mobile_clients: 2,
+        movement_model: MovementModel::RandomWalk,
+        dwell: SimDuration::from_secs(8),
+        gap: SimDuration::from_millis(400),
+        workload: WorkloadConfig {
+            arrivals: Arrivals::Periodic { period: SimDuration::from_secs(3) },
+            duration: SimDuration::from_secs(60),
+            seed: seed ^ 0x5a5a,
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// The relocation protocol never loses location-independent
+    /// notifications and never reorders per publisher, regardless of seed
+    /// and shape.
+    #[test]
+    fn relocation_is_lossless(seed in 0u64..1000, brokers in 3usize..7) {
+        let mut cfg = base_cfg(seed, brokers);
+        cfg.variant = SystemVariant::ReactiveLogical;
+        cfg.location_dependent = false;
+        let out = scenario::run(&cfg);
+        for (i, report) in out.global_reports().iter().enumerate() {
+            prop_assert_eq!(report.misses, 0, "client {} lost notifications", i);
+        }
+        for v in &out.fifo_violations {
+            prop_assert_eq!(*v, 0);
+        }
+    }
+
+    /// Extended logical mobility with k=1 and graph-respecting walks never
+    /// misses anything the coverage-aware oracle says is due ("everything
+    /// a continuously existing shadow buffered is replayed"), and replays
+    /// never violate FIFO.
+    #[test]
+    fn extended_covers_graph_respecting_walks(seed in 0u64..1000, brokers in 3usize..7) {
+        let mut cfg = base_cfg(seed, brokers);
+        cfg.variant = SystemVariant::extended_default();
+        cfg.location_dependent = true;
+        let out = scenario::run(&cfg);
+        // Every walk respects the graph by construction here.
+        let window = SimDuration::from_secs(3600);
+        for (i, report) in out.covered_location_reports(1, window).iter().enumerate() {
+            prop_assert_eq!(
+                report.misses, 0,
+                "client {} missed covered notifications (seed {})", i, seed
+            );
+        }
+        for v in &out.fifo_violations {
+            prop_assert_eq!(*v, 0);
+        }
+    }
+
+    /// Virtual clients never leak: the population is bounded by
+    /// clients × (max nlb degree + 1) at all sampled instants.
+    #[test]
+    fn vc_population_is_bounded(seed in 0u64..1000, brokers in 3usize..8) {
+        let mut cfg = base_cfg(seed, brokers);
+        cfg.variant = SystemVariant::extended_default();
+        let out = scenario::run(&cfg);
+        // Line movement graph: nlb degree ≤ 2, so ≤ 3 VCs per client.
+        let bound = cfg.mobile_clients * 3;
+        prop_assert!(
+            out.peak_vcs <= bound,
+            "peak {} exceeds bound {}",
+            out.peak_vcs,
+            bound
+        );
+    }
+
+    /// Duplicate suppression keeps the application-visible stream clean
+    /// even though replication + relocation may deliver twice.
+    #[test]
+    fn no_duplicates_reach_the_application(seed in 0u64..500) {
+        let mut cfg = base_cfg(seed, 5);
+        cfg.variant = SystemVariant::extended_default();
+        let out = scenario::run(&cfg);
+        for log in &out.delivered {
+            let mut marks: Vec<i64> = log.iter().map(|(m, _)| *m).collect();
+            let before = marks.len();
+            marks.sort_unstable();
+            marks.dedup();
+            prop_assert_eq!(marks.len(), before, "duplicate marks in app-visible stream");
+        }
+    }
+}
+
+#[test]
+fn bounded_buffers_bound_memory() {
+    let mut unbounded_cfg = base_cfg(7, 5);
+    unbounded_cfg.variant = SystemVariant::ExtendedLogical {
+        k: 1,
+        buffer: BufferSpec::Unbounded,
+        shared: false,
+    };
+    unbounded_cfg.workload.arrivals = Arrivals::Periodic { period: SimDuration::from_millis(300) };
+    let unbounded = scenario::run(&unbounded_cfg);
+
+    let mut capped_cfg = unbounded_cfg.clone();
+    capped_cfg.variant = SystemVariant::ExtendedLogical {
+        k: 1,
+        buffer: BufferSpec::HistoryBased { capacity: 3 },
+        shared: false,
+    };
+    let capped = scenario::run(&capped_cfg);
+
+    assert!(
+        capped.peak_buffer_bytes < unbounded.peak_buffer_bytes,
+        "history(3) buffer ({}) must stay below unbounded ({})",
+        capped.peak_buffer_bytes,
+        unbounded.peak_buffer_bytes
+    );
+}
+
+#[test]
+fn popup_movement_degrades_gracefully_with_exception_mode() {
+    // Pop-up movers violate the movement graph; extended logical mobility
+    // must still deliver live flow (exception mode) even if pre-arrival
+    // replay is partial.
+    let mut cfg = base_cfg(21, 6);
+    cfg.movement_model = MovementModel::PopUp { teleport_prob: 0.7 };
+    cfg.variant = SystemVariant::extended_default();
+    let out = scenario::run(&cfg);
+    // Live information at each location must still flow.
+    let live_reports = out.location_reports(SimDuration::ZERO);
+    let hits: usize = live_reports.iter().map(|r| r.hits).sum();
+    let misses: usize = live_reports.iter().map(|r| r.misses).sum();
+    assert!(hits > 0, "live flow must survive pop-ups");
+    let rate = misses as f64 / (hits + misses).max(1) as f64;
+    assert!(rate < 0.35, "live miss rate too high under pop-ups: {rate}");
+    assert!(
+        out.replicator_totals.exceptions > 0,
+        "graph violations must trigger exception mode"
+    );
+}
+
+#[test]
+fn k2_neighbourhood_covers_two_hop_jumps() {
+    // A client that jumps two hops per move is outside nlb¹ but inside
+    // nlb²: with k=2 nothing due is missed.
+    let route = vec![
+        rebeca::BrokerId::new(0),
+        rebeca::BrokerId::new(2),
+        rebeca::BrokerId::new(4),
+    ];
+    for (k, expect_zero_miss) in [(1u32, false), (2u32, true)] {
+        let mut cfg = base_cfg(3, 5);
+        cfg.movement_model = MovementModel::Waypoint(route.clone());
+        cfg.mobile_clients = 1;
+        cfg.variant = SystemVariant::ExtendedLogical {
+            k,
+            buffer: BufferSpec::Unbounded,
+            shared: false,
+        };
+        let out = scenario::run(&cfg);
+        // Against the idealised demand (window-limited to the dwell) —
+        // k=2 covers two-hop jumps, k=1 cannot.
+        let report = &out.location_reports(SimDuration::from_secs(8))[0];
+        if expect_zero_miss {
+            assert_eq!(report.misses, 0, "k=2 must cover two-hop jumps");
+        } else {
+            assert!(
+                report.misses > 0,
+                "k=1 must miss buffered notifications across two-hop jumps"
+            );
+        }
+    }
+}
