@@ -20,10 +20,7 @@ fn bench_offer(c: &mut Criterion) {
         ("unbounded", BufferSpec::Unbounded),
         ("time-10s", BufferSpec::TimeBased { ttl: SimDuration::from_secs(10) }),
         ("history-100", BufferSpec::HistoryBased { capacity: 100 }),
-        (
-            "combined",
-            BufferSpec::Combined { ttl: SimDuration::from_secs(10), capacity: 100 },
-        ),
+        ("combined", BufferSpec::Combined { ttl: SimDuration::from_secs(10), capacity: 100 }),
         ("semantic", BufferSpec::Semantic { key_attrs: vec!["restaurant".into()] }),
     ];
     let notes: Vec<Notification> = (0..1000).map(note).collect();

@@ -10,10 +10,8 @@ use rebeca_bench::{run_all, run_experiment, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    let args: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| a.starts_with('E') || a.starts_with('e'))
-        .collect();
+    let args: Vec<String> =
+        std::env::args().skip(1).filter(|a| a.starts_with('E') || a.starts_with('e')).collect();
     println!("== REBECA mobility reproduction — experiment suite ({scale:?} scale) ==\n");
     if args.is_empty() {
         print!("{}", run_all(scale));

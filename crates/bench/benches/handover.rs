@@ -4,29 +4,28 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rebeca::{
-    BrokerId, Deployment, Filter, MobileBrokerConfig, MovementGraph, Notification,
-    ReplicatorConfig, SimDuration, System, SystemBuilder, Topology,
+    BrokerId, Deployment, Filter, FixedClient, MobileBrokerConfig, MobileClient, MovementGraph,
+    Notification, ReplicatorConfig, SimDuration, System, SystemBuilder, Topology,
 };
 use std::hint::black_box;
 
-fn build(deployment: Deployment) -> (System, rebeca::ClientId, rebeca::ClientId) {
-    let mut sys = SystemBuilder::new(Topology::line(4).unwrap())
+fn build(deployment: Deployment) -> (System, FixedClient, MobileClient) {
+    let mut sys = SystemBuilder::new(Topology::line(4).expect("valid line"))
         .deployment(deployment)
-        .build();
-    let p = sys.add_client(BrokerId::new(1));
+        .build()
+        .expect("valid deployment");
+    let p = sys.add_client(BrokerId::new(1)).expect("broker in topology");
     let m = sys.add_mobile_client();
-    sys.arrive(m, BrokerId::new(0));
+    sys.arrive(m, BrokerId::new(0)).expect("fresh client arrives");
     sys.run_for(SimDuration::from_millis(300));
-    sys.subscribe(
-        m,
-        Filter::builder().eq("service", "t").myloc("location").build(),
-    );
-    sys.subscribe(m, Filter::builder().eq("service", "global").build());
+    sys.subscribe(m, Filter::builder().eq("service", "t").myloc("location").build())
+        .expect("own client");
+    sys.subscribe(m, Filter::builder().eq("service", "global").build()).expect("own client");
     sys.run_for(SimDuration::from_millis(300));
     (sys, p, m)
 }
 
-fn cycle(sys: &mut System, p: rebeca::ClientId, m: rebeca::ClientId, round: &mut u32) {
+fn cycle(sys: &mut System, p: FixedClient, m: MobileClient, round: &mut u32) {
     let to = BrokerId::new(*round % 2 + 1); // bounce between B1 and B2
     *round += 1;
     for i in 0..5 {
@@ -36,24 +35,25 @@ fn cycle(sys: &mut System, p: rebeca::ClientId, m: rebeca::ClientId, round: &mut
                 .attr("service", "t")
                 .attr("location", rebeca::LocationId::new(to.raw()))
                 .attr("i", i as i64),
-        );
+        )
+        .expect("own client");
     }
     sys.run_for(SimDuration::from_millis(200));
-    sys.depart(m);
+    sys.depart(m).expect("attached client departs");
     sys.run_for(SimDuration::from_millis(200));
-    sys.arrive(m, to);
+    sys.arrive(m, to).expect("departed client arrives");
     sys.run_for(SimDuration::from_secs(1));
 }
+
+type DeploymentFactory = fn() -> Deployment;
 
 fn bench_handover(c: &mut Criterion) {
     let mut group = c.benchmark_group("handover-cycle");
     group.sample_size(20);
-    let deployments: Vec<(&str, fn() -> Deployment)> = vec![
-        ("broker-relocation", || {
-            Deployment::BrokerMobility(MobileBrokerConfig::default())
-        }),
+    let deployments: Vec<(&str, DeploymentFactory)> = vec![
+        ("broker-relocation", || Deployment::BrokerMobility(MobileBrokerConfig::default())),
         ("replicator", || Deployment::Replicated {
-            movement: MovementGraph::line(4),
+            movement: Some(MovementGraph::line(4)),
             config: ReplicatorConfig::default(),
         }),
     ];

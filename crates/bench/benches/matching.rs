@@ -27,7 +27,7 @@ fn notification(i: u64) -> Notification {
         .attr("service", format!("svc-{}", i % 17))
         .attr("room", (i % 29) as i64)
         .attr("level", (i % 13) as i64)
-        .attr("topic", if i % 2 == 0 { "sports-news" } else { "finance" })
+        .attr("topic", if i.is_multiple_of(2) { "sports-news" } else { "finance" })
         .publish(ClientId::new(0), i, SimTime::ZERO)
 }
 

@@ -27,11 +27,9 @@ fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("routing/announcements");
     for n in [16usize, 64, 256] {
         let filters = filter_population(n);
-        for strategy in [
-            RoutingStrategy::Simple,
-            RoutingStrategy::Covering,
-            RoutingStrategy::Merging,
-        ] {
+        for strategy in
+            [RoutingStrategy::Simple, RoutingStrategy::Covering, RoutingStrategy::Merging]
+        {
             group.bench_with_input(
                 BenchmarkId::new(strategy.to_string(), n),
                 &filters,

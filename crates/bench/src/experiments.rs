@@ -2,9 +2,8 @@
 //! each experiment to the paper claim it validates.
 
 use rebeca::{
-    BrokerId, BufferSpec, Deployment, Filter, LocationId, MobileBrokerConfig,
-    MovementGraph, Notification, ReplicatorConfig, RoutingStrategy, SimDuration, SystemBuilder,
-    Topology,
+    BrokerId, BufferSpec, Deployment, Filter, LocationId, MobileBrokerConfig, MovementGraph,
+    Notification, ReplicatorConfig, RoutingStrategy, SimDuration, SystemBuilder, Topology,
 };
 use rebeca_sim::scenario::{self, MovementKind, ScenarioConfig, SystemVariant, TopologyKind};
 use rebeca_sim::workload::{Arrivals, WorkloadConfig};
@@ -118,11 +117,8 @@ pub fn e1_reactivity(scale: Scale) -> String {
                 };
                 let out = scenario::run(&cfg);
                 t1.extend(out.arrival_latencies());
-                misses += out
-                    .location_reports(SimDuration::ZERO)
-                    .iter()
-                    .map(|r| r.misses)
-                    .sum::<usize>();
+                misses +=
+                    out.location_reports(SimDuration::ZERO).iter().map(|r| r.misses).sum::<usize>();
                 replayed += out.replicator_totals.replayed;
             }
             let s = Summary::of(t1);
@@ -167,30 +163,32 @@ pub fn e2_subscription_in_the_past(_scale: Scale) -> String {
 /// Publishes 3 notifications at L1 `lead` before the client moves there;
 /// returns how many were replayed on arrival.
 fn replay_after_lead(policy: BufferSpec, lead: SimDuration) -> usize {
-    let mut sys = SystemBuilder::new(Topology::line(2).unwrap())
+    let mut sys = SystemBuilder::new(Topology::line(2).expect("valid line"))
         .deployment(Deployment::Replicated {
-            movement: MovementGraph::line(2),
+            movement: Some(MovementGraph::line(2)),
             config: ReplicatorConfig { buffer: policy, ..Default::default() },
         })
-        .build();
-    let p = sys.add_client(BrokerId::new(1));
+        .build()
+        .expect("valid deployment");
+    let p = sys.add_client(BrokerId::new(1)).expect("broker in topology");
     let m = sys.add_mobile_client();
-    sys.arrive(m, BrokerId::new(0));
+    sys.arrive(m, BrokerId::new(0)).expect("fresh client arrives");
     sys.run_for(SimDuration::from_millis(300));
-    sys.subscribe(m, Filter::builder().myloc("location").build());
+    sys.subscribe(m, Filter::builder().myloc("location").build()).expect("own client");
     sys.run_for(SimDuration::from_millis(300));
     for i in 0..3 {
         sys.publish(
             p,
             Notification::builder().attr("location", LocationId::new(1)).attr("i", i as i64),
-        );
+        )
+        .expect("own client");
     }
     sys.run_for(lead);
-    sys.depart(m);
+    sys.depart(m).expect("attached client departs");
     sys.run_for(SimDuration::from_millis(300));
-    sys.arrive(m, BrokerId::new(1));
+    sys.arrive(m, BrokerId::new(1)).expect("departed client arrives");
     sys.run_for(SimDuration::from_secs(1));
-    sys.delivered(m).len()
+    sys.delivered(m).expect("own client").len()
 }
 
 // ---------------------------------------------------------------- E3 ----
@@ -327,11 +325,8 @@ pub fn e4_buffer_policies(scale: Scale) -> String {
             })
             .collect();
         let replayed = out.replicator_totals.replayed;
-        let hits: usize = out
-            .location_reports(SimDuration::from_secs(3600))
-            .iter()
-            .map(|r| r.hits)
-            .sum();
+        let hits: usize =
+            out.location_reports(SimDuration::from_secs(3600)).iter().map(|r| r.hits).sum();
         let miss_vs_unbounded =
             100.0 * (unbounded_hits.saturating_sub(hits)) as f64 / unbounded_hits.max(1) as f64;
         let s = Summary::of(staleness);
@@ -356,22 +351,23 @@ pub fn e5_shared_buffer(_scale: Scale) -> String {
         .titled("E5 — shared buffer with digests (identical interests per broker)");
     for clients in [1usize, 2, 4, 8] {
         let measure = |shared: bool| -> usize {
-            let mut sys = SystemBuilder::new(Topology::line(3).unwrap())
+            let mut sys = SystemBuilder::new(Topology::line(3).expect("valid line"))
                 .deployment(Deployment::Replicated {
-                    movement: MovementGraph::line(3),
+                    movement: Some(MovementGraph::line(3)),
                     config: ReplicatorConfig {
                         buffer: BufferSpec::Unbounded,
                         shared_buffer: shared,
                         ..Default::default()
                     },
                 })
-                .build();
-            let p = sys.add_client(BrokerId::new(1));
+                .build()
+                .expect("valid deployment");
+            let p = sys.add_client(BrokerId::new(1)).expect("broker in topology");
             let ms: Vec<_> = (0..clients).map(|_| sys.add_mobile_client()).collect();
             for &m in &ms {
-                sys.arrive(m, BrokerId::new(0));
+                sys.arrive(m, BrokerId::new(0)).expect("fresh client arrives");
                 sys.run_for(SimDuration::from_millis(200));
-                sys.subscribe(m, Filter::builder().myloc("location").build());
+                sys.subscribe(m, Filter::builder().myloc("location").build()).expect("own client");
             }
             sys.run_for(SimDuration::from_millis(500));
             for i in 0..50 {
@@ -381,10 +377,11 @@ pub fn e5_shared_buffer(_scale: Scale) -> String {
                         .attr("location", LocationId::new(1))
                         .attr("i", i as i64)
                         .attr("pad", "x".repeat(96)),
-                );
+                )
+                .expect("own client");
             }
             sys.run_for(SimDuration::from_secs(2));
-            sys.buffer_bytes(BrokerId::new(1))
+            sys.buffer_bytes(BrokerId::new(1)).expect("broker in topology")
         };
         let private = measure(false);
         let shared = measure(true);
@@ -405,15 +402,8 @@ pub fn e5_shared_buffer(_scale: Scale) -> String {
 /// baseline, and relocation cost vs distance.
 pub fn e6_physical_mobility(scale: Scale) -> String {
     let mut out = String::new();
-    let mut table = Table::new([
-        "variant",
-        "gap (s)",
-        "lost",
-        "dup",
-        "fifo viol",
-        "delivered",
-    ])
-    .titled("E6a — loss across hand-offs (location-independent subscription)");
+    let mut table = Table::new(["variant", "gap (s)", "lost", "dup", "fifo viol", "delivered"])
+        .titled("E6a — loss across hand-offs (location-independent subscription)");
     for gap_s in [1u64, 3, 6] {
         for variant in [SystemVariant::NaiveReconnect, SystemVariant::ReactiveLogical] {
             let mut lost = 0usize;
@@ -455,24 +445,26 @@ pub fn e6_physical_mobility(scale: Scale) -> String {
     let mut t2 = Table::new(["distance (hops)", "ctl+mob msgs", "ctl+mob bytes", "replayed"])
         .titled("E6b — relocation cost vs broker distance (line of 6)");
     for dist in 1usize..=5 {
-        let mut sys = SystemBuilder::new(Topology::line(6).unwrap())
+        let mut sys = SystemBuilder::new(Topology::line(6).expect("valid line"))
             .deployment(Deployment::BrokerMobility(MobileBrokerConfig::default()))
-            .build();
-        let p = sys.add_client(BrokerId::new(0));
+            .build()
+            .expect("valid deployment");
+        let p = sys.add_client(BrokerId::new(0)).expect("broker in topology");
         let m = sys.add_mobile_client();
-        sys.arrive(m, BrokerId::new(0));
+        sys.arrive(m, BrokerId::new(0)).expect("fresh client arrives");
         sys.run_for(SimDuration::from_millis(300));
-        sys.subscribe(m, Filter::builder().eq("service", "s").build());
+        sys.subscribe(m, Filter::builder().eq("service", "s").build()).expect("own client");
         sys.run_for(SimDuration::from_millis(300));
-        sys.depart(m);
+        sys.depart(m).expect("attached client departs");
         sys.run_for(SimDuration::from_millis(300));
         for i in 0..10 {
-            sys.publish(p, Notification::builder().attr("service", "s").attr("i", i as i64));
+            sys.publish(p, Notification::builder().attr("service", "s").attr("i", i as i64))
+                .expect("own client");
         }
         sys.run_for(SimDuration::from_secs(1));
         let before_msgs = sys.metrics().kind("mob").msgs + sys.metrics().kind("ctl").msgs;
         let before_bytes = sys.metrics().kind("mob").bytes + sys.metrics().kind("ctl").bytes;
-        sys.arrive(m, BrokerId::new(dist as u32));
+        sys.arrive(m, BrokerId::new(dist as u32)).expect("departed client arrives");
         sys.run_for(SimDuration::from_secs(2));
         let msgs = sys.metrics().kind("mob").msgs + sys.metrics().kind("ctl").msgs - before_msgs;
         let bytes =
@@ -481,7 +473,7 @@ pub fn e6_physical_mobility(scale: Scale) -> String {
             dist.to_string(),
             msgs.to_string(),
             bytes.to_string(),
-            sys.delivered(m).len().to_string(),
+            sys.delivered(m).expect("own client").len().to_string(),
         ]);
     }
     out.push_str(&t2.render());
@@ -505,17 +497,18 @@ pub fn e7_routing_strategies(_scale: Scale) -> String {
     .titled("E7 — routing strategies (balanced binary tree of 15 brokers)");
     for subscribers in [4usize, 16, 48] {
         for strategy in RoutingStrategy::ALL {
-            let mut sys = SystemBuilder::new(Topology::balanced(2, 4).unwrap())
+            let mut sys = SystemBuilder::new(Topology::balanced(2, 4).expect("valid tree"))
                 .strategy(strategy)
-                .build();
-            let publisher = sys.add_client(BrokerId::new(0));
+                .build()
+                .expect("valid deployment");
+            let publisher = sys.add_client(BrokerId::new(0)).expect("broker in topology");
             // Subscribers spread over the leaves with overlapping filters:
             // a third subscribe to the whole service, the rest to single
             // rooms (coverable / mergeable patterns).
             let mut subs = Vec::new();
             for i in 0..subscribers {
                 let broker = BrokerId::new(7 + (i % 8) as u32); // leaves of the 15-tree
-                let c = sys.add_client(broker);
+                let c = sys.add_client(broker).expect("leaf broker in topology");
                 subs.push((c, i));
             }
             sys.run_for(SimDuration::from_millis(500));
@@ -532,7 +525,7 @@ pub fn e7_routing_strategies(_scale: Scale) -> String {
                 } else {
                     Filter::builder().eq("service", "b").eq("room", (*i % 8) as i64).build()
                 };
-                sys.subscribe(*c, filter);
+                sys.subscribe(*c, filter).expect("own client");
             }
             sys.run_for(SimDuration::from_secs(1));
             let table_entries = sys.total_table_entries();
@@ -543,7 +536,8 @@ pub fn e7_routing_strategies(_scale: Scale) -> String {
                 sys.publish(
                     publisher,
                     Notification::builder().attr("service", service).attr("room", (i % 8) as i64),
-                );
+                )
+                .expect("own client");
             }
             sys.run_for(SimDuration::from_secs(2));
             let pub_msgs = sys.metrics().kind("pub").msgs - before_pub;

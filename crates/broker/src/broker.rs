@@ -92,19 +92,10 @@ impl BrokerCore {
         broker_nodes: Arc<Vec<NodeId>>,
         strategy: RoutingStrategy,
     ) -> Self {
-        assert!(
-            (id.raw() as usize) < topology.broker_count(),
-            "broker {id} not in topology"
-        );
-        assert!(
-            broker_nodes.len() >= topology.broker_count(),
-            "broker node map incomplete"
-        );
-        let neighbors = topology
-            .neighbors(id)
-            .iter()
-            .map(|b| broker_nodes[b.raw() as usize])
-            .collect();
+        assert!((id.raw() as usize) < topology.broker_count(), "broker {id} not in topology");
+        assert!(broker_nodes.len() >= topology.broker_count(), "broker node map incomplete");
+        let neighbors =
+            topology.neighbors(id).iter().map(|b| broker_nodes[b.raw() as usize]).collect();
         BrokerCore {
             id,
             strategy,
@@ -295,13 +286,9 @@ impl BrokerCore {
             return;
         }
         for nb in self.neighbors.clone() {
-            let desired_vec = self
-                .strategy
-                .announcements(&self.table.filters_excluding(nb));
-            let desired: HashMap<Digest, Filter> = desired_vec
-                .into_iter()
-                .map(|f| (f.digest(), f))
-                .collect();
+            let desired_vec = self.strategy.announcements(&self.table.filters_excluding(nb));
+            let desired: HashMap<Digest, Filter> =
+                desired_vec.into_iter().map(|f| (f.digest(), f)).collect();
             let current = self.announced.entry(nb).or_default();
 
             let mut added: Vec<(Digest, Filter)> = desired

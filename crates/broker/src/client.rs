@@ -135,7 +135,11 @@ impl LocalBroker {
     /// Publishes a notification. While disconnected the publication is
     /// queued (with its sequence number already assigned, preserving
     /// publisher FIFO) and flushed on the next attach.
-    pub fn publish(&mut self, ctx: &mut Ctx<'_, Message>, attrs: NotificationBuilder) -> NotificationId {
+    pub fn publish(
+        &mut self,
+        ctx: &mut Ctx<'_, Message>,
+        attrs: NotificationBuilder,
+    ) -> NotificationId {
         let seq = self.seq;
         self.seq += 1;
         let id = NotificationId::new(self.client, seq);
@@ -157,20 +161,16 @@ impl LocalBroker {
             let border = self.border.expect("connected implies border");
             ctx.send(
                 border,
-                Message::Subscribe {
-                    subscription: Subscription::new(id, self.client, filter),
-                },
+                Message::Subscribe { subscription: Subscription::new(id, self.client, filter) },
             );
         }
     }
 
     /// Revokes a subscription.
     pub fn unsubscribe(&mut self, ctx: &mut Ctx<'_, Message>, id: SubscriptionId) {
-        if self.subs.remove(&id).is_some() {
-            if self.is_connected(ctx) {
-                let border = self.border.expect("connected implies border");
-                ctx.send(border, Message::Unsubscribe { client: self.client, id });
-            }
+        if self.subs.remove(&id).is_some() && self.is_connected(ctx) {
+            let border = self.border.expect("connected implies border");
+            ctx.send(border, Message::Unsubscribe { client: self.client, id });
         }
     }
 
@@ -276,9 +276,7 @@ impl Node<Message> for ClientNode {
             }
             Message::AppSubscribe { id, filter } => self.local.subscribe(ctx, id, filter),
             Message::AppUnsubscribe { id } => self.local.unsubscribe(ctx, id),
-            Message::Deliver { notification, .. } => {
-                self.local.on_deliver(ctx.now(), notification)
-            }
+            Message::Deliver { notification, .. } => self.local.on_deliver(ctx.now(), notification),
             _ => {}
         }
     }

@@ -238,9 +238,7 @@ impl Payload for Message {
             Message::Deliver { notification, .. } => 4 + notification.wire_size(),
             Message::Subscribe { subscription } => subscription.wire_size(),
             Message::Unsubscribe { .. } => 8,
-            Message::SubForward { filter } | Message::UnsubForward { filter } => {
-                filter.wire_size()
-            }
+            Message::SubForward { filter } | Message::UnsubForward { filter } => filter.wire_size(),
             Message::Routed { inner, .. } => 4 + inner.wire_size(),
             Message::Mobility(m) => m.wire_size(),
         }
@@ -268,7 +266,9 @@ impl Payload for Message {
 impl MobilityMsg {
     fn wire_size(&self) -> usize {
         match self {
-            MobilityMsg::AppPrepareMove | MobilityMsg::AppMoveTo { .. } | MobilityMsg::AppDisconnect => 4,
+            MobilityMsg::AppPrepareMove
+            | MobilityMsg::AppMoveTo { .. }
+            | MobilityMsg::AppDisconnect => 4,
             MobilityMsg::AppSetContext { key, predicate } => key.len() + predicate.wire_size(),
             MobilityMsg::MoveIn { subscriptions, .. } => {
                 9 + subscriptions.iter().map(Subscription::wire_size).sum::<usize>()
@@ -298,18 +298,17 @@ mod tests {
 
     #[test]
     fn kinds_classify_the_protocol() {
-        let n = Notification::builder()
-            .attr("a", Value::from(1i64))
-            .publish(ClientId::new(0), 0, SimTime::ZERO);
+        let n = Notification::builder().attr("a", Value::from(1i64)).publish(
+            ClientId::new(0),
+            0,
+            SimTime::ZERO,
+        );
         assert_eq!(Message::Publish { notification: n.clone() }.kind(), "pub");
         assert_eq!(
             Message::Deliver { client: ClientId::new(1), notification: n.clone() }.kind(),
             "dlv"
         );
-        assert_eq!(
-            Message::SubForward { filter: Filter::all() }.kind(),
-            "sub"
-        );
+        assert_eq!(Message::SubForward { filter: Filter::all() }.kind(), "sub");
         assert_eq!(
             Message::Mobility(MobilityMsg::ReplicaDelete {
                 app: rebeca_core::ApplicationId::new(0)
@@ -325,13 +324,13 @@ mod tests {
 
     #[test]
     fn wire_sizes_scale_with_content() {
-        let small = Notification::builder()
-            .attr("a", 1i64)
-            .publish(ClientId::new(0), 0, SimTime::ZERO);
-        let big = Notification::builder()
-            .attr("a", 1i64)
-            .attr("blob", "x".repeat(100))
-            .publish(ClientId::new(0), 1, SimTime::ZERO);
+        let small =
+            Notification::builder().attr("a", 1i64).publish(ClientId::new(0), 0, SimTime::ZERO);
+        let big = Notification::builder().attr("a", 1i64).attr("blob", "x".repeat(100)).publish(
+            ClientId::new(0),
+            1,
+            SimTime::ZERO,
+        );
         let ms = Message::Publish { notification: small };
         let mb = Message::Publish { notification: big };
         assert!(mb.wire_size() > ms.wire_size() + 100);

@@ -123,11 +123,7 @@ impl RoutingTable {
     }
 
     /// Removes a client subscription. Returns the removed filter.
-    pub fn unsubscribe_client(
-        &mut self,
-        client: ClientId,
-        sub: SubscriptionId,
-    ) -> Option<Filter> {
+    pub fn unsubscribe_client(&mut self, client: ClientId, sub: SubscriptionId) -> Option<Filter> {
         let entry = self.clients.get_mut(&client)?;
         let f = entry.subs.remove(&sub)?;
         self.index.remove(&RouteKey::Client { client, sub });
@@ -139,10 +135,7 @@ impl RoutingTable {
     /// Records a filter announced by a neighbour broker.
     pub fn neighbor_subscribe(&mut self, node: NodeId, filter: Filter) {
         let digest = filter.digest();
-        self.neighbor_filters
-            .entry(node)
-            .or_default()
-            .insert(digest, filter.clone());
+        self.neighbor_filters.entry(node).or_default().insert(digest, filter.clone());
         self.index.insert(RouteKey::Neighbor { node, digest }, filter);
     }
 
@@ -219,9 +212,7 @@ mod tests {
     use rebeca_core::SimTime;
 
     fn note(service: &str) -> Notification {
-        Notification::builder()
-            .attr("service", service)
-            .publish(ClientId::new(9), 0, SimTime::ZERO)
+        Notification::builder().attr("service", service).publish(ClientId::new(9), 0, SimTime::ZERO)
     }
 
     fn f(service: &str) -> Filter {

@@ -16,8 +16,7 @@ struct Net {
 fn build(topology: Topology, strategy: RoutingStrategy) -> Net {
     let topology = Arc::new(topology);
     let n = topology.broker_count();
-    let broker_nodes: Arc<Vec<NodeId>> =
-        Arc::new((0..n as u32).map(NodeId::new).collect());
+    let broker_nodes: Arc<Vec<NodeId>> = Arc::new((0..n as u32).map(NodeId::new).collect());
     let mut world = World::new(1234);
     for b in topology.brokers() {
         let core = BrokerCore::new(b, Arc::clone(&topology), Arc::clone(&broker_nodes), strategy);
@@ -39,8 +38,7 @@ impl Net {
         let node = self
             .world
             .add_node(Box::new(ClientNode::new(client, Some(self.broker_nodes[broker_idx]))));
-        self.world
-            .connect(node, self.broker_nodes[broker_idx], LinkConfig::default());
+        self.world.connect(node, self.broker_nodes[broker_idx], LinkConfig::default());
         node
     }
 
@@ -122,8 +120,7 @@ fn unsubscribe_stops_flow_under_every_strategy() {
         net.settle();
         net.publish(pub_node, "t", 1);
         net.settle();
-        net.world
-            .send_external(sub_node, Message::AppUnsubscribe { id: SubscriptionId::new(1) });
+        net.world.send_external(sub_node, Message::AppUnsubscribe { id: SubscriptionId::new(1) });
         net.settle();
         net.publish(pub_node, "t", 2);
         net.settle();
@@ -136,9 +133,8 @@ fn multiple_subscribers_on_star() {
     for strategy in all_strategies() {
         let mut net = build(Topology::star(5).unwrap(), strategy);
         let pub_node = net.add_client(ClientId::new(100), 1);
-        let subs: Vec<NodeId> = (0..3)
-            .map(|i| net.add_client(ClientId::new(200 + i), 2 + i as usize))
-            .collect();
+        let subs: Vec<NodeId> =
+            (0..3).map(|i| net.add_client(ClientId::new(200 + i), 2 + i as usize)).collect();
         net.settle();
         for (i, s) in subs.iter().enumerate() {
             net.subscribe(*s, i as u32 + 1, Filter::builder().eq("service", "t").build());

@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 64-bit content digest (FNV-1a over the canonical encoding).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Digest(u64);
 
 impl Digest {

@@ -104,13 +104,15 @@ pub fn try_merge(a: &Filter, b: &Filter) -> MergeOutcome {
             let merged = ca
                 .iter()
                 .enumerate()
-                .map(|(j, c)| {
-                    if j == i {
-                        Constraint::new(c.attr(), u.clone())
-                    } else {
-                        (*c).clone()
-                    }
-                })
+                .map(
+                    |(j, c)| {
+                        if j == i {
+                            Constraint::new(c.attr(), u.clone())
+                        } else {
+                            (*c).clone()
+                        }
+                    },
+                )
                 .collect::<Vec<_>>();
             MergeOutcome::Perfect(Filter::from_constraints(merged))
         }
@@ -162,10 +164,11 @@ mod tests {
     use crate::value::Value;
 
     fn note(room: i64) -> Notification {
-        Notification::builder()
-            .attr("service", "t")
-            .attr("room", room)
-            .publish(ClientId::new(0), 0, SimTime::ZERO)
+        Notification::builder().attr("service", "t").attr("room", room).publish(
+            ClientId::new(0),
+            0,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -250,9 +253,11 @@ mod tests {
         // then perfectly merges with `service == news` into an In-set.
         assert_eq!(merged.len(), 1);
         assert!(merged.iter().any(|f| f.matches(&note(42))));
-        let news = Notification::builder()
-            .attr("service", "news")
-            .publish(ClientId::new(0), 1, SimTime::ZERO);
+        let news = Notification::builder().attr("service", "news").publish(
+            ClientId::new(0),
+            1,
+            SimTime::ZERO,
+        );
         assert!(merged.iter().any(|f| f.matches(&news)));
     }
 
@@ -294,11 +299,11 @@ mod prop_tests {
 
     fn arb_note() -> impl Strategy<Value = crate::Notification> {
         (-4i64..4, -4i64..4, -4i64..4).prop_map(|(a, b, c)| {
-            crate::Notification::builder()
-                .attr("a", a)
-                .attr("b", b)
-                .attr("c", c)
-                .publish(ClientId::new(0), 0, SimTime::ZERO)
+            crate::Notification::builder().attr("a", a).attr("b", b).attr("c", c).publish(
+                ClientId::new(0),
+                0,
+                SimTime::ZERO,
+            )
         })
     }
 

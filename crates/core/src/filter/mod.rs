@@ -141,20 +141,16 @@ impl Filter {
     /// `false` result may occasionally be conservative (see
     /// [`Predicate::covers`]).
     pub fn covers(&self, other: &Filter) -> bool {
-        self.constraints.iter().all(|c1| {
-            other
-                .constraints_on(&c1.attr)
-                .any(|c2| c1.predicate.covers(&c2.predicate))
-        })
+        self.constraints
+            .iter()
+            .all(|c1| other.constraints_on(&c1.attr).any(|c2| c1.predicate.covers(&c2.predicate)))
     }
 
     /// Returns `false` only when the two filters are provably disjoint (no
     /// notification can match both).
     pub fn overlaps(&self, other: &Filter) -> bool {
         !self.constraints.iter().any(|c1| {
-            other
-                .constraints_on(&c1.attr)
-                .any(|c2| !c1.predicate.overlaps(&c2.predicate))
+            other.constraints_on(&c1.attr).any(|c2| !c1.predicate.overlaps(&c2.predicate))
         })
     }
 
@@ -333,10 +329,7 @@ impl FilterBuilder {
         attr: impl Into<String>,
         values: impl IntoIterator<Item = impl Into<Value>>,
     ) -> Self {
-        self.constraint(
-            attr,
-            Predicate::In(values.into_iter().map(Into::into).collect()),
-        )
+        self.constraint(attr, Predicate::In(values.into_iter().map(Into::into).collect()))
     }
 
     /// Requires the string attribute to start with `prefix`.
@@ -370,10 +363,7 @@ impl FilterBuilder {
         attr: impl Into<String>,
         locations: impl IntoIterator<Item = LocationId>,
     ) -> Self {
-        self.constraint(
-            attr,
-            Predicate::InLocations(locations.into_iter().collect()),
-        )
+        self.constraint(attr, Predicate::InLocations(locations.into_iter().collect()))
     }
 
     /// Adds the `myloc` marker: the attribute must lie in the subscriber's
@@ -403,10 +393,11 @@ mod tests {
     use crate::time::SimTime;
 
     fn n(service: &str, room: i64) -> Notification {
-        Notification::builder()
-            .attr("service", service)
-            .attr("room", room)
-            .publish(ClientId::new(0), 0, SimTime::ZERO)
+        Notification::builder().attr("service", service).attr("room", room).publish(
+            ClientId::new(0),
+            0,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -488,10 +479,11 @@ mod tests {
         let l1 = LocationId::new(1);
         let resolved = f.resolve_locations([l1]);
         assert!(!resolved.is_location_dependent());
-        let hit = Notification::builder()
-            .attr("service", "temp")
-            .attr("location", l1)
-            .publish(ClientId::new(0), 0, SimTime::ZERO);
+        let hit = Notification::builder().attr("service", "temp").attr("location", l1).publish(
+            ClientId::new(0),
+            0,
+            SimTime::ZERO,
+        );
         let miss = Notification::builder()
             .attr("service", "temp")
             .attr("location", LocationId::new(2))
@@ -506,13 +498,14 @@ mod tests {
     fn myctx_resolution() {
         let f = Filter::builder().myctx("speed", "max-speed").build();
         assert!(f.is_context_dependent());
-        let resolved = f.resolve_context(|key| {
-            (key == "max-speed").then(|| Predicate::Le(Value::from(50i64)))
-        });
+        let resolved = f
+            .resolve_context(|key| (key == "max-speed").then(|| Predicate::Le(Value::from(50i64))));
         assert!(!resolved.is_context_dependent());
-        let slow = Notification::builder()
-            .attr("speed", 30i64)
-            .publish(ClientId::new(0), 0, SimTime::ZERO);
+        let slow = Notification::builder().attr("speed", 30i64).publish(
+            ClientId::new(0),
+            0,
+            SimTime::ZERO,
+        );
         assert!(resolved.matches(&slow));
         // Unknown keys stay unresolved.
         let still = f.resolve_context(|_| None);

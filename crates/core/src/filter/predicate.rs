@@ -119,9 +119,9 @@ impl Predicate {
             (Eq(w), In(s)) => s.iter().all(|v| v == w),
 
             (Ne(w), Eq(v)) => matches!(v.partial_cmp(w), Some(o) if o != Ordering::Equal),
-            (Ne(w), In(s)) => s
-                .iter()
-                .all(|v| matches!(v.partial_cmp(w), Some(o) if o != Ordering::Equal)),
+            (Ne(w), In(s)) => {
+                s.iter().all(|v| matches!(v.partial_cmp(w), Some(o) if o != Ordering::Equal))
+            }
             (Ne(w), Lt(v)) => matches!(w.partial_cmp(v), Some(Ordering::Greater | Ordering::Equal)),
             (Ne(w), Le(v)) => matches!(w.partial_cmp(v), Some(Ordering::Greater)),
             (Ne(w), Gt(v)) => matches!(w.partial_cmp(v), Some(Ordering::Less | Ordering::Equal)),
@@ -144,23 +144,19 @@ impl Predicate {
             },
 
             (Lt(w), Eq(v)) => matches!(v.partial_cmp(w), Some(Ordering::Less)),
-            (Lt(w), In(s)) => s
-                .iter()
-                .all(|v| matches!(v.partial_cmp(w), Some(Ordering::Less))),
+            (Lt(w), In(s)) => s.iter().all(|v| matches!(v.partial_cmp(w), Some(Ordering::Less))),
             (Lt(w), Lt(v)) => matches!(v.partial_cmp(w), Some(Ordering::Less | Ordering::Equal)),
             (Lt(w), Le(v)) => matches!(v.partial_cmp(w), Some(Ordering::Less)),
 
             (Le(w), Eq(v)) => matches!(v.partial_cmp(w), Some(Ordering::Less | Ordering::Equal)),
-            (Le(w), In(s)) => s
-                .iter()
-                .all(|v| matches!(v.partial_cmp(w), Some(Ordering::Less | Ordering::Equal))),
+            (Le(w), In(s)) => {
+                s.iter().all(|v| matches!(v.partial_cmp(w), Some(Ordering::Less | Ordering::Equal)))
+            }
             (Le(w), Lt(v)) => matches!(v.partial_cmp(w), Some(Ordering::Less | Ordering::Equal)),
             (Le(w), Le(v)) => matches!(v.partial_cmp(w), Some(Ordering::Less | Ordering::Equal)),
 
             (Gt(w), Eq(v)) => matches!(v.partial_cmp(w), Some(Ordering::Greater)),
-            (Gt(w), In(s)) => s
-                .iter()
-                .all(|v| matches!(v.partial_cmp(w), Some(Ordering::Greater))),
+            (Gt(w), In(s)) => s.iter().all(|v| matches!(v.partial_cmp(w), Some(Ordering::Greater))),
             (Gt(w), Gt(v)) => matches!(v.partial_cmp(w), Some(Ordering::Greater | Ordering::Equal)),
             (Gt(w), Ge(v)) => matches!(v.partial_cmp(w), Some(Ordering::Greater)),
 
@@ -173,34 +169,34 @@ impl Predicate {
 
             (In(set), Eq(v)) => set.iter().any(|w| w == v),
             (In(set), In(s)) => s.iter().all(|v| set.iter().any(|w| w == v)),
-            (In(set), InLocations(locs)) => locs
-                .iter()
-                .all(|l| set.iter().any(|w| w.as_location() == Some(*l))),
+            (In(set), InLocations(locs)) => {
+                locs.iter().all(|l| set.iter().any(|w| w.as_location() == Some(*l)))
+            }
 
             (Prefix(p), Eq(v)) => v.as_str().is_some_and(|s| s.starts_with(p.as_str())),
-            (Prefix(p), In(s)) => s
-                .iter()
-                .all(|v| v.as_str().is_some_and(|s| s.starts_with(p.as_str()))),
+            (Prefix(p), In(s)) => {
+                s.iter().all(|v| v.as_str().is_some_and(|s| s.starts_with(p.as_str())))
+            }
             (Prefix(p), Prefix(q)) => q.starts_with(p.as_str()),
 
             (Suffix(p), Eq(v)) => v.as_str().is_some_and(|s| s.ends_with(p.as_str())),
-            (Suffix(p), In(s)) => s
-                .iter()
-                .all(|v| v.as_str().is_some_and(|s| s.ends_with(p.as_str()))),
+            (Suffix(p), In(s)) => {
+                s.iter().all(|v| v.as_str().is_some_and(|s| s.ends_with(p.as_str())))
+            }
             (Suffix(p), Suffix(q)) => q.ends_with(p.as_str()),
 
             (Contains(p), Eq(v)) => v.as_str().is_some_and(|s| s.contains(p.as_str())),
-            (Contains(p), In(s)) => s
-                .iter()
-                .all(|v| v.as_str().is_some_and(|s| s.contains(p.as_str()))),
+            (Contains(p), In(s)) => {
+                s.iter().all(|v| v.as_str().is_some_and(|s| s.contains(p.as_str())))
+            }
             (Contains(p), Prefix(q)) => q.contains(p.as_str()),
             (Contains(p), Suffix(q)) => q.contains(p.as_str()),
             (Contains(p), Contains(q)) => q.contains(p.as_str()),
 
             (InLocations(set), Eq(v)) => v.as_location().is_some_and(|l| set.contains(&l)),
-            (InLocations(set), In(s)) => s
-                .iter()
-                .all(|v| v.as_location().is_some_and(|l| set.contains(&l))),
+            (InLocations(set), In(s)) => {
+                s.iter().all(|v| v.as_location().is_some_and(|l| set.contains(&l)))
+            }
             (InLocations(set), InLocations(s)) => s.is_subset(set),
 
             _ => false,
@@ -298,9 +294,7 @@ impl Predicate {
                 Some(Ordering::Greater) => None, // Lt(a) with a > b: union is Lt(a) iff b < a ⇒ Le(b) ⊂ Lt(a)? No: Le(b) ⊆ Lt(a) iff b < a, handled by covers above.
                 None => None,
             },
-            (InLocations(a), InLocations(b)) => {
-                Some(InLocations(a.union(b).copied().collect()))
-            }
+            (InLocations(a), InLocations(b)) => Some(InLocations(a.union(b).copied().collect())),
             _ => None,
         }
     }

@@ -40,11 +40,7 @@ pub struct MatchIndex<K> {
 
 impl<K> Default for MatchIndex<K> {
     fn default() -> Self {
-        MatchIndex {
-            filters: HashMap::new(),
-            by_attr: HashMap::new(),
-            universal: Vec::new(),
-        }
+        MatchIndex { filters: HashMap::new(), by_attr: HashMap::new(), universal: Vec::new() }
     }
 }
 
@@ -140,11 +136,7 @@ impl<K: Copy + Eq + Hash> MatchIndex<K> {
         }
         let mut out: Vec<K> = counts
             .into_iter()
-            .filter(|(key, count)| {
-                self.filters
-                    .get(key)
-                    .is_some_and(|f| f.len() == *count)
-            })
+            .filter(|(key, count)| self.filters.get(key).is_some_and(|f| f.len() == *count))
             .map(|(key, _)| key)
             .collect();
         out.extend(self.universal.iter().copied());
@@ -163,11 +155,7 @@ impl<K: Copy + Eq + Hash> MatchIndex<K> {
     /// Brute-force matching (linear scan), used to cross-check the index in
     /// tests and benchmarks.
     pub fn scan_matching(&self, n: &Notification) -> Vec<K> {
-        self.filters
-            .iter()
-            .filter(|(_, f)| f.matches(n))
-            .map(|(k, _)| *k)
-            .collect()
+        self.filters.iter().filter(|(_, f)| f.matches(n)).map(|(k, _)| *k).collect()
     }
 }
 
@@ -249,12 +237,9 @@ mod tests {
         idx.insert(sid(1), Filter::builder().eq("a", 1i64).build());
         idx.insert(sid(2), Filter::builder().ge("a", 0i64).lt("b", 5i64).build());
         idx.insert(sid(3), Filter::all());
-        for n in [
-            note(&[("a", 1), ("b", 3)]),
-            note(&[("a", 0), ("b", 9)]),
-            note(&[("b", 1)]),
-            note(&[]),
-        ] {
+        for n in
+            [note(&[("a", 1), ("b", 3)]), note(&[("a", 0), ("b", 9)]), note(&[("b", 1)]), note(&[])]
+        {
             let mut a = idx.matching(&n);
             let mut b = idx.scan_matching(&n);
             a.sort();

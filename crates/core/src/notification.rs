@@ -23,9 +23,7 @@ use std::sync::Arc;
 /// Sequence numbers are the foundation of the end-to-end FIFO property that
 /// the broker network preserves, and of duplicate suppression during
 /// physical-mobility relocation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NotificationId {
     publisher: ClientId,
     seq: u64,
@@ -188,10 +186,7 @@ impl Notification {
     pub fn decode(buf: &mut impl Buf) -> Result<Notification, CoreError> {
         fn need(buf: &impl Buf, n: usize) -> Result<(), CoreError> {
             if buf.remaining() < n {
-                Err(CoreError::Decode(format!(
-                    "need {n} more bytes, have {}",
-                    buf.remaining()
-                )))
+                Err(CoreError::Decode(format!("need {n} more bytes, have {}", buf.remaining())))
             } else {
                 Ok(())
             }
@@ -297,9 +292,8 @@ impl NotificationBuilder {
     /// Returns [`CoreError::NonFiniteFloat`] for NaN or infinite floats.
     pub fn try_attr(mut self, name: impl Into<String>, value: f64) -> Result<Self, CoreError> {
         let name = name.into();
-        let v = Value::try_float(value).map_err(|_| CoreError::NonFiniteFloat {
-            attribute: name.clone(),
-        })?;
+        let v = Value::try_float(value)
+            .map_err(|_| CoreError::NonFiniteFloat { attribute: name.clone() })?;
         self.attrs.insert(name, v);
         Ok(self)
     }
@@ -353,10 +347,11 @@ mod tests {
 
     #[test]
     fn attr_replaces_duplicates() {
-        let n = Notification::builder()
-            .attr("a", 1i64)
-            .attr("a", 2i64)
-            .publish(ClientId::new(0), 0, SimTime::ZERO);
+        let n = Notification::builder().attr("a", 1i64).attr("a", 2i64).publish(
+            ClientId::new(0),
+            0,
+            SimTime::ZERO,
+        );
         assert_eq!(n.attr_count(), 1);
         assert_eq!(n.get("a").and_then(|v| v.as_int()), Some(2));
     }
@@ -378,15 +373,9 @@ mod tests {
 
     #[test]
     fn digest_distinguishes_content_and_identity() {
-        let a = Notification::builder()
-            .attr("k", 1i64)
-            .publish(ClientId::new(1), 0, SimTime::ZERO);
-        let b = Notification::builder()
-            .attr("k", 2i64)
-            .publish(ClientId::new(1), 0, SimTime::ZERO);
-        let c = Notification::builder()
-            .attr("k", 1i64)
-            .publish(ClientId::new(1), 1, SimTime::ZERO);
+        let a = Notification::builder().attr("k", 1i64).publish(ClientId::new(1), 0, SimTime::ZERO);
+        let b = Notification::builder().attr("k", 2i64).publish(ClientId::new(1), 0, SimTime::ZERO);
+        let c = Notification::builder().attr("k", 1i64).publish(ClientId::new(1), 1, SimTime::ZERO);
         assert_ne!(a.digest(), b.digest());
         assert_ne!(a.digest(), c.digest());
     }
@@ -424,9 +413,11 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        let n = Notification::builder()
-            .attr("service", "x")
-            .publish(ClientId::new(1), 2, SimTime::ZERO);
+        let n = Notification::builder().attr("service", "x").publish(
+            ClientId::new(1),
+            2,
+            SimTime::ZERO,
+        );
         assert_eq!(n.to_string(), "C1#2{service='x'}");
     }
 }

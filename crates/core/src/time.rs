@@ -255,10 +255,7 @@ mod tests {
 
     #[test]
     fn saturating_helpers() {
-        assert_eq!(
-            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
-            SimTime::MAX
-        );
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
         assert_eq!(
             SimTime::from_secs(1).saturating_since(SimTime::from_secs(2)),
             SimDuration::ZERO

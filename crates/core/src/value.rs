@@ -254,10 +254,7 @@ mod tests {
     fn cross_class_is_incomparable() {
         assert_eq!(Value::from("1").partial_cmp(&Value::from(1i64)), None);
         assert_ne!(Value::from("1"), Value::from(1i64));
-        assert_eq!(
-            Value::from(LocationId::new(1)).partial_cmp(&Value::from(1i64)),
-            None
-        );
+        assert_eq!(Value::from(LocationId::new(1)).partial_cmp(&Value::from(1i64)), None);
         assert_eq!(Value::from(true).partial_cmp(&Value::from(1i64)), None);
     }
 
@@ -288,10 +285,7 @@ mod tests {
         assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
         assert_eq!(Value::from("x").as_str(), Some("x"));
         assert_eq!(Value::from(true).as_bool(), Some(true));
-        assert_eq!(
-            Value::from(LocationId::new(7)).as_location(),
-            Some(LocationId::new(7))
-        );
+        assert_eq!(Value::from(LocationId::new(7)).as_location(), Some(LocationId::new(7)));
         assert_eq!(Value::from("x").as_int(), None);
     }
 

@@ -118,10 +118,8 @@ impl ReplayBuffer {
             BufferSpec::None => return,
             BufferSpec::Semantic { key_attrs } => {
                 let key = semantic_key(&n, key_attrs);
-                if let Some(pos) = self
-                    .items
-                    .iter()
-                    .position(|(_, old)| semantic_key(old, key_attrs) == key)
+                if let Some(pos) =
+                    self.items.iter().position(|(_, old)| semantic_key(old, key_attrs) == key)
                 {
                     let (_, old) = self.items.remove(pos).expect("position valid");
                     self.bytes -= old.wire_size();
@@ -356,7 +354,8 @@ mod tests {
         for i in 0..10 {
             b.offer(SimTime::from_secs(i), note(i, SimTime::from_secs(i)));
         }
-        let seqs: Vec<u64> = b.drain(SimTime::from_secs(10)).iter().map(Notification::seq).collect();
+        let seqs: Vec<u64> =
+            b.drain(SimTime::from_secs(10)).iter().map(Notification::seq).collect();
         assert_eq!(seqs, vec![7, 8, 9]);
     }
 
@@ -388,12 +387,10 @@ mod tests {
     #[test]
     fn semantic_distinguishes_missing_attr() {
         let mut b = BufferSpec::Semantic { key_attrs: vec!["room".into()] }.build();
-        let with = Notification::builder()
-            .attr("room", 1i64)
-            .publish(ClientId::new(0), 0, SimTime::ZERO);
-        let without = Notification::builder()
-            .attr("other", 1i64)
-            .publish(ClientId::new(0), 1, SimTime::ZERO);
+        let with =
+            Notification::builder().attr("room", 1i64).publish(ClientId::new(0), 0, SimTime::ZERO);
+        let without =
+            Notification::builder().attr("other", 1i64).publish(ClientId::new(0), 1, SimTime::ZERO);
         b.offer(SimTime::ZERO, with);
         b.offer(SimTime::ZERO, without);
         assert_eq!(b.len(), 2);

@@ -121,14 +121,12 @@ impl MobileClientNode {
 
     fn handle_app_mobility(&mut self, ctx: &mut Ctx<'_, Message>, msg: MobilityMsg) {
         match msg {
-            MobilityMsg::AppPrepareMove => {
-                if self.mode == ClientMobilityMode::Naive {
-                    // JEDI-style moveOut: orderly detach while in range.
-                    self.local.detach(ctx);
-                    self.current = None;
-                }
-                // Relocation mode: silence — uncertainty is the premise.
+            MobilityMsg::AppPrepareMove if self.mode == ClientMobilityMode::Naive => {
+                // JEDI-style moveOut: orderly detach while in range.
+                self.local.detach(ctx);
+                self.current = None;
             }
+            // Relocation mode: silence — uncertainty is the premise.
             MobilityMsg::AppMoveTo { border } => {
                 let access = self.access_nodes[border.raw() as usize];
                 let old = self.last_attached;

@@ -115,9 +115,7 @@ mod tests {
         c.set("current-zone", Predicate::Eq(Value::from("south")));
         let south = c.resolve(&f);
         let n = |z: &str| {
-            Notification::builder()
-                .attr("zone", z)
-                .publish(ClientId::new(0), 0, SimTime::ZERO)
+            Notification::builder().attr("zone", z).publish(ClientId::new(0), 0, SimTime::ZERO)
         };
         assert!(north.matches(&n("north")) && !north.matches(&n("south")));
         assert!(south.matches(&n("south")) && !south.matches(&n("north")));

@@ -63,9 +63,7 @@ impl LocationMap {
 
     /// Returns `true` if `broker`'s scope contains `location`.
     pub fn serves(&self, broker: BrokerId, location: LocationId) -> bool {
-        self.scopes
-            .get(&broker)
-            .is_some_and(|s| s.contains(&location))
+        self.scopes.get(&broker).is_some_and(|s| s.contains(&location))
     }
 
     /// Resolves every `myloc` marker of `filter` for a client at `broker`.
@@ -87,11 +85,7 @@ impl LocationMap {
 
     /// All brokers whose scope contains `location`.
     pub fn brokers_serving(&self, location: LocationId) -> Vec<BrokerId> {
-        self.scopes
-            .iter()
-            .filter(|(_, s)| s.contains(&location))
-            .map(|(b, _)| *b)
-            .collect()
+        self.scopes.iter().filter(|(_, s)| s.contains(&location)).map(|(b, _)| *b).collect()
     }
 
     /// Iterates over `(broker, scope)` pairs.
@@ -149,9 +143,11 @@ mod tests {
         let r = map.resolve(&f, BrokerId::new(9));
         assert!(!r.is_location_dependent());
         // Empty location set matches nothing.
-        let n = Notification::builder()
-            .attr("location", LocationId::new(0))
-            .publish(ClientId::new(0), 0, SimTime::ZERO);
+        let n = Notification::builder().attr("location", LocationId::new(0)).publish(
+            ClientId::new(0),
+            0,
+            SimTime::ZERO,
+        );
         assert!(!r.matches(&n));
     }
 

@@ -190,20 +190,13 @@ impl MovementGraph {
 
     /// Checks that every vertex is a valid broker of `topology`.
     pub fn is_consistent_with(&self, topology: &Topology) -> bool {
-        self.adj
-            .keys()
-            .all(|b| (b.raw() as usize) < topology.broker_count())
+        self.adj.keys().all(|b| (b.raw() as usize) < topology.broker_count())
     }
 }
 
 impl fmt::Display for MovementGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "movement graph: {} brokers, {} edges",
-            self.broker_count(),
-            self.edge_count()
-        )
+        write!(f, "movement graph: {} brokers, {} edges", self.broker_count(), self.edge_count())
     }
 }
 

@@ -223,7 +223,13 @@ impl MobileBrokerNode {
         }
     }
 
-    fn deliver_or_buffer(&mut self, ctx: &mut Ctx<'_, Message>, client: ClientId, node: NodeId, n: Notification) {
+    fn deliver_or_buffer(
+        &mut self,
+        ctx: &mut Ctx<'_, Message>,
+        client: ClientId,
+        node: NodeId,
+        n: Notification,
+    ) {
         if let Some(new_border) = self.reloc.drain_target(client) {
             // Straggler that was already in flight towards us when the
             // hand-off began: forward it to the new border.
@@ -283,10 +289,7 @@ impl MobileBrokerNode {
                     complete: false,
                 });
                 self.send_routed(ctx, new_border, reply);
-                ctx.set_timer(
-                    self.config.handover_grace,
-                    DRAIN_TAG_BASE + u64::from(client.raw()),
-                );
+                ctx.set_timer(self.config.handover_grace, DRAIN_TAG_BASE + u64::from(client.raw()));
             }
             MobilityMsg::BufferedBatch { client, notifications, complete } => {
                 if let Some(&node) = self.devices.get(&client) {
@@ -318,9 +321,7 @@ impl MobileBrokerNode {
     /// towards the next hop).
     fn send_routed(&mut self, ctx: &mut Ctx<'_, Message>, target: BrokerId, inner: Message) {
         debug_assert_ne!(target, self.my_id(), "same-broker case handled locally");
-        let out = self
-            .core
-            .handle(ctx, NodeId::EXTERNAL, Message::routed(target, inner));
+        let out = self.core.handle(ctx, NodeId::EXTERNAL, Message::routed(target, inner));
         debug_assert!(out.deliveries.is_empty() && out.unhandled.is_empty());
     }
 }
@@ -347,8 +348,7 @@ impl Node<Message> for MobileBrokerNode {
                 let local = self.localize(&subscription);
                 self.devices.insert(local.client(), from);
                 self.core.attach_client(local.client(), from);
-                self.core
-                    .subscribe_client(ctx, local.client(), local.id(), local.into_filter());
+                self.core.subscribe_client(ctx, local.client(), local.id(), local.into_filter());
             }
             other => {
                 let outcome = self.core.handle(ctx, from, other);
@@ -403,9 +403,11 @@ mod tests {
     use rebeca_core::{ClientId, Notification};
 
     fn note(i: u64) -> Notification {
-        Notification::builder()
-            .attr("i", i as i64)
-            .publish(ClientId::new(9), i, SimTime::from_secs(i))
+        Notification::builder().attr("i", i as i64).publish(
+            ClientId::new(9),
+            i,
+            SimTime::from_secs(i),
+        )
     }
 
     #[test]

@@ -322,15 +322,7 @@ impl ReplicatorNode {
         let buffer = self.new_vc_buffer();
         self.vcs.insert(
             app,
-            VirtualClient {
-                app,
-                device,
-                vc_id,
-                subs: map,
-                active_node: None,
-                buffer,
-                replays: 0,
-            },
+            VirtualClient { app, device, vc_id, subs: map, active_node: None, buffer, replays: 0 },
         );
         self.vc_ids.insert(vc_id, app);
         self.stats.vcs_created += 1;
@@ -338,7 +330,12 @@ impl ReplicatorNode {
 
     /// Brings an existing virtual client's subscription set in line with
     /// the (unresolved) target set.
-    fn reconcile_subs(&mut self, ctx: &mut Ctx<'_, Message>, app: ApplicationId, subs: &[Subscription]) {
+    fn reconcile_subs(
+        &mut self,
+        ctx: &mut Ctx<'_, Message>,
+        app: ApplicationId,
+        subs: &[Subscription],
+    ) {
         let Some(vc) = self.vcs.get_mut(&app) else {
             return;
         };
@@ -361,9 +358,7 @@ impl ReplicatorNode {
                 let resolved = self.locations.resolve(&filter, self.broker);
                 ctx.send(
                     self.broker_node,
-                    Message::Subscribe {
-                        subscription: Subscription::new(id, vc_id, resolved),
-                    },
+                    Message::Subscribe { subscription: Subscription::new(id, vc_id, resolved) },
                 );
             }
         }
@@ -462,9 +457,8 @@ impl ReplicatorNode {
         self.device_nodes.insert(client, device_node);
         self.stats.handovers += 1;
 
-        let (ld, nld): (Vec<Subscription>, Vec<Subscription>) = subscriptions
-            .into_iter()
-            .partition(Subscription::is_location_dependent);
+        let (ld, nld): (Vec<Subscription>, Vec<Subscription>) =
+            subscriptions.into_iter().partition(Subscription::is_location_dependent);
 
         // --- physical mobility of the non-location-dependent set ---
         ctx.send(self.broker_node, Message::ClientAttach { client });
@@ -501,10 +495,7 @@ impl ReplicatorNode {
                     // client buffered.
                     ctx.send(
                         self.peer(old),
-                        Message::Mobility(MobilityMsg::ReplicaFetch {
-                            app,
-                            reply_to: self.broker,
-                        }),
+                        Message::Mobility(MobilityMsg::ReplicaFetch { app, reply_to: self.broker }),
                     );
                 }
             }
@@ -534,17 +525,11 @@ impl ReplicatorNode {
             }
             ctx.send(
                 self.peer(*target),
-                Message::Mobility(MobilityMsg::ReplicaCreate {
-                    app,
-                    subscriptions: ld.clone(),
-                }),
+                Message::Mobility(MobilityMsg::ReplicaCreate { app, subscriptions: ld.clone() }),
             );
         }
         for target in oldset.difference(&keep) {
-            ctx.send(
-                self.peer(*target),
-                Message::Mobility(MobilityMsg::ReplicaDelete { app }),
-            );
+            ctx.send(self.peer(*target), Message::Mobility(MobilityMsg::ReplicaDelete { app }));
         }
     }
 
@@ -572,10 +557,7 @@ impl ReplicatorNode {
                         complete: false,
                     }),
                 );
-                ctx.set_timer(
-                    self.config.handover_grace,
-                    DRAIN_TAG_BASE + u64::from(client.raw()),
-                );
+                ctx.set_timer(self.config.handover_grace, DRAIN_TAG_BASE + u64::from(client.raw()));
             }
             MobilityMsg::BufferedBatch { client, notifications, complete } => {
                 if let Some(&node) = self.device_nodes.get(&client) {
@@ -625,7 +607,11 @@ impl ReplicatorNode {
                     ctx.send(
                         self.broker_node,
                         Message::Subscribe {
-                            subscription: Subscription::new(resolved.id(), vc_id, resolved.into_filter()),
+                            subscription: Subscription::new(
+                                resolved.id(),
+                                vc_id,
+                                resolved.into_filter(),
+                            ),
                         },
                     );
                 }
@@ -784,10 +770,7 @@ impl ReplicatorNode {
             }
             Message::Unsubscribe { client, id } => {
                 let app = app_of(client);
-                let is_ld = self
-                    .vcs
-                    .get(&app)
-                    .is_some_and(|vc| vc.subs.contains_key(&id));
+                let is_ld = self.vcs.get(&app).is_some_and(|vc| vc.subs.contains_key(&id));
                 if is_ld {
                     if let Some(vc) = self.vcs.get_mut(&app) {
                         vc.subs.remove(&id);

@@ -135,14 +135,11 @@ impl Deployment {
 
     /// Adds an immobile publisher at a broker (direct, always-up link).
     fn add_publisher(&mut self, client: ClientId, broker_idx: usize) -> NodeId {
-        let node = self
-            .world
-            .add_node(Box::new(rebeca_broker::ClientNode::new(
-                client,
-                Some(self.access_nodes[broker_idx]),
-            )));
-        self.world
-            .connect(node, self.access_nodes[broker_idx], LinkConfig::default());
+        let node = self.world.add_node(Box::new(rebeca_broker::ClientNode::new(
+            client,
+            Some(self.access_nodes[broker_idx]),
+        )));
+        self.world.connect(node, self.access_nodes[broker_idx], LinkConfig::default());
         node
     }
 
@@ -161,14 +158,12 @@ impl Deployment {
     /// Simulates departure from coverage (silent for Relocation mode,
     /// explicit moveOut for Naive mode via AppPrepareMove first).
     fn depart(&mut self, client_node: NodeId) {
-        self.world
-            .send_external(client_node, Message::Mobility(MobilityMsg::AppPrepareMove));
+        self.world.send_external(client_node, Message::Mobility(MobilityMsg::AppPrepareMove));
         self.settle();
         for access in self.access_nodes.clone().iter() {
             self.world.set_link_up(client_node, *access, false);
         }
-        self.world
-            .send_external(client_node, Message::Mobility(MobilityMsg::AppDisconnect));
+        self.world.send_external(client_node, Message::Mobility(MobilityMsg::AppDisconnect));
     }
 
     fn subscribe(&mut self, client_node: NodeId, id: u32, filter: Filter) {
@@ -282,11 +277,7 @@ fn reactive_logical_mobility_adapts_myloc() {
     let c = d.add_mobile_client(ClientId::new(1), ClientMobilityMode::Relocation);
     d.arrive(c, 0);
     d.settle();
-    d.subscribe(
-        c,
-        1,
-        Filter::builder().eq("service", "temperature").myloc("location").build(),
-    );
+    d.subscribe(c, 1, Filter::builder().eq("service", "temperature").myloc("location").build());
     d.settle();
     d.publish_at(p0, "temperature", 0, 1); // at L0 — matches
     d.publish_at(p2, "temperature", 2, 2); // at L2 — not my location
@@ -316,11 +307,7 @@ fn replicator_presubscription_replays_the_past() {
     let c = d.add_mobile_client(ClientId::new(1), ClientMobilityMode::Relocation);
     d.arrive(c, 0);
     d.settle();
-    d.subscribe(
-        c,
-        1,
-        Filter::builder().eq("service", "menu").myloc("location").build(),
-    );
+    d.subscribe(c, 1, Filter::builder().eq("service", "menu").myloc("location").build());
     d.settle();
     // Published at L1 while the client is still at B0: the buffering
     // virtual client at B1 captures it.
@@ -346,21 +333,15 @@ fn replicator_reconciles_vc_set_on_handover() {
     // Movement line B0-B1-B2-B3; k=1. After arriving at B1, VCs must exist
     // at {B0,B1,B2} and nowhere else; after moving to B2: {B1,B2,B3} and
     // the VC at B0 must be garbage collected.
-    let mut d = replicated(
-        Topology::line(4).unwrap(),
-        MovementGraph::line(4),
-        ReplicatorConfig::default(),
-    );
+    let mut d =
+        replicated(Topology::line(4).unwrap(), MovementGraph::line(4), ReplicatorConfig::default());
     let c = d.add_mobile_client(ClientId::new(1), ClientMobilityMode::Relocation);
     d.arrive(c, 1);
     d.settle();
     d.subscribe(c, 1, Filter::builder().eq("service", "x").myloc("location").build());
     d.settle();
     let vc_count = |d: &Deployment, idx: usize| {
-        d.world
-            .node_as::<ReplicatorNode>(d.replicator_nodes[idx])
-            .unwrap()
-            .vc_count()
+        d.world.node_as::<ReplicatorNode>(d.replicator_nodes[idx]).unwrap().vc_count()
     };
     assert_eq!(vc_count(&d, 0), 1, "B0 in nlb(B1)");
     assert_eq!(vc_count(&d, 1), 1, "active at B1");
@@ -377,25 +358,16 @@ fn replicator_reconciles_vc_set_on_handover() {
     assert_eq!(vc_count(&d, 3), 1, "B3 entered the neighbourhood");
 
     let app = app_of(ClientId::new(1));
-    let rep2 = d
-        .world
-        .node_as::<ReplicatorNode>(d.replicator_nodes[2])
-        .unwrap();
+    let rep2 = d.world.node_as::<ReplicatorNode>(d.replicator_nodes[2]).unwrap();
     assert!(rep2.virtual_client(app).unwrap().is_active());
-    let rep3 = d
-        .world
-        .node_as::<ReplicatorNode>(d.replicator_nodes[3])
-        .unwrap();
+    let rep3 = d.world.node_as::<ReplicatorNode>(d.replicator_nodes[3]).unwrap();
     assert!(!rep3.virtual_client(app).unwrap().is_active());
 }
 
 #[test]
 fn replicator_client_removal_deletes_neighbourhood() {
-    let mut d = replicated(
-        Topology::line(3).unwrap(),
-        MovementGraph::line(3),
-        ReplicatorConfig::default(),
-    );
+    let mut d =
+        replicated(Topology::line(3).unwrap(), MovementGraph::line(3), ReplicatorConfig::default());
     let c = d.add_mobile_client(ClientId::new(1), ClientMobilityMode::Relocation);
     d.arrive(c, 1);
     d.settle();
@@ -410,16 +382,13 @@ fn replicator_client_removal_deletes_neighbourhood() {
     assert_eq!(total_vcs(&d), 3);
     // A silent disconnect keeps the virtual clients alive — uncertainty is
     // the whole point of the shadows.
-    d.world
-        .send_external(c, Message::Mobility(MobilityMsg::AppDisconnect));
+    d.world.send_external(c, Message::Mobility(MobilityMsg::AppDisconnect));
     d.settle();
     assert_eq!(total_vcs(&d), 3, "silent disconnect must NOT delete virtual clients");
     // Orderly client removal (§3.2.4): the application is turned off and
     // the middleware garbage-collects the virtual client at b and nlb(b).
-    d.world.send_external(
-        d.replicator_nodes[1],
-        Message::ClientDetach { client: ClientId::new(1) },
-    );
+    d.world
+        .send_external(d.replicator_nodes[1], Message::ClientDetach { client: ClientId::new(1) });
     d.settle();
     assert_eq!(total_vcs(&d), 0, "client removal must delete the whole neighbourhood");
 }
@@ -450,10 +419,7 @@ fn exception_mode_recovers_popup_clients() {
     // Pop up at B3 (not in nlb(B0) = {B1}).
     d.arrive(c, 3);
     d.settle();
-    let rep3 = d
-        .world
-        .node_as::<ReplicatorNode>(d.replicator_nodes[3])
-        .unwrap();
+    let rep3 = d.world.node_as::<ReplicatorNode>(d.replicator_nodes[3]).unwrap();
     assert!(rep3.stats().exceptions >= 1, "pop-up must be counted as exception");
     // Live flow at the new location works immediately.
     d.publish_at(p3, "s", 3, 3);

@@ -35,5 +35,5 @@ pub use link::{LatencyModel, LinkConfig, LinkKey};
 pub use metrics::NetMetrics;
 pub use node::{Ctx, Node, NodeId, Payload, TimerId};
 pub use rng::SplitMix64;
-pub use topology::Topology;
+pub use topology::{Topology, TopologyError};
 pub use world::World;

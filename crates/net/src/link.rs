@@ -134,9 +134,7 @@ impl LinkTable {
 
     /// Returns `true` if a live (existing and up) directed link exists.
     pub fn is_up(&self, from: NodeId, to: NodeId) -> bool {
-        self.links
-            .get(&LinkKey { from, to })
-            .is_some_and(|l| l.up)
+        self.links.get(&LinkKey { from, to }).is_some_and(|l| l.up)
     }
 
     /// Returns `true` if the directed link exists at all (up or down).

@@ -40,7 +40,13 @@ impl NetMetrics {
         Self::default()
     }
 
-    pub(crate) fn record_send(&mut self, from: NodeId, to: NodeId, kind: &'static str, bytes: usize) {
+    pub(crate) fn record_send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: &'static str,
+        bytes: usize,
+    ) {
         self.per_link.entry(LinkKey { from, to }).or_default().add(bytes);
         self.per_kind.entry(kind).or_default().add(bytes);
     }

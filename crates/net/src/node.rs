@@ -12,9 +12,7 @@ use std::any::Any;
 use std::fmt;
 
 /// Identifier of a node inside a [`World`](crate::World) or thread runtime.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(u32);
 
 impl NodeId {

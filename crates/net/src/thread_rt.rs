@@ -195,6 +195,7 @@ fn run_node<M: Payload>(
     let now_fn = |t0: Instant| SimTime::from_micros(t0.elapsed().as_micros() as u64);
 
     // Helper that runs one handler invocation and applies its actions.
+    #[allow(clippy::too_many_arguments)]
     fn invoke<M: Payload>(
         node: &mut dyn Node<M>,
         me: NodeId,
@@ -208,13 +209,7 @@ fn run_node<M: Payload>(
     ) {
         let links_ref = Arc::clone(links);
         let link_up = move |a: NodeId, b: NodeId| links_ref.read().up.contains(&(a, b));
-        let mut ctx = Ctx {
-            now,
-            me,
-            actions: Vec::new(),
-            next_timer,
-            link_up: &link_up,
-        };
+        let mut ctx = Ctx { now, me, actions: Vec::new(), next_timer, link_up: &link_up };
         f(node, &mut ctx);
         let actions = std::mem::take(&mut ctx.actions);
         drop(ctx);
@@ -390,11 +385,7 @@ mod tests {
         rt.start();
         std::thread::sleep(Duration::from_millis(100));
         let nodes = rt.stop();
-        assert!(nodes[t.raw() as usize]
-            .as_any()
-            .downcast_ref::<TimerOnce>()
-            .unwrap()
-            .fired);
+        assert!(nodes[t.raw() as usize].as_any().downcast_ref::<TimerOnce>().unwrap().fired);
     }
 
     #[test]

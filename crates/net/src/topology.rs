@@ -78,7 +78,7 @@ impl Topology {
         let mut edge_list = Vec::new();
         // Union-find for cycle detection.
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -95,10 +95,8 @@ impl Topology {
             if a == b {
                 return Err(TopologyError::SelfLoop(a));
             }
-            let (ra, rb) = (
-                find(&mut parent, a.raw() as usize),
-                find(&mut parent, b.raw() as usize),
-            );
+            let (ra, rb) =
+                (find(&mut parent, a.raw() as usize), find(&mut parent, b.raw() as usize));
             if ra == rb {
                 return Err(TopologyError::Cyclic);
             }
@@ -206,9 +204,7 @@ impl Topology {
 
     /// Returns `true` if `a` and `b` are directly linked.
     pub fn is_edge(&self, a: BrokerId, b: BrokerId) -> bool {
-        self.adj
-            .get(a.raw() as usize)
-            .is_some_and(|ns| ns.contains(&b))
+        self.adj.get(a.raw() as usize).is_some_and(|ns| ns.contains(&b))
     }
 
     /// The unique tree path from `a` to `b`, inclusive of both endpoints.

@@ -39,10 +39,7 @@ impl<M> PartialOrd for Scheduled<M> {
 impl<M> Ord for Scheduled<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -197,20 +194,12 @@ impl<M: Payload> World<M> {
 
     /// Downcasts a node to its concrete type for inspection.
     pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
-        self.nodes
-            .get(id.raw() as usize)?
-            .as_ref()?
-            .as_any()
-            .downcast_ref::<T>()
+        self.nodes.get(id.raw() as usize)?.as_ref()?.as_any().downcast_ref::<T>()
     }
 
     /// Mutable downcast of a node.
     pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
-        self.nodes
-            .get_mut(id.raw() as usize)?
-            .as_mut()?
-            .as_any_mut()
-            .downcast_mut::<T>()
+        self.nodes.get_mut(id.raw() as usize)?.as_mut()?.as_any_mut().downcast_mut::<T>()
     }
 
     /// Runs `on_start` on all nodes that have not been started yet. Called
@@ -495,7 +484,8 @@ mod tests {
     #[test]
     fn sends_without_any_link_drop() {
         let mut w = World::new(1);
-        let a = w.add_node(Box::new(Recorder { echo_to: Some(NodeId::new(9)), ..Default::default() }));
+        let a =
+            w.add_node(Box::new(Recorder { echo_to: Some(NodeId::new(9)), ..Default::default() }));
         w.send_external(a, TestMsg { seq: 1, size: 1 });
         w.run_until(SimTime::from_secs(1));
         assert_eq!(w.metrics().dropped(), 1);
@@ -509,10 +499,7 @@ mod tests {
         let fired = &w.node_as::<TimerNode>(t).unwrap().fired;
         assert_eq!(
             fired,
-            &vec![
-                (SimTime::from_millis(5), 1),
-                (SimTime::from_millis(6), 3),
-            ],
+            &vec![(SimTime::from_millis(5), 1), (SimTime::from_millis(6), 3),],
             "tag 1 fires, tag 2 cancelled, tag 3 chained"
         );
     }
@@ -556,7 +543,8 @@ mod tests {
     #[test]
     fn identical_seeds_identical_runs() {
         fn run(seed: u64) -> Vec<(SimTime, u64)> {
-            let cfg = LinkConfig::jittered(SimDuration::from_micros(5), SimDuration::from_millis(20));
+            let cfg =
+                LinkConfig::jittered(SimDuration::from_micros(5), SimDuration::from_millis(20));
             let mut w = World::new(seed);
             let a = w.add_node(Box::new(Recorder::default()));
             let b = w.add_node(Box::new(Recorder::default()));
@@ -566,12 +554,7 @@ mod tests {
                 w.send_external_at(a, TestMsg { seq: i, size: 1 }, SimTime::from_micros(i * 11));
             }
             let _ = w.run_until_quiescent(SimTime::from_secs(5));
-            w.node_as::<Recorder>(b)
-                .unwrap()
-                .seen
-                .iter()
-                .map(|(t, _, s)| (*t, *s))
-                .collect()
+            w.node_as::<Recorder>(b).unwrap().seen.iter().map(|(t, _, s)| (*t, *s)).collect()
         }
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10), "different seeds should produce different jitter");

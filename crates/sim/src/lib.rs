@@ -25,7 +25,7 @@ pub mod scenario;
 pub mod stats;
 pub mod workload;
 
-pub use movement::{MovementModel, MoveSchedule, Stint};
+pub use movement::{MoveSchedule, MovementModel, Stint};
 pub use oracle::{ClientTimeline, OracleReport};
 pub use report::Table;
 pub use scenario::{ScenarioConfig, ScenarioOutcome, SystemVariant};

@@ -60,6 +60,7 @@ impl MoveSchedule {
     /// The client arrives at `start` at time `begin`, stays `dwell` per
     /// stint, disconnects for `gap`, then moves per `model` until
     /// `horizon`.
+    #[allow(clippy::too_many_arguments)]
     pub fn generate(
         model: &MovementModel,
         graph: &MovementGraph,
@@ -127,10 +128,7 @@ impl MoveSchedule {
 
     /// The broker the client is attached to at time `t`, if any.
     pub fn broker_at(&self, t: SimTime) -> Option<BrokerId> {
-        self.stints
-            .iter()
-            .find(|s| s.from <= t && t < s.to)
-            .map(|s| s.broker)
+        self.stints.iter().find(|s| s.from <= t && t < s.to).map(|s| s.broker)
     }
 
     /// Number of hand-offs (stints minus one).
@@ -141,9 +139,7 @@ impl MoveSchedule {
     /// Returns `true` if every consecutive hand-off follows a movement
     /// graph edge.
     pub fn respects(&self, graph: &MovementGraph) -> bool {
-        self.stints
-            .windows(2)
-            .all(|w| graph.is_edge(w[0].broker, w[1].broker))
+        self.stints.windows(2).all(|w| graph.is_edge(w[0].broker, w[1].broker))
     }
 }
 

@@ -78,9 +78,7 @@ fn is_live(
     timeline: &ClientTimeline,
     locations: &LocationMap,
 ) -> bool {
-    timeline
-        .broker_at(at)
-        .is_some_and(|b| locations.serves(b, location))
+    timeline.broker_at(at).is_some_and(|b| locations.serves(b, location))
 }
 
 /// The *coverage-aware* due set: what extended logical mobility with a
@@ -108,12 +106,7 @@ pub fn location_due_covered(
     // Position at time t = the last stint that started at or before t
     // (shadows persist through disconnection gaps).
     let position_at = |t: SimTime| -> Option<BrokerId> {
-        timeline
-            .stints
-            .iter()
-            .take_while(|s| s.from <= t)
-            .last()
-            .map(|s| s.broker)
+        timeline.stints.iter().take_while(|s| s.from <= t).last().map(|s| s.broker)
     };
     let mut due = DueSet::default();
     for e in pubs {
@@ -123,10 +116,9 @@ pub fn location_due_covered(
         }
         let deadline = e.at + window;
         // First arrival serving the location within the window.
-        let arrival = timeline
-            .stints
-            .iter()
-            .find(|s| s.from >= e.at && s.from <= deadline && locations.serves(s.broker, e.location));
+        let arrival = timeline.stints.iter().find(|s| {
+            s.from >= e.at && s.from <= deadline && locations.serves(s.broker, e.location)
+        });
         let Some(arrival) = arrival else {
             continue;
         };
@@ -138,11 +130,9 @@ pub fn location_due_covered(
         let mut ok = covered(p0, arrival.broker);
         if ok {
             for s in &timeline.stints {
-                if s.from > e.at && s.from < arrival.from {
-                    if !covered(s.broker, arrival.broker) {
-                        ok = false;
-                        break;
-                    }
+                if s.from > e.at && s.from < arrival.from && !covered(s.broker, arrival.broker) {
+                    ok = false;
+                    break;
                 }
             }
         }
@@ -160,10 +150,7 @@ pub fn global_due(pubs: &[PubEvent], timeline: &ClientTimeline) -> BTreeSet<i64>
     let Some(first) = timeline.stints.first() else {
         return BTreeSet::new();
     };
-    pubs.iter()
-        .filter(|e| e.at >= first.from)
-        .map(|e| e.mark)
-        .collect()
+    pubs.iter().filter(|e| e.at >= first.from).map(|e| e.mark).collect()
 }
 
 /// Comparison of a due set against an actual delivery log.

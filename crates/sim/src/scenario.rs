@@ -5,7 +5,7 @@ use crate::movement::{MoveSchedule, MovementModel};
 use crate::oracle::{self, ClientTimeline, OracleReport};
 use crate::workload::{PubEvent, WorkloadConfig};
 use rebeca::{
-    BrokerId, BufferSpec, ClientId, ClientMobilityMode, Deployment, Filter, LocationMap,
+    BrokerId, BufferSpec, ClientMobilityMode, Deployment, Filter, FixedClient, LocationMap,
     MobileBrokerConfig, MovementGraph, Notification, ReplicatorConfig, RoutingStrategy,
     SimDuration, SimTime, SystemBuilder, Topology,
 };
@@ -310,6 +310,14 @@ enum Ev {
 }
 
 /// Runs a scenario to completion and collects the outcome.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (no brokers, a too-short
+/// hand-off gap, or a movement graph that does not cover the brokers).
+/// Scenario configurations are test fixtures, not user input; the
+/// underlying [`SystemBuilder`] API reports the same conditions as
+/// [`rebeca::RebecaError`] values.
 pub fn run(cfg: &ScenarioConfig) -> ScenarioOutcome {
     assert!(cfg.brokers > 0, "need at least one broker");
     assert!(
@@ -328,11 +336,9 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioOutcome {
             resolve_myloc: false,
             ..Default::default()
         }),
-        SystemVariant::ReactiveLogical => {
-            Deployment::BrokerMobility(MobileBrokerConfig::default())
-        }
+        SystemVariant::ReactiveLogical => Deployment::BrokerMobility(MobileBrokerConfig::default()),
         SystemVariant::ExtendedLogical { k, buffer, shared } => Deployment::Replicated {
-            movement: movement.clone(),
+            movement: Some(movement.clone()),
             config: ReplicatorConfig {
                 k_hops: *k,
                 buffer: buffer.clone(),
@@ -346,11 +352,12 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioOutcome {
         .strategy(cfg.strategy)
         .deployment(deployment)
         .seed(cfg.seed)
-        .build();
+        .build()
+        .expect("scenario produced a deployment its own topology rejects");
 
     // One immobile publisher per broker.
-    let publishers: Vec<ClientId> = (0..cfg.brokers)
-        .map(|b| sys.add_client(BrokerId::new(b as u32)))
+    let publishers: Vec<FixedClient> = (0..cfg.brokers)
+        .map(|b| sys.add_client(BrokerId::new(b as u32)).expect("publisher broker within topology"))
         .collect();
 
     // Roaming clients + their schedules.
@@ -387,11 +394,14 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioOutcome {
     // Subscriptions (queued client-side until the first attachment).
     for &c in &mobiles {
         let filter = if cfg.location_dependent {
-            Filter::builder().eq("service", cfg.workload.services[0].clone()).myloc("location").build()
+            Filter::builder()
+                .eq("service", cfg.workload.services[0].clone())
+                .myloc("location")
+                .build()
         } else {
             Filter::builder().eq("service", cfg.workload.services[0].clone()).build()
         };
-        sys.subscribe(c, filter);
+        sys.subscribe(c, filter).expect("subscribing a client this run created");
     }
 
     // Pre-schedule every publication.
@@ -402,7 +412,7 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioOutcome {
             .attr("service", e.service.clone())
             .attr("location", e.location)
             .attr("mark", e.mark);
-        sys.publish_at(publisher, attrs, e.at);
+        sys.publish_at(publisher, attrs, e.at).expect("workload schedules lie in the future");
     }
 
     // Movement event list.
@@ -425,8 +435,12 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioOutcome {
             sys.run_until(t);
         }
         match ev {
-            Ev::Depart(i) => sys.depart(mobiles[i]),
-            Ev::Arrive(i, b) => sys.arrive(mobiles[i], b),
+            Ev::Depart(i) => {
+                sys.depart(mobiles[i]).expect("schedule departs only attached clients")
+            }
+            Ev::Arrive(i, b) => {
+                sys.arrive(mobiles[i], b).expect("schedule arrives only departed clients")
+            }
         }
         peak_vcs = peak_vcs.max(sys.total_vc_count());
         peak_buffer = peak_buffer.max(sys.total_buffer_bytes());
@@ -443,10 +457,11 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioOutcome {
     for &c in &mobiles {
         let log: Vec<(i64, SimTime)> = sys
             .delivered(c)
+            .expect("collecting a client this run created")
             .iter()
             .filter_map(|r| r.notification.get("mark").and_then(|v| v.as_int()).map(|m| (m, r.at)))
             .collect();
-        let stats = sys.client_stats(c);
+        let stats = sys.client_stats(c).expect("stats of a client this run created");
         delivered.push(log);
         duplicates.push(stats.duplicates);
         fifo_violations.push(stats.fifo_violations);
@@ -458,7 +473,9 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioOutcome {
     }
     let mut replicator_totals = rebeca::ReplicatorStats::default();
     for b in 0..cfg.brokers {
-        if let Some(s) = sys.replicator_stats(BrokerId::new(b as u32)) {
+        let stats =
+            sys.replicator_stats(BrokerId::new(b as u32)).expect("broker index within topology");
+        if let Some(s) = stats {
             replicator_totals.vcs_created += s.vcs_created;
             replicator_totals.vcs_deleted += s.vcs_deleted;
             replicator_totals.handovers += s.handovers;

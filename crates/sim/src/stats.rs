@@ -26,7 +26,15 @@ impl Summary {
     pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
         let mut v: Vec<f64> = values.into_iter().filter(|x| x.is_finite()).collect();
         if v.is_empty() {
-            return Summary { count: 0, mean: 0.0, min: 0.0, p50: 0.0, p95: 0.0, p99: 0.0, max: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
         }
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let count = v.len();

@@ -83,30 +83,27 @@ impl WorkloadConfig {
         let weights: Vec<f64> = if self.zipf_s == 0.0 {
             vec![1.0; brokers]
         } else {
-            let raw: Vec<f64> = (0..brokers)
-                .map(|i| 1.0 / ((i + 1) as f64).powf(self.zipf_s))
-                .collect();
+            let raw: Vec<f64> =
+                (0..brokers).map(|i| 1.0 / ((i + 1) as f64).powf(self.zipf_s)).collect();
             let mean = raw.iter().sum::<f64>() / brokers as f64;
             raw.into_iter().map(|w| w / mean).collect()
         };
         let horizon = self.start + self.duration;
-        for b in 0..brokers {
+        for (b, weight) in weights.iter().enumerate() {
             for service in &self.services {
                 let mut t = self.start;
                 loop {
                     let step = match self.arrivals {
                         Arrivals::Poisson { rate } => {
-                            let lambda = (rate * weights[b]).max(1e-9);
+                            let lambda = (rate * weight).max(1e-9);
                             let u: f64 = rng.random::<f64>().max(1e-12);
                             SimDuration::from_micros((-u.ln() / lambda * 1e6) as u64 + 1)
                         }
-                        Arrivals::Periodic { period } => {
-                            SimDuration::from_micros(
-                                ((period.as_micros() as f64) / weights[b].max(1e-9)) as u64,
-                            )
-                        }
+                        Arrivals::Periodic { period } => SimDuration::from_micros(
+                            ((period.as_micros() as f64) / weight.max(1e-9)) as u64,
+                        ),
                     };
-                    t = t + step;
+                    t += step;
                     if t > horizon {
                         break;
                     }

@@ -7,6 +7,10 @@
 //! off and pops up in a far-away cell — the §4 uncertainty that exception
 //! mode absorbs.
 //!
+//! Runs through the `rebeca_sim` scenario harness, which drives the
+//! handle-based `Result` facade internally (invalid configurations are
+//! rejected by `SystemBuilder::build` before the run starts).
+//!
 //! Run with: `cargo run --example gsm_cells`
 
 use rebeca::{BrokerId, SimDuration};
@@ -56,9 +60,8 @@ fn main() {
         let out = scenario::run(&cfg);
         let t1 = Summary::of(out.arrival_latencies());
         let live = out.location_reports(SimDuration::ZERO);
-        let (hits, misses): (usize, usize) = live
-            .iter()
-            .fold((0, 0), |(h, m), r| (h + r.hits, m + r.misses));
+        let (hits, misses): (usize, usize) =
+            live.iter().fold((0, 0), |(h, m), r| (h + r.hits, m + r.misses));
         let miss_pct = 100.0 * misses as f64 / (hits + misses).max(1) as f64;
         println!(
             "{:<16} {:>10.3} {:>12.1} {:>12} {:>12}",

@@ -6,6 +6,11 @@
 //! the protocol layer is runtime-agnostic — nothing in `rebeca-broker`
 //! knows which runtime it is on.
 //!
+//! This example deliberately works below the `System` facade (and its
+//! handle-based `Result` API): it wires raw nodes and `ClientId`s into the
+//! threaded runtime directly, which is the intended escape hatch for
+//! custom deployments.
+//!
 //! Run with: `cargo run --example live_threads`
 
 use rebeca::broker::{BrokerCore, BrokerNode, ClientNode, Message, RoutingStrategy};

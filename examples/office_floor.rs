@@ -14,10 +14,14 @@
 //!   initialised stream ("subscribed to everything, everywhere, all the
 //!   time").
 //!
+//! Runs through the `rebeca_sim` scenario harness, which drives the
+//! handle-based `Result` facade internally (invalid configurations are
+//! rejected by `SystemBuilder::build` before the run starts).
+//!
 //! Run with: `cargo run --example office_floor`
 
 use rebeca::{BrokerId, SimDuration};
-use rebeca_sim::scenario::{self, ScenarioConfig, SystemVariant, TopologyKind, MovementKind};
+use rebeca_sim::scenario::{self, MovementKind, ScenarioConfig, SystemVariant, TopologyKind};
 use rebeca_sim::workload::{Arrivals, WorkloadConfig};
 use rebeca_sim::{MovementModel, Summary};
 
@@ -53,7 +57,9 @@ fn run_variant(variant: SystemVariant) -> (String, Summary, usize, u64) {
 
 fn main() {
     println!("office floor: 3×3 grid, one temperature sensor per office");
-    println!("worker walks randomly; subscription: service == 'temperature' && location in myloc\n");
+    println!(
+        "worker walks randomly; subscription: service == 'temperature' && location in myloc\n"
+    );
 
     let variants = [SystemVariant::ReactiveLogical, SystemVariant::extended_default()];
     println!(
@@ -74,5 +80,8 @@ fn main() {
     // Also show the movement-graph machinery directly.
     let g = rebeca::MovementGraph::grid(3, 3);
     let b4 = BrokerId::new(4);
-    println!("\nnlb(center office B4) = {:?}", g.nlb(b4).into_iter().map(|b| b.to_string()).collect::<Vec<_>>());
+    println!(
+        "\nnlb(center office B4) = {:?}",
+        g.nlb(b4).into_iter().map(|b| b.to_string()).collect::<Vec<_>>()
+    );
 }

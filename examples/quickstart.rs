@@ -2,31 +2,29 @@
 //!
 //! Builds three brokers in a line, attaches a sensor (publisher) and a
 //! dashboard (subscriber), and routes matching notifications across the
-//! tree.
+//! tree. Uses the handle-based, `Result`-returning facade: the builder
+//! validates the deployment and every operation that can fail is `?`-ed.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use rebeca::{
-    BrokerId, Filter, Notification, SimDuration, SystemBuilder, Topology,
-};
+use rebeca::{BrokerId, Filter, Notification, RebecaError, SimDuration, SystemBuilder, Topology};
 
-fn main() {
-    // An acyclic broker network: B0 — B1 — B2.
-    let mut sys = SystemBuilder::new(Topology::line(3).expect("non-empty topology")).build();
+fn main() -> Result<(), RebecaError> {
+    // An acyclic broker network: B0 — B1 — B2. `Topology` construction and
+    // `build()` are both fallible; `?` surfaces configuration mistakes.
+    let mut sys = SystemBuilder::new(Topology::line(3)?).build()?;
 
-    // Clients attach to border brokers through their local broker library.
-    let sensor = sys.add_client(BrokerId::new(0));
-    let dashboard = sys.add_client(BrokerId::new(2));
+    // Clients attach to border brokers through their local broker library;
+    // `add_client` hands back a typed `FixedClient` handle.
+    let sensor = sys.add_client(BrokerId::new(0))?;
+    let dashboard = sys.add_client(BrokerId::new(2))?;
     sys.run_for(SimDuration::from_millis(100));
 
     // Content-based subscription: a conjunction of attribute predicates.
     sys.subscribe(
         dashboard,
-        Filter::builder()
-            .eq("service", "temperature")
-            .ge("celsius", 20.0)
-            .build(),
-    );
+        Filter::builder().eq("service", "temperature").ge("celsius", 20.0).build(),
+    )?;
     sys.run_for(SimDuration::from_millis(100));
 
     // Publications are routed only where matching subscriptions exist.
@@ -37,12 +35,12 @@ fn main() {
                 .attr("service", "temperature")
                 .attr("celsius", celsius)
                 .attr("reading", i as i64),
-        );
+        )?;
     }
     sys.run_for(SimDuration::from_secs(1));
 
-    println!("dashboard received {} matching readings:", sys.delivered(dashboard).len());
-    for record in sys.delivered(dashboard) {
+    println!("dashboard received {} matching readings:", sys.delivered(dashboard)?.len());
+    for record in sys.delivered(dashboard)? {
         let n = &record.notification;
         println!(
             "  {} -> reading #{} at {:.1}°C",
@@ -51,7 +49,7 @@ fn main() {
             n.get("celsius").and_then(|v| v.as_f64()).unwrap_or(f64::NAN),
         );
     }
-    let stats = sys.client_stats(dashboard);
+    let stats = sys.client_stats(dashboard)?;
     assert_eq!(stats.delivered, 3, "only the three readings >= 20°C match");
     println!(
         "\nnetwork traffic: {} messages, {} bytes ({} dropped)",
@@ -59,4 +57,5 @@ fn main() {
         sys.metrics().total_bytes(),
         sys.metrics().dropped(),
     );
+    Ok(())
 }

@@ -7,31 +7,33 @@
 //! disconnection and relocation without losses, duplicates, or reordering.
 //!
 //! Compares the relocation protocol against the naive (JEDI-style)
-//! moveOut/moveIn baseline.
+//! moveOut/moveIn baseline. The trader is a typed [`rebeca::MobileClient`]
+//! handle, so only it — never the exchange's fixed client — can be moved,
+//! and each hand-off step is a fallible call.
 //!
 //! Run with: `cargo run --example stock_monitor`
 
 use rebeca::{
     BrokerId, ClientMobilityMode, Deployment, Filter, MobileBrokerConfig, Notification,
-    SimDuration, SystemBuilder, Topology,
+    RebecaError, SimDuration, SystemBuilder, Topology,
 };
 
-fn run(mode: ClientMobilityMode) -> (usize, u64, u64, Vec<i64>) {
+fn run(mode: ClientMobilityMode) -> Result<(usize, u64, u64, Vec<i64>), RebecaError> {
     // Home — ISP — exchange — ISP — office.
-    let mut sys = SystemBuilder::new(Topology::line(5).expect("non-empty"))
+    let mut sys = SystemBuilder::new(Topology::line(5)?)
         .deployment(Deployment::BrokerMobility(MobileBrokerConfig::default()))
-        .build();
-    let exchange = sys.add_client(BrokerId::new(2));
+        .build()?;
+    let exchange = sys.add_client(BrokerId::new(2))?;
     let trader = sys.add_mobile_client_with_mode(mode);
 
     // Morning: at home (B0).
-    sys.arrive(trader, BrokerId::new(0));
+    sys.arrive(trader, BrokerId::new(0))?;
     sys.run_for(SimDuration::from_millis(500));
-    sys.subscribe(trader, Filter::builder().eq("service", "quote").eq("symbol", "RBCA").build());
+    sys.subscribe(trader, Filter::builder().eq("service", "quote").eq("symbol", "RBCA").build())?;
     sys.run_for(SimDuration::from_millis(500));
 
     let mut tick = 0i64;
-    let mut publish_ticks = |sys: &mut rebeca::System, n: usize| {
+    let mut publish_ticks = |sys: &mut rebeca::System, n: usize| -> Result<(), RebecaError> {
         for _ in 0..n {
             sys.publish(
                 exchange,
@@ -39,41 +41,42 @@ fn run(mode: ClientMobilityMode) -> (usize, u64, u64, Vec<i64>) {
                     .attr("service", "quote")
                     .attr("symbol", "RBCA")
                     .attr("tick", tick),
-            );
+            )?;
             tick += 1;
             sys.run_for(SimDuration::from_millis(200));
         }
+        Ok(())
     };
 
-    publish_ticks(&mut sys, 5); // ticks 0..5 at home
+    publish_ticks(&mut sys, 5)?; // ticks 0..5 at home
 
     // Commute: out of coverage for a while — the market keeps moving.
-    sys.depart(trader);
-    publish_ticks(&mut sys, 5); // ticks 5..10 while disconnected
+    sys.depart(trader)?;
+    publish_ticks(&mut sys, 5)?; // ticks 5..10 while disconnected
 
     // Arrive at the office (B4).
-    sys.arrive(trader, BrokerId::new(4));
+    sys.arrive(trader, BrokerId::new(4))?;
     sys.run_for(SimDuration::from_secs(1));
-    publish_ticks(&mut sys, 5); // ticks 10..15 at the office
+    publish_ticks(&mut sys, 5)?; // ticks 10..15 at the office
     sys.run_for(SimDuration::from_secs(2));
 
     let ticks: Vec<i64> = sys
-        .delivered(trader)
+        .delivered(trader)?
         .iter()
         .filter_map(|r| r.notification.get("tick").and_then(|v| v.as_int()))
         .collect();
-    let stats = sys.client_stats(trader);
-    (ticks.len(), stats.duplicates, stats.fifo_violations, ticks)
+    let stats = sys.client_stats(trader)?;
+    Ok((ticks.len(), stats.duplicates, stats.fifo_violations, ticks))
 }
 
-fn main() {
+fn main() -> Result<(), RebecaError> {
     println!("trader follows RBCA quotes; 15 ticks published: 5 at home, 5 while");
     println!("commuting (disconnected), 5 at the office\n");
     for (label, mode) in [
         ("relocation (mobile REBECA)", ClientMobilityMode::Relocation),
         ("naive moveOut/moveIn (JEDI-style)", ClientMobilityMode::Naive),
     ] {
-        let (delivered, dups, fifo, ticks) = run(mode);
+        let (delivered, dups, fifo, ticks) = run(mode)?;
         println!("{label}:");
         println!("  delivered {delivered}/15 ticks, {dups} duplicates, {fifo} FIFO violations");
         println!("  ticks: {ticks:?}\n");
@@ -89,4 +92,5 @@ fn main() {
     }
     println!("the relocation protocol buffers at the old border broker and replays on");
     println!("re-attachment — a transparent, uninterrupted flow (paper §1, [8]).");
+    Ok(())
 }

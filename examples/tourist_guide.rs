@@ -8,19 +8,23 @@
 //! menu per restaurant matters), and replay them on arrival — "for the
 //! client this is equivalent to a subscription in the past".
 //!
+//! The movement graph is passed explicitly (`Some(..)`) and validated
+//! against the topology by the fallible builder; the car is a typed
+//! [`rebeca::MobileClient`] handle.
+//!
 //! Run with: `cargo run --example tourist_guide`
 
 use rebeca::{
-    BrokerId, BufferSpec, Deployment, Filter, LocationId, MovementGraph, Notification,
+    BrokerId, BufferSpec, Deployment, Filter, LocationId, MovementGraph, Notification, RebecaError,
     ReplicatorConfig, SimDuration, SystemBuilder, Topology,
 };
 
-fn main() {
+fn main() -> Result<(), RebecaError> {
     // Five regions along a motorway, one border broker each.
     let regions = 5usize;
-    let mut sys = SystemBuilder::new(Topology::line(regions).expect("non-empty"))
+    let mut sys = SystemBuilder::new(Topology::line(regions)?)
         .deployment(Deployment::Replicated {
-            movement: MovementGraph::line(regions),
+            movement: Some(MovementGraph::line(regions)),
             config: ReplicatorConfig {
                 // Semantic buffering: a new menu nullifies the old menu of
                 // the same restaurant.
@@ -28,26 +32,27 @@ fn main() {
                 ..Default::default()
             },
         })
-        .build();
+        .build()?;
 
     // One menu publisher per region.
-    let publishers: Vec<_> = (0..regions)
+    let publishers = (0..regions)
         .map(|r| sys.add_client(BrokerId::new(r as u32)))
-        .collect();
+        .collect::<Result<Vec<_>, _>>()?;
 
     // The car starts in region 0, subscribed to menus at its location.
     let car = sys.add_mobile_client();
-    sys.arrive(car, BrokerId::new(0));
+    sys.arrive(car, BrokerId::new(0))?;
     sys.run_for(SimDuration::from_millis(500));
-    sys.subscribe(
-        car,
-        Filter::builder().eq("service", "menu").myloc("location").build(),
-    );
+    sys.subscribe(car, Filter::builder().eq("service", "menu").myloc("location").build())?;
     sys.run_for(SimDuration::from_millis(500));
 
     // Restaurants publish menus over time — including *updates* that
     // supersede earlier menus.
-    let publish_menu = |sys: &mut rebeca::System, region: usize, restaurant: i64, dish: &str| {
+    let publish_menu = |sys: &mut rebeca::System,
+                        region: usize,
+                        restaurant: i64,
+                        dish: &str|
+     -> Result<(), RebecaError> {
         sys.publish(
             publishers[region],
             Notification::builder()
@@ -55,24 +60,25 @@ fn main() {
                 .attr("location", LocationId::new(region as u32))
                 .attr("restaurant", restaurant)
                 .attr("dish", dish),
-        );
+        )?;
         sys.run_for(SimDuration::from_secs(1));
+        Ok(())
     };
 
     // While the car is still in region 0, region 1's restaurants publish.
-    publish_menu(&mut sys, 1, 10, "yesterday's soup");
-    publish_menu(&mut sys, 1, 10, "katsu curry"); // supersedes the soup
-    publish_menu(&mut sys, 1, 11, "linguine");
-    publish_menu(&mut sys, 2, 20, "schnitzel"); // region 2: outside nlb(B0) for now
+    publish_menu(&mut sys, 1, 10, "yesterday's soup")?;
+    publish_menu(&mut sys, 1, 10, "katsu curry")?; // supersedes the soup
+    publish_menu(&mut sys, 1, 11, "linguine")?;
+    publish_menu(&mut sys, 2, 20, "schnitzel")?; // region 2: outside nlb(B0) for now
 
     // Drive: region 0 → 1 → 2.
     for next in [1u32, 2u32] {
-        sys.depart(car);
+        sys.depart(car)?;
         sys.run_for(SimDuration::from_millis(300));
-        sys.arrive(car, BrokerId::new(next));
+        sys.arrive(car, BrokerId::new(next))?;
         sys.run_for(SimDuration::from_secs(1));
         println!("-- car arrives in region {next}; guide shows:");
-        for record in sys.take_delivered(car) {
+        for record in sys.take_delivered(car)? {
             let n = &record.notification;
             println!(
                 "   restaurant {}: {}",
@@ -83,11 +89,11 @@ fn main() {
         if next == 1 {
             // More menus appear while the car is in region 1; region 2's
             // shadow (created when the car reached region 1) buffers them.
-            publish_menu(&mut sys, 2, 21, "dumplings");
+            publish_menu(&mut sys, 2, 21, "dumplings")?;
         }
     }
 
-    let stats = sys.client_stats(car);
+    let stats = sys.client_stats(car)?;
     println!(
         "\nduplicates suppressed: {}, FIFO violations: {}",
         stats.duplicates, stats.fifo_violations
@@ -95,4 +101,5 @@ fn main() {
     println!("note: restaurant 10 shows only 'katsu curry' — the semantic buffer nullified");
     println!("the superseded soup menu; region 2's early 'schnitzel' was published before any");
     println!("shadow existed there (pop-up coverage is what §4's exception mode is about).");
+    Ok(())
 }

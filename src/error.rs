@@ -1,0 +1,131 @@
+//! The top-level error type of the [`System`](crate::System) facade.
+//!
+//! The paper's subject is *uncertainty* — clients vanish mid-handover, pop
+//! up at brokers they never pre-subscribed at, replay from stale virtual
+//! clients. The facade mirrors that stance at the API boundary: every
+//! uncertain operation returns a [`RebecaError`] instead of panicking, so
+//! applications can observe and react to semantic failures the same way
+//! the middleware reacts to movement-graph violations.
+
+use rebeca_core::{BrokerId, ClientId, CoreError, SimTime};
+use rebeca_net::TopologyError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`SystemBuilder`](crate::SystemBuilder) and the
+/// [`System`](crate::System) facade.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RebecaError {
+    /// An error bubbled up from the core data model.
+    Core(CoreError),
+    /// The broker topology is unusable (empty, cyclic, disconnected, or
+    /// inconsistent with an auxiliary structure such as the movement
+    /// graph).
+    InvalidTopology(String),
+    /// The deployment configuration is unusable (e.g. a location map or
+    /// movement graph referencing brokers the topology does not have).
+    InvalidDeployment(String),
+    /// The client handle does not belong to this [`System`](crate::System)
+    /// (handles are only valid for the system that created them).
+    UnknownClient(ClientId),
+    /// The broker id is outside this system's topology.
+    UnknownBroker(BrokerId),
+    /// A mobility operation was attempted with a handle that does not
+    /// refer to a mobile client in this system (e.g. a
+    /// [`MobileClient`](crate::MobileClient) handle carried over from a
+    /// different system).
+    NotMobile(ClientId),
+    /// [`System::arrive`](crate::System::arrive) was called while the
+    /// client is still attached; call
+    /// [`System::depart`](crate::System::depart) first.
+    AlreadyConnected {
+        /// The client that is still attached.
+        client: ClientId,
+        /// The broker it is attached to.
+        at: BrokerId,
+    },
+    /// [`System::depart`](crate::System::depart) was called while the
+    /// client is out of coverage.
+    NotConnected(ClientId),
+    /// A publication was scheduled before the current simulated time.
+    TimeInPast {
+        /// The requested publication time.
+        at: SimTime,
+        /// The current simulated time.
+        now: SimTime,
+    },
+}
+
+impl fmt::Display for RebecaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RebecaError::Core(e) => write!(f, "core error: {e}"),
+            RebecaError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            RebecaError::InvalidDeployment(msg) => write!(f, "invalid deployment: {msg}"),
+            RebecaError::UnknownClient(c) => {
+                write!(f, "unknown client {c} (handle from another system?)")
+            }
+            RebecaError::UnknownBroker(b) => write!(f, "unknown broker {b}"),
+            RebecaError::NotMobile(c) => write!(f, "client {c} is not mobile"),
+            RebecaError::AlreadyConnected { client, at } => {
+                write!(f, "client {client} is already attached at broker {at}")
+            }
+            RebecaError::NotConnected(c) => write!(f, "client {c} is not attached anywhere"),
+            RebecaError::TimeInPast { at, now } => {
+                write!(f, "cannot schedule at {at}: simulated time is already {now}")
+            }
+        }
+    }
+}
+
+impl Error for RebecaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RebecaError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for RebecaError {
+    fn from(e: CoreError) -> Self {
+        RebecaError::Core(e)
+    }
+}
+
+impl From<TopologyError> for RebecaError {
+    fn from(e: TopologyError) -> Self {
+        RebecaError::InvalidTopology(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = RebecaError::UnknownClient(ClientId::new(9));
+        assert!(e.to_string().contains("C9"));
+        let e = RebecaError::AlreadyConnected { client: ClientId::new(1), at: BrokerId::new(2) };
+        assert!(e.to_string().contains("B2"));
+        let e = RebecaError::TimeInPast { at: SimTime::from_secs(1), now: SimTime::from_secs(5) };
+        assert!(e.to_string().contains("already"));
+    }
+
+    #[test]
+    fn converts_from_layer_errors() {
+        let e: RebecaError = CoreError::Decode("truncated".into()).into();
+        assert!(matches!(e, RebecaError::Core(_)));
+        assert!(e.source().is_some());
+        let e: RebecaError = TopologyError::Empty.into();
+        assert!(matches!(e, RebecaError::InvalidTopology(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Error>() {}
+        assert_send_sync::<RebecaError>();
+    }
+}

@@ -1,0 +1,113 @@
+//! Typed client handles.
+//!
+//! [`System::add_client`](crate::System::add_client) and
+//! [`System::add_mobile_client`](crate::System::add_mobile_client) return
+//! distinct handle types, so that mobility operations
+//! ([`arrive`](crate::System::arrive), [`depart`](crate::System::depart),
+//! [`set_context`](crate::System::set_context)) only accept clients that
+//! can actually move — "arrive with an immobile client" is a compile-time
+//! error rather than a runtime panic. Operations every client supports
+//! (publish, subscribe, stats) accept any [`ClientHandle`].
+//!
+//! Handles are plain `Copy` tokens tied to the [`System`](crate::System)
+//! that created them. Using a handle with a *different* system is caught
+//! whenever the id gives it away — as
+//! [`RebecaError::UnknownClient`](crate::RebecaError::UnknownClient) if no
+//! client has that id there, or
+//! [`RebecaError::NotMobile`](crate::RebecaError::NotMobile) if the id
+//! exists with the wrong mobility mode. If the foreign id happens to alias
+//! a client of the same kind, the call addresses *that* client: handles
+//! carry no per-system token, so keeping handles with the system that
+//! minted them is the caller's responsibility.
+//!
+//! Moving an immobile client is rejected by the type system, not at run
+//! time:
+//!
+//! ```compile_fail,E0308
+//! use rebeca::{BrokerId, SystemBuilder, Topology};
+//! let mut sys = SystemBuilder::new(Topology::line(2).unwrap()).build().unwrap();
+//! let fixed = sys.add_client(BrokerId::new(0)).unwrap();
+//! sys.arrive(fixed, BrokerId::new(1)); // error: expected `MobileClient`
+//! ```
+
+use rebeca_core::ClientId;
+use std::fmt;
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// A handle to a client of a [`System`](crate::System) — either a
+/// [`FixedClient`] or a [`MobileClient`].
+///
+/// This trait is sealed; the only implementations are the two handle types
+/// returned by the facade.
+pub trait ClientHandle: sealed::Sealed + Copy {
+    /// The underlying client id.
+    fn client_id(self) -> ClientId;
+}
+
+/// A handle to an immobile client, permanently attached to the broker it
+/// was created at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FixedClient {
+    id: ClientId,
+}
+
+impl FixedClient {
+    pub(crate) fn new(id: ClientId) -> Self {
+        FixedClient { id }
+    }
+
+    /// The underlying client id (for logs and cross-referencing).
+    pub fn id(self) -> ClientId {
+        self.id
+    }
+}
+
+impl sealed::Sealed for FixedClient {}
+
+impl ClientHandle for FixedClient {
+    fn client_id(self) -> ClientId {
+        self.id
+    }
+}
+
+impl fmt::Display for FixedClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// A handle to a mobile client: initially out of coverage, moved with
+/// [`System::arrive`](crate::System::arrive) /
+/// [`System::depart`](crate::System::depart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MobileClient {
+    id: ClientId,
+}
+
+impl MobileClient {
+    pub(crate) fn new(id: ClientId) -> Self {
+        MobileClient { id }
+    }
+
+    /// The underlying client id (for logs and cross-referencing).
+    pub fn id(self) -> ClientId {
+        self.id
+    }
+}
+
+impl sealed::Sealed for MobileClient {}
+
+impl ClientHandle for MobileClient {
+    fn client_id(self) -> ClientId {
+        self.id
+    }
+}
+
+impl fmt::Display for MobileClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}

@@ -12,27 +12,30 @@
 //! The component crates are re-exported ([`core`], [`net`], [`broker`],
 //! [`mobility`]); this crate adds the [`System`] facade that wires a
 //! complete deployment into the deterministic simulator and drives it from
-//! plain Rust code:
+//! plain Rust code. The facade deals in **errors as values**: deployments
+//! are validated when built, clients are addressed through typed handles
+//! ([`FixedClient`] / [`MobileClient`]), and every operation that can fail
+//! returns a [`RebecaError`]:
 //!
 //! ```
-//! use rebeca::{Deployment, Filter, SimDuration, SystemBuilder};
+//! use rebeca::{Deployment, Filter, RebecaError, SimDuration, SystemBuilder};
 //! use rebeca_net::Topology;
 //!
-//! # fn main() {
+//! # fn main() -> Result<(), RebecaError> {
 //! // Three brokers in a line, mobile REBECA with the replicator layer.
-//! let mut sys = SystemBuilder::new(Topology::line(3).unwrap())
+//! let mut sys = SystemBuilder::new(Topology::line(3)?)
 //!     .deployment(Deployment::replicated_defaults())
-//!     .build();
+//!     .build()?;
 //!
 //! let walker = sys.add_mobile_client();
-//! let sensor = sys.add_client(rebeca::BrokerId::new(1));
+//! let sensor = sys.add_client(rebeca::BrokerId::new(1))?;
 //!
-//! sys.arrive(walker, rebeca::BrokerId::new(0));
+//! sys.arrive(walker, rebeca::BrokerId::new(0))?;
 //! sys.run_for(SimDuration::from_secs(1));
 //! sys.subscribe(
 //!     walker,
 //!     Filter::builder().eq("service", "temperature").myloc("location").build(),
-//! );
+//! )?;
 //! sys.run_for(SimDuration::from_secs(1));
 //!
 //! sys.publish(
@@ -41,21 +44,49 @@
 //!         .attr("service", "temperature")
 //!         .attr("location", rebeca::LocationId::new(1))
 //!         .attr("celsius", 21.5),
-//! );
+//! )?;
 //! sys.run_for(SimDuration::from_secs(1));
 //!
 //! // The walker is at B0 — the reading for L1 is buffered by the virtual
 //! // client at B1, not delivered yet.
-//! assert!(sys.delivered(walker).is_empty());
+//! assert!(sys.delivered(walker)?.is_empty());
 //!
 //! // Walk next door: the buffered reading is replayed on arrival.
-//! sys.depart(walker);
+//! sys.depart(walker)?;
 //! sys.run_for(SimDuration::from_secs(1));
-//! sys.arrive(walker, rebeca::BrokerId::new(1));
+//! sys.arrive(walker, rebeca::BrokerId::new(1))?;
 //! sys.run_for(SimDuration::from_secs(1));
-//! assert_eq!(sys.delivered(walker).len(), 1);
+//! assert_eq!(sys.delivered(walker)?.len(), 1);
+//! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Migrating from the panicking API
+//!
+//! Earlier revisions of this facade modelled uncertain operations as
+//! infallible calls that panicked on misuse. The current API surfaces
+//! those outcomes as values instead:
+//!
+//! * [`SystemBuilder::build`] returns `Result<System, RebecaError>` and
+//!   validates the topology, location map and movement graph up front —
+//!   nothing is silently patched at run time. A replicated deployment now
+//!   takes `Option<MovementGraph>` (`None` ⇒ use the broker tree).
+//! * [`System::add_client`] returns a [`FixedClient`] handle and
+//!   [`System::add_mobile_client`] a [`MobileClient`] handle; mobility
+//!   calls ([`System::arrive`], [`System::depart`],
+//!   [`System::set_context`]) accept only [`MobileClient`], so "arrive
+//!   with an immobile client" no longer compiles. Where an old call site
+//!   passed a raw [`ClientId`], pass the handle; the id is still available
+//!   via `handle.id()` for logging.
+//! * Every facade mutation and per-client/per-broker accessor returns
+//!   `Result<_, RebecaError>` — `publish`, `subscribe`, `unsubscribe`,
+//!   `set_context`, `arrive`, `depart`, `shutdown_client`, `delivered`,
+//!   `client_stats`, `broker_stats`, … Replace `sys.publish(c, n);` with
+//!   `sys.publish(c, n)?;` (or `.expect(..)` in test code).
+//! * Double `arrive` (without an intervening `depart`) reports
+//!   [`RebecaError::AlreadyConnected`]; double `depart` reports
+//!   [`RebecaError::NotConnected`]; scheduling a publication in the past
+//!   reports [`RebecaError::TimeInPast`]. None of these panic any more.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,9 +96,13 @@ pub use rebeca_core as core;
 pub use rebeca_mobility as mobility;
 pub use rebeca_net as net;
 
-pub use rebeca_broker::{
-    BrokerStats, DeliveryRecord, Message, MobilityMsg, RoutingStrategy,
-};
+mod error;
+mod handle;
+
+pub use error::RebecaError;
+pub use handle::{ClientHandle, FixedClient, MobileClient};
+
+pub use rebeca_broker::{BrokerStats, DeliveryRecord, Message, MobilityMsg, RoutingStrategy};
 pub use rebeca_core::{
     ApplicationId, BrokerId, ClientId, Filter, LocationId, Notification, NotificationBuilder,
     Predicate, SimDuration, SimTime, Subscription, SubscriptionId, Value,
@@ -95,8 +130,10 @@ pub enum Deployment {
     /// implementing pre-subscriptions and virtual clients over a movement
     /// graph.
     Replicated {
-        /// The movement graph constraining client movement.
-        movement: MovementGraph,
+        /// The movement graph constraining client movement; `None` means
+        /// "use the broker tree itself" (validated against the topology by
+        /// [`SystemBuilder::build`]).
+        movement: Option<MovementGraph>,
         /// Replicator-layer configuration (nlb radius, buffering policy).
         config: ReplicatorConfig,
     },
@@ -106,10 +143,7 @@ impl Deployment {
     /// Replicated deployment with the movement graph equal to the broker
     /// tree and default replicator configuration — the common case.
     pub fn replicated_defaults() -> Deployment {
-        Deployment::Replicated {
-            movement: MovementGraph::new(), // replaced by builder if empty
-            config: ReplicatorConfig::default(),
-        }
+        Deployment::Replicated { movement: None, config: ReplicatorConfig::default() }
     }
 }
 
@@ -174,26 +208,74 @@ impl SystemBuilder {
         self
     }
 
+    /// Validates the configuration without building the world.
+    ///
+    /// Returns the movement graph to deploy for replicated deployments.
+    fn validate(&self) -> Result<Option<MovementGraph>, RebecaError> {
+        let n = self.topology.broker_count();
+        if n == 0 {
+            // Unreachable through `Topology`'s constructors, which reject
+            // empty graphs; kept so the facade never trusts its inputs.
+            return Err(RebecaError::InvalidTopology("topology has no brokers".into()));
+        }
+        if let Some(locations) = &self.locations {
+            for (broker, _) in locations.iter() {
+                if broker.raw() as usize >= n {
+                    return Err(RebecaError::InvalidDeployment(format!(
+                        "location map assigns a scope to {broker}, but the topology \
+                         has only {n} brokers"
+                    )));
+                }
+            }
+        }
+        match &self.deployment {
+            Deployment::Replicated { movement: Some(movement), .. } => {
+                if movement.broker_count() == 0 {
+                    return Err(RebecaError::InvalidDeployment(
+                        "replicated deployment with an empty movement graph: \
+                         no client could ever move; pass `movement: None` to \
+                         use the broker tree"
+                            .into(),
+                    ));
+                }
+                if !movement.is_consistent_with(&self.topology) {
+                    return Err(RebecaError::InvalidTopology(format!(
+                        "movement graph references brokers outside the \
+                         {n}-broker topology"
+                    )));
+                }
+                Ok(Some(movement.clone()))
+            }
+            Deployment::Replicated { movement: None, .. } => {
+                Ok(Some(MovementGraph::from_topology(&self.topology)))
+            }
+            _ => Ok(None),
+        }
+    }
+
     /// Builds the world: brokers, links, replicators.
-    pub fn build(self) -> System {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::InvalidDeployment`] if the location map
+    /// assigns scopes to brokers outside the topology, or a replicated
+    /// deployment carries an explicitly empty movement graph; and
+    /// [`RebecaError::InvalidTopology`] if the movement graph references
+    /// brokers the topology does not have.
+    pub fn build(self) -> Result<System, RebecaError> {
+        let movement = self.validate()?;
         let topology = Arc::new(self.topology);
         let n = topology.broker_count();
-        let locations = Arc::new(
-            self.locations
-                .unwrap_or_else(|| LocationMap::one_per_broker(&topology)),
-        );
+        let locations =
+            Arc::new(self.locations.unwrap_or_else(|| LocationMap::one_per_broker(&topology)));
         let broker_nodes: Arc<Vec<NodeId>> = Arc::new((0..n as u32).map(NodeId::new).collect());
         let link = LinkConfig::constant(self.link_latency);
         let mut world = World::new(self.seed);
 
         // Brokers.
         for b in topology.brokers() {
-            let core = BrokerCore::new(
-                b,
-                Arc::clone(&topology),
-                Arc::clone(&broker_nodes),
-                self.strategy,
-            );
+            let core =
+                BrokerCore::new(b, Arc::clone(&topology), Arc::clone(&broker_nodes), self.strategy);
             match &self.deployment {
                 Deployment::BrokerMobility(cfg) => {
                     world.add_node(Box::new(MobileBrokerNode::new(
@@ -216,13 +298,8 @@ impl SystemBuilder {
         }
 
         // Replicators.
-        let (replicator_nodes, access_nodes) = match &self.deployment {
-            Deployment::Replicated { movement, config } => {
-                let movement = if movement.broker_count() == 0 {
-                    MovementGraph::from_topology(&topology)
-                } else {
-                    movement.clone()
-                };
+        let (replicator_nodes, access_nodes) = match (&self.deployment, movement) {
+            (Deployment::Replicated { config, .. }, Some(movement)) => {
                 let movement = Arc::new(movement);
                 let replicator_nodes: Arc<Vec<NodeId>> =
                     Arc::new((n as u32..2 * n as u32).map(NodeId::new).collect());
@@ -248,7 +325,7 @@ impl SystemBuilder {
             _ => (None, Arc::clone(&broker_nodes)),
         };
 
-        System {
+        Ok(System {
             world,
             topology,
             locations,
@@ -259,7 +336,7 @@ impl SystemBuilder {
             clients: Vec::new(),
             next_client: 0,
             next_sub: 0,
-        }
+        })
     }
 }
 
@@ -268,6 +345,9 @@ struct ClientInfo {
     id: ClientId,
     node: NodeId,
     mobile: bool,
+    /// The broker a mobile client is currently attached to (always `None`
+    /// for immobile clients, whose attachment is fixed at creation).
+    attached: Option<BrokerId>,
 }
 
 /// Per-client delivery statistics.
@@ -285,7 +365,10 @@ pub struct ClientStats {
 ///
 /// Owns the [`World`] and offers an application-level API: add clients,
 /// publish, subscribe, move devices between brokers, advance time, inspect
-/// deliveries and metrics. See the crate-level example.
+/// deliveries and metrics. Clients are addressed through the typed handles
+/// returned by [`System::add_client`] / [`System::add_mobile_client`];
+/// every fallible operation returns [`RebecaError`] instead of panicking.
+/// See the crate-level example.
 #[derive(Debug)]
 pub struct System {
     world: World<Message>,
@@ -311,29 +394,42 @@ impl System {
         &self.locations
     }
 
-    /// Adds an immobile client attached to `broker` (always connected).
-    pub fn add_client(&mut self, broker: BrokerId) -> ClientId {
+    fn check_broker(&self, broker: BrokerId) -> Result<usize, RebecaError> {
+        let idx = broker.raw() as usize;
+        if idx < self.topology.broker_count() {
+            Ok(idx)
+        } else {
+            Err(RebecaError::UnknownBroker(broker))
+        }
+    }
+
+    /// Adds an immobile client attached to `broker` (always connected),
+    /// returning its [`FixedClient`] handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownBroker`] if `broker` is outside the
+    /// topology.
+    pub fn add_client(&mut self, broker: BrokerId) -> Result<FixedClient, RebecaError> {
+        let access = self.access_nodes[self.check_broker(broker)?];
         let id = ClientId::new(self.next_client);
         self.next_client += 1;
-        let access = self.access_nodes[broker.raw() as usize];
-        let node = self
-            .world
-            .add_node(Box::new(ClientNode::new(id, Some(access))));
+        let node = self.world.add_node(Box::new(ClientNode::new(id, Some(access))));
         self.world.connect(node, access, self.link.clone());
-        self.clients.push(ClientInfo { id, node, mobile: false });
-        id
+        self.clients.push(ClientInfo { id, node, mobile: false, attached: None });
+        Ok(FixedClient::new(id))
     }
 
     /// Adds a mobile client (initially out of coverage; call
-    /// [`System::arrive`] to attach it somewhere). Uses the relocation
-    /// hand-off protocol.
-    pub fn add_mobile_client(&mut self) -> ClientId {
+    /// [`System::arrive`] to attach it somewhere), returning its
+    /// [`MobileClient`] handle. Uses the relocation hand-off protocol.
+    pub fn add_mobile_client(&mut self) -> MobileClient {
         self.add_mobile_client_with_mode(ClientMobilityMode::Relocation)
     }
 
     /// Adds a mobile client with an explicit mobility mode (the naive
     /// JEDI-style baseline or the relocation protocol).
-    pub fn add_mobile_client_with_mode(&mut self, mode: ClientMobilityMode) -> ClientId {
+    pub fn add_mobile_client_with_mode(&mut self, mode: ClientMobilityMode) -> MobileClient {
         let id = ClientId::new(self.next_client);
         self.next_client += 1;
         let node = self.world.add_node(Box::new(MobileClientNode::new(
@@ -345,106 +441,216 @@ impl System {
             self.world.connect(node, *access, self.link.clone());
             self.world.set_link_up(node, *access, false);
         }
-        self.clients.push(ClientInfo { id, node, mobile: true });
-        id
+        self.clients.push(ClientInfo { id, node, mobile: true, attached: None });
+        MobileClient::new(id)
     }
 
-    fn info(&self, client: ClientId) -> ClientInfo {
-        *self
-            .clients
+    fn info(&self, client: ClientId) -> Result<ClientInfo, RebecaError> {
+        self.clients
             .iter()
             .find(|c| c.id == client)
-            .unwrap_or_else(|| panic!("unknown client {client}"))
+            .copied()
+            .ok_or(RebecaError::UnknownClient(client))
+    }
+
+    /// Looks up a mobile client, verifying the handle belongs to this
+    /// system *and* refers to a mobile client here (a handle from another
+    /// system may alias an immobile client's id).
+    fn mobile_info(&self, client: MobileClient) -> Result<ClientInfo, RebecaError> {
+        let info = self.info(client.id())?;
+        if !info.mobile {
+            return Err(RebecaError::NotMobile(info.id));
+        }
+        Ok(info)
     }
 
     /// Publishes a notification from `client` (sequence number and
     /// timestamp are stamped by the client library).
-    pub fn publish(&mut self, client: ClientId, attrs: NotificationBuilder) {
-        let node = self.info(client).node;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownClient`] if the handle does not
+    /// belong to this system.
+    pub fn publish(
+        &mut self,
+        client: impl ClientHandle,
+        attrs: NotificationBuilder,
+    ) -> Result<(), RebecaError> {
+        let node = self.info(client.client_id())?.node;
         self.world.send_external(node, Message::AppPublish { attrs });
+        Ok(())
     }
 
     /// Schedules a publication from `client` at a future simulated time —
     /// used by workload generators to pre-load a whole run.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `at` lies in the past.
-    pub fn publish_at(&mut self, client: ClientId, attrs: NotificationBuilder, at: SimTime) {
-        let node = self.info(client).node;
-        self.world
-            .send_external_at(node, Message::AppPublish { attrs }, at);
+    /// Returns [`RebecaError::UnknownClient`] if the handle does not
+    /// belong to this system, and [`RebecaError::TimeInPast`] if `at` lies
+    /// before the current simulated time.
+    pub fn publish_at(
+        &mut self,
+        client: impl ClientHandle,
+        attrs: NotificationBuilder,
+        at: SimTime,
+    ) -> Result<(), RebecaError> {
+        let node = self.info(client.client_id())?.node;
+        let now = self.world.now();
+        if at < now {
+            return Err(RebecaError::TimeInPast { at, now });
+        }
+        self.world.send_external_at(node, Message::AppPublish { attrs }, at);
+        Ok(())
     }
 
     /// Registers a subscription for `client`, returning its id.
-    pub fn subscribe(&mut self, client: ClientId, filter: Filter) -> SubscriptionId {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownClient`] if the handle does not
+    /// belong to this system.
+    pub fn subscribe(
+        &mut self,
+        client: impl ClientHandle,
+        filter: Filter,
+    ) -> Result<SubscriptionId, RebecaError> {
+        let node = self.info(client.client_id())?.node;
         let id = SubscriptionId::new(self.next_sub);
         self.next_sub += 1;
-        let node = self.info(client).node;
-        self.world
-            .send_external(node, Message::AppSubscribe { id, filter });
-        id
+        self.world.send_external(node, Message::AppSubscribe { id, filter });
+        Ok(id)
     }
 
     /// Revokes a subscription.
-    pub fn unsubscribe(&mut self, client: ClientId, id: SubscriptionId) {
-        let node = self.info(client).node;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownClient`] if the handle does not
+    /// belong to this system.
+    pub fn unsubscribe(
+        &mut self,
+        client: impl ClientHandle,
+        id: SubscriptionId,
+    ) -> Result<(), RebecaError> {
+        let node = self.info(client.client_id())?.node;
         self.world.send_external(node, Message::AppUnsubscribe { id });
+        Ok(())
     }
 
     /// Updates one entry of a mobile client's context (`myctx` markers are
     /// re-resolved and affected subscriptions re-issued).
-    pub fn set_context(&mut self, client: ClientId, key: impl Into<String>, predicate: Predicate) {
-        let node = self.info(client).node;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownClient`] or [`RebecaError::NotMobile`]
+    /// if the handle does not refer to a mobile client of this system.
+    pub fn set_context(
+        &mut self,
+        client: MobileClient,
+        key: impl Into<String>,
+        predicate: Predicate,
+    ) -> Result<(), RebecaError> {
+        let node = self.mobile_info(client)?.node;
         self.world.send_external(
             node,
             Message::Mobility(MobilityMsg::AppSetContext { key: key.into(), predicate }),
         );
+        Ok(())
     }
 
     /// Brings a mobile client into the range of `broker` and attaches it
     /// (flips the wireless links, then injects `AppMoveTo`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the client is not mobile.
-    pub fn arrive(&mut self, client: ClientId, broker: BrokerId) {
-        let info = self.info(client);
-        assert!(info.mobile, "client {client} is not mobile");
-        for (i, access) in self.access_nodes.clone().iter().enumerate() {
-            self.world
-                .set_link_up(info.node, *access, i == broker.raw() as usize);
+    /// Returns [`RebecaError::UnknownClient`] / [`RebecaError::NotMobile`]
+    /// for a handle from another system, [`RebecaError::UnknownBroker`]
+    /// for a broker outside the topology, and
+    /// [`RebecaError::AlreadyConnected`] if the client has not departed
+    /// from its previous broker.
+    pub fn arrive(&mut self, client: MobileClient, broker: BrokerId) -> Result<(), RebecaError> {
+        let info = self.mobile_info(client)?;
+        self.check_broker(broker)?;
+        if let Some(at) = info.attached {
+            return Err(RebecaError::AlreadyConnected { client: info.id, at });
         }
-        self.world.send_external(
-            info.node,
-            Message::Mobility(MobilityMsg::AppMoveTo { border: broker }),
-        );
+        for (i, access) in self.access_nodes.clone().iter().enumerate() {
+            self.world.set_link_up(info.node, *access, i == broker.raw() as usize);
+        }
+        self.world
+            .send_external(info.node, Message::Mobility(MobilityMsg::AppMoveTo { border: broker }));
+        self.set_attached(info.id, Some(broker));
+        Ok(())
     }
 
     /// Takes a mobile client out of coverage: announces the move (for the
     /// naive baseline's explicit moveOut), downs all wireless links, and
     /// powers the device off.
-    pub fn depart(&mut self, client: ClientId) {
-        let info = self.info(client);
-        assert!(info.mobile, "client {client} is not mobile");
-        self.world
-            .send_external(info.node, Message::Mobility(MobilityMsg::AppPrepareMove));
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownClient`] / [`RebecaError::NotMobile`]
+    /// for a handle from another system, and [`RebecaError::NotConnected`]
+    /// if the client is already out of coverage.
+    pub fn depart(&mut self, client: MobileClient) -> Result<(), RebecaError> {
+        let info = self.mobile_info(client)?;
+        if info.attached.is_none() {
+            return Err(RebecaError::NotConnected(info.id));
+        }
+        self.world.send_external(info.node, Message::Mobility(MobilityMsg::AppPrepareMove));
         // Give the (naive) moveOut a moment on the still-up link.
         let t = self.world.now() + SimDuration::from_millis(50);
         self.world.run_until(t);
         for access in self.access_nodes.clone().iter() {
             self.world.set_link_up(info.node, *access, false);
         }
-        self.world
-            .send_external(info.node, Message::Mobility(MobilityMsg::AppDisconnect));
+        self.world.send_external(info.node, Message::Mobility(MobilityMsg::AppDisconnect));
+        self.set_attached(info.id, None);
+        Ok(())
+    }
+
+    fn set_attached(&mut self, client: ClientId, attached: Option<BrokerId>) {
+        if let Some(info) = self.clients.iter_mut().find(|c| c.id == client) {
+            info.attached = attached;
+        }
+    }
+
+    /// The broker a mobile client is currently attached to, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownClient`] / [`RebecaError::NotMobile`]
+    /// for a handle from another system.
+    pub fn attached_broker(&self, client: MobileClient) -> Result<Option<BrokerId>, RebecaError> {
+        Ok(self.mobile_info(client)?.attached)
     }
 
     /// Orderly client shutdown: detaches at the current access point so the
     /// middleware garbage-collects all state (including virtual clients).
-    pub fn shutdown_client(&mut self, client: ClientId, at: BrokerId) {
-        let access = self.access_nodes[at.raw() as usize];
-        self.world
-            .send_external(access, Message::ClientDetach { client });
+    /// A mobile client is marked as departed (its wireless links go down),
+    /// so the handle can [`System::arrive`] again later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownClient`] if the handle does not
+    /// belong to this system and [`RebecaError::UnknownBroker`] if `at` is
+    /// outside the topology.
+    pub fn shutdown_client(
+        &mut self,
+        client: impl ClientHandle,
+        at: BrokerId,
+    ) -> Result<(), RebecaError> {
+        let info = self.info(client.client_id())?;
+        let access = self.access_nodes[self.check_broker(at)?];
+        self.world.send_external(access, Message::ClientDetach { client: info.id });
+        if info.mobile && info.attached.is_some() {
+            for node in self.access_nodes.clone().iter() {
+                self.world.set_link_up(info.node, *node, false);
+            }
+            self.set_attached(info.id, None);
+        }
+        Ok(())
     }
 
     /// Advances simulated time by `d`.
@@ -463,53 +669,73 @@ impl System {
         self.world.now()
     }
 
-    fn with_local<R>(&self, client: ClientId, f: impl FnOnce(&LocalBroker) -> R) -> R {
-        let info = self.info(client);
+    fn with_local<R>(
+        &self,
+        client: ClientId,
+        f: impl FnOnce(&LocalBroker) -> R,
+    ) -> Result<R, RebecaError> {
+        let info = self.info(client)?;
+        // The downcasts cannot fail for a validated client id: the node was
+        // created by add_client / add_mobile_client with matching mobility.
         if info.mobile {
-            f(self
+            Ok(f(self
                 .world
                 .node_as::<MobileClientNode>(info.node)
                 .expect("mobile client node")
-                .local())
+                .local()))
         } else {
-            f(self
-                .world
-                .node_as::<ClientNode>(info.node)
-                .expect("client node")
-                .local())
+            Ok(f(self.world.node_as::<ClientNode>(info.node).expect("client node").local()))
         }
     }
 
-    fn with_local_mut<R>(&mut self, client: ClientId, f: impl FnOnce(&mut LocalBroker) -> R) -> R {
-        let info = self.info(client);
+    fn with_local_mut<R>(
+        &mut self,
+        client: ClientId,
+        f: impl FnOnce(&mut LocalBroker) -> R,
+    ) -> Result<R, RebecaError> {
+        let info = self.info(client)?;
         if info.mobile {
-            f(self
+            Ok(f(self
                 .world
                 .node_as_mut::<MobileClientNode>(info.node)
                 .expect("mobile client node")
-                .local_mut())
+                .local_mut()))
         } else {
-            f(self
-                .world
-                .node_as_mut::<ClientNode>(info.node)
-                .expect("client node")
-                .local_mut())
+            Ok(f(self.world.node_as_mut::<ClientNode>(info.node).expect("client node").local_mut()))
         }
     }
 
     /// The notifications delivered to `client` (and not yet drained).
-    pub fn delivered(&self, client: ClientId) -> Vec<DeliveryRecord> {
-        self.with_local(client, |l| l.delivered().to_vec())
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownClient`] if the handle does not
+    /// belong to this system.
+    pub fn delivered(&self, client: impl ClientHandle) -> Result<Vec<DeliveryRecord>, RebecaError> {
+        self.with_local(client.client_id(), |l| l.delivered().to_vec())
     }
 
     /// Drains and returns the delivery log of `client`.
-    pub fn take_delivered(&mut self, client: ClientId) -> Vec<DeliveryRecord> {
-        self.with_local_mut(client, LocalBroker::take_delivered)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownClient`] if the handle does not
+    /// belong to this system.
+    pub fn take_delivered(
+        &mut self,
+        client: impl ClientHandle,
+    ) -> Result<Vec<DeliveryRecord>, RebecaError> {
+        self.with_local_mut(client.client_id(), LocalBroker::take_delivered)
     }
 
     /// Delivery statistics of `client`.
-    pub fn client_stats(&self, client: ClientId) -> ClientStats {
-        self.with_local(client, |l| ClientStats {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownClient`] if the handle does not
+    /// belong to this system.
+    pub fn client_stats(&self, client: impl ClientHandle) -> Result<ClientStats, RebecaError> {
+        self.with_local(client.client_id(), |l| ClientStats {
             delivered: l.delivered().len() as u64,
             duplicates: l.duplicates(),
             fifo_violations: l.fifo_violations(),
@@ -522,74 +748,106 @@ impl System {
     }
 
     /// Routing statistics of one broker.
-    pub fn broker_stats(&self, broker: BrokerId) -> BrokerStats {
-        let node = self.broker_nodes[broker.raw() as usize];
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownBroker`] if `broker` is outside the
+    /// topology.
+    pub fn broker_stats(&self, broker: BrokerId) -> Result<BrokerStats, RebecaError> {
+        let node = self.broker_nodes[self.check_broker(broker)?];
         if let Some(b) = self.world.node_as::<BrokerNode>(node) {
-            b.core().stats()
+            Ok(b.core().stats())
         } else if let Some(b) = self.world.node_as::<MobileBrokerNode>(node) {
-            b.core().stats()
+            Ok(b.core().stats())
         } else {
-            BrokerStats::default()
+            Ok(BrokerStats::default())
         }
     }
 
     /// Routing-table size (entries) of one broker.
-    pub fn table_size(&self, broker: BrokerId) -> usize {
-        let node = self.broker_nodes[broker.raw() as usize];
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownBroker`] if `broker` is outside the
+    /// topology.
+    pub fn table_size(&self, broker: BrokerId) -> Result<usize, RebecaError> {
+        let node = self.broker_nodes[self.check_broker(broker)?];
         if let Some(b) = self.world.node_as::<BrokerNode>(node) {
-            b.core().table().entry_count()
+            Ok(b.core().table().entry_count())
         } else if let Some(b) = self.world.node_as::<MobileBrokerNode>(node) {
-            b.core().table().entry_count()
+            Ok(b.core().table().entry_count())
         } else {
-            0
+            Ok(0)
         }
     }
 
     /// Sum of routing-table sizes over all brokers.
     pub fn total_table_entries(&self) -> usize {
-        self.topology.brokers().map(|b| self.table_size(b)).sum()
+        self.topology.brokers().map(|b| self.table_size(b).unwrap_or(0)).sum()
     }
 
-    /// Replicator statistics of one broker (replicated deployments only).
-    pub fn replicator_stats(&self, broker: BrokerId) -> Option<ReplicatorStats> {
-        let nodes = self.replicator_nodes.as_ref()?;
-        self.world
-            .node_as::<ReplicatorNode>(nodes[broker.raw() as usize])
-            .map(|r| r.stats())
+    /// Replicator statistics of one broker; `Ok(None)` for deployments
+    /// without a replicator layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownBroker`] if `broker` is outside the
+    /// topology.
+    pub fn replicator_stats(
+        &self,
+        broker: BrokerId,
+    ) -> Result<Option<ReplicatorStats>, RebecaError> {
+        let idx = self.check_broker(broker)?;
+        let Some(nodes) = self.replicator_nodes.as_ref() else {
+            return Ok(None);
+        };
+        Ok(self.world.node_as::<ReplicatorNode>(nodes[idx]).map(|r| r.stats()))
     }
 
-    /// Virtual clients hosted at one broker's replicator.
-    pub fn vc_count(&self, broker: BrokerId) -> usize {
-        self.replicator_nodes
+    /// Virtual clients hosted at one broker's replicator (0 for
+    /// deployments without a replicator layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownBroker`] if `broker` is outside the
+    /// topology.
+    pub fn vc_count(&self, broker: BrokerId) -> Result<usize, RebecaError> {
+        let idx = self.check_broker(broker)?;
+        Ok(self
+            .replicator_nodes
             .as_ref()
             .and_then(|nodes| {
-                self.world
-                    .node_as::<ReplicatorNode>(nodes[broker.raw() as usize])
-                    .map(|r| r.vc_count())
+                self.world.node_as::<ReplicatorNode>(nodes[idx]).map(|r| r.vc_count())
             })
-            .unwrap_or(0)
+            .unwrap_or(0))
     }
 
     /// Total virtual clients across all replicators.
     pub fn total_vc_count(&self) -> usize {
-        self.topology.brokers().map(|b| self.vc_count(b)).sum()
+        self.topology.brokers().map(|b| self.vc_count(b).unwrap_or(0)).sum()
     }
 
-    /// Bytes held in replication buffers at one broker.
-    pub fn buffer_bytes(&self, broker: BrokerId) -> usize {
-        self.replicator_nodes
+    /// Bytes held in replication buffers at one broker (0 for deployments
+    /// without a replicator layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownBroker`] if `broker` is outside the
+    /// topology.
+    pub fn buffer_bytes(&self, broker: BrokerId) -> Result<usize, RebecaError> {
+        let idx = self.check_broker(broker)?;
+        Ok(self
+            .replicator_nodes
             .as_ref()
             .and_then(|nodes| {
-                self.world
-                    .node_as::<ReplicatorNode>(nodes[broker.raw() as usize])
-                    .map(|r| r.buffer_bytes())
+                self.world.node_as::<ReplicatorNode>(nodes[idx]).map(|r| r.buffer_bytes())
             })
-            .unwrap_or(0)
+            .unwrap_or(0))
     }
 
     /// Total buffered bytes across all replicators.
     pub fn total_buffer_bytes(&self) -> usize {
-        self.topology.brokers().map(|b| self.buffer_bytes(b)).sum()
+        self.topology.brokers().map(|b| self.buffer_bytes(b).unwrap_or(0)).sum()
     }
 
     /// Direct access to the underlying world (advanced inspection).
@@ -608,73 +866,92 @@ mod tests {
     use super::*;
 
     #[test]
-    fn static_deployment_delivers() {
-        let mut sys = SystemBuilder::new(Topology::line(3).unwrap()).build();
-        let publisher = sys.add_client(BrokerId::new(0));
-        let consumer = sys.add_client(BrokerId::new(2));
+    fn static_deployment_delivers() -> Result<(), RebecaError> {
+        let mut sys = SystemBuilder::new(Topology::line(3)?).build()?;
+        let publisher = sys.add_client(BrokerId::new(0))?;
+        let consumer = sys.add_client(BrokerId::new(2))?;
         sys.run_for(SimDuration::from_secs(1));
-        sys.subscribe(consumer, Filter::builder().eq("service", "t").build());
+        sys.subscribe(consumer, Filter::builder().eq("service", "t").build())?;
         sys.run_for(SimDuration::from_secs(1));
-        sys.publish(publisher, Notification::builder().attr("service", "t"));
+        sys.publish(publisher, Notification::builder().attr("service", "t"))?;
         sys.run_for(SimDuration::from_secs(1));
-        assert_eq!(sys.delivered(consumer).len(), 1);
-        assert_eq!(sys.client_stats(consumer).fifo_violations, 0);
+        assert_eq!(sys.delivered(consumer)?.len(), 1);
+        assert_eq!(sys.client_stats(consumer)?.fifo_violations, 0);
         assert!(sys.metrics().total_msgs() > 0);
+        Ok(())
     }
 
     #[test]
-    fn broker_mobility_deployment_relocates() {
-        let mut sys = SystemBuilder::new(Topology::line(3).unwrap())
+    fn broker_mobility_deployment_relocates() -> Result<(), RebecaError> {
+        let mut sys = SystemBuilder::new(Topology::line(3)?)
             .deployment(Deployment::BrokerMobility(MobileBrokerConfig::default()))
-            .build();
-        let publisher = sys.add_client(BrokerId::new(1));
+            .build()?;
+        let publisher = sys.add_client(BrokerId::new(1))?;
         let roamer = sys.add_mobile_client();
-        sys.arrive(roamer, BrokerId::new(0));
+        sys.arrive(roamer, BrokerId::new(0))?;
         sys.run_for(SimDuration::from_secs(1));
-        sys.subscribe(roamer, Filter::builder().eq("service", "s").build());
+        sys.subscribe(roamer, Filter::builder().eq("service", "s").build())?;
         sys.run_for(SimDuration::from_secs(1));
-        sys.depart(roamer);
+        sys.depart(roamer)?;
         sys.run_for(SimDuration::from_secs(1));
-        sys.publish(publisher, Notification::builder().attr("service", "s").attr("i", 1i64));
+        sys.publish(publisher, Notification::builder().attr("service", "s").attr("i", 1i64))?;
         sys.run_for(SimDuration::from_secs(1));
-        sys.arrive(roamer, BrokerId::new(2));
+        sys.arrive(roamer, BrokerId::new(2))?;
         sys.run_for(SimDuration::from_secs(2));
-        assert_eq!(sys.delivered(roamer).len(), 1, "buffered notification replayed");
+        assert_eq!(sys.delivered(roamer)?.len(), 1, "buffered notification replayed");
+        Ok(())
     }
 
     #[test]
-    fn replicated_deployment_counts_vcs() {
-        let mut sys = SystemBuilder::new(Topology::line(3).unwrap())
+    fn replicated_deployment_counts_vcs() -> Result<(), RebecaError> {
+        let mut sys = SystemBuilder::new(Topology::line(3)?)
             .deployment(Deployment::Replicated {
-                movement: MovementGraph::line(3),
+                movement: Some(MovementGraph::line(3)),
                 config: ReplicatorConfig::default(),
             })
-            .build();
+            .build()?;
         let c = sys.add_mobile_client();
-        sys.arrive(c, BrokerId::new(1));
+        sys.arrive(c, BrokerId::new(1))?;
         sys.run_for(SimDuration::from_secs(1));
-        sys.subscribe(c, Filter::builder().myloc("location").build());
+        sys.subscribe(c, Filter::builder().myloc("location").build())?;
         sys.run_for(SimDuration::from_secs(1));
         assert_eq!(sys.total_vc_count(), 3, "self + both movement neighbours");
-        assert!(sys.replicator_stats(BrokerId::new(1)).unwrap().handovers >= 1);
+        assert!(sys.replicator_stats(BrokerId::new(1))?.unwrap().handovers >= 1);
         // Orderly shutdown garbage-collects everything.
-        sys.shutdown_client(c, BrokerId::new(1));
+        sys.shutdown_client(c, BrokerId::new(1))?;
         sys.run_for(SimDuration::from_secs(1));
         assert_eq!(sys.total_vc_count(), 0);
+        Ok(())
     }
 
     #[test]
-    #[should_panic(expected = "unknown client")]
-    fn unknown_client_panics() {
-        let sys = SystemBuilder::new(Topology::line(1).unwrap()).build();
-        let _ = sys.delivered(ClientId::new(99));
+    fn attachment_state_is_tracked() -> Result<(), RebecaError> {
+        let mut sys = SystemBuilder::new(Topology::line(2)?).build()?;
+        let m = sys.add_mobile_client();
+        assert_eq!(sys.attached_broker(m)?, None);
+        sys.arrive(m, BrokerId::new(1))?;
+        assert_eq!(sys.attached_broker(m)?, Some(BrokerId::new(1)));
+        sys.depart(m)?;
+        assert_eq!(sys.attached_broker(m)?, None);
+        Ok(())
     }
 
     #[test]
-    #[should_panic(expected = "not mobile")]
-    fn arriving_with_immobile_client_panics() {
-        let mut sys = SystemBuilder::new(Topology::line(2).unwrap()).build();
-        let c = sys.add_client(BrokerId::new(0));
-        sys.arrive(c, BrokerId::new(1));
+    fn foreign_handles_are_rejected_not_panicked() {
+        let sys = SystemBuilder::new(Topology::line(1).unwrap()).build().unwrap();
+        let mut other = SystemBuilder::new(Topology::line(1).unwrap()).build().unwrap();
+        let foreign = other.add_mobile_client();
+        // `sys` has no client 0 at all.
+        assert!(matches!(sys.delivered(foreign), Err(RebecaError::UnknownClient(_))));
+        // `other` has client 0, but as a mobile client: a *fixed* handle
+        // minted by a third system for the same id is caught as well.
+        let mut third = SystemBuilder::new(Topology::line(1).unwrap()).build().unwrap();
+        let fixed = third.add_client(BrokerId::new(0)).unwrap();
+        assert!(other.delivered(fixed).is_ok(), "ids alias, lookup succeeds");
+        let mobile_alias = third.add_mobile_client();
+        assert!(matches!(
+            other.set_context(mobile_alias, "k", Predicate::Any),
+            Err(RebecaError::UnknownClient(_) | RebecaError::NotMobile(_))
+        ));
     }
 }

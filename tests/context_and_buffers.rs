@@ -1,77 +1,75 @@
 //! Integration tests for the §4 extensions: context-dependent
 //! subscriptions, buffering policies at system level, and the shared
-//! digest buffer.
+//! digest buffer — driven through the handle-based `Result` facade.
 
 use rebeca::{
     BrokerId, BufferSpec, Deployment, Filter, MobileBrokerConfig, MovementGraph, Notification,
-    Predicate, ReplicatorConfig, SimDuration, SystemBuilder, Topology, Value,
+    Predicate, RebecaError, ReplicatorConfig, SimDuration, SystemBuilder, Topology, Value,
 };
 
 #[test]
-fn context_dependent_subscription_adapts_on_context_change() {
-    let mut sys = SystemBuilder::new(Topology::line(2).unwrap())
+fn context_dependent_subscription_adapts_on_context_change() -> Result<(), RebecaError> {
+    let mut sys = SystemBuilder::new(Topology::line(2)?)
         .deployment(Deployment::BrokerMobility(MobileBrokerConfig::default()))
-        .build();
-    let p = sys.add_client(BrokerId::new(1));
+        .build()?;
+    let p = sys.add_client(BrokerId::new(1))?;
     let m = sys.add_mobile_client();
-    sys.arrive(m, BrokerId::new(0));
+    sys.arrive(m, BrokerId::new(0))?;
     sys.run_for(SimDuration::from_millis(300));
 
     // "Traffic alerts for my current speed class" — a state-dependent
-    // subscription.
-    sys.set_context(m, "speed-class", Predicate::Eq(Value::from("slow")));
+    // subscription. `set_context` only accepts mobile handles.
+    sys.set_context(m, "speed-class", Predicate::Eq(Value::from("slow")))?;
     sys.subscribe(
         m,
         Filter::builder().eq("service", "traffic").myctx("class", "speed-class").build(),
-    );
+    )?;
     sys.run_for(SimDuration::from_millis(300));
 
-    let publish = |sys: &mut rebeca::System, class: &str, i: i64| {
+    let publish = |sys: &mut rebeca::System, class: &str, i: i64| -> Result<(), RebecaError> {
         sys.publish(
             p,
-            Notification::builder()
-                .attr("service", "traffic")
-                .attr("class", class)
-                .attr("i", i),
-        );
+            Notification::builder().attr("service", "traffic").attr("class", class).attr("i", i),
+        )
     };
-    publish(&mut sys, "slow", 1);
-    publish(&mut sys, "fast", 2);
+    publish(&mut sys, "slow", 1)?;
+    publish(&mut sys, "fast", 2)?;
     sys.run_for(SimDuration::from_secs(1));
 
     // Context changes (the car speeds up): the subscription adapts
     // automatically.
-    sys.set_context(m, "speed-class", Predicate::Eq(Value::from("fast")));
+    sys.set_context(m, "speed-class", Predicate::Eq(Value::from("fast")))?;
     sys.run_for(SimDuration::from_millis(300));
-    publish(&mut sys, "slow", 3);
-    publish(&mut sys, "fast", 4);
+    publish(&mut sys, "slow", 3)?;
+    publish(&mut sys, "fast", 4)?;
     sys.run_for(SimDuration::from_secs(1));
 
     let got: Vec<i64> = sys
-        .delivered(m)
+        .delivered(m)?
         .iter()
         .filter_map(|r| r.notification.get("i").and_then(|v| v.as_int()))
         .collect();
     assert_eq!(got, vec![1, 4], "subscription must follow the context");
+    Ok(())
 }
 
 #[test]
-fn history_buffer_limits_replay_length() {
+fn history_buffer_limits_replay_length() -> Result<(), RebecaError> {
     for (capacity, expected) in [(2usize, 2usize), (10, 5)] {
-        let mut sys = SystemBuilder::new(Topology::line(2).unwrap())
+        let mut sys = SystemBuilder::new(Topology::line(2)?)
             .deployment(Deployment::Replicated {
-                movement: MovementGraph::line(2),
+                movement: Some(MovementGraph::line(2)),
                 config: ReplicatorConfig {
                     buffer: BufferSpec::HistoryBased { capacity },
                     ..Default::default()
                 },
             })
-            .build();
-        let p = sys.add_client(BrokerId::new(1));
+            .build()?;
+        let p = sys.add_client(BrokerId::new(1))?;
         let m = sys.add_mobile_client();
-        sys.arrive(m, BrokerId::new(0));
+        sys.arrive(m, BrokerId::new(0))?;
         sys.run_for(SimDuration::from_millis(300));
-        sys.subscribe(m, Filter::builder().myloc("location").build());
+        sys.subscribe(m, Filter::builder().myloc("location").build())?;
         sys.run_for(SimDuration::from_millis(300));
         for i in 0..5 {
             sys.publish(
@@ -79,83 +77,85 @@ fn history_buffer_limits_replay_length() {
                 Notification::builder()
                     .attr("location", rebeca::LocationId::new(1))
                     .attr("i", i as i64),
-            );
+            )?;
         }
         sys.run_for(SimDuration::from_secs(1));
-        sys.depart(m);
+        sys.depart(m)?;
         sys.run_for(SimDuration::from_millis(300));
-        sys.arrive(m, BrokerId::new(1));
+        sys.arrive(m, BrokerId::new(1))?;
         sys.run_for(SimDuration::from_secs(1));
         assert_eq!(
-            sys.delivered(m).len(),
+            sys.delivered(m)?.len(),
             expected,
             "history({capacity}) must replay the last {expected}"
         );
     }
+    Ok(())
 }
 
 #[test]
-fn time_buffer_expires_stale_notifications() {
-    let mut sys = SystemBuilder::new(Topology::line(2).unwrap())
+fn time_buffer_expires_stale_notifications() -> Result<(), RebecaError> {
+    let mut sys = SystemBuilder::new(Topology::line(2)?)
         .deployment(Deployment::Replicated {
-            movement: MovementGraph::line(2),
+            movement: Some(MovementGraph::line(2)),
             config: ReplicatorConfig {
                 buffer: BufferSpec::TimeBased { ttl: SimDuration::from_secs(5) },
                 ..Default::default()
             },
         })
-        .build();
-    let p = sys.add_client(BrokerId::new(1));
+        .build()?;
+    let p = sys.add_client(BrokerId::new(1))?;
     let m = sys.add_mobile_client();
-    sys.arrive(m, BrokerId::new(0));
+    sys.arrive(m, BrokerId::new(0))?;
     sys.run_for(SimDuration::from_millis(300));
-    sys.subscribe(m, Filter::builder().myloc("location").build());
+    sys.subscribe(m, Filter::builder().myloc("location").build())?;
     sys.run_for(SimDuration::from_millis(300));
     // One stale publication, then 8 s pass, then one fresh publication.
     sys.publish(
         p,
         Notification::builder().attr("location", rebeca::LocationId::new(1)).attr("i", 1i64),
-    );
+    )?;
     sys.run_for(SimDuration::from_secs(8));
     sys.publish(
         p,
         Notification::builder().attr("location", rebeca::LocationId::new(1)).attr("i", 2i64),
-    );
+    )?;
     sys.run_for(SimDuration::from_secs(1));
-    sys.depart(m);
+    sys.depart(m)?;
     sys.run_for(SimDuration::from_millis(300));
-    sys.arrive(m, BrokerId::new(1));
+    sys.arrive(m, BrokerId::new(1))?;
     sys.run_for(SimDuration::from_secs(1));
     let got: Vec<i64> = sys
-        .delivered(m)
+        .delivered(m)?
         .iter()
         .filter_map(|r| r.notification.get("i").and_then(|v| v.as_int()))
         .collect();
     assert_eq!(got, vec![2], "the stale notification must have expired");
+    Ok(())
 }
 
 #[test]
-fn shared_buffer_deduplicates_across_virtual_clients() {
+fn shared_buffer_deduplicates_across_virtual_clients() -> Result<(), RebecaError> {
     // Two mobile clients with identical interests hosted at the same
     // replicator: the shared store keeps one copy, private mode keeps two.
-    let build = |shared: bool| {
-        let mut sys = SystemBuilder::new(Topology::line(3).unwrap())
+    let build = |shared: bool| -> Result<usize, RebecaError> {
+        let mut sys = SystemBuilder::new(Topology::line(3)?)
             .deployment(Deployment::Replicated {
-                movement: MovementGraph::line(3),
+                movement: Some(MovementGraph::line(3)),
                 config: ReplicatorConfig {
                     buffer: BufferSpec::Unbounded,
                     shared_buffer: shared,
                     ..Default::default()
                 },
             })
-            .build();
-        let p = sys.add_client(BrokerId::new(1));
+            .build()?;
+        let p = sys.add_client(BrokerId::new(1))?;
         let a = sys.add_mobile_client();
         let b = sys.add_mobile_client();
         for m in [a, b] {
-            sys.arrive(m, BrokerId::new(0));
+            sys.arrive(m, BrokerId::new(0))?;
             sys.run_for(SimDuration::from_millis(300));
-            sys.subscribe(m, Filter::builder().myloc("location").build());
+            sys.subscribe(m, Filter::builder().myloc("location").build())?;
             sys.run_for(SimDuration::from_millis(300));
         }
         for i in 0..20 {
@@ -165,54 +165,58 @@ fn shared_buffer_deduplicates_across_virtual_clients() {
                     .attr("location", rebeca::LocationId::new(1))
                     .attr("i", i as i64)
                     .attr("pad", "x".repeat(64)),
-            );
+            )?;
         }
         sys.run_for(SimDuration::from_secs(2));
         sys.buffer_bytes(BrokerId::new(1))
     };
-    let private_bytes = build(false);
-    let shared_bytes = build(true);
+    let private_bytes = build(false)?;
+    let shared_bytes = build(true)?;
     assert!(private_bytes > 0 && shared_bytes > 0);
     assert!(
         shared_bytes < private_bytes,
         "shared store ({shared_bytes}) must undercut private buffers ({private_bytes})"
     );
+    Ok(())
 }
 
 #[test]
-fn replay_is_equivalent_to_a_subscription_in_the_past() {
+fn replay_is_equivalent_to_a_subscription_in_the_past() -> Result<(), RebecaError> {
     // The paper's framing: after arrival the client's log looks as if it
     // had been subscribed at the new location all along.
-    let mut sys = SystemBuilder::new(Topology::line(2).unwrap())
+    let mut sys = SystemBuilder::new(Topology::line(2)?)
         .deployment(Deployment::Replicated {
-            movement: MovementGraph::line(2),
+            movement: Some(MovementGraph::line(2)),
             config: ReplicatorConfig::default(),
         })
-        .build();
-    let p = sys.add_client(BrokerId::new(1));
+        .build()?;
+    let p = sys.add_client(BrokerId::new(1))?;
     let mover = sys.add_mobile_client();
     let resident = sys.add_mobile_client(); // lives at B1 the whole time
-    sys.arrive(resident, BrokerId::new(1));
-    sys.arrive(mover, BrokerId::new(0));
+    sys.arrive(resident, BrokerId::new(1))?;
+    sys.arrive(mover, BrokerId::new(0))?;
     sys.run_for(SimDuration::from_millis(300));
     for c in [mover, resident] {
-        sys.subscribe(c, Filter::builder().myloc("location").build());
+        sys.subscribe(c, Filter::builder().myloc("location").build())?;
     }
     sys.run_for(SimDuration::from_millis(300));
     for i in 0..6 {
         sys.publish(
             p,
-            Notification::builder().attr("location", rebeca::LocationId::new(1)).attr("i", i as i64),
-        );
+            Notification::builder()
+                .attr("location", rebeca::LocationId::new(1))
+                .attr("i", i as i64),
+        )?;
         sys.run_for(SimDuration::from_millis(500));
     }
-    sys.depart(mover);
+    sys.depart(mover)?;
     sys.run_for(SimDuration::from_millis(300));
-    sys.arrive(mover, BrokerId::new(1));
+    sys.arrive(mover, BrokerId::new(1))?;
     sys.run_for(SimDuration::from_secs(2));
 
     let marks = |c| -> Vec<i64> {
         sys.delivered(c)
+            .expect("own client")
             .iter()
             .filter_map(|r| r.notification.get("i").and_then(|v| v.as_int()))
             .collect()
@@ -222,4 +226,5 @@ fn replay_is_equivalent_to_a_subscription_in_the_past() {
         marks(resident),
         "the mover's log must equal the resident's — a subscription in the past"
     );
+    Ok(())
 }

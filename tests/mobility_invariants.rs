@@ -107,11 +107,8 @@ proptest! {
 #[test]
 fn bounded_buffers_bound_memory() {
     let mut unbounded_cfg = base_cfg(7, 5);
-    unbounded_cfg.variant = SystemVariant::ExtendedLogical {
-        k: 1,
-        buffer: BufferSpec::Unbounded,
-        shared: false,
-    };
+    unbounded_cfg.variant =
+        SystemVariant::ExtendedLogical { k: 1, buffer: BufferSpec::Unbounded, shared: false };
     unbounded_cfg.workload.arrivals = Arrivals::Periodic { period: SimDuration::from_millis(300) };
     let unbounded = scenario::run(&unbounded_cfg);
 
@@ -147,30 +144,20 @@ fn popup_movement_degrades_gracefully_with_exception_mode() {
     assert!(hits > 0, "live flow must survive pop-ups");
     let rate = misses as f64 / (hits + misses).max(1) as f64;
     assert!(rate < 0.35, "live miss rate too high under pop-ups: {rate}");
-    assert!(
-        out.replicator_totals.exceptions > 0,
-        "graph violations must trigger exception mode"
-    );
+    assert!(out.replicator_totals.exceptions > 0, "graph violations must trigger exception mode");
 }
 
 #[test]
 fn k2_neighbourhood_covers_two_hop_jumps() {
     // A client that jumps two hops per move is outside nlb¹ but inside
     // nlb²: with k=2 nothing due is missed.
-    let route = vec![
-        rebeca::BrokerId::new(0),
-        rebeca::BrokerId::new(2),
-        rebeca::BrokerId::new(4),
-    ];
+    let route = vec![rebeca::BrokerId::new(0), rebeca::BrokerId::new(2), rebeca::BrokerId::new(4)];
     for (k, expect_zero_miss) in [(1u32, false), (2u32, true)] {
         let mut cfg = base_cfg(3, 5);
         cfg.movement_model = MovementModel::Waypoint(route.clone());
         cfg.mobile_clients = 1;
-        cfg.variant = SystemVariant::ExtendedLogical {
-            k,
-            buffer: BufferSpec::Unbounded,
-            shared: false,
-        };
+        cfg.variant =
+            SystemVariant::ExtendedLogical { k, buffer: BufferSpec::Unbounded, shared: false };
         let out = scenario::run(&cfg);
         // Against the idealised demand (window-limited to the dwell) —
         // k=2 covers two-hop jumps, k=1 cannot.
@@ -178,10 +165,7 @@ fn k2_neighbourhood_covers_two_hop_jumps() {
         if expect_zero_miss {
             assert_eq!(report.misses, 0, "k=2 must cover two-hop jumps");
         } else {
-            assert!(
-                report.misses > 0,
-                "k=1 must miss buffered notifications across two-hop jumps"
-            );
+            assert!(report.misses > 0, "k=1 must miss buffered notifications across two-hop jumps");
         }
     }
 }

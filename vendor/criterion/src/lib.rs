@@ -1,0 +1,169 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`, the
+//! `criterion_group!` / `criterion_main!` macros — with a simple measuring
+//! loop: warm up briefly, then time batches until ~100 ms has elapsed and
+//! report the mean time per iteration. No statistics, outlier analysis, or
+//! HTML reports; swap the path dependency for the real crate when a
+//! registry is available.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into() }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes its own sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { total: Duration::ZERO, iters: 0 };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("bench {label:<45} (no iterations)");
+    } else {
+        let per_iter = bencher.total.as_nanos() / u128::from(bencher.iters);
+        println!(
+            "bench {label:<45} {per_iter:>12} ns/iter ({} iters; stub criterion, indicative only)",
+            bencher.iters
+        );
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times the routine: a short warm-up, then batches until ~100 ms of
+    /// measured time has accumulated.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        let budget = Duration::from_millis(100);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < budget && iters < 1_000_000 {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Work performed per iteration (accepted for API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("f", 3), &3, |b, n| b.iter(|| n * 2));
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &(), |b, _| b.iter(|| ()));
+        group.finish();
+    }
+}

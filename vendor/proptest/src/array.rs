@@ -1,0 +1,37 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy for `[T; 3]` sampling the inner strategy three times.
+pub fn uniform3<S: Strategy>(inner: S) -> Uniform3<S> {
+    Uniform3 { inner }
+}
+
+/// See [`uniform3`].
+#[derive(Debug, Clone)]
+pub struct Uniform3<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Uniform3<S> {
+    type Value = [S::Value; 3];
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        [self.inner.sample(rng), self.inner.sample(rng), self.inner.sample(rng)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_in_range() {
+        let mut rng = TestRng::for_test("array::tests");
+        for _ in 0..100 {
+            let [a, b, c] = uniform3(0u32..7).sample(&mut rng);
+            assert!(a < 7 && b < 7 && c < 7);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Collection strategies: `vec`, `btree_map`, `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+fn sample_len(rng: &mut TestRng, size: &Range<usize>) -> usize {
+    assert!(size.start < size.end, "empty size range");
+    size.start + rng.below((size.end - size.start) as u64) as usize
+}
+
+/// A strategy for `Vec`s with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = sample_len(rng, &self.size);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A strategy for `BTreeMap`s with up to `size` entries (duplicate sampled
+/// keys collapse, so the final size may be smaller — as in real proptest).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V> {
+    BTreeMapStrategy { key, value, size }
+}
+
+/// See [`btree_map`].
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = sample_len(rng, &self.size);
+        (0..len).map(|_| (self.key.sample(rng), self.value.sample(rng))).collect()
+    }
+}
+
+/// A strategy for `BTreeSet`s with up to `size` elements (duplicates
+/// collapse).
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy { element, size }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = sample_len(rng, &self.size);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_respected() {
+        let mut rng = TestRng::for_test("collection::tests");
+        for _ in 0..200 {
+            let v = vec(0i64..5, 2..6).sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let m = btree_map("[a-b]", 0i64..3, 0..4).sample(&mut rng);
+            assert!(m.len() < 4);
+            let s = btree_set(0u32..10, 0..5).sample(&mut rng);
+            assert!(s.len() < 5);
+        }
+    }
+}

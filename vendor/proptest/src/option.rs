@@ -1,0 +1,43 @@
+//! The `Option` strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy yielding `None` about a quarter of the time and `Some` of the
+/// inner strategy otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::for_test("option::tests");
+        let s = of(0i64..10);
+        let samples: Vec<_> = (0..200).map(|_| s.sample(&mut rng)).collect();
+        assert!(samples.iter().any(|v| v.is_none()));
+        assert!(samples.iter().any(|v| v.is_some()));
+        assert!(samples.iter().flatten().all(|v| (0..10).contains(v)));
+    }
+}

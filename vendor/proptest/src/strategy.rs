@@ -1,0 +1,322 @@
+//! The [`Strategy`] trait and the scalar / string / tuple strategies.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Boxes a strategy for use in heterogeneous unions (see `prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// A union of strategies: each sample picks one arm uniformly.
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} arms)", self.arms.len())
+    }
+}
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Samples one value from the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+/// The canonical whole-domain strategy of a type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i64, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// String-pattern strategy: `&'static str` patterns of the forms
+/// `[class]`, `[class]{n}`, `[class]{m,n}`, `.`, `.{m,n}`, where `class`
+/// contains literal characters and `a-z` ranges.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_pattern(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect()
+    }
+}
+
+/// The characters `.` may produce: printable ASCII plus a couple of
+/// multi-byte characters so UTF-8 handling gets exercised.
+fn any_char_alphabet() -> Vec<char> {
+    let mut v: Vec<char> = (' '..='~').collect();
+    v.extend(['é', 'λ', '中', '🦀']);
+    v
+}
+
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let mut chars = pattern.chars().peekable();
+    let alphabet: Vec<char> = match chars.next() {
+        Some('.') => any_char_alphabet(),
+        Some('[') => {
+            let mut class = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                match chars.next() {
+                    Some(']') => break,
+                    Some('-') if prev.is_some() && chars.peek().is_some_and(|c| *c != ']') => {
+                        let lo = prev.take().expect("checked");
+                        let hi = chars.next().expect("peeked");
+                        class.extend(lo..=hi);
+                    }
+                    Some(c) => {
+                        if let Some(p) = prev.replace(c) {
+                            class.push(p);
+                        }
+                    }
+                    None => panic!("unterminated character class in pattern `{pattern}`"),
+                }
+            }
+            if let Some(p) = prev {
+                class.push(p);
+            }
+            assert!(!class.is_empty(), "empty character class in pattern `{pattern}`");
+            class
+        }
+        _ => panic!("unsupported string pattern `{pattern}` (expected `[class]` or `.`)"),
+    };
+    let rest: String = chars.collect();
+    let (lo, hi) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported repetition `{rest}` in pattern `{pattern}`"));
+        match inner.split_once(',') {
+            Some((a, b)) => (
+                a.trim().parse().expect("pattern repetition lower bound"),
+                b.trim().parse().expect("pattern repetition upper bound"),
+            ),
+            None => {
+                let n = inner.trim().parse().expect("pattern repetition count");
+                (n, n)
+            }
+        }
+    };
+    assert!(lo <= hi, "inverted repetition in pattern `{pattern}`");
+    (alphabet, lo, hi)
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy::tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            assert!((-5..7i64).contains(&(-5i64..7).sample(&mut r)));
+            assert!((0..3usize).contains(&(0usize..3).sample(&mut r)));
+            let f = (0.25f64..0.75).sample(&mut r);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-c]{1,3}".sample(&mut r);
+            assert!((1..=3).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = "[xy]".sample(&mut r);
+            assert!(t == "x" || t == "y");
+            let u = ".{0,4}".sample(&mut r);
+            assert!(u.chars().count() <= 4);
+        }
+    }
+
+    #[test]
+    fn union_and_map() {
+        let mut r = rng();
+        let s = crate::prop_oneof![(0i64..1).prop_map(|_| -1i64), 5i64..6];
+        for _ in 0..100 {
+            let v = s.sample(&mut r);
+            assert!(v == -1 || v == 5);
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut r = rng();
+        let ((a, b), c) = ((0u32..4, 0u32..4), Just("k")).sample(&mut r);
+        assert!(a < 4 && b < 4);
+        assert_eq!(c, "k");
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compiles
+//! without network access. No serialization traits are provided — nothing
+//! in the workspace calls them yet. Swap this path dependency for the real
+//! crates.io `serde` when a registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};

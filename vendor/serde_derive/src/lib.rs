@@ -1,0 +1,23 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace builds without network access, so the real `serde` cannot
+//! be fetched. The codebase only uses `#[derive(Serialize, Deserialize)]`
+//! as forward-looking annotations (nothing serializes through serde yet);
+//! these derives therefore expand to nothing. Swap this path dependency for
+//! the real crates.io `serde` when a registry is available.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts (and ignores) `#[serde(...)]` helper
+/// attributes and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts (and ignores) `#[serde(...)]` helper
+/// attributes and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
