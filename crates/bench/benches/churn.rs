@@ -1,0 +1,187 @@
+//! Churn benchmark: subscription storms and handover-driven churn.
+//!
+//! The paper's mobility machinery makes *subscription churn* the hot path:
+//! every handover re-issues the client's subscriptions and mirrors them
+//! across the movement neighbourhood, so broker announcement recomputation
+//! runs once per churn event, not once per deployment. This bench measures
+//! churn events per second in two shapes:
+//!
+//! * `subscription-churn/*` — a static deployment preloaded with N distinct
+//!   filters; one client subscribes/unsubscribes in a tight storm. Every
+//!   event used to trigger a full O(filters²) covering recompute on every
+//!   broker along the propagation path.
+//! * `handover-storm` — a replicated deployment with mobile clients
+//!   bouncing between brokers; each arrival re-issues and mirrors
+//!   location-dependent subscriptions (replica create/delete churn).
+//!
+//! Results print in the criterion-stub format and, when `CHURN_JSON` names
+//! a file, are additionally written as JSON so CI can track a perf
+//! trajectory (see `BENCH_baseline.json` at the repo root).
+
+use rebeca::{
+    BrokerId, Deployment, Filter, MovementGraph, ReplicatorConfig, RoutingStrategy, SimDuration,
+    System, SystemBuilder, Topology,
+};
+use std::time::{Duration, Instant};
+
+/// One measured churn workload.
+struct Measurement {
+    name: String,
+    events: u64,
+    elapsed: Duration,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Builds a 4-broker line with `preload` distinct filters already in every
+/// routing table (subscribed by a client at the far end), using the
+/// covering strategy — the worst case for announcement recomputation.
+fn churn_system(preload: usize) -> System {
+    let mut sys = SystemBuilder::new(Topology::line(4).expect("valid line"))
+        .strategy(RoutingStrategy::Covering)
+        .build()
+        .expect("valid deployment");
+    let loader = sys.add_client(BrokerId::new(3)).expect("broker in topology");
+    sys.run_for(SimDuration::from_millis(100));
+    for i in 0..preload {
+        sys.subscribe(loader, Filter::builder().eq("room", i as i64).build()).expect("own client");
+    }
+    sys.run_for(SimDuration::from_secs(2));
+    sys
+}
+
+/// Subscribe/unsubscribe storm at the opposite end of the line: every
+/// subscribe and every unsubscribe is one churn event, and each propagates
+/// announcement updates through all four brokers.
+fn bench_subscription_churn(preload: usize, budget: Duration) -> Measurement {
+    let mut sys = churn_system(preload);
+    let churner = sys.add_client(BrokerId::new(0)).expect("broker in topology");
+    sys.run_for(SimDuration::from_millis(100));
+
+    // Warm-up: one full cycle.
+    let id =
+        sys.subscribe(churner, Filter::builder().eq("churn", -1i64).build()).expect("own client");
+    sys.run_for(SimDuration::from_millis(100));
+    sys.unsubscribe(churner, id).expect("own client");
+    sys.run_for(SimDuration::from_millis(100));
+
+    let mut events = 0u64;
+    let mut round = 0i64;
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        let id = sys
+            .subscribe(churner, Filter::builder().eq("churn", round).build())
+            .expect("own client");
+        sys.run_for(SimDuration::from_millis(50));
+        sys.unsubscribe(churner, id).expect("own client");
+        sys.run_for(SimDuration::from_millis(50));
+        events += 2;
+        round += 1;
+    }
+    Measurement {
+        name: format!("subscription-churn/preload-{preload}"),
+        events,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Handover storm: mobile clients with location-dependent subscriptions
+/// bounce between the brokers of a replicated deployment. Every arrival is
+/// one churn event (it re-issues the subscription set and reconciles the
+/// replica neighbourhood).
+fn bench_handover_storm(clients: usize, preload: usize, budget: Duration) -> Measurement {
+    let brokers = 4usize;
+    let mut sys = SystemBuilder::new(Topology::line(brokers).expect("valid line"))
+        .strategy(RoutingStrategy::Covering)
+        .deployment(Deployment::Replicated {
+            movement: Some(MovementGraph::line(brokers)),
+            config: ReplicatorConfig::default(),
+        })
+        .build()
+        .expect("valid deployment");
+    let loader = sys.add_client(BrokerId::new(3)).expect("broker in topology");
+    sys.run_for(SimDuration::from_millis(100));
+    for i in 0..preload {
+        sys.subscribe(loader, Filter::builder().eq("room", i as i64).build()).expect("own client");
+    }
+    let mobiles: Vec<_> = (0..clients).map(|_| sys.add_mobile_client()).collect();
+    for (i, m) in mobiles.iter().enumerate() {
+        sys.arrive(*m, BrokerId::new((i % brokers) as u32)).expect("fresh client arrives");
+    }
+    sys.run_for(SimDuration::from_millis(500));
+    for (i, m) in mobiles.iter().enumerate() {
+        sys.subscribe(*m, Filter::builder().eq("service", "t").myloc("location").build())
+            .expect("own client");
+        sys.subscribe(*m, Filter::builder().eq("stream", i as i64).myloc("location").build())
+            .expect("own client");
+    }
+    sys.run_for(SimDuration::from_secs(2));
+
+    let mut events = 0u64;
+    let mut round = 0usize;
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        for (i, m) in mobiles.iter().enumerate() {
+            sys.depart(*m).expect("attached client departs");
+            let to = BrokerId::new(((i + round + 1) % brokers) as u32);
+            sys.arrive(*m, to).expect("departed client arrives");
+            events += 1;
+        }
+        sys.run_for(SimDuration::from_secs(1));
+        round += 1;
+    }
+    Measurement {
+        name: format!("handover-storm/clients-{clients}-preload-{preload}"),
+        events,
+        elapsed: start.elapsed(),
+    }
+}
+
+fn main() {
+    let quick = std::env::var("CHURN_QUICK").is_ok();
+    let budget = if quick { Duration::from_millis(200) } else { Duration::from_millis(1500) };
+
+    let measurements = vec![
+        bench_subscription_churn(50, budget),
+        bench_subscription_churn(200, budget),
+        bench_handover_storm(8, 100, budget),
+    ];
+
+    for m in &measurements {
+        println!(
+            "bench churn/{:<42} {:>12.0} events/s ({} events in {:.2?})",
+            m.name,
+            m.events_per_sec(),
+            m.events,
+            m.elapsed
+        );
+    }
+
+    if let Ok(path) = std::env::var("CHURN_JSON") {
+        let label =
+            std::env::var("CHURN_LABEL").unwrap_or_else(|_| "unlabelled churn run".to_string());
+        let mut entries = String::new();
+        for (i, m) in measurements.iter().enumerate() {
+            if i > 0 {
+                entries.push_str(",\n");
+            }
+            entries.push_str(&format!(
+                "    {{\"name\": \"{}\", \"events\": {}, \"seconds\": {:.4}, \
+                 \"events_per_sec\": {:.1}}}",
+                m.name,
+                m.events,
+                m.elapsed.as_secs_f64(),
+                m.events_per_sec()
+            ));
+        }
+        let json = format!(
+            "{{\n  \"bench\": \"churn\",\n  \"label\": \"{label}\",\n  \"results\": [\n{entries}\n  ]\n}}\n"
+        );
+        std::fs::write(&path, json).expect("write CHURN_JSON output");
+        println!("bench churn: wrote {path}");
+    }
+}

@@ -9,11 +9,12 @@
 //! back to its wrapper instead of interpreting them.
 
 use crate::message::{Message, MobilityMsg};
-use crate::routing::RoutingStrategy;
-use crate::table::{RouteDecision, RoutingTable};
+use crate::routing::{CoverChanges, LinkAnnouncer, RoutingStrategy};
+use crate::table::{FilterOrigin, RouteDecision, RoutingTable, TableDelta};
+use rebeca_core::filter::merge_set;
 use rebeca_core::{BrokerId, ClientId, Digest, Filter, Notification, SubscriptionId};
 use rebeca_net::{Ctx, Node, NodeId, Payload, Topology};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -39,8 +40,9 @@ pub struct LocalDelivery {
     pub client: ClientId,
     /// The node the client is (last known to be) reachable at.
     pub node: NodeId,
-    /// The matching notification.
-    pub notification: Notification,
+    /// The matching notification (shared with every other delivery and
+    /// forward of the same notification).
+    pub notification: Arc<Notification>,
 }
 
 /// Result of handling one message in the core.
@@ -63,6 +65,9 @@ pub struct BrokerCore {
     /// Node ids of the neighbouring brokers.
     neighbors: Vec<NodeId>,
     table: RoutingTable,
+    /// Incremental announcement state, one per neighbour (same order as
+    /// `neighbors`).
+    announcers: Vec<LinkAnnouncer>,
     /// What this broker has announced to each neighbour, by digest.
     announced: HashMap<NodeId, HashMap<Digest, Filter>>,
     stats: BrokerStats,
@@ -94,8 +99,10 @@ impl BrokerCore {
     ) -> Self {
         assert!((id.raw() as usize) < topology.broker_count(), "broker {id} not in topology");
         assert!(broker_nodes.len() >= topology.broker_count(), "broker node map incomplete");
-        let neighbors =
+        let neighbors: Vec<NodeId> =
             topology.neighbors(id).iter().map(|b| broker_nodes[b.raw() as usize]).collect();
+        let covering = matches!(strategy, RoutingStrategy::Covering | RoutingStrategy::Merging);
+        let announcers = neighbors.iter().map(|_| LinkAnnouncer::new(covering)).collect();
         BrokerCore {
             id,
             strategy,
@@ -103,6 +110,7 @@ impl BrokerCore {
             broker_nodes,
             neighbors,
             table: RoutingTable::new(),
+            announcers,
             announced: HashMap::new(),
             stats: BrokerStats::default(),
         }
@@ -163,34 +171,33 @@ impl BrokerCore {
                 self.table.attach_client(client, from);
             }
             Message::ClientDetach { client } => {
-                self.table.detach_client(client);
-                self.recompute_announcements(ctx);
+                self.detach_client(ctx, client);
             }
             Message::Subscribe { subscription } => {
                 // Subscribing implies attachment (first contact may race).
                 self.table.attach_client(subscription.client(), from);
-                self.table.subscribe_client(
+                let delta = self.table.subscribe_client(
                     subscription.client(),
                     subscription.id(),
                     subscription.filter().clone(),
                 );
-                self.recompute_announcements(ctx);
+                self.apply_delta(ctx, &delta);
             }
             Message::Unsubscribe { client, id } => {
-                self.table.unsubscribe_client(client, id);
-                self.recompute_announcements(ctx);
+                let delta = self.table.unsubscribe_client(client, id);
+                self.apply_delta(ctx, &delta);
             }
             Message::Publish { notification } | Message::Forward { notification } => {
                 let deliveries = self.route_notification(ctx, from, notification);
                 out.deliveries.extend(deliveries);
             }
             Message::SubForward { filter } => {
-                self.table.neighbor_subscribe(from, filter);
-                self.recompute_announcements(ctx);
+                let delta = self.table.neighbor_subscribe(from, filter);
+                self.apply_delta(ctx, &delta);
             }
             Message::UnsubForward { filter } => {
-                self.table.neighbor_unsubscribe(from, filter.digest());
-                self.recompute_announcements(ctx);
+                let delta = self.table.neighbor_unsubscribe(from, filter.digest());
+                self.apply_delta(ctx, &delta);
             }
             Message::Routed { to, inner } => {
                 if to == self.id {
@@ -219,12 +226,13 @@ impl BrokerCore {
 
     /// Forwards a notification per routing table / strategy and returns the
     /// local deliveries. `from` is the link the notification arrived on and
-    /// is excluded from forwarding.
+    /// is excluded from forwarding. The notification is shared by `Arc`
+    /// across every forward and delivery — no per-neighbour copies.
     pub fn route_notification(
         &mut self,
         ctx: &mut Ctx<'_, Message>,
         from: NodeId,
-        n: Notification,
+        n: Arc<Notification>,
     ) -> Vec<LocalDelivery> {
         self.stats.notifications_routed += 1;
         let RouteDecision { clients, neighbors } = self.table.route(&n);
@@ -234,13 +242,13 @@ impl BrokerCore {
             neighbors.into_iter().filter(|nb| *nb != from).collect()
         };
         for nb in &forward_to {
-            ctx.send(*nb, Message::Forward { notification: n.clone() });
+            ctx.send(*nb, Message::Forward { notification: Arc::clone(&n) });
         }
         self.stats.forwards_sent += forward_to.len() as u64;
         self.stats.local_deliveries += clients.len() as u64;
         clients
             .into_iter()
-            .map(|(client, node)| LocalDelivery { client, node, notification: n.clone() })
+            .map(|(client, node)| LocalDelivery { client, node, notification: Arc::clone(&n) })
             .collect()
     }
 
@@ -249,13 +257,25 @@ impl BrokerCore {
         self.table.attach_client(client, node);
     }
 
-    /// Detaches a client and drops its subscriptions, then re-announces.
+    /// Detaches a client, drops its subscriptions and incrementally
+    /// retracts whatever they alone were responsible for announcing.
     pub fn detach_client(&mut self, ctx: &mut Ctx<'_, Message>, client: ClientId) {
-        self.table.detach_client(client);
-        self.recompute_announcements(ctx);
+        let delta = match self.table.detach_client(client) {
+            Some(entry) => {
+                // Digest order, not HashMap order: the announcer processes
+                // removals deterministically.
+                let mut removed: Vec<(FilterOrigin, Filter)> =
+                    entry.subs.into_values().map(|f| (FilterOrigin::Client, f)).collect();
+                removed.sort_unstable_by_key(|(_, f)| f.digest());
+                TableDelta { added: Vec::new(), removed }
+            }
+            None => TableDelta::default(),
+        };
+        self.apply_delta(ctx, &delta);
     }
 
-    /// Installs a client subscription programmatically and re-announces.
+    /// Installs a client subscription programmatically and incrementally
+    /// updates the affected announcements.
     pub fn subscribe_client(
         &mut self,
         ctx: &mut Ctx<'_, Message>,
@@ -263,57 +283,120 @@ impl BrokerCore {
         id: SubscriptionId,
         filter: Filter,
     ) {
-        self.table.subscribe_client(client, id, filter);
-        self.recompute_announcements(ctx);
+        let delta = self.table.subscribe_client(client, id, filter);
+        self.apply_delta(ctx, &delta);
     }
 
-    /// Removes a client subscription programmatically and re-announces.
+    /// Removes a client subscription programmatically and incrementally
+    /// updates the affected announcements.
     pub fn unsubscribe_client(
         &mut self,
         ctx: &mut Ctx<'_, Message>,
         client: ClientId,
         id: SubscriptionId,
     ) {
-        self.table.unsubscribe_client(client, id);
-        self.recompute_announcements(ctx);
+        let delta = self.table.unsubscribe_client(client, id);
+        self.apply_delta(ctx, &delta);
     }
 
-    /// Recomputes the desired announcement set for every neighbour link and
-    /// emits the difference (SubForward before UnsubForward, so coverage
-    /// never has a gap — make-before-break over FIFO links).
-    pub fn recompute_announcements(&mut self, ctx: &mut Ctx<'_, Message>) {
-        if self.strategy.is_flooding() {
+    /// The filters currently announced to `neighbor`, sorted by digest
+    /// (equivalence testing and diagnostics).
+    pub fn announced_filters(&self, neighbor: NodeId) -> Vec<Filter> {
+        let mut out: Vec<Filter> = self
+            .announced
+            .get(&neighbor)
+            .map(|m| m.values().cloned().collect())
+            .unwrap_or_default();
+        out.sort_by_key(Filter::digest);
+        out
+    }
+
+    /// Applies one routing-table delta to the announcement state of every
+    /// *affected* neighbour link and emits the difference (SubForward
+    /// before UnsubForward, so coverage never has a gap —
+    /// make-before-break over FIFO links).
+    ///
+    /// This is the churn hot path: a client filter touches every link, a
+    /// neighbour's filter every link but its own, and per link the cost is
+    /// `O(distinct served filters)` covering checks — never a recompute of
+    /// the whole table. Only the merging strategy re-merges, and it merges
+    /// the (small) minimal cover, not the full filter set.
+    fn apply_delta(&mut self, ctx: &mut Ctx<'_, Message>, delta: &TableDelta) {
+        if self.strategy.is_flooding() || delta.is_empty() {
             return;
         }
-        for nb in self.neighbors.clone() {
-            let desired_vec = self.strategy.announcements(&self.table.filters_excluding(nb));
-            let desired: HashMap<Digest, Filter> =
-                desired_vec.into_iter().map(|f| (f.digest(), f)).collect();
+        for (i, announcer) in self.announcers.iter_mut().enumerate() {
+            let nb = self.neighbors[i];
+            let mut changes = CoverChanges::default();
+            for (origin, f) in &delta.added {
+                if origin.serves(nb) {
+                    announcer.add(f, &mut changes);
+                }
+            }
+            for (origin, f) in &delta.removed {
+                if origin.serves(nb) {
+                    announcer.remove(f, &mut changes);
+                }
+            }
+            if changes.is_empty() {
+                continue;
+            }
             let current = self.announced.entry(nb).or_default();
-
-            let mut added: Vec<(Digest, Filter)> = desired
-                .iter()
-                .filter(|(d, _)| !current.contains_key(*d))
-                .map(|(d, f)| (*d, f.clone()))
-                .collect();
-            added.sort_unstable_by_key(|(d, _)| *d);
-            let mut removed: Vec<(Digest, Filter)> = current
-                .iter()
-                .filter(|(d, _)| !desired.contains_key(*d))
-                .map(|(d, f)| (*d, f.clone()))
-                .collect();
-            removed.sort_unstable_by_key(|(d, _)| *d);
-            self.stats.control_sent += (added.len() + removed.len()) as u64;
-
-            for (_, f) in &added {
-                ctx.send(nb, Message::SubForward { filter: f.clone() });
-            }
-            for (d, f) in &removed {
-                current.remove(d);
-                ctx.send(nb, Message::UnsubForward { filter: f.clone() });
-            }
-            for (d, f) in added {
-                current.insert(d, f);
+            if matches!(self.strategy, RoutingStrategy::Merging) {
+                // Re-merge the minimal cover (already maintained
+                // incrementally) and diff against what the peer has.
+                let desired_vec = merge_set(announcer.announced());
+                let desired: HashMap<Digest, Filter> =
+                    desired_vec.into_iter().map(|f| (f.digest(), f)).collect();
+                let mut added: Vec<(Digest, Filter)> = desired
+                    .iter()
+                    .filter(|(d, _)| !current.contains_key(*d))
+                    .map(|(d, f)| (*d, f.clone()))
+                    .collect();
+                added.sort_unstable_by_key(|(d, _)| *d);
+                let mut removed: Vec<(Digest, Filter)> = current
+                    .iter()
+                    .filter(|(d, _)| !desired.contains_key(*d))
+                    .map(|(d, f)| (*d, f.clone()))
+                    .collect();
+                removed.sort_unstable_by_key(|(d, _)| *d);
+                self.stats.control_sent += (added.len() + removed.len()) as u64;
+                for (_, f) in &added {
+                    ctx.send(nb, Message::SubForward { filter: f.clone() });
+                }
+                for (d, f) in &removed {
+                    current.remove(d);
+                    ctx.send(nb, Message::UnsubForward { filter: f.clone() });
+                }
+                for (d, f) in added {
+                    current.insert(d, f);
+                }
+            } else {
+                // Simple / covering: the announcer's transitions *are* the
+                // wire diff — after cancelling filters that both entered
+                // and left within this delta (e.g. a multi-filter detach
+                // uncovers a filter with one removal and removes it with
+                // the next). The net effect is the symmetric difference of
+                // the before/after announced sets, which is independent of
+                // the order removals were processed in.
+                let entered_digests: HashSet<Digest> =
+                    changes.entered.iter().map(Filter::digest).collect();
+                let left_digests: HashSet<Digest> =
+                    changes.left.iter().map(Filter::digest).collect();
+                changes.entered.retain(|f| !left_digests.contains(&f.digest()));
+                changes.left.retain(|f| !entered_digests.contains(&f.digest()));
+                // Sort for determinism, announce before retract.
+                changes.entered.sort_unstable_by_key(Filter::digest);
+                changes.left.sort_unstable_by_key(Filter::digest);
+                self.stats.control_sent += (changes.entered.len() + changes.left.len()) as u64;
+                for f in changes.entered {
+                    current.insert(f.digest(), f.clone());
+                    ctx.send(nb, Message::SubForward { filter: f });
+                }
+                for f in changes.left {
+                    current.remove(&f.digest());
+                    ctx.send(nb, Message::UnsubForward { filter: f });
+                }
             }
         }
     }

@@ -146,7 +146,7 @@ impl LocalBroker {
         if self.is_connected(ctx) {
             let n = attrs.publish(self.client, seq, ctx.now());
             let border = self.border.expect("connected implies border");
-            ctx.send(border, Message::Publish { notification: n });
+            ctx.send(border, Message::Publish { notification: std::sync::Arc::new(n) });
         } else {
             self.pending_pubs.push_back((seq, attrs));
         }
@@ -226,7 +226,7 @@ impl LocalBroker {
         let border = self.border.expect("connected implies border");
         while let Some((seq, attrs)) = self.pending_pubs.pop_front() {
             let n = attrs.publish(self.client, seq, ctx.now());
-            ctx.send(border, Message::Publish { notification: n });
+            ctx.send(border, Message::Publish { notification: std::sync::Arc::new(n) });
         }
     }
 }
@@ -276,7 +276,9 @@ impl Node<Message> for ClientNode {
             }
             Message::AppSubscribe { id, filter } => self.local.subscribe(ctx, id, filter),
             Message::AppUnsubscribe { id } => self.local.unsubscribe(ctx, id),
-            Message::Deliver { notification, .. } => self.local.on_deliver(ctx.now(), notification),
+            Message::Deliver { notification, .. } => {
+                self.local.on_deliver(ctx.now(), std::sync::Arc::unwrap_or_clone(notification))
+            }
             _ => {}
         }
     }

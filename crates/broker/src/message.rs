@@ -13,6 +13,7 @@ use rebeca_core::{
     BrokerId, ClientId, Filter, Notification, NotificationBuilder, Subscription, SubscriptionId,
 };
 use rebeca_net::Payload;
+use std::sync::Arc;
 
 /// A message on some link of the REBECA network.
 #[derive(Debug, Clone)]
@@ -49,9 +50,12 @@ pub enum Message {
         client: ClientId,
     },
     /// A freshly published notification entering the broker network.
+    ///
+    /// Routed notifications travel behind an [`Arc`]: forwarding the same
+    /// notification to N neighbours is N refcount bumps, not N copies.
     Publish {
         /// The published notification.
-        notification: Notification,
+        notification: Arc<Notification>,
     },
     /// A client registers a subscription at its border broker.
     Subscribe {
@@ -71,15 +75,15 @@ pub enum Message {
     Deliver {
         /// The receiving client.
         client: ClientId,
-        /// The matching notification.
-        notification: Notification,
+        /// The matching notification (shared, not copied, across the fan-out).
+        notification: Arc<Notification>,
     },
 
     // ----- broker ↔ broker -----
-    /// A notification forwarded between brokers.
+    /// A notification forwarded between brokers (shared, not copied).
     Forward {
         /// The routed notification.
-        notification: Notification,
+        notification: Arc<Notification>,
     },
     /// Subscription propagation: the sender wants all notifications
     /// matching `filter`. Identified by the filter's digest (strategies may
@@ -303,9 +307,10 @@ mod tests {
             0,
             SimTime::ZERO,
         );
-        assert_eq!(Message::Publish { notification: n.clone() }.kind(), "pub");
+        let n = Arc::new(n);
+        assert_eq!(Message::Publish { notification: Arc::clone(&n) }.kind(), "pub");
         assert_eq!(
-            Message::Deliver { client: ClientId::new(1), notification: n.clone() }.kind(),
+            Message::Deliver { client: ClientId::new(1), notification: Arc::clone(&n) }.kind(),
             "dlv"
         );
         assert_eq!(Message::SubForward { filter: Filter::all() }.kind(), "sub");
@@ -331,8 +336,8 @@ mod tests {
             1,
             SimTime::ZERO,
         );
-        let ms = Message::Publish { notification: small };
-        let mb = Message::Publish { notification: big };
+        let ms = Message::Publish { notification: Arc::new(small) };
+        let mb = Message::Publish { notification: Arc::new(big) };
         assert!(mb.wire_size() > ms.wire_size() + 100);
 
         let f = Filter::builder().eq("service", "temperature").build();

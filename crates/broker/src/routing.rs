@@ -15,7 +15,7 @@
 //! [`UnsubForward`](crate::Message::UnsubForward) messages.
 
 use rebeca_core::filter::merge_set;
-use rebeca_core::Filter;
+use rebeca_core::{Digest, Filter};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -111,6 +111,143 @@ pub fn minimal_cover(filters: &[Filter]) -> Vec<Filter> {
         }
     }
     filters.into_iter().zip(keep).filter_map(|(f, k)| k.then_some(f)).collect()
+}
+
+/// The domination relation behind [`minimal_cover`], on filters with
+/// **distinct digests**: `g` dominates `f` when `g` covers `f` and `f` is
+/// not the digest-smaller member of a mutually covering (equivalent) pair.
+/// A filter belongs to the minimal cover iff nothing dominates it; the
+/// relation is a strict partial order (transitive, irreflexive), which is
+/// what makes the set maintainable by counting dominators.
+fn dominates(g: &Filter, f: &Filter) -> bool {
+    g.covers(f) && !(f.covers(g) && f.digest() < g.digest())
+}
+
+/// Transitions of a link's announced set produced by one served-filter
+/// mutation. `entered` are filters that became announced, `left` filters
+/// that stopped being announced. Both may carry several filters (adding a
+/// broad filter retracts everything it covers at once).
+#[derive(Debug, Clone, Default)]
+pub struct CoverChanges {
+    /// Filters that entered the announced set.
+    pub entered: Vec<Filter>,
+    /// Filters that left the announced set.
+    pub left: Vec<Filter>,
+}
+
+impl CoverChanges {
+    /// Returns `true` if the announced set did not change.
+    pub fn is_empty(&self) -> bool {
+        self.entered.is_empty() && self.left.is_empty()
+    }
+}
+
+/// One filter of a link's served multiset.
+#[derive(Debug, Clone)]
+struct Served {
+    filter: Filter,
+    /// Multiset count: how many table entries serve this exact filter.
+    refs: usize,
+    /// How many other distinct served filters dominate this one. The
+    /// filter is announced iff this is zero (covering mode).
+    dominated_by: usize,
+}
+
+/// Incrementally maintained announcement state for **one** neighbour link:
+/// the refcounted multiset of filters that must be served through the link,
+/// plus per-filter dominator counts so the minimal covering subset is
+/// available without ever rescanning the whole table.
+///
+/// In *simple* mode (no covering) every distinct filter is announced; in
+/// *covering* mode only non-dominated filters are. A single mutation costs
+/// `O(distinct filters)` covering checks — against the `O(n²)` of a
+/// from-scratch [`minimal_cover`] — and touches nothing outside this link.
+#[derive(Debug, Clone)]
+pub struct LinkAnnouncer {
+    covering: bool,
+    entries: HashMap<Digest, Served>,
+}
+
+impl LinkAnnouncer {
+    /// Creates empty state; `covering` selects covering mode (used by the
+    /// covering *and* merging strategies).
+    pub fn new(covering: bool) -> Self {
+        LinkAnnouncer { covering, entries: HashMap::new() }
+    }
+
+    /// Number of distinct filters currently served through the link.
+    pub fn distinct_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds one occurrence of `filter` to the served multiset, recording
+    /// announced-set transitions in `changes`.
+    pub fn add(&mut self, filter: &Filter, changes: &mut CoverChanges) {
+        let digest = filter.digest();
+        if let Some(entry) = self.entries.get_mut(&digest) {
+            entry.refs += 1;
+            return;
+        }
+        let mut dominated_by = 0;
+        if self.covering {
+            for entry in self.entries.values_mut() {
+                if dominates(&entry.filter, filter) {
+                    dominated_by += 1;
+                }
+                if dominates(filter, &entry.filter) {
+                    entry.dominated_by += 1;
+                    if entry.dominated_by == 1 {
+                        changes.left.push(entry.filter.clone());
+                    }
+                }
+            }
+        }
+        if dominated_by == 0 {
+            changes.entered.push(filter.clone());
+        }
+        self.entries.insert(digest, Served { filter: filter.clone(), refs: 1, dominated_by });
+    }
+
+    /// Removes one occurrence of `filter` from the served multiset,
+    /// recording announced-set transitions in `changes`.
+    pub fn remove(&mut self, filter: &Filter, changes: &mut CoverChanges) {
+        let digest = filter.digest();
+        let Some(entry) = self.entries.get_mut(&digest) else {
+            debug_assert!(false, "removing a filter that was never served: {filter}");
+            return;
+        };
+        entry.refs -= 1;
+        if entry.refs > 0 {
+            return;
+        }
+        let removed = self.entries.remove(&digest).expect("entry exists");
+        if self.covering {
+            for entry in self.entries.values_mut() {
+                if dominates(&removed.filter, &entry.filter) {
+                    entry.dominated_by -= 1;
+                    if entry.dominated_by == 0 {
+                        changes.entered.push(entry.filter.clone());
+                    }
+                }
+            }
+        }
+        if removed.dominated_by == 0 {
+            changes.left.push(removed.filter);
+        }
+    }
+
+    /// The current announced set — every distinct filter in simple mode,
+    /// the minimal cover in covering mode — sorted by digest.
+    pub fn announced(&self) -> Vec<Filter> {
+        let mut out: Vec<Filter> = self
+            .entries
+            .values()
+            .filter(|e| e.dominated_by == 0)
+            .map(|e| e.filter.clone())
+            .collect();
+        out.sort_by_key(Filter::digest);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +393,44 @@ mod prop_tests {
                 // Simple and covering are exact; merging uses only perfect
                 // merges and covering absorption, so it is exact too.
                 prop_assert_eq!(want, got, "strategy {} filters {:?}", strat, filters.len());
+            }
+        }
+
+        /// The incremental per-link announcer agrees with the from-scratch
+        /// strategy computation after every step of a random add/remove
+        /// churn sequence, in both simple and covering mode.
+        #[test]
+        fn link_announcer_matches_from_scratch(
+            ops in proptest::collection::vec((any::<bool>(), 0usize..8, arb_filter()), 1..40),
+            covering in any::<bool>(),
+        ) {
+            let strategy =
+                if covering { RoutingStrategy::Covering } else { RoutingStrategy::Simple };
+            let mut announcer = LinkAnnouncer::new(covering);
+            let mut served: Vec<Filter> = Vec::new();
+            for (add, pick, f) in ops {
+                let mut changes = CoverChanges::default();
+                let before = announcer.announced();
+                if add || served.is_empty() {
+                    served.push(f.clone());
+                    announcer.add(&f, &mut changes);
+                } else {
+                    let victim = served.swap_remove(pick % served.len());
+                    announcer.remove(&victim, &mut changes);
+                }
+                let after = announcer.announced();
+                prop_assert_eq!(&after, &strategy.announcements(&served));
+                // The reported transitions are exactly the set difference.
+                let mut expect_entered: Vec<Filter> =
+                    after.iter().filter(|f| !before.contains(f)).cloned().collect();
+                let mut expect_left: Vec<Filter> =
+                    before.iter().filter(|f| !after.contains(f)).cloned().collect();
+                expect_entered.sort_by_key(Filter::digest);
+                expect_left.sort_by_key(Filter::digest);
+                changes.entered.sort_by_key(Filter::digest);
+                changes.left.sort_by_key(Filter::digest);
+                prop_assert_eq!(changes.entered, expect_entered);
+                prop_assert_eq!(changes.left, expect_left);
             }
         }
 

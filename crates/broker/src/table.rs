@@ -32,6 +32,49 @@ pub enum RouteKey {
     },
 }
 
+/// Where a routing-table filter came from — which determines the set of
+/// neighbour links it must be served through (a client filter is served on
+/// every link; a neighbour's filter on every link *except* the one it was
+/// announced on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterOrigin {
+    /// A subscription of a locally attached client.
+    Client,
+    /// A filter announced by the neighbour behind this node.
+    Neighbor(NodeId),
+}
+
+impl FilterOrigin {
+    /// Returns `true` if a filter of this origin must be served through the
+    /// link towards `link` (i.e. announced over it).
+    pub fn serves(self, link: NodeId) -> bool {
+        match self {
+            FilterOrigin::Client => true,
+            FilterOrigin::Neighbor(n) => n != link,
+        }
+    }
+}
+
+/// The filter-multiset change produced by one routing-table mutation — the
+/// input of the incremental announcement engine. A single
+/// subscribe/unsubscribe yields one added or removed entry; a subscription
+/// *replacement* yields one of each; a client detach yields one removed
+/// entry per subscription.
+#[derive(Debug, Clone, Default)]
+pub struct TableDelta {
+    /// Filters that entered the table, with their origin.
+    pub added: Vec<(FilterOrigin, Filter)>,
+    /// Filters that left the table, with their origin.
+    pub removed: Vec<(FilterOrigin, Filter)>,
+}
+
+impl TableDelta {
+    /// Returns `true` if the mutation changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
 /// State of one locally attached client.
 #[derive(Debug, Clone)]
 pub struct ClientEntry {
@@ -106,44 +149,73 @@ impl RoutingTable {
         self.clients.iter()
     }
 
-    /// Adds (or replaces) a client subscription. The client must be
-    /// attached; unattached subscriptions are ignored (returns `false`).
+    /// Adds (or replaces) a client subscription, reporting the filter delta.
+    /// The client must be attached; unattached subscriptions are ignored
+    /// (empty delta).
     pub fn subscribe_client(
         &mut self,
         client: ClientId,
         sub: SubscriptionId,
         filter: Filter,
-    ) -> bool {
+    ) -> TableDelta {
+        let mut delta = TableDelta::default();
         let Some(entry) = self.clients.get_mut(&client) else {
-            return false;
+            return delta;
         };
-        entry.subs.insert(sub, filter.clone());
-        self.index.insert(RouteKey::Client { client, sub }, filter);
-        true
+        if let Some(old) = entry.subs.insert(sub, filter.clone()) {
+            if old.digest() == filter.digest() {
+                // Identical replacement: the table is unchanged.
+                return delta;
+            }
+            delta.removed.push((FilterOrigin::Client, old));
+        }
+        self.index.insert(RouteKey::Client { client, sub }, filter.clone());
+        delta.added.push((FilterOrigin::Client, filter));
+        delta
     }
 
-    /// Removes a client subscription. Returns the removed filter.
-    pub fn unsubscribe_client(&mut self, client: ClientId, sub: SubscriptionId) -> Option<Filter> {
-        let entry = self.clients.get_mut(&client)?;
-        let f = entry.subs.remove(&sub)?;
+    /// Removes a client subscription, reporting the filter delta (empty if
+    /// the subscription did not exist).
+    pub fn unsubscribe_client(&mut self, client: ClientId, sub: SubscriptionId) -> TableDelta {
+        let mut delta = TableDelta::default();
+        let Some(entry) = self.clients.get_mut(&client) else {
+            return delta;
+        };
+        let Some(f) = entry.subs.remove(&sub) else {
+            return delta;
+        };
         self.index.remove(&RouteKey::Client { client, sub });
-        Some(f)
+        delta.removed.push((FilterOrigin::Client, f));
+        delta
     }
 
     // ----- neighbour brokers -----
 
-    /// Records a filter announced by a neighbour broker.
-    pub fn neighbor_subscribe(&mut self, node: NodeId, filter: Filter) {
+    /// Records a filter announced by a neighbour broker, reporting the
+    /// filter delta (empty if the same filter was already announced).
+    pub fn neighbor_subscribe(&mut self, node: NodeId, filter: Filter) -> TableDelta {
+        let mut delta = TableDelta::default();
         let digest = filter.digest();
-        self.neighbor_filters.entry(node).or_default().insert(digest, filter.clone());
-        self.index.insert(RouteKey::Neighbor { node, digest }, filter);
+        let per_node = self.neighbor_filters.entry(node).or_default();
+        if per_node.insert(digest, filter.clone()).is_some() {
+            // Digest collision means "same filter": nothing changed.
+            return delta;
+        }
+        self.index.insert(RouteKey::Neighbor { node, digest }, filter.clone());
+        delta.added.push((FilterOrigin::Neighbor(node), filter));
+        delta
     }
 
-    /// Removes a filter retraction from a neighbour broker (by digest).
-    pub fn neighbor_unsubscribe(&mut self, node: NodeId, digest: Digest) -> Option<Filter> {
-        let f = self.neighbor_filters.get_mut(&node)?.remove(&digest)?;
+    /// Removes a filter retraction from a neighbour broker (by digest),
+    /// reporting the filter delta.
+    pub fn neighbor_unsubscribe(&mut self, node: NodeId, digest: Digest) -> TableDelta {
+        let mut delta = TableDelta::default();
+        let Some(f) = self.neighbor_filters.get_mut(&node).and_then(|m| m.remove(&digest)) else {
+            return delta;
+        };
         self.index.remove(&RouteKey::Neighbor { node, digest });
-        Some(f)
+        delta.removed.push((FilterOrigin::Neighbor(node), f));
+        delta
     }
 
     /// Filters currently announced by one neighbour.
@@ -224,9 +296,14 @@ mod tests {
         let mut t = RoutingTable::new();
         let c = ClientId::new(1);
         let n = NodeId::new(10);
-        assert!(!t.subscribe_client(c, SubscriptionId::new(1), f("t")), "not attached yet");
+        assert!(
+            t.subscribe_client(c, SubscriptionId::new(1), f("t")).is_empty(),
+            "not attached yet"
+        );
         t.attach_client(c, n);
-        assert!(t.subscribe_client(c, SubscriptionId::new(1), f("t")));
+        let delta = t.subscribe_client(c, SubscriptionId::new(1), f("t"));
+        assert_eq!(delta.added.len(), 1);
+        assert!(delta.removed.is_empty());
         assert_eq!(t.entry_count(), 1);
         let d = t.route(&note("t"));
         assert_eq!(d.clients, vec![(c, n)]);
@@ -236,8 +313,8 @@ mod tests {
         let d = t.route(&note("t"));
         assert_eq!(d.clients, vec![(c, NodeId::new(11))]);
         // Unsubscribe then detach.
-        assert!(t.unsubscribe_client(c, SubscriptionId::new(1)).is_some());
-        assert!(t.unsubscribe_client(c, SubscriptionId::new(1)).is_none());
+        assert_eq!(t.unsubscribe_client(c, SubscriptionId::new(1)).removed.len(), 1);
+        assert!(t.unsubscribe_client(c, SubscriptionId::new(1)).is_empty());
         assert!(t.detach_client(c).is_some());
         assert!(t.detach_client(c).is_none());
         assert_eq!(t.entry_count(), 0);
@@ -257,12 +334,12 @@ mod tests {
     fn neighbor_announcements() {
         let mut t = RoutingTable::new();
         let nb = NodeId::new(5);
-        t.neighbor_subscribe(nb, f("t"));
-        t.neighbor_subscribe(nb, f("t")); // idempotent by digest
+        assert_eq!(t.neighbor_subscribe(nb, f("t")).added.len(), 1);
+        assert!(t.neighbor_subscribe(nb, f("t")).is_empty(), "idempotent by digest");
         assert_eq!(t.neighbor_entry_count(), 1);
         assert_eq!(t.route(&note("t")).neighbors, vec![nb]);
-        assert!(t.neighbor_unsubscribe(nb, f("t").digest()).is_some());
-        assert!(t.neighbor_unsubscribe(nb, f("t").digest()).is_none());
+        assert_eq!(t.neighbor_unsubscribe(nb, f("t").digest()).removed.len(), 1);
+        assert!(t.neighbor_unsubscribe(nb, f("t").digest()).is_empty());
         assert!(t.route(&note("t")).neighbors.is_empty());
     }
 

@@ -1,0 +1,128 @@
+//! Attribute-name interning.
+//!
+//! Notification attributes and filter constraints name attributes by
+//! string. On the matching hot path those strings are pure overhead: the
+//! broker compares them, hashes them and clones them for every indexed
+//! constraint. An [`Interner`] maps each distinct attribute name to a dense
+//! [`Symbol`] (`u32`) once, so the matching engine can use array indexing
+//! and copyable ids instead.
+//!
+//! The interner is append-only: symbols stay valid for the lifetime of the
+//! interner, and interning the same name twice returns the same symbol.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dense interned identifier for an attribute name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The dense index of this symbol (suitable for `Vec` indexing).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// An append-only string interner for attribute names.
+///
+/// ```
+/// use rebeca_core::intern::Interner;
+/// let mut i = Interner::new();
+/// let a = i.intern("service");
+/// let b = i.intern("service");
+/// assert_eq!(a, b);
+/// assert_eq!(i.resolve(a), "service");
+/// assert_eq!(i.lookup("absent"), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    map: HashMap<Arc<str>, Symbol>,
+    names: Vec<Arc<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, allocating a fresh symbol only for names never seen
+    /// before.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(sym) = self.map.get(name) {
+            return *sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&shared));
+        self.map.insert(shared, sym);
+        sym
+    }
+
+    /// Looks a name up without interning it — allocation-free, for the
+    /// per-notification hot path.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// The name behind a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was minted by a different interner (index out of
+    /// range).
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.intern("a"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(b), "b");
+    }
+
+    #[test]
+    fn lookup_never_allocates_symbols() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.lookup("x"), None);
+        let x = i.intern("x");
+        assert_eq!(i.lookup("x"), Some(x));
+        assert_eq!(i.len(), 1);
+    }
+}

@@ -54,6 +54,7 @@ pub mod digest;
 pub mod error;
 pub mod filter;
 pub mod id;
+pub mod intern;
 pub mod matching;
 pub mod notification;
 pub mod subscription;
@@ -64,6 +65,7 @@ pub use digest::Digest;
 pub use error::CoreError;
 pub use filter::{Constraint, Filter, FilterBuilder, MergeOutcome, Predicate};
 pub use id::{ApplicationId, BrokerId, ClientId, LocationId, SubscriptionId};
+pub use intern::{Interner, Symbol};
 pub use matching::MatchIndex;
 pub use notification::{Notification, NotificationBuilder, NotificationId};
 pub use subscription::Subscription;

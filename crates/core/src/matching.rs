@@ -6,12 +6,45 @@
 //! constraint under its attribute; evaluate, per notification, only the
 //! constraints whose attribute actually occurs; a filter matches when its
 //! satisfied-constraint count reaches the filter's total constraint count.
+//!
+//! This implementation is built for the hot path:
+//!
+//! * attribute names are interned to dense [`Symbol`]s, so the
+//!   per-notification work is array indexing, not string hashing;
+//! * filters live in dense slots; the per-notification counters are a
+//!   generation-stamped scratch buffer that is reused across calls —
+//!   [`MatchIndex::matching_into`] performs **zero** heap allocation per
+//!   notification;
+//! * [`MatchIndex::matches_any`] returns as soon as the first filter is
+//!   satisfied.
 
-use crate::filter::Filter;
+use crate::filter::{Filter, Predicate};
+use crate::intern::Interner;
 use crate::notification::Notification;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
+
+/// One indexed filter in its dense slot.
+#[derive(Debug, Clone)]
+struct Slot<K> {
+    key: K,
+    filter: Filter,
+    /// Number of constraints that must be satisfied (the filter's length).
+    required: u32,
+}
+
+/// Reusable per-notification scratch: a generation-stamped counter per
+/// slot plus the list of slots touched in the current generation.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    generation: u64,
+    /// Per slot: (generation the count belongs to, satisfied count).
+    counts: Vec<(u64, u32)>,
+    /// Slots touched in the current generation, in first-touch order.
+    touched: Vec<u32>,
+}
 
 /// A matching index over a keyed set of [`Filter`]s.
 ///
@@ -30,25 +63,39 @@ use std::hash::Hash;
 /// ```
 #[derive(Clone)]
 pub struct MatchIndex<K> {
-    /// All filters plus the number of constraints each must satisfy.
-    filters: HashMap<K, Filter>,
-    /// attribute → (key → predicates indexed for that attribute).
-    by_attr: HashMap<String, HashMap<K, Vec<crate::filter::Predicate>>>,
+    /// key → dense slot index.
+    keys: HashMap<K, u32>,
+    /// Dense filter storage; `None` marks a free slot.
+    slots: Vec<Option<Slot<K>>>,
+    /// Free slot indices available for reuse.
+    free: Vec<u32>,
+    /// symbol index → constraints on that attribute as (slot, predicate).
+    by_attr: Vec<Vec<(u32, Predicate)>>,
     /// Keys of empty (match-all) filters.
     universal: Vec<K>,
+    interner: Interner,
+    scratch: RefCell<Scratch>,
 }
 
 impl<K> Default for MatchIndex<K> {
     fn default() -> Self {
-        MatchIndex { filters: HashMap::new(), by_attr: HashMap::new(), universal: Vec::new() }
+        MatchIndex {
+            keys: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_attr: Vec::new(),
+            universal: Vec::new(),
+            interner: Interner::new(),
+            scratch: RefCell::new(Scratch::default()),
+        }
     }
 }
 
 impl<K: fmt::Debug> fmt::Debug for MatchIndex<K> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MatchIndex")
-            .field("filters", &self.filters.len())
-            .field("attributes", &self.by_attr.len())
+            .field("filters", &self.keys.len())
+            .field("attributes", &self.interner.len())
             .field("universal", &self.universal.len())
             .finish()
     }
@@ -66,96 +113,154 @@ impl<K: Copy + Eq + Hash> MatchIndex<K> {
     /// insert but never match — resolve them first (the mobility layer does).
     pub fn insert(&mut self, key: K, filter: Filter) {
         self.remove(&key);
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
         if filter.is_empty() {
             self.universal.push(key);
         } else {
             for c in filter.constraints() {
-                self.by_attr
-                    .entry(c.attr().to_owned())
-                    .or_default()
-                    .entry(key)
-                    .or_default()
-                    .push(c.predicate().clone());
+                let sym = self.interner.intern(c.attr());
+                if self.by_attr.len() <= sym.index() {
+                    self.by_attr.resize_with(sym.index() + 1, Vec::new);
+                }
+                self.by_attr[sym.index()].push((slot, c.predicate().clone()));
             }
         }
-        self.filters.insert(key, filter);
+        let required = filter.len() as u32;
+        self.slots[slot as usize] = Some(Slot { key, filter, required });
+        self.keys.insert(key, slot);
     }
 
     /// Removes the filter stored under `key`. Returns the filter if it was
     /// present.
     pub fn remove(&mut self, key: &K) -> Option<Filter> {
-        let filter = self.filters.remove(key)?;
-        if filter.is_empty() {
+        let slot = self.keys.remove(key)?;
+        let entry = self.slots[slot as usize].take().expect("keyed slot occupied");
+        if entry.filter.is_empty() {
             self.universal.retain(|k| k != key);
         } else {
-            for c in filter.constraints() {
-                if let Some(m) = self.by_attr.get_mut(c.attr()) {
-                    m.remove(key);
-                    if m.is_empty() {
-                        self.by_attr.remove(c.attr());
-                    }
-                }
+            for c in entry.filter.constraints() {
+                let sym = self.interner.lookup(c.attr()).expect("indexed attr interned");
+                self.by_attr[sym.index()].retain(|(s, _)| *s != slot);
             }
         }
-        Some(filter)
+        self.free.push(slot);
+        Some(entry.filter)
     }
 
     /// Number of indexed filters.
     pub fn len(&self) -> usize {
-        self.filters.len()
+        self.keys.len()
     }
 
     /// Returns `true` if no filter is indexed.
     pub fn is_empty(&self) -> bool {
-        self.filters.is_empty()
+        self.keys.is_empty()
     }
 
     /// Returns the filter stored under `key`.
     pub fn get(&self, key: &K) -> Option<&Filter> {
-        self.filters.get(key)
+        let slot = *self.keys.get(key)?;
+        self.slots[slot as usize].as_ref().map(|s| &s.filter)
     }
 
     /// Iterates over `(key, filter)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &Filter)> {
-        self.filters.iter()
+        self.slots.iter().filter_map(|s| s.as_ref()).map(|s| (&s.key, &s.filter))
+    }
+
+    /// Number of distinct attribute names ever indexed (interner size).
+    pub fn interned_attrs(&self) -> usize {
+        self.interner.len()
     }
 
     /// Returns the keys of all filters matching the notification, in
     /// unspecified order (the counting algorithm).
     pub fn matching(&self, n: &Notification) -> Vec<K> {
-        let mut counts: HashMap<K, usize> = HashMap::new();
-        for (attr, value) in n.attrs() {
-            if let Some(per_key) = self.by_attr.get(attr) {
-                for (key, predicates) in per_key {
-                    let satisfied = predicates.iter().filter(|p| p.matches(value)).count();
-                    if satisfied > 0 {
-                        *counts.entry(*key).or_insert(0) += satisfied;
-                    }
-                }
-            }
-        }
-        let mut out: Vec<K> = counts
-            .into_iter()
-            .filter(|(key, count)| self.filters.get(key).is_some_and(|f| f.len() == *count))
-            .map(|(key, _)| key)
-            .collect();
-        out.extend(self.universal.iter().copied());
+        let mut out = Vec::new();
+        self.matching_into(n, &mut out);
         out
     }
 
+    /// Appends the keys of all matching filters to `out` (which is cleared
+    /// first). This is the allocation-free form: the counting state lives
+    /// in a generation-stamped scratch buffer reused across calls, so a
+    /// warm index performs no heap allocation per notification beyond what
+    /// `out` already owns.
+    pub fn matching_into(&self, n: &Notification, out: &mut Vec<K>) {
+        out.clear();
+        out.extend(self.universal.iter().copied());
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        scratch.generation += 1;
+        let generation = scratch.generation;
+        if scratch.counts.len() < self.slots.len() {
+            scratch.counts.resize(self.slots.len(), (0, 0));
+        }
+        scratch.touched.clear();
+        for (attr, value) in n.attrs() {
+            let Some(sym) = self.interner.lookup(attr) else { continue };
+            for (slot, predicate) in &self.by_attr[sym.index()] {
+                if predicate.matches(value) {
+                    let cell = &mut scratch.counts[*slot as usize];
+                    if cell.0 != generation {
+                        *cell = (generation, 0);
+                        scratch.touched.push(*slot);
+                    }
+                    cell.1 += 1;
+                }
+            }
+        }
+        for slot in &scratch.touched {
+            let entry = self.slots[*slot as usize].as_ref().expect("indexed slot occupied");
+            if scratch.counts[*slot as usize].1 == entry.required {
+                out.push(entry.key);
+            }
+        }
+    }
+
     /// Returns `true` if at least one indexed filter matches — cheaper than
-    /// [`MatchIndex::matching`] when only existence is needed.
+    /// [`MatchIndex::matching`]: it early-exits on the first satisfied
+    /// filter and allocates nothing.
     pub fn matches_any(&self, n: &Notification) -> bool {
         if !self.universal.is_empty() {
             return true;
         }
-        !self.matching(n).is_empty()
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        scratch.generation += 1;
+        let generation = scratch.generation;
+        if scratch.counts.len() < self.slots.len() {
+            scratch.counts.resize(self.slots.len(), (0, 0));
+        }
+        for (attr, value) in n.attrs() {
+            let Some(sym) = self.interner.lookup(attr) else { continue };
+            for (slot, predicate) in &self.by_attr[sym.index()] {
+                if predicate.matches(value) {
+                    let cell = &mut scratch.counts[*slot as usize];
+                    if cell.0 != generation {
+                        *cell = (generation, 0);
+                    }
+                    cell.1 += 1;
+                    let entry = self.slots[*slot as usize].as_ref().expect("indexed slot occupied");
+                    if cell.1 == entry.required {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
     }
 
     /// Brute-force matching (linear scan), used to cross-check the index in
     /// tests and benchmarks.
     pub fn scan_matching(&self, n: &Notification) -> Vec<K> {
-        self.filters.iter().filter(|(_, f)| f.matches(n)).map(|(k, _)| *k).collect()
+        self.iter().filter(|(_, f)| f.matches(n)).map(|(k, _)| *k).collect()
     }
 }
 
@@ -247,6 +352,81 @@ mod tests {
             assert_eq!(a, b, "for {n}");
         }
     }
+
+    /// Multi-constraint filters across shared attribute names: the interner
+    /// assigns one symbol per distinct attribute, slot reuse keeps the
+    /// scratch dense, and matching stays exact across interleaved
+    /// insert/remove/match cycles on the same reused scratch buffer.
+    #[test]
+    fn interning_multi_constraint_churn() {
+        let mut idx = MatchIndex::new();
+        // 8 filters over only 3 distinct attributes, several constraining
+        // the same attribute twice (ranges).
+        for i in 0..8i64 {
+            idx.insert(
+                sid(i as u32),
+                Filter::builder().between("x", i, i + 3).eq("y", i % 2).ge("z", i - 1).build(),
+            );
+        }
+        assert_eq!(idx.interned_attrs(), 3, "one symbol per distinct attribute");
+        // Matching twice with the same scratch must give identical results.
+        let n = note(&[("x", 3), ("y", 1), ("z", 9)]);
+        let mut first = idx.matching(&n);
+        let mut second = idx.matching(&n);
+        first.sort();
+        second.sort();
+        assert_eq!(first, second, "scratch reuse must not corrupt counts");
+        let mut scanned = idx.scan_matching(&n);
+        scanned.sort();
+        assert_eq!(first, scanned);
+        // Remove half, reinsert with new shapes — symbols are reused, slots
+        // recycled, and the index still agrees with the scan.
+        for i in 0..4u32 {
+            idx.remove(&sid(i));
+        }
+        for i in 0..4i64 {
+            idx.insert(sid(i as u32), Filter::builder().eq("x", i).eq("w", i).build());
+        }
+        assert_eq!(idx.interned_attrs(), 4, "only the genuinely new attr interned");
+        for n in [note(&[("x", 2), ("w", 2)]), note(&[("x", 5), ("y", 1), ("z", 0)]), note(&[])] {
+            let mut a = idx.matching(&n);
+            let mut b = idx.scan_matching(&n);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "for {n}");
+        }
+    }
+
+    #[test]
+    fn matching_into_reuses_output_buffer() {
+        let mut idx = MatchIndex::new();
+        idx.insert(sid(1), Filter::builder().eq("a", 1i64).build());
+        idx.insert(sid(2), Filter::all());
+        let mut out = Vec::with_capacity(8);
+        idx.matching_into(&note(&[("a", 1)]), &mut out);
+        let mut got = out.clone();
+        got.sort();
+        assert_eq!(got, vec![sid(1), sid(2)]);
+        // Second call clears stale contents.
+        idx.matching_into(&note(&[("a", 9)]), &mut out);
+        assert_eq!(out, vec![sid(2)], "only the universal filter matches");
+    }
+
+    #[test]
+    fn matches_any_early_exit_agrees_with_matching() {
+        let mut idx = MatchIndex::new();
+        idx.insert(sid(1), Filter::builder().eq("a", 1i64).eq("b", 2i64).build());
+        idx.insert(sid(2), Filter::builder().eq("c", 3i64).build());
+        for n in [
+            note(&[("a", 1), ("b", 2)]),
+            note(&[("a", 1)]),
+            note(&[("c", 3)]),
+            note(&[("c", 4)]),
+            note(&[]),
+        ] {
+            assert_eq!(idx.matches_any(&n), !idx.matching(&n).is_empty(), "for {n}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -292,7 +472,9 @@ mod prop_tests {
     }
 
     proptest! {
-        /// The counting index is equivalent to brute-force scanning.
+        /// The counting index is equivalent to brute-force scanning, and
+        /// `matches_any` to non-emptiness, across insert/remove churn on
+        /// the shared scratch buffer.
         #[test]
         fn index_equals_scan(
             filters in proptest::collection::vec(arb_filter(), 0..8),
@@ -311,7 +493,8 @@ mod prop_tests {
                 let mut b = idx.scan_matching(n);
                 a.sort();
                 b.sort();
-                prop_assert_eq!(a, b);
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(idx.matches_any(n), !a.is_empty());
             }
         }
     }

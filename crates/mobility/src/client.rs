@@ -193,7 +193,7 @@ impl Node<Message> for MobileClientNode {
                 self.local.unsubscribe(ctx, id);
             }
             Message::Deliver { notification, .. } => {
-                self.local.on_deliver(ctx.now(), notification);
+                self.local.on_deliver(ctx.now(), Arc::unwrap_or_clone(notification));
             }
             Message::Mobility(m) => self.handle_app_mobility(ctx, m),
             _ => {}

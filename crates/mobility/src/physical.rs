@@ -228,23 +228,23 @@ impl MobileBrokerNode {
         ctx: &mut Ctx<'_, Message>,
         client: ClientId,
         node: NodeId,
-        n: Notification,
+        n: Arc<Notification>,
     ) {
         if let Some(new_border) = self.reloc.drain_target(client) {
             // Straggler that was already in flight towards us when the
             // hand-off began: forward it to the new border.
             let msg = Message::Mobility(MobilityMsg::BufferedBatch {
                 client,
-                notifications: vec![n],
+                notifications: vec![Arc::unwrap_or_clone(n)],
                 complete: false,
             });
             self.send_routed(ctx, new_border, msg);
         } else if self.reloc.is_arriving(client) {
-            self.reloc.hold_back(client, n);
+            self.reloc.hold_back(client, Arc::unwrap_or_clone(n));
         } else if ctx.link_up(node) {
             ctx.send(node, Message::Deliver { client, notification: n });
         } else {
-            self.reloc.buffer(ctx.now(), client, n);
+            self.reloc.buffer(ctx.now(), client, Arc::unwrap_or_clone(n));
         }
     }
 
@@ -262,7 +262,7 @@ impl MobileBrokerNode {
                         // Reconnected at the same broker: replay our own
                         // buffer directly.
                         for n in self.reloc.take_buffer(client) {
-                            ctx.send(from, Message::Deliver { client, notification: n });
+                            ctx.send(from, Message::Deliver { client, notification: Arc::new(n) });
                         }
                     }
                     Some(old) => {
@@ -295,11 +295,11 @@ impl MobileBrokerNode {
                 if let Some(&node) = self.devices.get(&client) {
                     for n in notifications {
                         self.reloc.total_replayed += 1;
-                        ctx.send(node, Message::Deliver { client, notification: n });
+                        ctx.send(node, Message::Deliver { client, notification: Arc::new(n) });
                     }
                     if complete {
                         for n in self.reloc.finish_arrival(client) {
-                            ctx.send(node, Message::Deliver { client, notification: n });
+                            ctx.send(node, Message::Deliver { client, notification: Arc::new(n) });
                         }
                     }
                 } else if complete {

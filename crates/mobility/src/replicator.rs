@@ -277,6 +277,11 @@ impl ReplicatorNode {
         &self.reloc
     }
 
+    /// The broker-wide shared digest buffer (refcount-balance inspection).
+    pub fn shared_buffer(&self) -> &SharedBuffer {
+        &self.shared
+    }
+
     fn neighborhood(&self) -> BTreeSet<BrokerId> {
         self.movement.k_hop(self.broker, self.config.k_hops)
     }
@@ -403,17 +408,17 @@ impl ReplicatorNode {
         self.stats.replayed += items.len() as u64;
         let device = vc.device;
         for n in items {
-            ctx.send(device_node, Message::Deliver { client: device, notification: n });
+            ctx.send(device_node, Message::Deliver { client: device, notification: Arc::new(n) });
         }
     }
 
-    fn buffer_vc(&mut self, now: SimTime, app: ApplicationId, n: Notification) {
+    fn buffer_vc(&mut self, now: SimTime, app: ApplicationId, n: Arc<Notification>) {
         let Some(vc) = self.vcs.get_mut(&app) else {
             return;
         };
         self.stats.buffered += 1;
         match &mut vc.buffer {
-            VcBuffer::Private(b) => b.offer(now, n),
+            VcBuffer::Private(b) => b.offer(now, Arc::unwrap_or_clone(n)),
             VcBuffer::Shared(digests) => {
                 let d = self.shared.insert(&n);
                 digests.push_back((now, d));
@@ -468,7 +473,7 @@ impl ReplicatorNode {
         match old_border {
             Some(old) if old == self.broker => {
                 for n in self.reloc.take_buffer(client) {
-                    ctx.send(device_node, Message::Deliver { client, notification: n });
+                    ctx.send(device_node, Message::Deliver { client, notification: Arc::new(n) });
                 }
             }
             Some(old) => {
@@ -563,11 +568,11 @@ impl ReplicatorNode {
                 if let Some(&node) = self.device_nodes.get(&client) {
                     for n in notifications {
                         self.stats.replayed += 1;
-                        ctx.send(node, Message::Deliver { client, notification: n });
+                        ctx.send(node, Message::Deliver { client, notification: Arc::new(n) });
                     }
                     if complete {
                         for n in self.reloc.finish_arrival(client) {
-                            ctx.send(node, Message::Deliver { client, notification: n });
+                            ctx.send(node, Message::Deliver { client, notification: Arc::new(n) });
                         }
                     }
                 } else if complete {
@@ -646,7 +651,10 @@ impl ReplicatorNode {
                         let device = vc.device;
                         self.stats.replayed += notifications.len() as u64;
                         for n in notifications {
-                            ctx.send(node, Message::Deliver { client: device, notification: n });
+                            ctx.send(
+                                node,
+                                Message::Deliver { client: device, notification: Arc::new(n) },
+                            );
                         }
                     }
                 }
@@ -656,7 +664,12 @@ impl ReplicatorNode {
         }
     }
 
-    fn handle_deliver(&mut self, ctx: &mut Ctx<'_, Message>, client: ClientId, n: Notification) {
+    fn handle_deliver(
+        &mut self,
+        ctx: &mut Ctx<'_, Message>,
+        client: ClientId,
+        n: Arc<Notification>,
+    ) {
         if let Some(&app) = self.vc_ids.get(&client) {
             // Delivery for a virtual client.
             let (active_node, device) = match self.vcs.get(&app) {
@@ -684,20 +697,20 @@ impl ReplicatorNode {
                     self.peer(new_border),
                     Message::Mobility(MobilityMsg::BufferedBatch {
                         client,
-                        notifications: vec![n],
+                        notifications: vec![Arc::unwrap_or_clone(n)],
                         complete: false,
                     }),
                 );
             } else if self.reloc.is_arriving(client) {
-                self.reloc.hold_back(client, n);
+                self.reloc.hold_back(client, Arc::unwrap_or_clone(n));
             } else if let Some(&node) = self.device_nodes.get(&client) {
                 if ctx.link_up(node) {
                     ctx.send(node, Message::Deliver { client, notification: n });
                 } else {
-                    self.reloc.buffer(ctx.now(), client, n);
+                    self.reloc.buffer(ctx.now(), client, Arc::unwrap_or_clone(n));
                 }
             } else {
-                self.reloc.buffer(ctx.now(), client, n);
+                self.reloc.buffer(ctx.now(), client, Arc::unwrap_or_clone(n));
             }
         }
     }

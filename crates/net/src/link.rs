@@ -41,6 +41,11 @@ impl LatencyModel {
         match self {
             LatencyModel::Constant(d) => *d,
             LatencyModel::Uniform { min, max } => {
+                debug_assert!(
+                    min <= max,
+                    "Uniform latency with min {min} > max {max}: normalise at \
+                     construction (LinkConfig::jittered does)"
+                );
                 let lo = min.as_micros();
                 let hi = max.as_micros().max(lo);
                 SimDuration::from_micros(lo + rng.next_below(hi - lo + 1))
@@ -76,8 +81,11 @@ impl LinkConfig {
         LinkConfig { latency: LatencyModel::Constant(latency), up: true }
     }
 
-    /// Convenience: a link with uniform jitter, initially up.
+    /// Convenience: a link with uniform jitter, initially up. Reversed
+    /// bounds are normalised (`jittered(hi, lo)` ≡ `jittered(lo, hi)`)
+    /// rather than silently degrading to constant-`min`.
     pub fn jittered(min: SimDuration, max: SimDuration) -> Self {
+        let (min, max) = if min <= max { (min, max) } else { (max, min) };
         LinkConfig { latency: LatencyModel::Uniform { min, max }, up: true }
     }
 }
@@ -96,28 +104,55 @@ pub(crate) struct LinkState {
 #[derive(Debug, Default)]
 pub struct LinkTable {
     links: HashMap<LinkKey, LinkState>,
+    /// FIFO floors of removed link incarnations, so a re-created link never
+    /// schedules deliveries before messages still in flight from its
+    /// predecessor (handover tears links down and re-creates them with
+    /// traffic in the air). Entries move back into `links` on re-insert,
+    /// keeping the map bounded by currently-removed pairs.
+    retired_floors: HashMap<LinkKey, SimTime>,
 }
 
 impl LinkTable {
     /// Installs a bidirectional link with independent per-direction RNGs.
-    pub(crate) fn insert(&mut self, a: NodeId, b: NodeId, cfg: &LinkConfig, rng: &mut SplitMix64) {
+    /// `now` is the current world time: the FIFO floor starts at `now`, or
+    /// at the retired floor of a previous incarnation of the same directed
+    /// link if that lies later — messages in flight across a remove +
+    /// re-insert are never overtaken.
+    pub(crate) fn insert(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        cfg: &LinkConfig,
+        rng: &mut SplitMix64,
+        now: SimTime,
+    ) {
         for key in [LinkKey { from: a, to: b }, LinkKey { from: b, to: a }] {
+            // The floor survives re-insertion whether the previous
+            // incarnation was removed (retired) or is being overwritten
+            // in place (reconfiguration without remove).
+            let live = self.links.get(&key).map(|l| l.fifo_floor);
+            let retired = self.retired_floors.remove(&key);
+            let floor = live.into_iter().chain(retired).fold(now, SimTime::max);
             self.links.insert(
                 key,
                 LinkState {
                     latency: cfg.latency.clone(),
                     up: cfg.up,
                     rng: rng.fork(u64::from(key.from.raw()) << 32 | u64::from(key.to.raw())),
-                    fifo_floor: SimTime::ZERO,
+                    fifo_floor: floor,
                 },
             );
         }
     }
 
-    /// Removes a bidirectional link entirely.
+    /// Removes a bidirectional link entirely, remembering its FIFO floors
+    /// for a possible re-insert.
     pub(crate) fn remove(&mut self, a: NodeId, b: NodeId) {
-        self.links.remove(&LinkKey { from: a, to: b });
-        self.links.remove(&LinkKey { from: b, to: a });
+        for key in [LinkKey { from: a, to: b }, LinkKey { from: b, to: a }] {
+            if let Some(state) = self.links.remove(&key) {
+                self.retired_floors.insert(key, state.fifo_floor);
+            }
+        }
     }
 
     /// Sets the up/down state of both directions.
@@ -187,7 +222,7 @@ mod tests {
         let mut rng = SplitMix64::new(1);
         let (a, b) = (NodeId::new(0), NodeId::new(1));
         assert!(!t.exists(a, b));
-        t.insert(a, b, &LinkConfig::default(), &mut rng);
+        t.insert(a, b, &LinkConfig::default(), &mut rng, SimTime::ZERO);
         assert!(t.exists(a, b) && t.exists(b, a));
         assert!(t.is_up(a, b) && t.is_up(b, a));
         assert!(t.set_up(a, b, false));
@@ -197,5 +232,67 @@ mod tests {
         assert!(!t.exists(a, b));
         assert!(!t.set_up(a, b, true));
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn jittered_normalises_reversed_bounds() {
+        let cfg =
+            LinkConfig::jittered(SimDuration::from_micros(200), SimDuration::from_micros(100));
+        let LatencyModel::Uniform { min, max } = &cfg.latency else {
+            panic!("jittered builds a Uniform model");
+        };
+        assert_eq!(*min, SimDuration::from_micros(100));
+        assert_eq!(*max, SimDuration::from_micros(200));
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..200 {
+            let d = cfg.latency.sample(&mut rng);
+            assert!(d >= SimDuration::from_micros(100) && d <= SimDuration::from_micros(200));
+        }
+    }
+
+    #[test]
+    fn reinserted_link_inherits_fifo_floor() {
+        let mut t = LinkTable::default();
+        let mut rng = SplitMix64::new(1);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        t.insert(a, b, &LinkConfig::default(), &mut rng, SimTime::ZERO);
+        // A message in flight pushed the floor to t=50ms.
+        t.get_mut(a, b).expect("link exists").fifo_floor = SimTime::from_millis(50);
+        t.remove(a, b);
+        // Re-created at t=2ms: the floor must carry over, not reset.
+        t.insert(a, b, &LinkConfig::default(), &mut rng, SimTime::from_millis(2));
+        assert_eq!(
+            t.get_mut(a, b).expect("link exists").fifo_floor,
+            SimTime::from_millis(50),
+            "floor of the old incarnation survives re-establishment"
+        );
+        // The reverse direction had no traffic: its floor is just `now`.
+        assert_eq!(t.get_mut(b, a).expect("link exists").fifo_floor, SimTime::from_millis(2));
+        // A *fresh* pair starts at the insertion time.
+        let (c, d) = (NodeId::new(2), NodeId::new(3));
+        t.insert(c, d, &LinkConfig::default(), &mut rng, SimTime::from_millis(7));
+        assert_eq!(t.get_mut(c, d).expect("link exists").fifo_floor, SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn in_place_reconfigure_inherits_fifo_floor() {
+        let mut t = LinkTable::default();
+        let mut rng = SplitMix64::new(1);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        t.insert(a, b, &LinkConfig::default(), &mut rng, SimTime::ZERO);
+        t.get_mut(a, b).expect("link exists").fifo_floor = SimTime::from_millis(50);
+        // Reconfigure (no remove in between): the live floor must survive.
+        t.insert(
+            a,
+            b,
+            &LinkConfig::constant(SimDuration::from_micros(1)),
+            &mut rng,
+            SimTime::from_millis(2),
+        );
+        assert_eq!(
+            t.get_mut(a, b).expect("link exists").fifo_floor,
+            SimTime::from_millis(50),
+            "in-place reconfiguration must not reset the FIFO floor"
+        );
     }
 }

@@ -191,6 +191,7 @@ fn run_node<M: Payload>(
 ) -> Box<dyn Node<M>> {
     let mut next_timer: u64 = 0;
     let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
+    let mut pending: HashSet<u64> = HashSet::new();
     let mut cancelled: HashSet<u64> = HashSet::new();
     let now_fn = |t0: Instant| SimTime::from_micros(t0.elapsed().as_micros() as u64);
 
@@ -202,6 +203,7 @@ fn run_node<M: Payload>(
         now: SimTime,
         next_timer: &mut u64,
         timers: &mut BinaryHeap<PendingTimer>,
+        pending: &mut HashSet<u64>,
         cancelled: &mut HashSet<u64>,
         senders: &[Sender<Envelope<M>>],
         links: &Arc<RwLock<LinkSet>>,
@@ -224,9 +226,16 @@ fn run_node<M: Payload>(
                     }
                     // else: dropped, like an unplugged cable.
                 }
-                Action::SetTimer { at, id, tag } => timers.push(PendingTimer { at, id, tag }),
+                Action::SetTimer { at, id, tag } => {
+                    pending.insert(id.0);
+                    timers.push(PendingTimer { at, id, tag });
+                }
                 Action::CancelTimer(id) => {
-                    cancelled.insert(id.0);
+                    // Only pending timers are recorded — cancelling a fired
+                    // timer must not grow the set forever (see World::apply).
+                    if pending.remove(&id.0) {
+                        cancelled.insert(id.0);
+                    }
                 }
             }
         }
@@ -238,6 +247,7 @@ fn run_node<M: Payload>(
         now_fn(t0),
         &mut next_timer,
         &mut timers,
+        &mut pending,
         &mut cancelled,
         &senders,
         &links,
@@ -252,6 +262,7 @@ fn run_node<M: Payload>(
                 break;
             }
             let t = timers.pop().expect("peeked");
+            pending.remove(&t.id.0);
             if cancelled.remove(&t.id.0) {
                 continue;
             }
@@ -261,6 +272,7 @@ fn run_node<M: Payload>(
                 now_fn(t0),
                 &mut next_timer,
                 &mut timers,
+                &mut pending,
                 &mut cancelled,
                 &senders,
                 &links,
@@ -283,6 +295,7 @@ fn run_node<M: Payload>(
                     now_fn(t0),
                     &mut next_timer,
                     &mut timers,
+                    &mut pending,
                     &mut cancelled,
                     &senders,
                     &links,

@@ -82,6 +82,10 @@ pub struct World<M: Payload> {
     metrics: NetMetrics,
     rng: SplitMix64,
     next_timer: u64,
+    /// Timer ids scheduled and not yet fired. Cancellation is only recorded
+    /// for ids in this set, so `cancelled` can never accumulate ids whose
+    /// timers already fired (or were never scheduled).
+    pending_timers: HashSet<u64>,
     cancelled: HashSet<u64>,
     started: bool,
 }
@@ -109,6 +113,7 @@ impl<M: Payload> World<M> {
             metrics: NetMetrics::new(),
             rng: SplitMix64::new(seed),
             next_timer: 0,
+            pending_timers: HashSet::new(),
             cancelled: HashSet::new(),
             started: false,
         }
@@ -135,7 +140,7 @@ impl<M: Payload> World<M> {
             (a.raw() as usize) < self.nodes.len() && (b.raw() as usize) < self.nodes.len(),
             "connect: unknown node"
         );
-        self.links.insert(a, b, &cfg, &mut self.rng);
+        self.links.insert(a, b, &cfg, &mut self.rng, self.time);
     }
 
     /// Marks a link up or down (both directions). Messages sent over a down
@@ -168,6 +173,18 @@ impl<M: Payload> World<M> {
     /// Traffic metrics accumulated so far.
     pub fn metrics(&self) -> &NetMetrics {
         &self.metrics
+    }
+
+    /// Timers scheduled and not yet fired (diagnostics).
+    pub fn pending_timer_count(&self) -> usize {
+        self.pending_timers.len()
+    }
+
+    /// Cancellations whose timer event has not popped yet. Bounded by
+    /// [`World::pending_timer_count`] — cancelling fired or unknown timers
+    /// never grows this set.
+    pub fn cancelled_timer_count(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// Injects a message into `to` as if it arrived from outside the world
@@ -230,6 +247,7 @@ impl<M: Payload> World<M> {
                 }
             }
             Event::Timer { node, id, tag } => {
+                self.pending_timers.remove(&id.0);
                 if !self.cancelled.remove(&id.0) && (node.raw() as usize) < self.nodes.len() {
                     self.dispatch(node, |n, ctx| n.on_timer(ctx, id, tag));
                 }
@@ -319,6 +337,7 @@ impl<M: Payload> World<M> {
                     }
                 }
                 Action::SetTimer { at, id, tag } => {
+                    self.pending_timers.insert(id.0);
                     let seq = self.next_seq();
                     self.queue.push(Scheduled {
                         at,
@@ -327,7 +346,13 @@ impl<M: Payload> World<M> {
                     });
                 }
                 Action::CancelTimer(id) => {
-                    self.cancelled.insert(id.0);
+                    // Cancelling an already-fired (or never-set, or
+                    // already-cancelled) timer must not grow the set: only
+                    // genuinely pending timers are recorded, and the entry
+                    // is consumed when the cancelled timer pops.
+                    if self.pending_timers.remove(&id.0) {
+                        self.cancelled.insert(id.0);
+                    }
                 }
             }
         }
@@ -501,6 +526,74 @@ mod tests {
             fired,
             &vec![(SimTime::from_millis(5), 1), (SimTime::from_millis(6), 3),],
             "tag 1 fires, tag 2 cancelled, tag 3 chained"
+        );
+        assert_eq!(w.pending_timer_count(), 0, "all timers popped");
+        assert_eq!(w.cancelled_timer_count(), 0, "cancellation consumed by its pop");
+    }
+
+    /// Cancels its start timer only when poked — after the timer has long
+    /// fired — and then cancels it again for good measure.
+    #[derive(Default)]
+    struct LateCanceller {
+        armed: Option<TimerId>,
+        fired: u32,
+    }
+    impl Node<TestMsg> for LateCanceller {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            self.armed = Some(ctx.set_timer(SimDuration::from_millis(1), 1));
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, _: NodeId, _: TestMsg) {
+            let id = self.armed.expect("armed at start");
+            ctx.cancel_timer(id); // cancel-after-fire
+            ctx.cancel_timer(id); // double cancel
+        }
+        fn on_timer(&mut self, _: &mut Ctx<'_, TestMsg>, _: TimerId, _: u64) {
+            self.fired += 1;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn cancel_after_fire_does_not_leak() {
+        let mut w: World<TestMsg> = World::new(0);
+        let n = w.add_node(Box::new(LateCanceller::default()));
+        w.run_until(SimTime::from_millis(10));
+        assert_eq!(w.node_as::<LateCanceller>(n).unwrap().fired, 1);
+        assert_eq!(w.pending_timer_count(), 0);
+        // The timer already fired: cancelling it (twice) must not insert
+        // anything that no future pop will ever remove.
+        w.send_external(n, TestMsg { seq: 0, size: 0 });
+        w.run_until(SimTime::from_millis(20));
+        assert_eq!(w.cancelled_timer_count(), 0, "cancel-after-fire leaked");
+        assert_eq!(w.pending_timer_count(), 0);
+    }
+
+    #[test]
+    fn fifo_preserved_across_link_reestablishment() {
+        let (mut w, a, b) = two_node_world(LinkConfig::constant(SimDuration::from_millis(50)));
+        w.node_as_mut::<Recorder>(a).unwrap().echo_to = Some(b);
+        // First message echoes onto the a→b link at t=0, due at t=50ms.
+        w.send_external_at(a, TestMsg { seq: 0, size: 1 }, SimTime::ZERO);
+        w.run_until(SimTime::from_millis(1));
+        // Handover: the link is torn down and re-created — much faster —
+        // while the first message is still in flight.
+        w.remove_link(a, b);
+        w.connect(a, b, LinkConfig::constant(SimDuration::from_millis(1)));
+        w.send_external_at(a, TestMsg { seq: 1, size: 1 }, SimTime::from_millis(2));
+        w.run_until(SimTime::from_secs(1));
+        let r = w.node_as::<Recorder>(b).unwrap();
+        assert_eq!(r.seen.len(), 2);
+        let seqs: Vec<u64> = r.seen.iter().map(|(_, _, s)| *s - 1000).collect();
+        assert_eq!(seqs, vec![0, 1], "re-created link overtook in-flight traffic");
+        assert_eq!(
+            r.seen[1].0,
+            SimTime::from_millis(50),
+            "second message held back to the old incarnation's FIFO floor"
         );
     }
 

@@ -850,6 +850,21 @@ impl System {
         self.topology.brokers().map(|b| self.buffer_bytes(b).unwrap_or(0)).sum()
     }
 
+    /// The replicator process of one broker, for state inspection;
+    /// `Ok(None)` for deployments without a replicator layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RebecaError::UnknownBroker`] if `broker` is outside the
+    /// topology.
+    pub fn replicator(&self, broker: BrokerId) -> Result<Option<&ReplicatorNode>, RebecaError> {
+        let idx = self.check_broker(broker)?;
+        Ok(self
+            .replicator_nodes
+            .as_ref()
+            .and_then(|nodes| self.world.node_as::<ReplicatorNode>(nodes[idx])))
+    }
+
     /// Direct access to the underlying world (advanced inspection).
     pub fn world(&self) -> &World<Message> {
         &self.world
