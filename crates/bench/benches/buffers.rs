@@ -5,13 +5,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rebeca_core::{ClientId, Notification, SimDuration, SimTime};
 use rebeca_mobility::{BufferSpec, SharedBuffer};
 use std::hint::black_box;
+use std::sync::Arc;
 
-fn note(i: u64) -> Notification {
-    Notification::builder()
-        .attr("service", "menu")
-        .attr("restaurant", (i % 20) as i64)
-        .attr("seq", i as i64)
-        .publish(ClientId::new(1), i, SimTime::from_millis(i))
+fn note(i: u64) -> Arc<Notification> {
+    Arc::new(
+        Notification::builder()
+            .attr("service", "menu")
+            .attr("restaurant", (i % 20) as i64)
+            .attr("seq", i as i64)
+            .publish(ClientId::new(1), i, SimTime::from_millis(i)),
+    )
 }
 
 fn bench_offer(c: &mut Criterion) {
@@ -23,13 +26,13 @@ fn bench_offer(c: &mut Criterion) {
         ("combined", BufferSpec::Combined { ttl: SimDuration::from_secs(10), capacity: 100 }),
         ("semantic", BufferSpec::Semantic { key_attrs: vec!["restaurant".into()] }),
     ];
-    let notes: Vec<Notification> = (0..1000).map(note).collect();
+    let notes: Vec<Arc<Notification>> = (0..1000).map(note).collect();
     for (name, spec) in specs {
         group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
             b.iter(|| {
                 let mut buf = spec.build();
                 for (i, n) in notes.iter().enumerate() {
-                    buf.offer(SimTime::from_millis(i as u64), n.clone());
+                    buf.offer(SimTime::from_millis(i as u64), Arc::clone(n));
                 }
                 black_box(buf.len())
             });
@@ -39,12 +42,12 @@ fn bench_offer(c: &mut Criterion) {
 }
 
 fn bench_drain(c: &mut Criterion) {
-    let notes: Vec<Notification> = (0..1000).map(note).collect();
+    let notes: Vec<Arc<Notification>> = (0..1000).map(note).collect();
     c.bench_function("buffers/drain-1000", |b| {
         b.iter(|| {
             let mut buf = BufferSpec::Unbounded.build();
             for (i, n) in notes.iter().enumerate() {
-                buf.offer(SimTime::from_millis(i as u64), n.clone());
+                buf.offer(SimTime::from_millis(i as u64), Arc::clone(n));
             }
             black_box(buf.drain(SimTime::from_secs(10)))
         });
@@ -52,7 +55,7 @@ fn bench_drain(c: &mut Criterion) {
 }
 
 fn bench_shared(c: &mut Criterion) {
-    let notes: Vec<Notification> = (0..1000).map(note).collect();
+    let notes: Vec<Arc<Notification>> = (0..1000).map(note).collect();
     c.bench_function("buffers/shared-insert-release-8refs", |b| {
         b.iter(|| {
             let mut s = SharedBuffer::new();

@@ -14,9 +14,15 @@
 //!   bouncing between brokers; each arrival re-issues and mirrors
 //!   location-dependent subscriptions (replica create/delete churn).
 //!
+//! Cases cover the covering *and* merging strategies (the latter exercises
+//! the incremental merge products) and a large-filter-count deployment.
+//!
 //! Results print in the criterion-stub format and, when `CHURN_JSON` names
 //! a file, are additionally written as JSON so CI can track a perf
-//! trajectory (see `BENCH_baseline.json` at the repo root).
+//! trajectory (see `BENCH_baseline.json` / `BENCH_churn_pr3.json` at the
+//! repo root). When `CHURN_BASELINE` names a checked-in baseline JSON, any
+//! case regressing more than `CHURN_MAX_REGRESSION` (default 0.30) in
+//! events/s fails the run — the bench-smoke CI gate.
 
 use rebeca::{
     BrokerId, Deployment, Filter, MovementGraph, ReplicatorConfig, RoutingStrategy, SimDuration,
@@ -38,11 +44,13 @@ impl Measurement {
 }
 
 /// Builds a 4-broker line with `preload` distinct filters already in every
-/// routing table (subscribed by a client at the far end), using the
-/// covering strategy — the worst case for announcement recomputation.
-fn churn_system(preload: usize) -> System {
+/// routing table (subscribed by a client at the far end). Covering is the
+/// worst case for announcement recomputation; merging additionally stresses
+/// the incremental merge products (the preloaded `room` filters all merge
+/// into one `In`-set product).
+fn churn_system(preload: usize, strategy: RoutingStrategy) -> System {
     let mut sys = SystemBuilder::new(Topology::line(4).expect("valid line"))
-        .strategy(RoutingStrategy::Covering)
+        .strategy(strategy)
         .build()
         .expect("valid deployment");
     let loader = sys.add_client(BrokerId::new(3)).expect("broker in topology");
@@ -57,8 +65,12 @@ fn churn_system(preload: usize) -> System {
 /// Subscribe/unsubscribe storm at the opposite end of the line: every
 /// subscribe and every unsubscribe is one churn event, and each propagates
 /// announcement updates through all four brokers.
-fn bench_subscription_churn(preload: usize, budget: Duration) -> Measurement {
-    let mut sys = churn_system(preload);
+fn bench_subscription_churn(
+    preload: usize,
+    strategy: RoutingStrategy,
+    budget: Duration,
+) -> Measurement {
+    let mut sys = churn_system(preload, strategy);
     let churner = sys.add_client(BrokerId::new(0)).expect("broker in topology");
     sys.run_for(SimDuration::from_millis(100));
 
@@ -82,11 +94,13 @@ fn bench_subscription_churn(preload: usize, budget: Duration) -> Measurement {
         events += 2;
         round += 1;
     }
-    Measurement {
-        name: format!("subscription-churn/preload-{preload}"),
-        events,
-        elapsed: start.elapsed(),
-    }
+    let name = match strategy {
+        // Historical names (perf trajectory continuity with the checked-in
+        // baselines).
+        RoutingStrategy::Covering => format!("subscription-churn/preload-{preload}"),
+        other => format!("subscription-churn/{other}-preload-{preload}"),
+    };
+    Measurement { name, events, elapsed: start.elapsed() }
 }
 
 /// Handover storm: mobile clients with location-dependent subscriptions
@@ -141,13 +155,55 @@ fn bench_handover_storm(clients: usize, preload: usize, budget: Duration) -> Mea
     }
 }
 
+/// Minimal extractor for the `"name": ... "events_per_sec": ...` pairs of
+/// the bench JSON files (no JSON dependency in the workspace). When a name
+/// occurs several times (e.g. `BENCH_baseline.json` carries pre- and
+/// post-refactor sections), the **last** occurrence wins — the most recent
+/// recording.
+fn parse_results(json: &str) -> std::collections::HashMap<String, f64> {
+    let mut out = std::collections::HashMap::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"name\":") {
+        rest = &rest[pos + 7..];
+        let Some(open) = rest.find('"') else { break };
+        let Some(close) = rest[open + 1..].find('"') else { break };
+        let name = rest[open + 1..open + 1 + close].to_string();
+        let Some(eps) = rest.find("\"events_per_sec\":") else { break };
+        let tail = rest[eps + 17..].trim_start();
+        let end = tail.find(['}', ',', '\n']).unwrap_or(tail.len());
+        if let Ok(v) = tail[..end].trim().parse::<f64>() {
+            out.insert(name, v);
+        }
+    }
+    out
+}
+
+/// Resolves a path from the environment against the workspace root (cargo
+/// runs benches with the *package* directory as cwd, but the baselines are
+/// checked in at the repository root).
+fn workspace_path(p: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(p);
+    if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(path)
+    }
+}
+
 fn main() {
     let quick = std::env::var("CHURN_QUICK").is_ok();
     let budget = if quick { Duration::from_millis(200) } else { Duration::from_millis(1500) };
 
     let measurements = vec![
-        bench_subscription_churn(50, budget),
-        bench_subscription_churn(200, budget),
+        bench_subscription_churn(50, RoutingStrategy::Covering, budget),
+        bench_subscription_churn(200, RoutingStrategy::Covering, budget),
+        // Merging-strategy churn: the incremental merge products keep each
+        // event O(cover) instead of a full re-merge.
+        bench_subscription_churn(200, RoutingStrategy::Merging, budget),
+        // Large-filter-count case (towards the million-filter roadmap
+        // item): preloads dominate the routing tables, churn must stay
+        // O(distinct) per event.
+        bench_subscription_churn(2000, RoutingStrategy::Covering, budget),
         bench_handover_storm(8, 100, budget),
     ];
 
@@ -159,6 +215,53 @@ fn main() {
             m.events,
             m.elapsed
         );
+    }
+
+    // Regression gate: compare against a checked-in baseline JSON. Only
+    // cases present in both runs are compared; new cases pass trivially.
+    //
+    // The baseline was recorded on *some* machine and CI runs on another,
+    // so absolute events/s are first normalised by the median now/baseline
+    // ratio across all shared cases (the hardware factor): a uniformly
+    // slower runner moves every case by the same factor and passes, while
+    // a change that slows one path down shows up as that case falling more
+    // than `CHURN_MAX_REGRESSION` below the median. Uniform drift across
+    // *all* cases is tracked by the uploaded JSON trajectory, not by this
+    // gate.
+    if let Ok(baseline_path) = std::env::var("CHURN_BASELINE") {
+        let max_regression: f64 =
+            std::env::var("CHURN_MAX_REGRESSION").ok().and_then(|v| v.parse().ok()).unwrap_or(0.30);
+        let baseline =
+            std::fs::read_to_string(workspace_path(&baseline_path)).expect("read CHURN_BASELINE");
+        let reference = parse_results(&baseline);
+        let shared: Vec<(&Measurement, f64)> = measurements
+            .iter()
+            .filter_map(|m| reference.get(&m.name).map(|base| (m, *base)))
+            .collect();
+        let mut ratios: Vec<f64> =
+            shared.iter().map(|(m, base)| m.events_per_sec() / base).collect();
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        let hardware = if ratios.is_empty() { 1.0 } else { ratios[ratios.len() / 2] };
+        println!("bench churn: hardware factor vs baseline = {hardware:.2}x (median ratio)");
+        let mut failed = false;
+        for (m, base) in &shared {
+            let now = m.events_per_sec();
+            let floor = base * hardware * (1.0 - max_regression);
+            let verdict = if now < floor { "REGRESSED" } else { "ok" };
+            println!(
+                "bench churn/{:<42} baseline {:>12.0} now {:>12.0} (floor {:>12.0}) {}",
+                m.name, base, now, floor, verdict
+            );
+            failed |= now < floor;
+        }
+        if failed {
+            eprintln!(
+                "bench churn: a case fell more than {:.0}% below the hardware-normalised \
+                 baseline {baseline_path}",
+                max_regression * 100.0
+            );
+            std::process::exit(1);
+        }
     }
 
     if let Ok(path) = std::env::var("CHURN_JSON") {
@@ -181,7 +284,7 @@ fn main() {
         let json = format!(
             "{{\n  \"bench\": \"churn\",\n  \"label\": \"{label}\",\n  \"results\": [\n{entries}\n  ]\n}}\n"
         );
-        std::fs::write(&path, json).expect("write CHURN_JSON output");
+        std::fs::write(workspace_path(&path), json).expect("write CHURN_JSON output");
         println!("bench churn: wrote {path}");
     }
 }

@@ -10,9 +10,10 @@
 
 use crate::message::{Message, MobilityMsg};
 use crate::routing::{CoverChanges, LinkAnnouncer, RoutingStrategy};
-use crate::table::{FilterOrigin, RouteDecision, RoutingTable, TableDelta};
-use rebeca_core::filter::merge_set;
-use rebeca_core::{BrokerId, ClientId, Digest, Filter, Notification, SubscriptionId};
+use crate::table::{FilterOrigin, RouteScratch, RoutingTable, TableDelta};
+use rebeca_core::{
+    BrokerId, ClientId, Digest, Filter, Notification, SharedInterner, SubscriptionId,
+};
 use rebeca_net::{Ctx, Node, NodeId, Payload, Topology};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -46,6 +47,10 @@ pub struct LocalDelivery {
 }
 
 /// Result of handling one message in the core.
+///
+/// Wrappers keep one `Outcome` alive across messages and pass it to
+/// [`BrokerCore::handle_into`]: its buffers retain capacity, so the
+/// steady-state dispatch loop performs no per-message allocation.
 #[derive(Debug, Default)]
 pub struct Outcome {
     /// Deliveries to local clients the wrapper must execute.
@@ -53,6 +58,14 @@ pub struct Outcome {
     /// Mobility messages the core does not interpret, with their effective
     /// sender (after `Routed` unwrapping).
     pub unhandled: Vec<(NodeId, MobilityMsg)>,
+}
+
+impl Outcome {
+    /// Empties both buffers, keeping their capacity for reuse.
+    pub fn clear(&mut self) {
+        self.deliveries.clear();
+        self.unhandled.clear();
+    }
 }
 
 /// The routing engine of one broker.
@@ -66,10 +79,15 @@ pub struct BrokerCore {
     neighbors: Vec<NodeId>,
     table: RoutingTable,
     /// Incremental announcement state, one per neighbour (same order as
-    /// `neighbors`).
+    /// `neighbors`) — the single source of truth for announced sets.
     announcers: Vec<LinkAnnouncer>,
-    /// What this broker has announced to each neighbour, by digest.
-    announced: HashMap<NodeId, HashMap<Digest, Filter>>,
+    /// Merging strategy only: the products last *emitted* per neighbour
+    /// (same order as `neighbors`), i.e. the pre-delta snapshot the wire
+    /// diff is computed against. Simple/covering need no such snapshot —
+    /// their announcers report transitions directly.
+    emitted: Vec<HashMap<Digest, Filter>>,
+    /// Reusable per-notification routing scratch (zero-alloc hot path).
+    scratch: RouteScratch,
     stats: BrokerStats,
 }
 
@@ -97,21 +115,43 @@ impl BrokerCore {
         broker_nodes: Arc<Vec<NodeId>>,
         strategy: RoutingStrategy,
     ) -> Self {
+        Self::with_interner(id, topology, broker_nodes, strategy, Arc::new(SharedInterner::new()))
+    }
+
+    /// Creates the core resolving attribute names through `interner` — the
+    /// shared symbol table of the broker (or, as the [`System`] facade does
+    /// it, of the whole world, so every broker's routing table and
+    /// local-delivery index mint identical [`Symbol`](rebeca_core::Symbol)s).
+    ///
+    /// # Panics
+    ///
+    /// As [`BrokerCore::new`].
+    ///
+    /// [`System`]: ../rebeca/struct.System.html
+    pub fn with_interner(
+        id: BrokerId,
+        topology: Arc<Topology>,
+        broker_nodes: Arc<Vec<NodeId>>,
+        strategy: RoutingStrategy,
+        interner: Arc<SharedInterner>,
+    ) -> Self {
         assert!((id.raw() as usize) < topology.broker_count(), "broker {id} not in topology");
         assert!(broker_nodes.len() >= topology.broker_count(), "broker node map incomplete");
         let neighbors: Vec<NodeId> =
             topology.neighbors(id).iter().map(|b| broker_nodes[b.raw() as usize]).collect();
-        let covering = matches!(strategy, RoutingStrategy::Covering | RoutingStrategy::Merging);
-        let announcers = neighbors.iter().map(|_| LinkAnnouncer::new(covering)).collect();
+        let announcers: Vec<LinkAnnouncer> =
+            neighbors.iter().map(|_| LinkAnnouncer::for_strategy(strategy)).collect();
+        let emitted = announcers.iter().map(|_| HashMap::new()).collect();
         BrokerCore {
             id,
             strategy,
             topology,
             broker_nodes,
             neighbors,
-            table: RoutingTable::new(),
+            table: RoutingTable::with_interner(interner),
             announcers,
-            announced: HashMap::new(),
+            emitted,
+            scratch: RouteScratch::new(),
             stats: BrokerStats::default(),
         }
     }
@@ -148,18 +188,27 @@ impl BrokerCore {
 
     /// Number of filters currently announced to `neighbor`.
     pub fn announced_count(&self, neighbor: NodeId) -> usize {
-        self.announced.get(&neighbor).map_or(0, |m| m.len())
+        self.announced_filters(neighbor).len()
+    }
+
+    /// The shared symbol table of this broker's routing state.
+    pub fn interner(&self) -> &Arc<SharedInterner> {
+        self.table.interner()
     }
 
     /// Handles one message, returning local deliveries and unhandled
-    /// mobility traffic.
+    /// mobility traffic. Allocating convenience form of
+    /// [`BrokerCore::handle_into`].
     pub fn handle(&mut self, ctx: &mut Ctx<'_, Message>, from: NodeId, msg: Message) -> Outcome {
         let mut out = Outcome::default();
         self.handle_into(ctx, from, msg, &mut out);
         out
     }
 
-    fn handle_into(
+    /// Handles one message, appending local deliveries and unhandled
+    /// mobility traffic to `out` (*not* cleared first — wrappers reuse one
+    /// buffer across messages to keep the dispatch loop allocation-free).
+    pub fn handle_into(
         &mut self,
         ctx: &mut Ctx<'_, Message>,
         from: NodeId,
@@ -188,8 +237,7 @@ impl BrokerCore {
                 self.apply_delta(ctx, &delta);
             }
             Message::Publish { notification } | Message::Forward { notification } => {
-                let deliveries = self.route_notification(ctx, from, notification);
-                out.deliveries.extend(deliveries);
+                self.route_notification_into(ctx, from, notification, out);
             }
             Message::SubForward { filter } => {
                 let delta = self.table.neighbor_subscribe(from, filter);
@@ -225,31 +273,55 @@ impl BrokerCore {
     }
 
     /// Forwards a notification per routing table / strategy and returns the
-    /// local deliveries. `from` is the link the notification arrived on and
-    /// is excluded from forwarding. The notification is shared by `Arc`
-    /// across every forward and delivery — no per-neighbour copies.
+    /// local deliveries. Allocating convenience form of
+    /// [`BrokerCore::route_notification_into`].
     pub fn route_notification(
         &mut self,
         ctx: &mut Ctx<'_, Message>,
         from: NodeId,
         n: Arc<Notification>,
     ) -> Vec<LocalDelivery> {
+        let mut out = Outcome::default();
+        self.route_notification_into(ctx, from, n, &mut out);
+        out.deliveries
+    }
+
+    /// Forwards a notification per routing table / strategy, appending the
+    /// local deliveries to `out`. `from` is the link the notification
+    /// arrived on and is excluded from forwarding.
+    ///
+    /// This is the per-notification hot path: the routing decision is
+    /// computed into the broker's reusable [`RouteScratch`], the
+    /// notification is shared by `Arc` across every forward and delivery
+    /// (refcount bumps, no copies), and with warm buffers the whole call
+    /// performs **zero** heap allocation.
+    pub fn route_notification_into(
+        &mut self,
+        ctx: &mut Ctx<'_, Message>,
+        from: NodeId,
+        n: Arc<Notification>,
+        out: &mut Outcome,
+    ) {
         self.stats.notifications_routed += 1;
-        let RouteDecision { clients, neighbors } = self.table.route(&n);
-        let forward_to: Vec<NodeId> = if self.strategy.is_flooding() {
-            self.neighbors.iter().copied().filter(|nb| *nb != from).collect()
-        } else {
-            neighbors.into_iter().filter(|nb| *nb != from).collect()
-        };
-        for nb in &forward_to {
-            ctx.send(*nb, Message::Forward { notification: Arc::clone(&n) });
+        self.table.route_into(&n, &mut self.scratch);
+        let mut forwards = 0u64;
+        let forward_to: &[NodeId] =
+            if self.strategy.is_flooding() { &self.neighbors } else { &self.scratch.neighbors };
+        for nb in forward_to {
+            if *nb != from {
+                ctx.send(*nb, Message::Forward { notification: Arc::clone(&n) });
+                forwards += 1;
+            }
         }
-        self.stats.forwards_sent += forward_to.len() as u64;
-        self.stats.local_deliveries += clients.len() as u64;
-        clients
-            .into_iter()
-            .map(|(client, node)| LocalDelivery { client, node, notification: Arc::clone(&n) })
-            .collect()
+        self.stats.forwards_sent += forwards;
+        self.stats.local_deliveries += self.scratch.clients.len() as u64;
+        for (client, node) in &self.scratch.clients {
+            out.deliveries.push(LocalDelivery {
+                client: *client,
+                node: *node,
+                notification: Arc::clone(&n),
+            });
+        }
     }
 
     /// Attaches a client programmatically (used by mobility wrappers).
@@ -300,15 +372,18 @@ impl BrokerCore {
     }
 
     /// The filters currently announced to `neighbor`, sorted by digest
-    /// (equivalence testing and diagnostics).
+    /// (equivalence testing and diagnostics). Read straight from the
+    /// link's incremental announcer — the single source of truth.
     pub fn announced_filters(&self, neighbor: NodeId) -> Vec<Filter> {
-        let mut out: Vec<Filter> = self
-            .announced
-            .get(&neighbor)
-            .map(|m| m.values().cloned().collect())
-            .unwrap_or_default();
-        out.sort_by_key(Filter::digest);
-        out
+        let Some(i) = self.neighbors.iter().position(|n| *n == neighbor) else {
+            return Vec::new();
+        };
+        let announcer = &self.announcers[i];
+        match self.strategy {
+            RoutingStrategy::Flooding => Vec::new(),
+            RoutingStrategy::Merging => announcer.merged_sorted().expect("merging announcer"),
+            RoutingStrategy::Simple | RoutingStrategy::Covering => announcer.announced(),
+        }
     }
 
     /// Applies one routing-table delta to the announcement state of every
@@ -341,13 +416,13 @@ impl BrokerCore {
             if changes.is_empty() {
                 continue;
             }
-            let current = self.announced.entry(nb).or_default();
             if matches!(self.strategy, RoutingStrategy::Merging) {
-                // Re-merge the minimal cover (already maintained
-                // incrementally) and diff against what the peer has.
-                let desired_vec = merge_set(announcer.announced());
-                let desired: HashMap<Digest, Filter> =
-                    desired_vec.into_iter().map(|f| (f.digest(), f)).collect();
+                // The merge products are maintained incrementally by the
+                // announcer; `emitted` *is* the pre-delta product set, so
+                // the wire diff is a straight set difference — no re-merge,
+                // no transition bookkeeping.
+                let current = &mut self.emitted[i];
+                let desired = announcer.merged_products().expect("merging announcer");
                 let mut added: Vec<(Digest, Filter)> = desired
                     .iter()
                     .filter(|(d, _)| !current.contains_key(*d))
@@ -390,11 +465,9 @@ impl BrokerCore {
                 changes.left.sort_unstable_by_key(Filter::digest);
                 self.stats.control_sent += (changes.entered.len() + changes.left.len()) as u64;
                 for f in changes.entered {
-                    current.insert(f.digest(), f.clone());
                     ctx.send(nb, Message::SubForward { filter: f });
                 }
                 for f in changes.left {
-                    current.remove(&f.digest());
                     ctx.send(nb, Message::UnsubForward { filter: f });
                 }
             }
@@ -408,6 +481,8 @@ impl BrokerCore {
 pub struct BrokerNode {
     core: BrokerCore,
     ignored_mobility: u64,
+    /// Reused across messages so dispatch allocates nothing steady-state.
+    outcome: Outcome,
 }
 
 impl fmt::Debug for BrokerNode {
@@ -422,7 +497,7 @@ impl fmt::Debug for BrokerNode {
 impl BrokerNode {
     /// Wraps a routing core.
     pub fn new(core: BrokerCore) -> Self {
-        BrokerNode { core, ignored_mobility: 0 }
+        BrokerNode { core, ignored_mobility: 0, outcome: Outcome::default() }
     }
 
     /// Access to the routing core.
@@ -439,11 +514,16 @@ impl BrokerNode {
 
 impl Node<Message> for BrokerNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Message>, from: NodeId, msg: Message) {
-        let outcome = self.core.handle(ctx, from, msg);
-        for d in outcome.deliveries {
+        // Take the reusable buffer out so `core` can be borrowed mutably;
+        // its capacity survives the round trip.
+        let mut outcome = std::mem::take(&mut self.outcome);
+        outcome.clear();
+        self.core.handle_into(ctx, from, msg, &mut outcome);
+        for d in outcome.deliveries.drain(..) {
             ctx.send(d.node, Message::Deliver { client: d.client, notification: d.notification });
         }
         self.ignored_mobility += outcome.unhandled.len() as u64;
+        self.outcome = outcome;
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

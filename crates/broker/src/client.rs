@@ -18,14 +18,18 @@ use rebeca_core::{
 use rebeca_net::{Ctx, Node, NodeId};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// One delivered notification plus its delivery time.
+///
+/// The notification is the same shared allocation that travelled the whole
+/// pipeline — the delivery log never deep-copies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeliveryRecord {
     /// When the local broker received the notification.
     pub at: SimTime,
-    /// The notification.
-    pub notification: Notification,
+    /// The notification (shared with every other holder).
+    pub notification: Arc<Notification>,
 }
 
 /// The client communication library (sans-io core).
@@ -176,8 +180,8 @@ impl LocalBroker {
 
     /// Handles a delivered notification: suppresses duplicates (replays
     /// from relocation/replication) and counts per-publisher FIFO
-    /// violations.
-    pub fn on_deliver(&mut self, now: SimTime, n: Notification) {
+    /// violations. Takes the shared notification as-is — no clone.
+    pub fn on_deliver(&mut self, now: SimTime, n: Arc<Notification>) {
         if !self.seen.insert(n.id()) {
             self.duplicates += 1;
             return;
@@ -276,9 +280,7 @@ impl Node<Message> for ClientNode {
             }
             Message::AppSubscribe { id, filter } => self.local.subscribe(ctx, id, filter),
             Message::AppUnsubscribe { id } => self.local.unsubscribe(ctx, id),
-            Message::Deliver { notification, .. } => {
-                self.local.on_deliver(ctx.now(), std::sync::Arc::unwrap_or_clone(notification))
-            }
+            Message::Deliver { notification, .. } => self.local.on_deliver(ctx.now(), notification),
             _ => {}
         }
     }

@@ -32,5 +32,5 @@ pub mod table;
 pub use broker::{BrokerCore, BrokerNode, BrokerStats, LocalDelivery, Outcome};
 pub use client::{ClientNode, DeliveryRecord, LocalBroker};
 pub use message::{Message, MobilityMsg};
-pub use routing::{minimal_cover, RoutingStrategy};
-pub use table::{ClientEntry, RouteDecision, RouteKey, RoutingTable};
+pub use routing::{minimal_cover, CoverChanges, LinkAnnouncer, RoutingStrategy};
+pub use table::{ClientEntry, RouteDecision, RouteKey, RouteScratch, RoutingTable};

@@ -151,6 +151,11 @@ pub enum MobilityMsg {
         old_border: Option<BrokerId>,
         /// The client's full subscription set (unresolved filters).
         subscriptions: Vec<Subscription>,
+        /// The device's handover counter — the epoch stamped onto every
+        /// replica control message this attachment causes, so stale
+        /// control traffic from an earlier attachment is recognisable
+        /// under adversarial link delay.
+        epoch: u64,
     },
     /// New border → old border (via [`Message::Routed`]): send everything
     /// you buffered for `client` and retire its old attachment.
@@ -164,16 +169,27 @@ pub enum MobilityMsg {
     /// publication order. `complete` marks the final batch; the new border
     /// then flushes its hold-back queue and switches the client to live
     /// delivery.
+    ///
+    /// Batches share the buffered notifications by `Arc`: shipping a
+    /// buffer is refcount bumps, never a deep copy of its contents.
     BufferedBatch {
         /// The relocated client.
         client: ClientId,
-        /// Buffered notifications in FIFO order.
-        notifications: Vec<Notification>,
+        /// Buffered notifications in FIFO order (shared, not copied).
+        notifications: Vec<Arc<Notification>>,
         /// Whether this is the last batch.
         complete: bool,
     },
 
     // ----- extended logical mobility (replicator ↔ replicator) -----
+    //
+    // Every replica control message carries the `epoch` of the handover it
+    // belongs to (the device's monotonically increasing move counter,
+    // propagated by `MoveIn`). Replicators drop control messages whose
+    // epoch is older than the newest one they have seen for the
+    // application, which prevents a late `ReplicaSubscribe` from
+    // resurrecting a virtual client after the `ReplicaDelete` of a newer
+    // handover already garbage-collected it.
     /// Create a buffering virtual client for `app` with the given
     /// location-dependent subscriptions (unresolved; the receiving
     /// replicator resolves `myloc` for its own broker's location scope).
@@ -182,11 +198,15 @@ pub enum MobilityMsg {
         app: rebeca_core::ApplicationId,
         /// Location-dependent subscriptions to mirror.
         subscriptions: Vec<Subscription>,
+        /// Handover epoch of the issuing attachment.
+        epoch: u64,
     },
     /// Garbage-collect the virtual client of `app`.
     ReplicaDelete {
         /// The mobile application.
         app: rebeca_core::ApplicationId,
+        /// Handover epoch of the issuing attachment.
+        epoch: u64,
     },
     /// Mirror a new location-dependent subscription into the virtual
     /// client.
@@ -195,6 +215,8 @@ pub enum MobilityMsg {
         app: rebeca_core::ApplicationId,
         /// The subscription to mirror.
         subscription: Subscription,
+        /// Handover epoch of the issuing attachment.
+        epoch: u64,
     },
     /// Mirror an unsubscription into the virtual client.
     ReplicaUnsubscribe {
@@ -202,6 +224,8 @@ pub enum MobilityMsg {
         app: rebeca_core::ApplicationId,
         /// The subscription to remove.
         id: SubscriptionId,
+        /// Handover epoch of the issuing attachment.
+        epoch: u64,
     },
     /// Exception mode: ask a (possibly distant) replicator for the buffer
     /// of `app`'s virtual client — used when a client "pops up" at a broker
@@ -212,12 +236,13 @@ pub enum MobilityMsg {
         /// Replicator that should receive the buffer.
         reply_to: BrokerId,
     },
-    /// Reply to [`MobilityMsg::ReplicaFetch`]: the buffered notifications.
+    /// Reply to [`MobilityMsg::ReplicaFetch`]: the buffered notifications
+    /// (shared, not copied).
     ReplicaBatch {
         /// The mobile application.
         app: rebeca_core::ApplicationId,
         /// Buffered notifications in order.
-        notifications: Vec<Notification>,
+        notifications: Vec<Arc<Notification>>,
     },
 }
 
@@ -275,21 +300,21 @@ impl MobilityMsg {
             | MobilityMsg::AppDisconnect => 4,
             MobilityMsg::AppSetContext { key, predicate } => key.len() + predicate.wire_size(),
             MobilityMsg::MoveIn { subscriptions, .. } => {
-                9 + subscriptions.iter().map(Subscription::wire_size).sum::<usize>()
+                17 + subscriptions.iter().map(Subscription::wire_size).sum::<usize>()
             }
             MobilityMsg::FetchBuffered { .. } => 8,
             MobilityMsg::BufferedBatch { notifications, .. } => {
-                6 + notifications.iter().map(Notification::wire_size).sum::<usize>()
+                6 + notifications.iter().map(|n| n.wire_size()).sum::<usize>()
             }
             MobilityMsg::ReplicaCreate { subscriptions, .. } => {
-                4 + subscriptions.iter().map(Subscription::wire_size).sum::<usize>()
+                12 + subscriptions.iter().map(Subscription::wire_size).sum::<usize>()
             }
-            MobilityMsg::ReplicaDelete { .. } => 4,
-            MobilityMsg::ReplicaSubscribe { subscription, .. } => 4 + subscription.wire_size(),
-            MobilityMsg::ReplicaUnsubscribe { .. } => 8,
+            MobilityMsg::ReplicaDelete { .. } => 12,
+            MobilityMsg::ReplicaSubscribe { subscription, .. } => 12 + subscription.wire_size(),
+            MobilityMsg::ReplicaUnsubscribe { .. } => 16,
             MobilityMsg::ReplicaFetch { .. } => 8,
             MobilityMsg::ReplicaBatch { notifications, .. } => {
-                4 + notifications.iter().map(Notification::wire_size).sum::<usize>()
+                4 + notifications.iter().map(|n| n.wire_size()).sum::<usize>()
             }
         }
     }
@@ -316,7 +341,8 @@ mod tests {
         assert_eq!(Message::SubForward { filter: Filter::all() }.kind(), "sub");
         assert_eq!(
             Message::Mobility(MobilityMsg::ReplicaDelete {
-                app: rebeca_core::ApplicationId::new(0)
+                app: rebeca_core::ApplicationId::new(0),
+                epoch: 0,
             })
             .kind(),
             "mob"

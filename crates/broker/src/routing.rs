@@ -14,10 +14,10 @@
 //! [`SubForward`](crate::Message::SubForward) /
 //! [`UnsubForward`](crate::Message::UnsubForward) messages.
 
-use rebeca_core::filter::merge_set;
+use rebeca_core::filter::{merge_set, try_merge, MergeOutcome};
 use rebeca_core::{Digest, Filter};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Content-based routing strategy of a broker network.
@@ -153,26 +153,98 @@ struct Served {
     dominated_by: usize,
 }
 
+/// Incrementally maintained merge products of a minimal cover, kept equal
+/// to `merge_set(cover in digest order)` after every cover transition.
+///
+/// The maintenance mirrors the covering refcounts one level up: a cover
+/// member that *interacts* with nothing (no covering relation, no perfect
+/// merge, against any member or product) enters and leaves the product set
+/// as itself in `O(cover)` structural checks — the common case under
+/// subscription churn, where the churning filter constrains its own
+/// attributes. Only when the changed member genuinely interacts is the
+/// (small) cover re-merged from scratch, which is exactly what every
+/// mutation used to cost.
+#[derive(Debug, Clone, Default)]
+struct MergeState {
+    /// The current minimal cover, digest-sorted (merge input order).
+    members: BTreeMap<Digest, Filter>,
+    /// Invariant: equals `merge_set(members in digest order)` as a set.
+    products: HashMap<Digest, Filter>,
+}
+
+impl MergeState {
+    fn interacts(a: &Filter, b: &Filter) -> bool {
+        !matches!(try_merge(a, b), MergeOutcome::NotMergeable)
+    }
+
+    /// A filter entered the minimal cover.
+    fn cover_entered(&mut self, f: &Filter) {
+        let digest = f.digest();
+        self.members.insert(digest, f.clone());
+        let standalone = self.members.iter().all(|(d, m)| *d == digest || !Self::interacts(m, f))
+            && self.products.values().all(|p| !Self::interacts(p, f));
+        if standalone {
+            // f merges with nothing and covers/is covered by nothing, so
+            // the canonical merge run leaves it untouched: products(C ∪ f)
+            // = products(C) ∪ f.
+            self.products.insert(digest, f.clone());
+        } else {
+            self.rebuild();
+        }
+    }
+
+    /// A filter left the minimal cover.
+    fn cover_left(&mut self, f: &Filter) {
+        let digest = f.digest();
+        self.members.remove(&digest);
+        // A product carrying the member's own digest can only be the member
+        // itself, un-merged (anything it had absorbed would be covered by
+        // it — impossible inside an antichain). Removing a member that
+        // never merged cannot change any other product.
+        if self.products.remove(&digest).is_none() {
+            self.rebuild();
+        }
+    }
+
+    /// From-scratch fallback: re-merge the (incrementally maintained,
+    /// digest-sorted) cover.
+    fn rebuild(&mut self) {
+        let merged = merge_set(self.members.values().cloned().collect());
+        self.products = merged.into_iter().map(|f| (f.digest(), f)).collect();
+    }
+}
+
 /// Incrementally maintained announcement state for **one** neighbour link:
 /// the refcounted multiset of filters that must be served through the link,
 /// plus per-filter dominator counts so the minimal covering subset is
 /// available without ever rescanning the whole table.
 ///
 /// In *simple* mode (no covering) every distinct filter is announced; in
-/// *covering* mode only non-dominated filters are. A single mutation costs
-/// `O(distinct filters)` covering checks — against the `O(n²)` of a
-/// from-scratch [`minimal_cover`] — and touches nothing outside this link.
+/// *covering* mode only non-dominated filters are; in *merging* mode a
+/// [`MergeState`] additionally maintains the merge products of the cover.
+/// A single mutation costs `O(distinct filters)` covering checks — against
+/// the `O(n²)` of a from-scratch [`minimal_cover`] — and touches nothing
+/// outside this link.
 #[derive(Debug, Clone)]
 pub struct LinkAnnouncer {
     covering: bool,
     entries: HashMap<Digest, Served>,
+    merge: Option<MergeState>,
 }
 
 impl LinkAnnouncer {
     /// Creates empty state; `covering` selects covering mode (used by the
     /// covering *and* merging strategies).
     pub fn new(covering: bool) -> Self {
-        LinkAnnouncer { covering, entries: HashMap::new() }
+        LinkAnnouncer { covering, entries: HashMap::new(), merge: None }
+    }
+
+    /// Creates empty state configured for `strategy` (merging implies
+    /// covering and additionally maintains merge products).
+    pub fn for_strategy(strategy: RoutingStrategy) -> Self {
+        let covering = matches!(strategy, RoutingStrategy::Covering | RoutingStrategy::Merging);
+        let merge = matches!(strategy, RoutingStrategy::Merging).then(MergeState::default);
+        LinkAnnouncer { covering, entries: HashMap::new(), merge }
     }
 
     /// Number of distinct filters currently served through the link.
@@ -188,6 +260,7 @@ impl LinkAnnouncer {
             entry.refs += 1;
             return;
         }
+        let (entered_from, left_from) = (changes.entered.len(), changes.left.len());
         let mut dominated_by = 0;
         if self.covering {
             for entry in self.entries.values_mut() {
@@ -206,6 +279,7 @@ impl LinkAnnouncer {
             changes.entered.push(filter.clone());
         }
         self.entries.insert(digest, Served { filter: filter.clone(), refs: 1, dominated_by });
+        self.apply_merge(changes, entered_from, left_from);
     }
 
     /// Removes one occurrence of `filter` from the served multiset,
@@ -220,6 +294,7 @@ impl LinkAnnouncer {
         if entry.refs > 0 {
             return;
         }
+        let (entered_from, left_from) = (changes.entered.len(), changes.left.len());
         let removed = self.entries.remove(&digest).expect("entry exists");
         if self.covering {
             for entry in self.entries.values_mut() {
@@ -234,6 +309,38 @@ impl LinkAnnouncer {
         if removed.dominated_by == 0 {
             changes.left.push(removed.filter);
         }
+        self.apply_merge(changes, entered_from, left_from);
+    }
+
+    /// Feeds the cover transitions recorded by the current mutation (the
+    /// suffix of `changes` starting at the given indices) into the merge
+    /// state, removals first so the member set stays an antichain.
+    fn apply_merge(&mut self, changes: &CoverChanges, entered_from: usize, left_from: usize) {
+        let Some(merge) = &mut self.merge else {
+            return;
+        };
+        for f in &changes.left[left_from..] {
+            merge.cover_left(f);
+        }
+        for f in &changes.entered[entered_from..] {
+            merge.cover_entered(f);
+        }
+    }
+
+    /// The incrementally maintained merge products of the announced cover,
+    /// keyed by digest — `None` unless built with
+    /// [`LinkAnnouncer::for_strategy`]\([`RoutingStrategy::Merging`]).
+    pub fn merged_products(&self) -> Option<&HashMap<Digest, Filter>> {
+        self.merge.as_ref().map(|m| &m.products)
+    }
+
+    /// The merge products sorted by digest (equivalence testing).
+    pub fn merged_sorted(&self) -> Option<Vec<Filter>> {
+        self.merged_products().map(|p| {
+            let mut out: Vec<Filter> = p.values().cloned().collect();
+            out.sort_by_key(Filter::digest);
+            out
+        })
     }
 
     /// The current announced set — every distinct filter in simple mode,
@@ -335,6 +442,41 @@ mod tests {
     }
 
     #[test]
+    fn for_strategy_selects_modes() {
+        assert!(LinkAnnouncer::for_strategy(RoutingStrategy::Simple).merged_products().is_none());
+        assert!(LinkAnnouncer::for_strategy(RoutingStrategy::Covering).merged_products().is_none());
+        let m = LinkAnnouncer::for_strategy(RoutingStrategy::Merging);
+        assert!(m.merged_products().is_some_and(HashMap::is_empty));
+    }
+
+    /// The incremental merge products track add/remove churn: siblings
+    /// merge into one product, a non-interacting filter rides the fast
+    /// path in and out, and removals dissolve products back.
+    #[test]
+    fn merge_products_track_churn() {
+        let mut a = LinkAnnouncer::for_strategy(RoutingStrategy::Merging);
+        let mut changes = CoverChanges::default();
+        let (r1, r2) = (f_service_room("t", 1), f_service_room("t", 2));
+        a.add(&r1, &mut changes);
+        a.add(&r2, &mut changes);
+        let products = a.merged_sorted().expect("merging mode");
+        assert_eq!(products.len(), 1, "siblings merged into one product");
+        assert!(products[0].covers(&r1) && products[0].covers(&r2));
+        // A filter over a disjoint attribute set enters as itself.
+        let lone = Filter::builder().eq("level", 3i64).build();
+        a.add(&lone, &mut changes);
+        assert_eq!(a.merged_sorted().expect("merging mode").len(), 2);
+        a.remove(&lone, &mut changes);
+        let products = a.merged_sorted().expect("merging mode");
+        assert_eq!(products.len(), 1);
+        // Removing one sibling dissolves the merged product.
+        a.remove(&r1, &mut changes);
+        assert_eq!(a.merged_sorted().expect("merging mode"), vec![r2.clone()]);
+        a.remove(&r2, &mut changes);
+        assert!(a.merged_sorted().expect("merging mode").is_empty());
+    }
+
+    #[test]
     fn display_names() {
         assert_eq!(RoutingStrategy::Covering.to_string(), "covering");
     }
@@ -431,6 +573,34 @@ mod prop_tests {
                 changes.left.sort_by_key(Filter::digest);
                 prop_assert_eq!(changes.entered, expect_entered);
                 prop_assert_eq!(changes.left, expect_left);
+            }
+        }
+
+        /// The incrementally maintained merge products equal the
+        /// from-scratch `merge_set(minimal_cover(served))` after **every**
+        /// step of a random add/remove churn sequence.
+        #[test]
+        fn merge_products_match_from_scratch(
+            ops in proptest::collection::vec((any::<bool>(), 0usize..8, arb_filter()), 1..40),
+        ) {
+            let mut announcer = LinkAnnouncer::for_strategy(RoutingStrategy::Merging);
+            let mut served: Vec<Filter> = Vec::new();
+            let mut changes = CoverChanges::default();
+            for (add, pick, f) in ops {
+                if add || served.is_empty() {
+                    served.push(f.clone());
+                    announcer.add(&f, &mut changes);
+                } else {
+                    let victim = served.swap_remove(pick % served.len());
+                    announcer.remove(&victim, &mut changes);
+                }
+                let incremental = announcer.merged_sorted().expect("merging mode");
+                let mut from_scratch = merge_set(minimal_cover(&served));
+                from_scratch.sort_by_key(Filter::digest);
+                prop_assert_eq!(&incremental, &from_scratch,
+                    "served: {:?}", served.iter().map(ToString::to_string).collect::<Vec<_>>());
+                // The cover itself must still be maintained alongside.
+                prop_assert_eq!(announcer.announced(), minimal_cover(&served));
             }
         }
 

@@ -8,10 +8,13 @@
 //! (filters announced by neighbours, keyed by filter digest). A
 //! [`MatchIndex`] over both answers the per-notification routing decision.
 
-use rebeca_core::{ClientId, Digest, Filter, MatchIndex, Notification, SubscriptionId};
+use rebeca_core::{
+    ClientId, Digest, Filter, MatchIndex, Notification, SharedInterner, SubscriptionId,
+};
 use rebeca_net::NodeId;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Key of one routing-table entry in the match index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -94,6 +97,28 @@ pub struct RouteDecision {
     pub neighbors: Vec<NodeId>,
 }
 
+/// Reusable per-notification routing scratch: the match-key buffer plus the
+/// decision buffers, threaded through [`RoutingTable::route_into`] so the
+/// steady-state routing path builds no fresh vectors per notification — the
+/// caller (one per broker) owns the scratch and its capacity survives across
+/// notifications.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    /// Raw matching keys (reused output buffer of the match index).
+    keys: Vec<RouteKey>,
+    /// Matching local clients, deduplicated, sorted by client id.
+    pub clients: Vec<(ClientId, NodeId)>,
+    /// Matching neighbour links, deduplicated, sorted.
+    pub neighbors: Vec<NodeId>,
+}
+
+impl RouteScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A broker's routing state: neighbour announcements plus local clients.
 #[derive(Default)]
 pub struct RoutingTable {
@@ -113,9 +138,25 @@ impl fmt::Debug for RoutingTable {
 }
 
 impl RoutingTable {
-    /// Creates an empty table.
+    /// Creates an empty table (with a private interner).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty table whose match index resolves attribute names
+    /// through `interner` — the per-broker (or per-world) shared symbol
+    /// table.
+    pub fn with_interner(interner: Arc<SharedInterner>) -> Self {
+        RoutingTable {
+            index: MatchIndex::with_interner(interner),
+            neighbor_filters: HashMap::new(),
+            clients: HashMap::new(),
+        }
+    }
+
+    /// The shared symbol table of this table's match index.
+    pub fn interner(&self) -> &Arc<SharedInterner> {
+        self.index.interner()
     }
 
     // ----- clients -----
@@ -227,24 +268,38 @@ impl RoutingTable {
 
     /// The routing decision for a notification: matching local clients and
     /// matching neighbour links (deduplicated, deterministic order).
+    ///
+    /// Convenience form that allocates fresh vectors; the hot path is
+    /// [`RoutingTable::route_into`].
     pub fn route(&self, n: &Notification) -> RouteDecision {
-        let mut clients = Vec::new();
-        let mut neighbors = Vec::new();
-        for key in self.index.matching(n) {
-            match key {
+        let mut scratch = RouteScratch::new();
+        self.route_into(n, &mut scratch);
+        RouteDecision { clients: scratch.clients, neighbors: scratch.neighbors }
+    }
+
+    /// Computes the routing decision into a reusable scratch (cleared
+    /// first). With a warm scratch this performs **zero** heap allocation
+    /// per notification: matching uses the index's generation-stamped
+    /// counters, and the decision buffers retain their capacity across
+    /// calls.
+    pub fn route_into(&self, n: &Notification, scratch: &mut RouteScratch) {
+        scratch.clients.clear();
+        scratch.neighbors.clear();
+        self.index.matching_into(n, &mut scratch.keys);
+        for key in &scratch.keys {
+            match *key {
                 RouteKey::Client { client, .. } => {
                     if let Some(e) = self.clients.get(&client) {
-                        clients.push((client, e.node));
+                        scratch.clients.push((client, e.node));
                     }
                 }
-                RouteKey::Neighbor { node, .. } => neighbors.push(node),
+                RouteKey::Neighbor { node, .. } => scratch.neighbors.push(node),
             }
         }
-        clients.sort_unstable_by_key(|(c, _)| *c);
-        clients.dedup_by_key(|(c, _)| *c);
-        neighbors.sort_unstable();
-        neighbors.dedup();
-        RouteDecision { clients, neighbors }
+        scratch.clients.sort_unstable_by_key(|(c, _)| *c);
+        scratch.clients.dedup_by_key(|(c, _)| *c);
+        scratch.neighbors.sort_unstable();
+        scratch.neighbors.dedup();
     }
 
     /// All distinct filters that must be served through links *other than*
@@ -352,6 +407,37 @@ mod tests {
         t.subscribe_client(c, SubscriptionId::new(2), Filter::all());
         let d = t.route(&note("t"));
         assert_eq!(d.clients.len(), 1, "one delivery per client, not per subscription");
+    }
+
+    #[test]
+    fn route_into_reuses_scratch() {
+        let mut t = RoutingTable::new();
+        let c = ClientId::new(1);
+        let nb = NodeId::new(5);
+        t.attach_client(c, NodeId::new(10));
+        t.subscribe_client(c, SubscriptionId::new(1), f("t"));
+        t.neighbor_subscribe(nb, f("t"));
+        let mut scratch = RouteScratch::new();
+        t.route_into(&note("t"), &mut scratch);
+        assert_eq!(scratch.clients, vec![(c, NodeId::new(10))]);
+        assert_eq!(scratch.neighbors, vec![nb]);
+        // A non-matching notification clears stale decisions.
+        t.route_into(&note("other"), &mut scratch);
+        assert!(scratch.clients.is_empty() && scratch.neighbors.is_empty());
+        // And the scratch agrees with the allocating form.
+        t.route_into(&note("t"), &mut scratch);
+        let d = t.route(&note("t"));
+        assert_eq!(d.clients, scratch.clients);
+        assert_eq!(d.neighbors, scratch.neighbors);
+    }
+
+    #[test]
+    fn tables_share_interner() {
+        use std::sync::Arc;
+        let interner = Arc::new(SharedInterner::new());
+        let t1 = RoutingTable::with_interner(Arc::clone(&interner));
+        let t2 = RoutingTable::with_interner(Arc::clone(&interner));
+        assert!(Arc::ptr_eq(t1.interner(), t2.interner()));
     }
 
     #[test]

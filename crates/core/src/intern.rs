@@ -9,7 +9,14 @@
 //!
 //! The interner is append-only: symbols stay valid for the lifetime of the
 //! interner, and interning the same name twice returns the same symbol.
+//!
+//! [`SharedInterner`] wraps an [`Interner`] behind interior mutability so
+//! one symbol table can be owned per broker — or per world — and shared
+//! (`Arc<SharedInterner>`) by every routing table, local-delivery index and
+//! replicator: all of them resolve the same [`Symbol`]s, which is what lets
+//! notifications flow through the whole pipeline without re-interning.
 
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -88,6 +95,17 @@ impl Interner {
         &self.names[sym.index()]
     }
 
+    /// The name behind a symbol as a shared string (cheap clone of the
+    /// interned storage — used through [`SharedInterner::resolve`], whose
+    /// guard cannot hand out a borrow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was minted by a different interner.
+    pub fn resolve_shared(&self, sym: Symbol) -> Arc<str> {
+        Arc::clone(&self.names[sym.index()])
+    }
+
     /// Number of distinct interned names.
     pub fn len(&self) -> usize {
         self.names.len()
@@ -96,6 +114,80 @@ impl Interner {
     /// Returns `true` if nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
+    }
+}
+
+/// A thread-safe, shareable symbol table.
+///
+/// One `SharedInterner` is owned per broker (the [`System`] facade shares a
+/// single one across the whole world) and handed to every [`MatchIndex`]
+/// via [`MatchIndex::with_interner`]; symbols minted by any holder are
+/// valid for every other holder. The lock is write-acquired only when a
+/// *new* filter is indexed; the per-notification hot path takes one read
+/// guard per matching call.
+///
+/// ```
+/// use rebeca_core::intern::SharedInterner;
+/// use std::sync::Arc;
+/// let shared = Arc::new(SharedInterner::new());
+/// let a = shared.intern("service");
+/// assert_eq!(shared.lookup("service"), Some(a));
+/// assert_eq!(&*shared.resolve(a), "service");
+/// ```
+///
+/// [`MatchIndex`]: crate::MatchIndex
+/// [`MatchIndex::with_interner`]: crate::MatchIndex::with_interner
+/// [`System`]: ../../rebeca/struct.System.html
+#[derive(Debug, Default)]
+pub struct SharedInterner {
+    inner: RwLock<Interner>,
+}
+
+impl SharedInterner {
+    /// Creates an empty shared interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name` (write lock; allocates only for names never seen
+    /// before).
+    pub fn intern(&self, name: &str) -> Symbol {
+        // Fast path: the name is usually already interned.
+        if let Some(sym) = self.inner.read().lookup(name) {
+            return sym;
+        }
+        self.inner.write().intern(name)
+    }
+
+    /// Looks a name up without interning it (read lock, allocation-free).
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.inner.read().lookup(name)
+    }
+
+    /// The name behind a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was minted by a different interner.
+    pub fn resolve(&self, sym: Symbol) -> Arc<str> {
+        self.inner.read().resolve_shared(sym)
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Returns `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Runs `f` under a single read guard — the per-notification hot path
+    /// uses this to amortise locking over all attribute lookups of one
+    /// notification.
+    pub fn with_read<R>(&self, f: impl FnOnce(&Interner) -> R) -> R {
+        f(&self.inner.read())
     }
 }
 
@@ -124,5 +216,40 @@ mod tests {
         let x = i.intern("x");
         assert_eq!(i.lookup("x"), Some(x));
         assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn shared_interner_mints_consistent_symbols() {
+        let shared = Arc::new(SharedInterner::new());
+        assert!(shared.is_empty());
+        let a = shared.intern("a");
+        let other = Arc::clone(&shared);
+        assert_eq!(other.intern("a"), a, "same name, same symbol, any holder");
+        let b = other.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared.lookup("b"), Some(b));
+        assert_eq!(shared.lookup("absent"), None);
+        assert_eq!(&*shared.resolve(b), "b");
+        assert_eq!(shared.with_read(|i| i.lookup("a")), Some(a));
+    }
+
+    #[test]
+    fn shared_interner_is_consistent_across_threads() {
+        let shared = Arc::new(SharedInterner::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    (0..64).map(|i| shared.intern(&format!("attr-{}", i % 8))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Symbol>> =
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1], "every thread resolves identical symbols");
+        }
+        assert_eq!(shared.len(), 8);
     }
 }

@@ -65,7 +65,7 @@ pub use digest::Digest;
 pub use error::CoreError;
 pub use filter::{Constraint, Filter, FilterBuilder, MergeOutcome, Predicate};
 pub use id::{ApplicationId, BrokerId, ClientId, LocationId, SubscriptionId};
-pub use intern::{Interner, Symbol};
+pub use intern::{Interner, SharedInterner, Symbol};
 pub use matching::MatchIndex;
 pub use notification::{Notification, NotificationBuilder, NotificationId};
 pub use subscription::Subscription;

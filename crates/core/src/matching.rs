@@ -19,12 +19,13 @@
 //!   satisfied.
 
 use crate::filter::{Filter, Predicate};
-use crate::intern::Interner;
+use crate::intern::SharedInterner;
 use crate::notification::Notification;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
+use std::sync::Arc;
 
 /// One indexed filter in its dense slot.
 #[derive(Debug, Clone)]
@@ -51,6 +52,12 @@ struct Scratch {
 /// `K` is the caller's handle for a filter (a subscription id, a routing
 /// link, ...). Inserting a key that is already present replaces its filter.
 ///
+/// Attribute names resolve through a [`SharedInterner`]: by default every
+/// index owns a fresh one, but [`MatchIndex::with_interner`] lets several
+/// indices — a broker's routing table, its local-delivery index, its
+/// replicator — share one symbol table, so a notification's attributes map
+/// to the same [`Symbol`](crate::Symbol)s at every pipeline stage.
+///
 /// ```
 /// use rebeca_core::{ClientId, Filter, MatchIndex, Notification, SimTime, SubscriptionId};
 /// let mut idx = MatchIndex::new();
@@ -73,21 +80,13 @@ pub struct MatchIndex<K> {
     by_attr: Vec<Vec<(u32, Predicate)>>,
     /// Keys of empty (match-all) filters.
     universal: Vec<K>,
-    interner: Interner,
+    interner: Arc<SharedInterner>,
     scratch: RefCell<Scratch>,
 }
 
 impl<K> Default for MatchIndex<K> {
     fn default() -> Self {
-        MatchIndex {
-            keys: HashMap::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
-            by_attr: Vec::new(),
-            universal: Vec::new(),
-            interner: Interner::new(),
-            scratch: RefCell::new(Scratch::default()),
-        }
+        MatchIndex::with_interner(Arc::new(SharedInterner::new()))
     }
 }
 
@@ -101,8 +100,30 @@ impl<K: fmt::Debug> fmt::Debug for MatchIndex<K> {
     }
 }
 
+impl<K> MatchIndex<K> {
+    /// Creates an empty index resolving attribute names through `interner`
+    /// — the sharing constructor: every index built over the same interner
+    /// agrees on symbols.
+    pub fn with_interner(interner: Arc<SharedInterner>) -> Self {
+        MatchIndex {
+            keys: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_attr: Vec::new(),
+            universal: Vec::new(),
+            interner,
+            scratch: RefCell::new(Scratch::default()),
+        }
+    }
+
+    /// The shared symbol table this index resolves attribute names with.
+    pub fn interner(&self) -> &Arc<SharedInterner> {
+        &self.interner
+    }
+}
+
 impl<K: Copy + Eq + Hash> MatchIndex<K> {
-    /// Creates an empty index.
+    /// Creates an empty index (with a private interner).
     pub fn new() -> Self {
         Self::default()
     }
@@ -203,19 +224,25 @@ impl<K: Copy + Eq + Hash> MatchIndex<K> {
             scratch.counts.resize(self.slots.len(), (0, 0));
         }
         scratch.touched.clear();
-        for (attr, value) in n.attrs() {
-            let Some(sym) = self.interner.lookup(attr) else { continue };
-            for (slot, predicate) in &self.by_attr[sym.index()] {
-                if predicate.matches(value) {
-                    let cell = &mut scratch.counts[*slot as usize];
-                    if cell.0 != generation {
-                        *cell = (generation, 0);
-                        scratch.touched.push(*slot);
+        // One read guard for the whole notification: symbol lookups inside
+        // are array-free hash probes, and a symbol minted by a *different*
+        // index over the same interner may exceed `by_attr` — hence `get`.
+        self.interner.with_read(|interner| {
+            for (attr, value) in n.attrs() {
+                let Some(sym) = interner.lookup(attr) else { continue };
+                let Some(constraints) = self.by_attr.get(sym.index()) else { continue };
+                for (slot, predicate) in constraints {
+                    if predicate.matches(value) {
+                        let cell = &mut scratch.counts[*slot as usize];
+                        if cell.0 != generation {
+                            *cell = (generation, 0);
+                            scratch.touched.push(*slot);
+                        }
+                        cell.1 += 1;
                     }
-                    cell.1 += 1;
                 }
             }
-        }
+        });
         for slot in &scratch.touched {
             let entry = self.slots[*slot as usize].as_ref().expect("indexed slot occupied");
             if scratch.counts[*slot as usize].1 == entry.required {
@@ -238,23 +265,27 @@ impl<K: Copy + Eq + Hash> MatchIndex<K> {
         if scratch.counts.len() < self.slots.len() {
             scratch.counts.resize(self.slots.len(), (0, 0));
         }
-        for (attr, value) in n.attrs() {
-            let Some(sym) = self.interner.lookup(attr) else { continue };
-            for (slot, predicate) in &self.by_attr[sym.index()] {
-                if predicate.matches(value) {
-                    let cell = &mut scratch.counts[*slot as usize];
-                    if cell.0 != generation {
-                        *cell = (generation, 0);
-                    }
-                    cell.1 += 1;
-                    let entry = self.slots[*slot as usize].as_ref().expect("indexed slot occupied");
-                    if cell.1 == entry.required {
-                        return true;
+        self.interner.with_read(|interner| {
+            for (attr, value) in n.attrs() {
+                let Some(sym) = interner.lookup(attr) else { continue };
+                let Some(constraints) = self.by_attr.get(sym.index()) else { continue };
+                for (slot, predicate) in constraints {
+                    if predicate.matches(value) {
+                        let cell = &mut scratch.counts[*slot as usize];
+                        if cell.0 != generation {
+                            *cell = (generation, 0);
+                        }
+                        cell.1 += 1;
+                        let entry =
+                            self.slots[*slot as usize].as_ref().expect("indexed slot occupied");
+                        if cell.1 == entry.required {
+                            return true;
+                        }
                     }
                 }
             }
-        }
-        false
+            false
+        })
     }
 
     /// Brute-force matching (linear scan), used to cross-check the index in
@@ -395,6 +426,30 @@ mod tests {
             b.sort();
             assert_eq!(a, b, "for {n}");
         }
+    }
+
+    /// Two indices over one shared interner agree on symbols, stay exact,
+    /// and a symbol minted by one never confuses the other (sparse
+    /// `by_attr` access).
+    #[test]
+    fn indices_share_one_interner() {
+        use crate::intern::SharedInterner;
+        use std::sync::Arc;
+        let shared = Arc::new(SharedInterner::new());
+        let mut routing: MatchIndex<SubscriptionId> =
+            MatchIndex::with_interner(Arc::clone(&shared));
+        let mut local: MatchIndex<SubscriptionId> = MatchIndex::with_interner(Arc::clone(&shared));
+        routing.insert(sid(1), Filter::builder().eq("a", 1i64).build());
+        // `local` interns attributes `routing` has never seen.
+        local.insert(sid(2), Filter::builder().eq("b", 2i64).eq("c", 3i64).build());
+        assert!(Arc::ptr_eq(routing.interner(), local.interner()));
+        assert_eq!(shared.len(), 3, "one symbol table across both indices");
+        let n = note(&[("a", 1), ("b", 2), ("c", 3)]);
+        assert_eq!(routing.matching(&n), vec![sid(1)]);
+        assert_eq!(local.matching(&n), vec![sid(2)]);
+        // A notification naming only foreign symbols matches nothing here.
+        assert!(routing.matching(&note(&[("b", 2), ("c", 3)])).is_empty());
+        assert!(!routing.matches_any(&note(&[("c", 3)])));
     }
 
     #[test]

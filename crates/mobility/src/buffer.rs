@@ -15,6 +15,7 @@ use rebeca_core::{Digest, Notification, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of a virtual client's replay buffer.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -70,21 +71,26 @@ impl fmt::Display for BufferSpec {
 
 /// An ordered notification buffer with pluggable garbage collection.
 ///
+/// Buffered notifications are held behind `Arc`: offering is a refcount
+/// bump on the notification that already flowed through routing, and
+/// replaying shares the same allocation with the delivery path.
+///
 /// ```
 /// use rebeca_core::{ClientId, Notification, SimDuration, SimTime};
 /// use rebeca_mobility::BufferSpec;
+/// use std::sync::Arc;
 /// let mut buf = BufferSpec::HistoryBased { capacity: 2 }.build();
 /// for i in 0..3 {
 ///     let n = Notification::builder().attr("i", i as i64)
 ///         .publish(ClientId::new(0), i, SimTime::from_secs(i));
-///     buf.offer(SimTime::from_secs(i), n);
+///     buf.offer(SimTime::from_secs(i), Arc::new(n));
 /// }
 /// assert_eq!(buf.len(), 2, "history-based keeps the last n");
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReplayBuffer {
     spec: BufferSpec,
-    items: VecDeque<(SimTime, Notification)>,
+    items: VecDeque<(SimTime, Arc<Notification>)>,
     bytes: usize,
     peak_len: usize,
     peak_bytes: usize,
@@ -111,8 +117,9 @@ impl ReplayBuffer {
         &self.spec
     }
 
-    /// Offers a notification at time `now`, applying the policy.
-    pub fn offer(&mut self, now: SimTime, n: Notification) {
+    /// Offers a notification at time `now`, applying the policy. The
+    /// shared notification is referenced, never copied.
+    pub fn offer(&mut self, now: SimTime, n: Arc<Notification>) {
         self.total_offered += 1;
         match &self.spec {
             BufferSpec::None => return,
@@ -166,18 +173,19 @@ impl ReplayBuffer {
     }
 
     /// Drains the buffer in insertion order (the handover replay), after a
-    /// final garbage collection at `now`.
-    pub fn drain(&mut self, now: SimTime) -> Vec<Notification> {
+    /// final garbage collection at `now`. The returned notifications share
+    /// their allocations with whoever else still holds them.
+    pub fn drain(&mut self, now: SimTime) -> Vec<Arc<Notification>> {
         self.gc(now);
         self.bytes = 0;
         self.items.drain(..).map(|(_, n)| n).collect()
     }
 
     /// Returns the buffered notifications without draining (exception-mode
-    /// fetch keeps the buffer).
-    pub fn snapshot(&mut self, now: SimTime) -> Vec<Notification> {
+    /// fetch keeps the buffer). Cloning is per-`Arc`, not per-notification.
+    pub fn snapshot(&mut self, now: SimTime) -> Vec<Arc<Notification>> {
         self.gc(now);
-        self.items.iter().map(|(_, n)| n.clone()).collect()
+        self.items.iter().map(|(_, n)| Arc::clone(n)).collect()
     }
 
     /// Current number of buffered notifications.
@@ -239,7 +247,7 @@ fn semantic_key(n: &Notification, key_attrs: &[String]) -> u64 {
 /// them.
 #[derive(Debug, Default)]
 pub struct SharedBuffer {
-    store: HashMap<Digest, (Notification, usize)>,
+    store: HashMap<Digest, (Arc<Notification>, usize)>,
     bytes: usize,
     peak_bytes: usize,
 }
@@ -250,12 +258,13 @@ impl SharedBuffer {
         Self::default()
     }
 
-    /// Inserts (or references) a notification, returning its digest.
-    pub fn insert(&mut self, n: &Notification) -> Digest {
+    /// Inserts (or references) a notification, returning its digest. The
+    /// store shares the caller's allocation (refcount bump, no copy).
+    pub fn insert(&mut self, n: &Arc<Notification>) -> Digest {
         let d = n.digest();
         let entry = self.store.entry(d).or_insert_with(|| {
             self.bytes += n.wire_size();
-            (n.clone(), 0)
+            (Arc::clone(n), 0)
         });
         entry.1 += 1;
         self.peak_bytes = self.peak_bytes.max(self.bytes);
@@ -263,7 +272,7 @@ impl SharedBuffer {
     }
 
     /// Fetches a notification by digest.
-    pub fn get(&self, d: Digest) -> Option<&Notification> {
+    pub fn get(&self, d: Digest) -> Option<&Arc<Notification>> {
         self.store.get(&d).map(|(n, _)| n)
     }
 
@@ -305,12 +314,14 @@ mod tests {
     use super::*;
     use rebeca_core::ClientId;
 
-    fn note(i: u64, at: SimTime) -> Notification {
-        Notification::builder()
-            .attr("service", "menu")
-            .attr("restaurant", (i % 3) as i64)
-            .attr("seq", i as i64)
-            .publish(ClientId::new(1), i, at)
+    fn note(i: u64, at: SimTime) -> Arc<Notification> {
+        Arc::new(
+            Notification::builder()
+                .attr("service", "menu")
+                .attr("restaurant", (i % 3) as i64)
+                .attr("seq", i as i64)
+                .publish(ClientId::new(1), i, at),
+        )
     }
 
     #[test]
@@ -329,7 +340,7 @@ mod tests {
         }
         assert_eq!(b.len(), 10);
         let drained = b.drain(SimTime::from_secs(10));
-        let seqs: Vec<u64> = drained.iter().map(Notification::seq).collect();
+        let seqs: Vec<u64> = drained.iter().map(|n| n.seq()).collect();
         assert_eq!(seqs, (0..10).collect::<Vec<_>>());
         assert!(b.is_empty());
         assert_eq!(b.bytes(), 0);
@@ -354,8 +365,7 @@ mod tests {
         for i in 0..10 {
             b.offer(SimTime::from_secs(i), note(i, SimTime::from_secs(i)));
         }
-        let seqs: Vec<u64> =
-            b.drain(SimTime::from_secs(10)).iter().map(Notification::seq).collect();
+        let seqs: Vec<u64> = b.drain(SimTime::from_secs(10)).iter().map(|n| n.seq()).collect();
         assert_eq!(seqs, vec![7, 8, 9]);
     }
 
@@ -380,17 +390,23 @@ mod tests {
         }
         // 3 restaurants → only the latest menu per restaurant survives.
         assert_eq!(b.len(), 3);
-        let seqs: Vec<u64> = b.drain(SimTime::from_secs(9)).iter().map(Notification::seq).collect();
+        let seqs: Vec<u64> = b.drain(SimTime::from_secs(9)).iter().map(|n| n.seq()).collect();
         assert_eq!(seqs, vec![6, 7, 8]);
     }
 
     #[test]
     fn semantic_distinguishes_missing_attr() {
         let mut b = BufferSpec::Semantic { key_attrs: vec!["room".into()] }.build();
-        let with =
-            Notification::builder().attr("room", 1i64).publish(ClientId::new(0), 0, SimTime::ZERO);
-        let without =
-            Notification::builder().attr("other", 1i64).publish(ClientId::new(0), 1, SimTime::ZERO);
+        let with = Arc::new(Notification::builder().attr("room", 1i64).publish(
+            ClientId::new(0),
+            0,
+            SimTime::ZERO,
+        ));
+        let without = Arc::new(Notification::builder().attr("other", 1i64).publish(
+            ClientId::new(0),
+            1,
+            SimTime::ZERO,
+        ));
         b.offer(SimTime::ZERO, with);
         b.offer(SimTime::ZERO, without);
         assert_eq!(b.len(), 2);
@@ -443,6 +459,7 @@ mod prop_tests {
     use super::*;
     use proptest::prelude::*;
     use rebeca_core::ClientId;
+    use std::sync::Arc;
 
     fn arb_spec() -> impl Strategy<Value = BufferSpec> {
         prop_oneof![
@@ -473,7 +490,7 @@ mod prop_tests {
                 let n = Notification::builder()
                     .attr("k", *k)
                     .publish(ClientId::new(0), i as u64, now);
-                buf.offer(now, n);
+                buf.offer(now, Arc::new(n));
                 if let BufferSpec::HistoryBased { capacity } = buf.spec() {
                     prop_assert!(buf.len() <= *capacity);
                 }

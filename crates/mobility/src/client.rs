@@ -148,6 +148,11 @@ impl MobileClientNode {
                                 // reappearance) replays the local buffer.
                                 old_border: old,
                                 subscriptions: self.local.subscription_set(),
+                                // The move counter is the handover epoch —
+                                // monotonic per device, so replicators can
+                                // recognise control traffic from older
+                                // attachments.
+                                epoch: self.moves,
                             }),
                         );
                         self.local.flush_pending(ctx);
@@ -193,7 +198,7 @@ impl Node<Message> for MobileClientNode {
                 self.local.unsubscribe(ctx, id);
             }
             Message::Deliver { notification, .. } => {
-                self.local.on_deliver(ctx.now(), Arc::unwrap_or_clone(notification));
+                self.local.on_deliver(ctx.now(), notification);
             }
             Message::Mobility(m) => self.handle_app_mobility(ctx, m),
             _ => {}

@@ -27,7 +27,7 @@
 //! pre-subscriptions improve on.
 
 use crate::location::LocationMap;
-use rebeca_broker::{BrokerCore, Message, MobilityMsg};
+use rebeca_broker::{BrokerCore, Message, MobilityMsg, Outcome};
 use rebeca_core::{BrokerId, ClientId, Notification, SimDuration, SimTime, Subscription};
 use rebeca_net::{Ctx, Node, NodeId};
 use std::collections::HashMap;
@@ -39,8 +39,8 @@ use std::sync::Arc;
 /// arriving.
 #[derive(Debug, Default)]
 pub struct RelocationBuffers {
-    buffering: HashMap<ClientId, (SimTime, Vec<Notification>)>,
-    holdback: HashMap<ClientId, Vec<Notification>>,
+    buffering: HashMap<ClientId, (SimTime, Vec<Arc<Notification>>)>,
+    holdback: HashMap<ClientId, Vec<Arc<Notification>>>,
     /// Clients whose hand-off is draining: stragglers still in flight are
     /// forwarded to the new border until the grace period ends
     /// (make-before-break).
@@ -59,14 +59,15 @@ impl RelocationBuffers {
         Self::default()
     }
 
-    /// Buffers a notification for a disconnected client.
-    pub fn buffer(&mut self, now: SimTime, client: ClientId, n: Notification) {
+    /// Buffers a notification for a disconnected client (shared, not
+    /// copied).
+    pub fn buffer(&mut self, now: SimTime, client: ClientId, n: Arc<Notification>) {
         self.buffering.entry(client).or_insert_with(|| (now, Vec::new())).1.push(n);
         self.total_buffered += 1;
     }
 
     /// Takes (and removes) the buffer of a client.
-    pub fn take_buffer(&mut self, client: ClientId) -> Vec<Notification> {
+    pub fn take_buffer(&mut self, client: ClientId) -> Vec<Arc<Notification>> {
         self.buffering.remove(&client).map(|(_, v)| v).unwrap_or_default()
     }
 
@@ -82,12 +83,12 @@ impl RelocationBuffers {
     }
 
     /// Appends a live notification to an arriving client's hold-back queue.
-    pub fn hold_back(&mut self, client: ClientId, n: Notification) {
+    pub fn hold_back(&mut self, client: ClientId, n: Arc<Notification>) {
         self.holdback.entry(client).or_default().push(n);
     }
 
     /// Closes the hold-back queue, returning its contents for delivery.
-    pub fn finish_arrival(&mut self, client: ClientId) -> Vec<Notification> {
+    pub fn finish_arrival(&mut self, client: ClientId) -> Vec<Arc<Notification>> {
         self.holdback.remove(&client).unwrap_or_default()
     }
 
@@ -177,6 +178,8 @@ pub struct MobileBrokerNode {
     /// Clients attached here (client → device node), tracked for
     /// connection-awareness.
     devices: HashMap<ClientId, NodeId>,
+    /// Reused across messages so dispatch allocates nothing steady-state.
+    outcome: Outcome,
 }
 
 impl fmt::Debug for MobileBrokerNode {
@@ -197,6 +200,7 @@ impl MobileBrokerNode {
             config,
             reloc: RelocationBuffers::new(),
             devices: HashMap::new(),
+            outcome: Outcome::default(),
         }
     }
 
@@ -235,22 +239,22 @@ impl MobileBrokerNode {
             // hand-off began: forward it to the new border.
             let msg = Message::Mobility(MobilityMsg::BufferedBatch {
                 client,
-                notifications: vec![Arc::unwrap_or_clone(n)],
+                notifications: vec![n],
                 complete: false,
             });
             self.send_routed(ctx, new_border, msg);
         } else if self.reloc.is_arriving(client) {
-            self.reloc.hold_back(client, Arc::unwrap_or_clone(n));
+            self.reloc.hold_back(client, n);
         } else if ctx.link_up(node) {
             ctx.send(node, Message::Deliver { client, notification: n });
         } else {
-            self.reloc.buffer(ctx.now(), client, Arc::unwrap_or_clone(n));
+            self.reloc.buffer(ctx.now(), client, n);
         }
     }
 
     fn handle_mobility(&mut self, ctx: &mut Ctx<'_, Message>, from: NodeId, msg: MobilityMsg) {
         match msg {
-            MobilityMsg::MoveIn { client, old_border, subscriptions } => {
+            MobilityMsg::MoveIn { client, old_border, subscriptions, epoch: _ } => {
                 self.devices.insert(client, from);
                 self.core.attach_client(client, from);
                 for sub in &subscriptions {
@@ -260,9 +264,9 @@ impl MobileBrokerNode {
                 match old_border {
                     Some(old) if old == self.my_id() => {
                         // Reconnected at the same broker: replay our own
-                        // buffer directly.
+                        // buffer directly (shared allocations, no copies).
                         for n in self.reloc.take_buffer(client) {
-                            ctx.send(from, Message::Deliver { client, notification: Arc::new(n) });
+                            ctx.send(from, Message::Deliver { client, notification: n });
                         }
                     }
                     Some(old) => {
@@ -295,11 +299,11 @@ impl MobileBrokerNode {
                 if let Some(&node) = self.devices.get(&client) {
                     for n in notifications {
                         self.reloc.total_replayed += 1;
-                        ctx.send(node, Message::Deliver { client, notification: Arc::new(n) });
+                        ctx.send(node, Message::Deliver { client, notification: n });
                     }
                     if complete {
                         for n in self.reloc.finish_arrival(client) {
-                            ctx.send(node, Message::Deliver { client, notification: Arc::new(n) });
+                            ctx.send(node, Message::Deliver { client, notification: n });
                         }
                     }
                 } else if complete {
@@ -351,13 +355,18 @@ impl Node<Message> for MobileBrokerNode {
                 self.core.subscribe_client(ctx, local.client(), local.id(), local.into_filter());
             }
             other => {
-                let outcome = self.core.handle(ctx, from, other);
-                for d in outcome.deliveries {
+                // Reusable buffer: capacity survives across messages, so
+                // the steady-state dispatch loop allocates nothing.
+                let mut outcome = std::mem::take(&mut self.outcome);
+                outcome.clear();
+                self.core.handle_into(ctx, from, other, &mut outcome);
+                for d in outcome.deliveries.drain(..) {
                     self.deliver_or_buffer(ctx, d.client, d.node, d.notification);
                 }
-                for (peer, m) in outcome.unhandled {
+                for (peer, m) in outcome.unhandled.drain(..) {
                     self.handle_mobility(ctx, peer, m);
                 }
+                self.outcome = outcome;
             }
         }
     }
@@ -402,12 +411,12 @@ mod tests {
     use super::*;
     use rebeca_core::{ClientId, Notification};
 
-    fn note(i: u64) -> Notification {
-        Notification::builder().attr("i", i as i64).publish(
+    fn note(i: u64) -> Arc<Notification> {
+        Arc::new(Notification::builder().attr("i", i as i64).publish(
             ClientId::new(9),
             i,
             SimTime::from_secs(i),
-        )
+        ))
     }
 
     #[test]

@@ -180,6 +180,9 @@ pub struct ReplicatorStats {
     pub replayed: u64,
     /// Notifications buffered on behalf of absent devices.
     pub buffered: u64,
+    /// Replica control messages dropped as stale (older epoch than the
+    /// newest handover seen for the application).
+    pub stale_dropped: u64,
 }
 
 /// The replicator process of one border broker.
@@ -193,6 +196,11 @@ pub struct ReplicatorNode {
     vcs: HashMap<ApplicationId, VirtualClient>,
     /// vc_id → app, for O(1) lookup on `Deliver`.
     vc_ids: HashMap<ClientId, ApplicationId>,
+    /// Newest handover epoch seen per application (from `MoveIn` locally or
+    /// from replica control messages). Control traffic older than this is
+    /// stale — a late `ReplicaSubscribe` overtaken by the next handover's
+    /// `ReplicaDelete` must not resurrect the virtual client.
+    epochs: HashMap<ApplicationId, u64>,
     /// Real device clients attached through this replicator.
     device_nodes: HashMap<ClientId, NodeId>,
     shared: SharedBuffer,
@@ -231,6 +239,7 @@ impl ReplicatorNode {
             config,
             vcs: HashMap::new(),
             vc_ids: HashMap::new(),
+            epochs: HashMap::new(),
             device_nodes: HashMap::new(),
             shared: SharedBuffer::new(),
             reloc: RelocationBuffers::new(),
@@ -280,6 +289,23 @@ impl ReplicatorNode {
     /// The broker-wide shared digest buffer (refcount-balance inspection).
     pub fn shared_buffer(&self) -> &SharedBuffer {
         &self.shared
+    }
+
+    /// The newest handover epoch seen for `app`.
+    fn epoch_of(&self, app: ApplicationId) -> u64 {
+        self.epochs.get(&app).copied().unwrap_or(0)
+    }
+
+    /// Records `epoch` as seen for `app`; returns `false` (and counts the
+    /// drop) if it is older than the newest epoch already seen.
+    fn admit_epoch(&mut self, app: ApplicationId, epoch: u64) -> bool {
+        let newest = self.epochs.entry(app).or_insert(0);
+        if epoch < *newest {
+            self.stats.stale_dropped += 1;
+            return false;
+        }
+        *newest = epoch;
+        true
     }
 
     fn neighborhood(&self) -> BTreeSet<BrokerId> {
@@ -391,13 +417,13 @@ impl ReplicatorNode {
         let Some(vc) = self.vcs.get_mut(&app) else {
             return;
         };
-        let items: Vec<Notification> = match &mut vc.buffer {
+        let items: Vec<Arc<Notification>> = match &mut vc.buffer {
             VcBuffer::Private(b) => b.drain(now),
             VcBuffer::Shared(digests) => {
                 let mut items = Vec::with_capacity(digests.len());
                 for (_, d) in digests.drain(..) {
                     if let Some(n) = self.shared.get(d) {
-                        items.push(n.clone());
+                        items.push(Arc::clone(n));
                     }
                     self.shared.release(d);
                 }
@@ -408,7 +434,7 @@ impl ReplicatorNode {
         self.stats.replayed += items.len() as u64;
         let device = vc.device;
         for n in items {
-            ctx.send(device_node, Message::Deliver { client: device, notification: Arc::new(n) });
+            ctx.send(device_node, Message::Deliver { client: device, notification: n });
         }
     }
 
@@ -418,7 +444,7 @@ impl ReplicatorNode {
         };
         self.stats.buffered += 1;
         match &mut vc.buffer {
-            VcBuffer::Private(b) => b.offer(now, Arc::unwrap_or_clone(n)),
+            VcBuffer::Private(b) => b.offer(now, n),
             VcBuffer::Shared(digests) => {
                 let d = self.shared.insert(&n);
                 digests.push_back((now, d));
@@ -457,8 +483,13 @@ impl ReplicatorNode {
         client: ClientId,
         old_border: Option<BrokerId>,
         subscriptions: Vec<Subscription>,
+        epoch: u64,
     ) {
         let app = app_of(client);
+        // The arriving device defines the newest handover epoch; every
+        // replica control message below is stamped with it.
+        self.admit_epoch(app, epoch);
+        let epoch = self.epoch_of(app);
         self.device_nodes.insert(client, device_node);
         self.stats.handovers += 1;
 
@@ -473,7 +504,7 @@ impl ReplicatorNode {
         match old_border {
             Some(old) if old == self.broker => {
                 for n in self.reloc.take_buffer(client) {
-                    ctx.send(device_node, Message::Deliver { client, notification: Arc::new(n) });
+                    ctx.send(device_node, Message::Deliver { client, notification: n });
                 }
             }
             Some(old) => {
@@ -530,18 +561,25 @@ impl ReplicatorNode {
             }
             ctx.send(
                 self.peer(*target),
-                Message::Mobility(MobilityMsg::ReplicaCreate { app, subscriptions: ld.clone() }),
+                Message::Mobility(MobilityMsg::ReplicaCreate {
+                    app,
+                    subscriptions: ld.clone(),
+                    epoch,
+                }),
             );
         }
         for target in oldset.difference(&keep) {
-            ctx.send(self.peer(*target), Message::Mobility(MobilityMsg::ReplicaDelete { app }));
+            ctx.send(
+                self.peer(*target),
+                Message::Mobility(MobilityMsg::ReplicaDelete { app, epoch }),
+            );
         }
     }
 
     fn handle_mobility(&mut self, ctx: &mut Ctx<'_, Message>, from: NodeId, msg: MobilityMsg) {
         match msg {
-            MobilityMsg::MoveIn { client, old_border, subscriptions } => {
-                self.handle_move_in(ctx, from, client, old_border, subscriptions);
+            MobilityMsg::MoveIn { client, old_border, subscriptions, epoch } => {
+                self.handle_move_in(ctx, from, client, old_border, subscriptions, epoch);
             }
             MobilityMsg::FetchBuffered { client, new_border } => {
                 // The device moved away: our virtual client (if any) keeps
@@ -568,11 +606,11 @@ impl ReplicatorNode {
                 if let Some(&node) = self.device_nodes.get(&client) {
                     for n in notifications {
                         self.stats.replayed += 1;
-                        ctx.send(node, Message::Deliver { client, notification: Arc::new(n) });
+                        ctx.send(node, Message::Deliver { client, notification: n });
                     }
                     if complete {
                         for n in self.reloc.finish_arrival(client) {
-                            ctx.send(node, Message::Deliver { client, notification: Arc::new(n) });
+                            ctx.send(node, Message::Deliver { client, notification: n });
                         }
                     }
                 } else if complete {
@@ -582,20 +620,34 @@ impl ReplicatorNode {
                     }
                 }
             }
-            MobilityMsg::ReplicaCreate { app, subscriptions } => {
+            MobilityMsg::ReplicaCreate { app, subscriptions, epoch } => {
+                if !self.admit_epoch(app, epoch) {
+                    return;
+                }
                 // The device client id is recoverable from the app id.
                 let device = ClientId::new(app.raw());
                 self.ensure_vc(ctx, app, device, &subscriptions);
             }
-            MobilityMsg::ReplicaDelete { app } => {
+            MobilityMsg::ReplicaDelete { app, epoch } => {
+                if !self.admit_epoch(app, epoch) {
+                    return;
+                }
                 // Never delete the active virtual client: the device is
-                // attached here (stale delete from an older handover).
+                // attached here (delete raced with our own MoveIn).
                 if self.vcs.get(&app).is_some_and(|vc| vc.is_active()) {
                     return;
                 }
                 self.delete_vc(ctx, app);
             }
-            MobilityMsg::ReplicaSubscribe { app, subscription } => {
+            MobilityMsg::ReplicaSubscribe { app, subscription, epoch } => {
+                if !self.admit_epoch(app, epoch) {
+                    // The VC resurrection race: this subscribe belongs to a
+                    // handover that a newer `ReplicaDelete` (or create set)
+                    // has already superseded — recreating the virtual
+                    // client here would leak it until the next
+                    // reconciliation.
+                    return;
+                }
                 if !self.vcs.contains_key(&app) {
                     // Mirrored subscription for an app we have no shadow
                     // of yet (the Create may still be in flight, or the
@@ -621,7 +673,10 @@ impl ReplicatorNode {
                     );
                 }
             }
-            MobilityMsg::ReplicaUnsubscribe { app, id } => {
+            MobilityMsg::ReplicaUnsubscribe { app, id, epoch } => {
+                if !self.admit_epoch(app, epoch) {
+                    return;
+                }
                 if let Some(vc) = self.vcs.get_mut(&app) {
                     vc.subs.remove(&id);
                     let vc_id = vc.vc_id;
@@ -630,12 +685,12 @@ impl ReplicatorNode {
             }
             MobilityMsg::ReplicaFetch { app, reply_to } => {
                 let now = ctx.now();
-                let items = match self.vcs.get_mut(&app) {
+                let items: Vec<Arc<Notification>> = match self.vcs.get_mut(&app) {
                     Some(vc) => match &mut vc.buffer {
                         VcBuffer::Private(b) => b.snapshot(now),
                         VcBuffer::Shared(digests) => digests
                             .iter()
-                            .filter_map(|(_, d)| self.shared.get(*d).cloned())
+                            .filter_map(|(_, d)| self.shared.get(*d).map(Arc::clone))
                             .collect(),
                     },
                     None => Vec::new(),
@@ -651,10 +706,7 @@ impl ReplicatorNode {
                         let device = vc.device;
                         self.stats.replayed += notifications.len() as u64;
                         for n in notifications {
-                            ctx.send(
-                                node,
-                                Message::Deliver { client: device, notification: Arc::new(n) },
-                            );
+                            ctx.send(node, Message::Deliver { client: device, notification: n });
                         }
                     }
                 }
@@ -697,20 +749,20 @@ impl ReplicatorNode {
                     self.peer(new_border),
                     Message::Mobility(MobilityMsg::BufferedBatch {
                         client,
-                        notifications: vec![Arc::unwrap_or_clone(n)],
+                        notifications: vec![n],
                         complete: false,
                     }),
                 );
             } else if self.reloc.is_arriving(client) {
-                self.reloc.hold_back(client, Arc::unwrap_or_clone(n));
+                self.reloc.hold_back(client, n);
             } else if let Some(&node) = self.device_nodes.get(&client) {
                 if ctx.link_up(node) {
                     ctx.send(node, Message::Deliver { client, notification: n });
                 } else {
-                    self.reloc.buffer(ctx.now(), client, Arc::unwrap_or_clone(n));
+                    self.reloc.buffer(ctx.now(), client, n);
                 }
             } else {
-                self.reloc.buffer(ctx.now(), client, Arc::unwrap_or_clone(n));
+                self.reloc.buffer(ctx.now(), client, n);
             }
         }
     }
@@ -727,14 +779,19 @@ impl ReplicatorNode {
             }
             Message::ClientDetach { client } => {
                 // Client removal (§3.2.4): delete the virtual client here
-                // and on all neighbours.
+                // and on all neighbours. The orderly removal supersedes the
+                // current attachment, so it bumps the epoch — any mirrored
+                // subscription still in flight from the deleted attachment
+                // arrives stale and is dropped.
                 let app = app_of(client);
+                let epoch = self.epoch_of(app) + 1;
+                self.admit_epoch(app, epoch);
                 self.device_nodes.remove(&client);
                 self.delete_vc(ctx, app);
                 for target in self.neighborhood() {
                     ctx.send(
                         self.peer(target),
-                        Message::Mobility(MobilityMsg::ReplicaDelete { app }),
+                        Message::Mobility(MobilityMsg::ReplicaDelete { app, epoch }),
                     );
                 }
                 ctx.send(self.broker_node, Message::ClientDetach { client });
@@ -766,13 +823,16 @@ impl ReplicatorNode {
                         );
                     }
                     // Client operation (§3.2.2): mirror to the
-                    // neighbourhood.
+                    // neighbourhood, stamped with the current attachment's
+                    // epoch so it cannot outlive the next handover.
+                    let epoch = self.epoch_of(app);
                     for target in self.neighborhood() {
                         ctx.send(
                             self.peer(target),
                             Message::Mobility(MobilityMsg::ReplicaSubscribe {
                                 app,
                                 subscription: subscription.clone(),
+                                epoch,
                             }),
                         );
                     }
@@ -790,10 +850,11 @@ impl ReplicatorNode {
                         let vc_id = vc.vc_id;
                         ctx.send(self.broker_node, Message::Unsubscribe { client: vc_id, id });
                     }
+                    let epoch = self.epoch_of(app);
                     for target in self.neighborhood() {
                         ctx.send(
                             self.peer(target),
-                            Message::Mobility(MobilityMsg::ReplicaUnsubscribe { app, id }),
+                            Message::Mobility(MobilityMsg::ReplicaUnsubscribe { app, id, epoch }),
                         );
                     }
                 } else {

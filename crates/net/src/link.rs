@@ -126,6 +126,7 @@ impl LinkTable {
         rng: &mut SplitMix64,
         now: SimTime,
     ) {
+        self.prune_retired(now);
         for key in [LinkKey { from: a, to: b }, LinkKey { from: b, to: a }] {
             // The floor survives re-insertion whether the previous
             // incarnation was removed (retired) or is being overwritten
@@ -146,13 +147,32 @@ impl LinkTable {
     }
 
     /// Removes a bidirectional link entirely, remembering its FIFO floors
-    /// for a possible re-insert.
-    pub(crate) fn remove(&mut self, a: NodeId, b: NodeId) {
+    /// for a possible re-insert. Floors are only worth remembering while
+    /// they lie in the future, so floors already at or before `now` are not
+    /// retired at all.
+    pub(crate) fn remove(&mut self, a: NodeId, b: NodeId, now: SimTime) {
         for key in [LinkKey { from: a, to: b }, LinkKey { from: b, to: a }] {
             if let Some(state) = self.links.remove(&key) {
-                self.retired_floors.insert(key, state.fifo_floor);
+                if state.fifo_floor > now {
+                    self.retired_floors.insert(key, state.fifo_floor);
+                }
             }
         }
+    }
+
+    /// Drops retired floors whose time has passed: once `now` has reached a
+    /// floor, a re-created link would start at `max(now, floor) == now`
+    /// anyway, so the entry can never influence scheduling again. Called by
+    /// the world on every link mutation, which keeps the map bounded by
+    /// *currently in-flight* removed links instead of every node pair ever
+    /// torn down.
+    pub(crate) fn prune_retired(&mut self, now: SimTime) {
+        self.retired_floors.retain(|_, floor| *floor > now);
+    }
+
+    /// Number of remembered floors of removed links (diagnostics).
+    pub fn retired_count(&self) -> usize {
+        self.retired_floors.len()
     }
 
     /// Sets the up/down state of both directions.
@@ -228,7 +248,7 @@ mod tests {
         assert!(t.set_up(a, b, false));
         assert!(!t.is_up(a, b) && !t.is_up(b, a));
         assert!(t.exists(a, b));
-        t.remove(a, b);
+        t.remove(a, b, SimTime::ZERO);
         assert!(!t.exists(a, b));
         assert!(!t.set_up(a, b, true));
         assert!(t.is_empty());
@@ -258,7 +278,7 @@ mod tests {
         t.insert(a, b, &LinkConfig::default(), &mut rng, SimTime::ZERO);
         // A message in flight pushed the floor to t=50ms.
         t.get_mut(a, b).expect("link exists").fifo_floor = SimTime::from_millis(50);
-        t.remove(a, b);
+        t.remove(a, b, SimTime::from_millis(1));
         // Re-created at t=2ms: the floor must carry over, not reset.
         t.insert(a, b, &LinkConfig::default(), &mut rng, SimTime::from_millis(2));
         assert_eq!(
@@ -272,6 +292,37 @@ mod tests {
         let (c, d) = (NodeId::new(2), NodeId::new(3));
         t.insert(c, d, &LinkConfig::default(), &mut rng, SimTime::from_millis(7));
         assert_eq!(t.get_mut(c, d).expect("link exists").fifo_floor, SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn retired_floors_are_pruned_once_passed() {
+        let mut t = LinkTable::default();
+        let mut rng = SplitMix64::new(1);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let (c, d) = (NodeId::new(2), NodeId::new(3));
+        t.insert(a, b, &LinkConfig::default(), &mut rng, SimTime::ZERO);
+        t.insert(c, d, &LinkConfig::default(), &mut rng, SimTime::ZERO);
+        t.get_mut(a, b).expect("link exists").fifo_floor = SimTime::from_millis(50);
+        t.get_mut(c, d).expect("link exists").fifo_floor = SimTime::from_millis(500);
+        t.remove(a, b, SimTime::from_millis(1));
+        t.remove(c, d, SimTime::from_millis(1));
+        // a→b's floor (50 ms) is retired; b→a's floor (0) is already in
+        // the past and never retired at all.
+        assert_eq!(t.retired_count(), 2, "one future floor per pair");
+        // Pruning before the floors pass keeps both.
+        t.prune_retired(SimTime::from_millis(40));
+        assert_eq!(t.retired_count(), 2);
+        // Once t=50ms passes, only the 500 ms floor is worth keeping —
+        // and re-inserting a↔b afterwards starts from `now` as if the
+        // entry had been kept: max(now, floor<=now) == now either way.
+        t.prune_retired(SimTime::from_millis(60));
+        assert_eq!(t.retired_count(), 1);
+        t.insert(a, b, &LinkConfig::default(), &mut rng, SimTime::from_millis(60));
+        assert_eq!(t.get_mut(a, b).expect("link exists").fifo_floor, SimTime::from_millis(60));
+        // The still-future floor keeps protecting in-flight traffic.
+        t.insert(c, d, &LinkConfig::default(), &mut rng, SimTime::from_millis(60));
+        assert_eq!(t.get_mut(c, d).expect("link exists").fifo_floor, SimTime::from_millis(500));
+        assert_eq!(t.retired_count(), 0, "re-insert consumes the retired floor");
     }
 
     #[test]

@@ -117,6 +117,31 @@ impl<'a, M: fmt::Debug> fmt::Debug for Ctx<'a, M> {
 }
 
 impl<'a, M> Ctx<'a, M> {
+    /// Builds a detached context for harnesses that drive node cores
+    /// directly — benchmarks and allocation-regression tests. The runtimes
+    /// construct their own contexts; a standalone context simply records
+    /// actions without ever executing them.
+    pub fn standalone(
+        now: SimTime,
+        me: NodeId,
+        next_timer: &'a mut u64,
+        link_up: &'a dyn Fn(NodeId, NodeId) -> bool,
+    ) -> Self {
+        Ctx { now, me, actions: Vec::new(), next_timer, link_up }
+    }
+
+    /// Number of actions recorded so far (harness inspection).
+    pub fn action_count(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Drops all recorded actions, keeping the buffer's capacity — lets a
+    /// harness reuse one context across many handler invocations without
+    /// re-allocating the action buffer.
+    pub fn clear_actions(&mut self) {
+        self.actions.clear();
+    }
+
     /// Current simulated (or wall-clock-mapped) time.
     pub fn now(&self) -> SimTime {
         self.now

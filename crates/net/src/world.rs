@@ -150,9 +150,20 @@ impl<M: Payload> World<M> {
         self.links.set_up(a, b, up)
     }
 
-    /// Removes a link entirely.
+    /// Removes a link entirely. Retires the FIFO floors of the removed
+    /// directions (so a later re-insert cannot overtake in-flight traffic)
+    /// and prunes floors whose time has already passed — long-running
+    /// worlds with heavy handover churn stay bounded by the links removed
+    /// *recently*, not by every node pair ever torn down.
     pub fn remove_link(&mut self, a: NodeId, b: NodeId) {
-        self.links.remove(a, b);
+        self.links.remove(a, b, self.time);
+        self.links.prune_retired(self.time);
+    }
+
+    /// Retired FIFO floors currently remembered for removed links
+    /// (diagnostics; bounded by floors still in the future).
+    pub fn retired_floor_count(&self) -> usize {
+        self.links.retired_count()
     }
 
     /// Returns `true` if the directed link exists and is up.
@@ -595,6 +606,38 @@ mod tests {
             SimTime::from_millis(50),
             "second message held back to the old incarnation's FIFO floor"
         );
+    }
+
+    /// Pruning retired FIFO floors never reorders in-flight traffic: while
+    /// a removed link still has a message in the air its floor survives
+    /// every prune, and only after the floor time has passed does the
+    /// entry disappear.
+    #[test]
+    fn floor_pruning_never_reorders_in_flight_traffic() {
+        let (mut w, a, b) = two_node_world(LinkConfig::constant(SimDuration::from_millis(50)));
+        w.node_as_mut::<Recorder>(a).unwrap().echo_to = Some(b);
+        w.send_external_at(a, TestMsg { seq: 0, size: 1 }, SimTime::ZERO);
+        w.run_until(SimTime::from_millis(1));
+        // Tear the link down with the echo still in flight (due t=50ms).
+        w.remove_link(a, b);
+        assert_eq!(w.retired_floor_count(), 1, "a→b floor (50 ms) retired");
+        // Unrelated link churn before the floor passes must not prune it.
+        let c = w.add_node(Box::new(Recorder::default()));
+        w.connect(a, c, LinkConfig::default());
+        w.remove_link(a, c);
+        assert_eq!(w.retired_floor_count(), 1, "future floor survives pruning");
+        // Re-create the pair much faster; FIFO must still hold.
+        w.connect(a, b, LinkConfig::constant(SimDuration::from_millis(1)));
+        w.send_external_at(a, TestMsg { seq: 1, size: 1 }, SimTime::from_millis(2));
+        w.run_until(SimTime::from_secs(1));
+        let r = w.node_as::<Recorder>(b).unwrap();
+        let seqs: Vec<u64> = r.seen.iter().map(|(_, _, s)| *s - 1000).collect();
+        assert_eq!(seqs, vec![0, 1], "pruning reordered in-flight traffic");
+        // The floor time passed long ago: the next link op sweeps it.
+        w.remove_link(a, b);
+        w.connect(a, b, LinkConfig::default());
+        w.remove_link(a, b);
+        assert_eq!(w.retired_floor_count(), 0, "passed floors pruned");
     }
 
     #[test]

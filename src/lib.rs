@@ -61,6 +61,42 @@
 //! # }
 //! ```
 //!
+//! ## Notification lifecycle
+//!
+//! One notification makes the whole journey **publish → match → route →
+//! buffer → replay** behind a single allocation; the pipeline's sharing
+//! and ownership rules are:
+//!
+//! 1. **Publish.** The client library stamps identity/sequence/time and
+//!    wraps the notification in its one and only `Arc<Notification>`
+//!    ([`Message::Publish`]). This is the sole per-notification heap
+//!    allocation of the pipeline.
+//! 2. **Match.** Each broker's routing table answers "who wants this?"
+//!    with the counting [`MatchIndex`](core::MatchIndex): attribute names
+//!    resolve to dense symbols through the **per-world
+//!    [`SharedInterner`]** — one symbol table, owned by the [`System`]
+//!    (accessible via [`System::interner`]) and shared by every routing
+//!    table and local-delivery index, so no stage ever re-interns. The
+//!    counting state lives in generation-stamped scratch reused across
+//!    notifications.
+//! 3. **Route.** [`broker::BrokerCore`] threads a reusable
+//!    [`broker::RouteScratch`] through the decision and fans out by
+//!    cloning the `Arc` ([`Message::Forward`] per matching neighbour,
+//!    [`Message::Deliver`] per matching local client): refcount bumps, no
+//!    copies, and — with warm buffers — zero heap allocation per routed
+//!    notification (asserted by an allocation-regression test).
+//! 4. **Buffer.** Disconnection and replication buffers
+//!    ([`mobility::ReplayBuffer`], the shared digest store, relocation and
+//!    hold-back queues) store the *same* `Arc`. The wire batches that ship
+//!    buffers between brokers ([`MobilityMsg::BufferedBatch`] /
+//!    `ReplicaBatch`) carry `Vec<Arc<Notification>>` — handing a buffer
+//!    over never deep-copies its contents.
+//! 5. **Replay.** Arriving clients receive the buffered `Arc`s as ordinary
+//!    [`Message::Deliver`]s; the client library's delivery log
+//!    ([`DeliveryRecord`]) keeps the shared allocation, performing
+//!    duplicate suppression by notification id. The notification is freed
+//!    when the last buffer, log or in-flight message drops its reference.
+//!
 //! ## Migrating from the panicking API
 //!
 //! Earlier revisions of this facade modelled uncertain operations as
@@ -105,7 +141,7 @@ pub use handle::{ClientHandle, FixedClient, MobileClient};
 pub use rebeca_broker::{BrokerStats, DeliveryRecord, Message, MobilityMsg, RoutingStrategy};
 pub use rebeca_core::{
     ApplicationId, BrokerId, ClientId, Filter, LocationId, Notification, NotificationBuilder,
-    Predicate, SimDuration, SimTime, Subscription, SubscriptionId, Value,
+    Predicate, SharedInterner, SimDuration, SimTime, Subscription, SubscriptionId, Value,
 };
 pub use rebeca_mobility::{
     BufferSpec, ClientMobilityMode, ContextMap, LocationMap, MobileBrokerConfig, MovementGraph,
@@ -272,10 +308,18 @@ impl SystemBuilder {
         let link = LinkConfig::constant(self.link_latency);
         let mut world = World::new(self.seed);
 
-        // Brokers.
+        // Brokers — all sharing one world-wide interner, so every routing
+        // table and local-delivery index resolves identical symbols (see
+        // the "Notification lifecycle" section of the crate docs).
+        let interner = Arc::new(SharedInterner::new());
         for b in topology.brokers() {
-            let core =
-                BrokerCore::new(b, Arc::clone(&topology), Arc::clone(&broker_nodes), self.strategy);
+            let core = BrokerCore::with_interner(
+                b,
+                Arc::clone(&topology),
+                Arc::clone(&broker_nodes),
+                self.strategy,
+                Arc::clone(&interner),
+            );
             match &self.deployment {
                 Deployment::BrokerMobility(cfg) => {
                     world.add_node(Box::new(MobileBrokerNode::new(
@@ -332,6 +376,7 @@ impl SystemBuilder {
             broker_nodes,
             access_nodes,
             replicator_nodes,
+            interner,
             link,
             clients: Vec::new(),
             next_client: 0,
@@ -377,6 +422,7 @@ pub struct System {
     broker_nodes: Arc<Vec<NodeId>>,
     access_nodes: Arc<Vec<NodeId>>,
     replicator_nodes: Option<Arc<Vec<NodeId>>>,
+    interner: Arc<SharedInterner>,
     link: LinkConfig,
     clients: Vec<ClientInfo>,
     next_client: u32,
@@ -387,6 +433,13 @@ impl System {
     /// The broker topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// The world-wide attribute-name symbol table shared by every broker's
+    /// routing table and local-delivery index (see the "Notification
+    /// lifecycle" section of the crate docs).
+    pub fn interner(&self) -> &Arc<SharedInterner> {
+        &self.interner
     }
 
     /// The broker↔location mapping.

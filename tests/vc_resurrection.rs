@@ -1,0 +1,124 @@
+//! Regression tests for the virtual-client resurrection race.
+//!
+//! A `ReplicaSubscribe` mirrored from an old attachment can be overtaken —
+//! under adversarial link delay — by the `ReplicaDelete` that the *next*
+//! handover's reconciliation sends to the same replicator. Without epochs
+//! the late subscribe used to re-create the virtual client on the fly
+//! (`ensure_vc`), leaking a replica (and its buffer) until the next
+//! reconciliation. Replica control messages now carry the handover epoch
+//! (the device's move counter) and replicators drop anything older than
+//! the newest epoch they have seen for the application.
+
+use rebeca::{
+    BrokerId, ClientId, Deployment, Filter, Message, MobilityMsg, MovementGraph, RebecaError,
+    ReplicatorConfig, SimDuration, Subscription, SubscriptionId, System, SystemBuilder, Topology,
+};
+use rebeca_net::{LinkConfig, NodeId};
+
+fn replicated_line(brokers: usize) -> System {
+    SystemBuilder::new(Topology::line(brokers).expect("valid line"))
+        .deployment(Deployment::Replicated {
+            movement: Some(MovementGraph::line(brokers)),
+            config: ReplicatorConfig::default(),
+        })
+        .build()
+        .expect("valid deployment")
+}
+
+/// Replicator node ids follow the broker nodes: broker `i` is node `i`,
+/// its replicator node `brokers + i`.
+fn replicator_node(brokers: usize, broker: u32) -> NodeId {
+    NodeId::new(brokers as u32 + broker)
+}
+
+/// The full race, end to end: a slow replicator link delays a mirrored
+/// `ReplicaSubscribe` until after the next handover's `ReplicaDelete` has
+/// arrived. The stale subscribe must be dropped, not resurrect the VC.
+#[test]
+fn late_replica_subscribe_does_not_resurrect_vc() -> Result<(), RebecaError> {
+    const BROKERS: usize = 4;
+    let mut sys = replicated_line(BROKERS);
+    let walker = sys.add_mobile_client();
+    sys.arrive(walker, BrokerId::new(1))?;
+    sys.run_for(SimDuration::from_secs(1));
+    sys.subscribe(walker, Filter::builder().eq("service", "t").myloc("location").build())?;
+    sys.run_for(SimDuration::from_secs(1));
+    // Shadows at B1 (self) and nlb(B1) = {B0, B2}.
+    assert_eq!(sys.total_vc_count(), 3);
+
+    // Adversarial delay: the r1 → r0 replicator link becomes very slow, so
+    // the next mirrored subscription towards B0 hangs in flight...
+    let (r0, r1) = (replicator_node(BROKERS, 0), replicator_node(BROKERS, 1));
+    sys.world_mut().connect(r1, r0, LinkConfig::constant(SimDuration::from_millis(500)));
+    sys.subscribe(walker, Filter::builder().eq("stream", 7i64).myloc("location").build())?;
+    // ... while the client hands over to B3. The reconciliation at B3
+    // deletes the replicas at B0 and B1 over *fast* links: the deletes
+    // arrive long before the mirrored subscribe does.
+    sys.depart(walker)?;
+    sys.arrive(walker, BrokerId::new(3))?;
+    sys.run_for(SimDuration::from_secs(2));
+
+    assert_eq!(
+        sys.vc_count(BrokerId::new(0))?,
+        0,
+        "stale ReplicaSubscribe resurrected the deleted virtual client at B0"
+    );
+    // Keep set after the handover: B3 itself plus nlb(B3) = {B2}.
+    assert_eq!(sys.total_vc_count(), 2);
+    let stats = sys.replicator_stats(BrokerId::new(0))?.expect("replicated deployment");
+    assert!(stats.stale_dropped >= 1, "the stale subscribe was dropped by epoch, not by luck");
+    Ok(())
+}
+
+/// Pure message-ordering form of the same race, injected directly into one
+/// replicator: a delete of epoch 2 followed by control traffic of epoch 1.
+#[test]
+fn stale_epochs_are_dropped_and_fresh_ones_processed() -> Result<(), RebecaError> {
+    const BROKERS: usize = 3;
+    let mut sys = replicated_line(BROKERS);
+    sys.run_for(SimDuration::from_millis(100));
+    let r0 = replicator_node(BROKERS, 0);
+    let client = ClientId::new(42);
+    let app = rebeca::ApplicationId::new(client.raw());
+    let sub = Subscription::new(
+        SubscriptionId::new(1),
+        client,
+        Filter::builder().myloc("location").build(),
+    );
+
+    // The delete of handover 2 arrives first (fast link)...
+    sys.world_mut()
+        .send_external(r0, Message::Mobility(MobilityMsg::ReplicaDelete { app, epoch: 2 }));
+    sys.run_for(SimDuration::from_millis(100));
+    // ... then the stale subscribe and create of handover 1 (slow link).
+    sys.world_mut().send_external(
+        r0,
+        Message::Mobility(MobilityMsg::ReplicaSubscribe {
+            app,
+            subscription: sub.clone(),
+            epoch: 1,
+        }),
+    );
+    sys.world_mut().send_external(
+        r0,
+        Message::Mobility(MobilityMsg::ReplicaCreate {
+            app,
+            subscriptions: vec![sub.clone()],
+            epoch: 1,
+        }),
+    );
+    sys.run_for(SimDuration::from_millis(100));
+    assert_eq!(sys.vc_count(BrokerId::new(0))?, 0, "stale control traffic re-created the VC");
+    let stats = sys.replicator_stats(BrokerId::new(0))?.expect("replicated deployment");
+    assert_eq!(stats.stale_dropped, 2);
+    assert_eq!(stats.vcs_created, 0);
+
+    // Fresh control traffic (equal or newer epoch) still works normally.
+    sys.world_mut().send_external(
+        r0,
+        Message::Mobility(MobilityMsg::ReplicaCreate { app, subscriptions: vec![sub], epoch: 3 }),
+    );
+    sys.run_for(SimDuration::from_millis(100));
+    assert_eq!(sys.vc_count(BrokerId::new(0))?, 1, "newer epoch must not be blocked");
+    Ok(())
+}
