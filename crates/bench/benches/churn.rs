@@ -48,9 +48,10 @@ impl Measurement {
 /// worst case for announcement recomputation; merging additionally stresses
 /// the incremental merge products (the preloaded `room` filters all merge
 /// into one `In`-set product).
-fn churn_system(preload: usize, strategy: RoutingStrategy) -> System {
+fn churn_system(preload: usize, strategy: RoutingStrategy, shards: usize) -> System {
     let mut sys = SystemBuilder::new(Topology::line(4).expect("valid line"))
         .strategy(strategy)
+        .shards(shards)
         .build()
         .expect("valid deployment");
     let loader = sys.add_client(BrokerId::new(3)).expect("broker in topology");
@@ -68,9 +69,10 @@ fn churn_system(preload: usize, strategy: RoutingStrategy) -> System {
 fn bench_subscription_churn(
     preload: usize,
     strategy: RoutingStrategy,
+    shards: usize,
     budget: Duration,
 ) -> Measurement {
-    let mut sys = churn_system(preload, strategy);
+    let mut sys = churn_system(preload, strategy, shards);
     let churner = sys.add_client(BrokerId::new(0)).expect("broker in topology");
     sys.run_for(SimDuration::from_millis(100));
 
@@ -94,12 +96,15 @@ fn bench_subscription_churn(
         events += 2;
         round += 1;
     }
-    let name = match strategy {
+    let mut name = match strategy {
         // Historical names (perf trajectory continuity with the checked-in
         // baselines).
         RoutingStrategy::Covering => format!("subscription-churn/preload-{preload}"),
         other => format!("subscription-churn/{other}-preload-{preload}"),
     };
+    if shards > 1 {
+        name.push_str(&format!("-shards-{shards}"));
+    }
     Measurement { name, events, elapsed: start.elapsed() }
 }
 
@@ -111,6 +116,10 @@ fn bench_handover_storm(clients: usize, preload: usize, budget: Duration) -> Mea
     let brokers = 4usize;
     let mut sys = SystemBuilder::new(Topology::line(brokers).expect("valid line"))
         .strategy(RoutingStrategy::Covering)
+        // Pinned: the case name does not encode a shard count, so the
+        // measurement must not silently change configuration when
+        // REBECA_SHARDS is set for a whole run.
+        .shards(1)
         .deployment(Deployment::Replicated {
             movement: Some(MovementGraph::line(brokers)),
             config: ReplicatorConfig::default(),
@@ -195,15 +204,19 @@ fn main() {
     let budget = if quick { Duration::from_millis(200) } else { Duration::from_millis(1500) };
 
     let measurements = vec![
-        bench_subscription_churn(50, RoutingStrategy::Covering, budget),
-        bench_subscription_churn(200, RoutingStrategy::Covering, budget),
+        bench_subscription_churn(50, RoutingStrategy::Covering, 1, budget),
+        bench_subscription_churn(200, RoutingStrategy::Covering, 1, budget),
         // Merging-strategy churn: the incremental merge products keep each
         // event O(cover) instead of a full re-merge.
-        bench_subscription_churn(200, RoutingStrategy::Merging, budget),
+        bench_subscription_churn(200, RoutingStrategy::Merging, 1, budget),
         // Large-filter-count case (towards the million-filter roadmap
         // item): preloads dominate the routing tables, churn must stay
         // O(distinct) per event.
-        bench_subscription_churn(2000, RoutingStrategy::Covering, budget),
+        bench_subscription_churn(2000, RoutingStrategy::Covering, 1, budget),
+        // Sharded variants: digest-range fan-out must not tax churn — a
+        // mutation touches exactly one shard.
+        bench_subscription_churn(200, RoutingStrategy::Covering, 4, budget),
+        bench_subscription_churn(2000, RoutingStrategy::Covering, 4, budget),
         bench_handover_storm(8, 100, budget),
     ];
 

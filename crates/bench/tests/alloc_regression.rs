@@ -13,7 +13,9 @@
 //! allocate concurrently and pollute the counter.
 
 use rebeca_broker::{BrokerCore, Message, Outcome, RoutingStrategy};
-use rebeca_core::{BrokerId, ClientId, Filter, Notification, SimTime, SubscriptionId};
+use rebeca_core::{
+    BrokerId, ClientId, Filter, Notification, SharedInterner, SimTime, SubscriptionId,
+};
 use rebeca_mobility::BufferSpec;
 use rebeca_net::{Ctx, NodeId, Topology};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -111,6 +113,50 @@ fn steady_state_pipeline_allocates_nothing() {
     }
     let routed = allocations() - before;
     assert_eq!(routed, 0, "route_notification allocated {routed} times in 256 steady-state calls");
+
+    // --- the same broker partitioned into 4 digest-range shards: the
+    //     fanned-out route path must be just as allocation-free, and its
+    //     decisions identical to the single-shard core's ---
+    let mut sharded = BrokerCore::with_shards(
+        BrokerId::new(1),
+        Arc::clone(&topology),
+        Arc::new((0..3).map(NodeId::new).collect()),
+        RoutingStrategy::Covering,
+        Arc::new(SharedInterner::new()),
+        4,
+    );
+    assert_eq!(sharded.shard_count(), 4);
+    for i in 0..48u32 {
+        let client = ClientId::new(i % 6);
+        sharded.attach_client(client, NodeId::new(10 + (i % 6)));
+        let filter = Filter::builder().eq("service", "t").eq("room", (i % 12) as i64).build();
+        sharded.subscribe_client(&mut ctx, client, SubscriptionId::new(i), filter);
+    }
+    let announced = Filter::builder().eq("service", "t").build();
+    sharded.handle(&mut ctx, NodeId::new(0), Message::SubForward { filter: announced.clone() });
+    sharded.handle(&mut ctx, NodeId::new(2), Message::SubForward { filter: announced });
+    let mut sharded_out = Outcome::default();
+    for _ in 0..32 {
+        ctx.clear_actions();
+        sharded_out.clear();
+        sharded.route_notification_into(&mut ctx, NodeId::new(0), Arc::clone(&n), &mut sharded_out);
+    }
+    assert_eq!(
+        sharded_out.deliveries.len(),
+        out.deliveries.len(),
+        "sharded and single-shard cores must deliver identically"
+    );
+    let before = allocations();
+    for _ in 0..256 {
+        ctx.clear_actions();
+        sharded_out.clear();
+        sharded.route_notification_into(&mut ctx, NodeId::new(0), Arc::clone(&n), &mut sharded_out);
+    }
+    let routed = allocations() - before;
+    assert_eq!(
+        routed, 0,
+        "sharded route_notification allocated {routed} times in 256 steady-state calls"
+    );
 
     // --- replicator-style buffering: offering to a warm replay buffer ---
     let mut buf = BufferSpec::Unbounded.build();

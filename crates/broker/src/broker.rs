@@ -10,7 +10,8 @@
 
 use crate::message::{Message, MobilityMsg};
 use crate::routing::{CoverChanges, LinkAnnouncer, RoutingStrategy};
-use crate::table::{FilterOrigin, RouteScratch, RoutingTable, TableDelta};
+use crate::shard::ShardedRouter;
+use crate::table::{FilterOrigin, RouteScratch, TableDelta};
 use rebeca_core::{
     BrokerId, ClientId, Digest, Filter, Notification, SharedInterner, SubscriptionId,
 };
@@ -77,7 +78,9 @@ pub struct BrokerCore {
     broker_nodes: Arc<Vec<NodeId>>,
     /// Node ids of the neighbouring brokers.
     neighbors: Vec<NodeId>,
-    table: RoutingTable,
+    /// The routing state, partitioned into ≥ 1 digest-range shards (1 shard
+    /// behaves exactly like the historical single table).
+    router: ShardedRouter,
     /// Incremental announcement state, one per neighbour (same order as
     /// `neighbors`) — the single source of truth for announced sets.
     announcers: Vec<LinkAnnouncer>,
@@ -96,7 +99,7 @@ impl fmt::Debug for BrokerCore {
         f.debug_struct("BrokerCore")
             .field("id", &self.id)
             .field("strategy", &self.strategy)
-            .field("table", &self.table)
+            .field("router", &self.router)
             .finish()
     }
 }
@@ -135,6 +138,26 @@ impl BrokerCore {
         strategy: RoutingStrategy,
         interner: Arc<SharedInterner>,
     ) -> Self {
+        Self::with_shards(id, topology, broker_nodes, strategy, interner, 1)
+    }
+
+    /// Creates the core with its routing state partitioned into `shards`
+    /// match/route shards keyed by filter digest range (`shards.max(1)`;
+    /// 1 = the historical unsharded behaviour). All shards share
+    /// `interner`, and the sharded decision is bit-for-bit identical to
+    /// the unsharded one — see the shard-equivalence test suite.
+    ///
+    /// # Panics
+    ///
+    /// As [`BrokerCore::new`].
+    pub fn with_shards(
+        id: BrokerId,
+        topology: Arc<Topology>,
+        broker_nodes: Arc<Vec<NodeId>>,
+        strategy: RoutingStrategy,
+        interner: Arc<SharedInterner>,
+        shards: usize,
+    ) -> Self {
         assert!((id.raw() as usize) < topology.broker_count(), "broker {id} not in topology");
         assert!(broker_nodes.len() >= topology.broker_count(), "broker node map incomplete");
         let neighbors: Vec<NodeId> =
@@ -148,7 +171,7 @@ impl BrokerCore {
             topology,
             broker_nodes,
             neighbors,
-            table: RoutingTable::with_interner(interner),
+            router: ShardedRouter::with_interner(shards, interner),
             announcers,
             emitted,
             scratch: RouteScratch::new(),
@@ -166,9 +189,14 @@ impl BrokerCore {
         self.strategy
     }
 
-    /// Read access to the routing table (stats, tests).
-    pub fn table(&self) -> &RoutingTable {
-        &self.table
+    /// Read access to the (sharded) routing state (stats, tests).
+    pub fn router(&self) -> &ShardedRouter {
+        &self.router
+    }
+
+    /// Number of match/route shards the routing state is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.router.shard_count()
     }
 
     /// Counters accumulated so far.
@@ -193,7 +221,7 @@ impl BrokerCore {
 
     /// The shared symbol table of this broker's routing state.
     pub fn interner(&self) -> &Arc<SharedInterner> {
-        self.table.interner()
+        self.router.interner()
     }
 
     /// Handles one message, returning local deliveries and unhandled
@@ -217,15 +245,15 @@ impl BrokerCore {
     ) {
         match msg {
             Message::ClientAttach { client } => {
-                self.table.attach_client(client, from);
+                self.router.attach_client(client, from);
             }
             Message::ClientDetach { client } => {
                 self.detach_client(ctx, client);
             }
             Message::Subscribe { subscription } => {
                 // Subscribing implies attachment (first contact may race).
-                self.table.attach_client(subscription.client(), from);
-                let delta = self.table.subscribe_client(
+                self.router.attach_client(subscription.client(), from);
+                let delta = self.router.subscribe_client(
                     subscription.client(),
                     subscription.id(),
                     subscription.filter().clone(),
@@ -233,18 +261,18 @@ impl BrokerCore {
                 self.apply_delta(ctx, &delta);
             }
             Message::Unsubscribe { client, id } => {
-                let delta = self.table.unsubscribe_client(client, id);
+                let delta = self.router.unsubscribe_client(client, id);
                 self.apply_delta(ctx, &delta);
             }
             Message::Publish { notification } | Message::Forward { notification } => {
                 self.route_notification_into(ctx, from, notification, out);
             }
             Message::SubForward { filter } => {
-                let delta = self.table.neighbor_subscribe(from, filter);
+                let delta = self.router.neighbor_subscribe(from, filter);
                 self.apply_delta(ctx, &delta);
             }
             Message::UnsubForward { filter } => {
-                let delta = self.table.neighbor_unsubscribe(from, filter.digest());
+                let delta = self.router.neighbor_unsubscribe(from, filter.digest());
                 self.apply_delta(ctx, &delta);
             }
             Message::Routed { to, inner } => {
@@ -303,7 +331,7 @@ impl BrokerCore {
         out: &mut Outcome,
     ) {
         self.stats.notifications_routed += 1;
-        self.table.route_into(&n, &mut self.scratch);
+        self.router.route_into(&n, &mut self.scratch);
         let mut forwards = 0u64;
         let forward_to: &[NodeId] =
             if self.strategy.is_flooding() { &self.neighbors } else { &self.scratch.neighbors };
@@ -326,13 +354,13 @@ impl BrokerCore {
 
     /// Attaches a client programmatically (used by mobility wrappers).
     pub fn attach_client(&mut self, client: ClientId, node: NodeId) {
-        self.table.attach_client(client, node);
+        self.router.attach_client(client, node);
     }
 
     /// Detaches a client, drops its subscriptions and incrementally
     /// retracts whatever they alone were responsible for announcing.
     pub fn detach_client(&mut self, ctx: &mut Ctx<'_, Message>, client: ClientId) {
-        let delta = match self.table.detach_client(client) {
+        let delta = match self.router.detach_client(client) {
             Some(entry) => {
                 // Digest order, not HashMap order: the announcer processes
                 // removals deterministically.
@@ -355,7 +383,7 @@ impl BrokerCore {
         id: SubscriptionId,
         filter: Filter,
     ) {
-        let delta = self.table.subscribe_client(client, id, filter);
+        let delta = self.router.subscribe_client(client, id, filter);
         self.apply_delta(ctx, &delta);
     }
 
@@ -367,7 +395,7 @@ impl BrokerCore {
         client: ClientId,
         id: SubscriptionId,
     ) {
-        let delta = self.table.unsubscribe_client(client, id);
+        let delta = self.router.unsubscribe_client(client, id);
         self.apply_delta(ctx, &delta);
     }
 

@@ -9,6 +9,10 @@
 //! * [`RoutingStrategy`] — flooding / simple / covering / merging;
 //! * [`RoutingTable`] — `(Filter, Link)` entries backed by the counting
 //!   match index;
+//! * [`ShardedRouter`] / [`ParallelRouter`] — the same routing state
+//!   partitioned into filter-digest-range shards, fanned over in-line
+//!   (deterministic simulator) or by one worker thread per shard (live
+//!   runtime), with decisions provably identical to the unsharded table;
 //! * [`BrokerCore`] / [`BrokerNode`] — the routing engine and its plain
 //!   (immobile) node wrapper;
 //! * [`LocalBroker`] / [`ClientNode`] — the client-side library ("local
@@ -27,10 +31,12 @@ mod broker;
 mod client;
 pub mod message;
 pub mod routing;
+pub mod shard;
 pub mod table;
 
 pub use broker::{BrokerCore, BrokerNode, BrokerStats, LocalDelivery, Outcome};
 pub use client::{ClientNode, DeliveryRecord, LocalBroker};
 pub use message::{Message, MobilityMsg};
 pub use routing::{minimal_cover, CoverChanges, LinkAnnouncer, RoutingStrategy};
-pub use table::{ClientEntry, RouteDecision, RouteKey, RouteScratch, RoutingTable};
+pub use shard::{ParallelRouter, ShardedRouter};
+pub use table::{ClientEntry, RouteDecision, RouteKey, RouteScratch, RoutingTable, TableDelta};

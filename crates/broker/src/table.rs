@@ -105,7 +105,7 @@ pub struct RouteDecision {
 #[derive(Debug, Default)]
 pub struct RouteScratch {
     /// Raw matching keys (reused output buffer of the match index).
-    keys: Vec<RouteKey>,
+    pub(crate) keys: Vec<RouteKey>,
     /// Matching local clients, deduplicated, sorted by client id.
     pub clients: Vec<(ClientId, NodeId)>,
     /// Matching neighbour links, deduplicated, sorted.
@@ -116,6 +116,18 @@ impl RouteScratch {
     /// Creates an empty scratch.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Normalises the accumulated decision buffers into their canonical
+    /// form: clients sorted by id and deduplicated (one delivery per client,
+    /// however many subscriptions — possibly spread over several shards —
+    /// matched), neighbours sorted and deduplicated. In-place, no
+    /// allocation.
+    pub(crate) fn finish(&mut self) {
+        self.clients.sort_unstable_by_key(|(c, _)| *c);
+        self.clients.dedup_by_key(|(c, _)| *c);
+        self.neighbors.sort_unstable();
+        self.neighbors.dedup();
     }
 }
 
@@ -285,21 +297,35 @@ impl RoutingTable {
     pub fn route_into(&self, n: &Notification, scratch: &mut RouteScratch) {
         scratch.clients.clear();
         scratch.neighbors.clear();
-        self.index.matching_into(n, &mut scratch.keys);
-        for key in &scratch.keys {
+        let RouteScratch { keys, clients, neighbors } = scratch;
+        self.route_append(n, keys, clients, neighbors);
+        scratch.finish();
+    }
+
+    /// Appends this table's raw matching contribution for `n` — unsorted,
+    /// not deduplicated — to the decision buffers. `keys` is the reusable
+    /// match-key buffer (cleared by the match index on entry). This is the
+    /// building block [`RoutingTable::route_into`] and the sharded router's
+    /// fan-out share: one table appends, the merge normalises once at the
+    /// end ([`RouteScratch::finish`]).
+    pub(crate) fn route_append(
+        &self,
+        n: &Notification,
+        keys: &mut Vec<RouteKey>,
+        clients: &mut Vec<(ClientId, NodeId)>,
+        neighbors: &mut Vec<NodeId>,
+    ) {
+        self.index.matching_into(n, keys);
+        for key in keys.iter() {
             match *key {
                 RouteKey::Client { client, .. } => {
                     if let Some(e) = self.clients.get(&client) {
-                        scratch.clients.push((client, e.node));
+                        clients.push((client, e.node));
                     }
                 }
-                RouteKey::Neighbor { node, .. } => scratch.neighbors.push(node),
+                RouteKey::Neighbor { node, .. } => neighbors.push(node),
             }
         }
-        scratch.clients.sort_unstable_by_key(|(c, _)| *c);
-        scratch.clients.dedup_by_key(|(c, _)| *c);
-        scratch.neighbors.sort_unstable();
-        scratch.neighbors.dedup();
     }
 
     /// All distinct filters that must be served through links *other than*

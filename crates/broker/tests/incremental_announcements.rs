@@ -51,7 +51,7 @@ fn assert_equivalence(world: &World<Message>, strategy: RoutingStrategy) -> Resu
         let core = world.node_as::<BrokerNode>(node).expect("broker node").core();
         for &nb in core.neighbor_nodes() {
             let incremental = core.announced_filters(nb);
-            let mut from_scratch = strategy.announcements(&core.table().filters_excluding(nb));
+            let mut from_scratch = strategy.announcements(&core.router().filters_excluding(nb));
             from_scratch.sort_by_key(Filter::digest);
             if incremental != from_scratch {
                 return Err(format!(
@@ -61,7 +61,7 @@ fn assert_equivalence(world: &World<Message>, strategy: RoutingStrategy) -> Resu
             }
             // The peer must have recorded exactly this set for our link.
             let peer = world.node_as::<BrokerNode>(nb).expect("broker node").core();
-            let mut recorded: Vec<Filter> = peer.table().neighbor_filters(node).cloned().collect();
+            let mut recorded: Vec<Filter> = peer.router().neighbor_filters(node).cloned().collect();
             recorded.sort_by_key(Filter::digest);
             if incremental != recorded {
                 return Err(format!(

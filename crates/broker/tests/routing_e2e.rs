@@ -216,7 +216,7 @@ fn covering_and_merging_shrink_control_state() {
                     .node_as::<BrokerNode>(net.broker_nodes[i])
                     .unwrap()
                     .core()
-                    .table()
+                    .router()
                     .entry_count()
             })
             .sum();

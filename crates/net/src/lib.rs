@@ -35,5 +35,6 @@ pub use link::{LatencyModel, LinkConfig, LinkKey};
 pub use metrics::NetMetrics;
 pub use node::{Ctx, Node, NodeId, Payload, TimerId};
 pub use rng::SplitMix64;
+pub use thread_rt::{ShardJob, ShardPool, ThreadRuntime};
 pub use topology::{Topology, TopologyError};
 pub use world::World;

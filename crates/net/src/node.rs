@@ -135,6 +135,18 @@ impl<'a, M> Ctx<'a, M> {
         self.actions.len()
     }
 
+    /// The `(to, msg)` pairs of the `Send` actions recorded so far, in
+    /// emission order — harness inspection (e.g. comparing the announcement
+    /// deltas two broker configurations emit for the same mutation). The
+    /// runtimes drain actions themselves; a standalone context only ever
+    /// records them.
+    pub fn sent(&self) -> impl Iterator<Item = (NodeId, &M)> {
+        self.actions.iter().filter_map(|a| match a {
+            Action::Send { to, msg } => Some((*to, msg)),
+            _ => None,
+        })
+    }
+
     /// Drops all recorded actions, keeping the buffer's capacity — lets a
     /// harness reuse one context across many handler invocations without
     /// re-allocating the action buffer.

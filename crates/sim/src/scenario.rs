@@ -157,6 +157,9 @@ pub struct ScenarioConfig {
     pub location_dependent: bool,
     /// Master seed (client start positions, movement seeds).
     pub seed: u64,
+    /// Match/route shards per broker; `None` inherits the builder default
+    /// (the `REBECA_SHARDS` environment variable, or 1).
+    pub shards: Option<usize>,
 }
 
 impl Default for ScenarioConfig {
@@ -174,6 +177,7 @@ impl Default for ScenarioConfig {
             workload: WorkloadConfig::default(),
             location_dependent: true,
             seed: 99,
+            shards: None,
         }
     }
 }
@@ -348,12 +352,12 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioOutcome {
         },
     };
 
-    let mut sys = SystemBuilder::new(topology)
-        .strategy(cfg.strategy)
-        .deployment(deployment)
-        .seed(cfg.seed)
-        .build()
-        .expect("scenario produced a deployment its own topology rejects");
+    let mut builder =
+        SystemBuilder::new(topology).strategy(cfg.strategy).deployment(deployment).seed(cfg.seed);
+    if let Some(shards) = cfg.shards {
+        builder = builder.shards(shards);
+    }
+    let mut sys = builder.build().expect("scenario produced a deployment its own topology rejects");
 
     // One immobile publisher per broker.
     let publishers: Vec<FixedClient> = (0..cfg.brokers)

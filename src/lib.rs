@@ -97,6 +97,45 @@
 //!    duplicate suppression by notification id. The notification is freed
 //!    when the last buffer, log or in-flight message drops its reference.
 //!
+//! ## Sharded matching
+//!
+//! Every broker's match/route state can be partitioned into N **shards
+//! keyed by filter digest range** ([`core::Digest::shard`]): each routing
+//! entry lives in exactly one shard, a mutation touches only its owning
+//! shard, and a routing decision is the merge of the per-shard decisions.
+//! Configure it with [`SystemBuilder::shards`] (default 1, or the
+//! `REBECA_SHARDS` environment variable — CI runs the integration suites
+//! under both 1 and 4):
+//!
+//! ```
+//! use rebeca::{SystemBuilder, Topology};
+//! let sys = SystemBuilder::new(Topology::line(3)?).shards(4).build()?;
+//! assert_eq!(sys.shard_count(), 4);
+//! # Ok::<(), rebeca::RebecaError>(())
+//! ```
+//!
+//! **The equivalence guarantee.** Sharding is an execution detail, not a
+//! semantic one: for every shard count, routing decisions, announcement
+//! deltas and deliveries are *identical* to the unsharded broker's. This
+//! holds by construction — all shards resolve attribute names through the
+//! same [`SharedInterner`], each filter is owned by exactly one shard, and
+//! the merged decision is normalised exactly like the unsharded one — and
+//! it is enforced by machinery that ships with the shards: a
+//! shard-equivalence proptest (`crates/broker/tests/shard_equivalence.rs`)
+//! drives identical random churn into a 1-shard and a 4-shard broker and
+//! compares decisions and announcement wire traffic after every step, and
+//! a seed-replayable scenario soak (`tests/scenario_soak.rs`) replays
+//! randomized mobility scenarios under both shard counts against the
+//! simulator's delivery oracle. The zero-allocation steady state of the
+//! route path is preserved for every shard count (asserted by the
+//! allocation-regression test at shards = 4).
+//!
+//! In the deterministic simulator the shards are fanned over in-line
+//! ([`broker::ShardedRouter`]); a live threaded deployment can move the
+//! same shards onto one worker thread each
+//! ([`broker::ParallelRouter`] over [`net::ShardPool`]) so a multi-core
+//! broker matches concurrently.
+//!
 //! ## Migrating from the panicking API
 //!
 //! Earlier revisions of this facade modelled uncertain operations as
@@ -183,6 +222,22 @@ impl Deployment {
     }
 }
 
+/// The build-time default shard count: the `REBECA_SHARDS` environment
+/// variable when set (CI exercises the integration suites under both 1 and
+/// 4), otherwise 1 — the unsharded behaviour. A *set but invalid* value
+/// panics rather than silently falling back to 1: a CI matrix leg that
+/// thinks it is testing `shards=4` must never green-light an unsharded
+/// run.
+fn default_shard_count() -> usize {
+    match std::env::var("REBECA_SHARDS") {
+        Err(_) => 1,
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("REBECA_SHARDS must be a positive integer (1 = unsharded), got {v:?}"),
+        },
+    }
+}
+
 /// Builder for a complete simulated deployment.
 #[derive(Debug)]
 pub struct SystemBuilder {
@@ -192,10 +247,17 @@ pub struct SystemBuilder {
     locations: Option<LocationMap>,
     link_latency: SimDuration,
     seed: u64,
+    shards: usize,
 }
 
 impl SystemBuilder {
     /// Starts a builder over the given broker topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `REBECA_SHARDS` environment variable is set to
+    /// anything other than a positive integer (see
+    /// [`SystemBuilder::shards`]).
     pub fn new(topology: Topology) -> Self {
         SystemBuilder {
             topology,
@@ -204,6 +266,7 @@ impl SystemBuilder {
             locations: None,
             link_latency: SimDuration::from_millis(1),
             seed: 42,
+            shards: default_shard_count(),
         }
     }
 
@@ -244,6 +307,19 @@ impl SystemBuilder {
         self
     }
 
+    /// Partitions every broker's match/route state into `shards` shards
+    /// keyed by filter digest range (see the "Sharded matching" section of
+    /// the crate docs). Default: the `REBECA_SHARDS` environment variable,
+    /// or 1 — the unsharded behaviour. Sharding is an execution detail:
+    /// routing decisions, announcements and deliveries are identical for
+    /// every shard count. Passing `0` is rejected by
+    /// [`SystemBuilder::build`].
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Validates the configuration without building the world.
     ///
     /// Returns the movement graph to deploy for replicated deployments.
@@ -253,6 +329,11 @@ impl SystemBuilder {
             // Unreachable through `Topology`'s constructors, which reject
             // empty graphs; kept so the facade never trusts its inputs.
             return Err(RebecaError::InvalidTopology("topology has no brokers".into()));
+        }
+        if self.shards == 0 {
+            return Err(RebecaError::InvalidDeployment(
+                "shard count must be at least 1 (1 = unsharded)".into(),
+            ));
         }
         if let Some(locations) = &self.locations {
             for (broker, _) in locations.iter() {
@@ -313,12 +394,13 @@ impl SystemBuilder {
         // the "Notification lifecycle" section of the crate docs).
         let interner = Arc::new(SharedInterner::new());
         for b in topology.brokers() {
-            let core = BrokerCore::with_interner(
+            let core = BrokerCore::with_shards(
                 b,
                 Arc::clone(&topology),
                 Arc::clone(&broker_nodes),
                 self.strategy,
                 Arc::clone(&interner),
+                self.shards,
             );
             match &self.deployment {
                 Deployment::BrokerMobility(cfg) => {
@@ -378,6 +460,7 @@ impl SystemBuilder {
             replicator_nodes,
             interner,
             link,
+            shards: self.shards,
             clients: Vec::new(),
             next_client: 0,
             next_sub: 0,
@@ -424,6 +507,7 @@ pub struct System {
     replicator_nodes: Option<Arc<Vec<NodeId>>>,
     interner: Arc<SharedInterner>,
     link: LinkConfig,
+    shards: usize,
     clients: Vec<ClientInfo>,
     next_client: u32,
     next_sub: u32,
@@ -445,6 +529,12 @@ impl System {
     /// The broker↔location mapping.
     pub fn locations(&self) -> &LocationMap {
         &self.locations
+    }
+
+    /// Number of match/route shards each broker's routing state is
+    /// partitioned into (1 = unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.shards
     }
 
     fn check_broker(&self, broker: BrokerId) -> Result<usize, RebecaError> {
@@ -826,9 +916,9 @@ impl System {
     pub fn table_size(&self, broker: BrokerId) -> Result<usize, RebecaError> {
         let node = self.broker_nodes[self.check_broker(broker)?];
         if let Some(b) = self.world.node_as::<BrokerNode>(node) {
-            Ok(b.core().table().entry_count())
+            Ok(b.core().router().entry_count())
         } else if let Some(b) = self.world.node_as::<MobileBrokerNode>(node) {
-            Ok(b.core().table().entry_count())
+            Ok(b.core().router().entry_count())
         } else {
             Ok(0)
         }
