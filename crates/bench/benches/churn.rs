@@ -28,19 +28,12 @@ use rebeca::{
     BrokerId, Deployment, Filter, MovementGraph, ReplicatorConfig, RoutingStrategy, SimDuration,
     System, SystemBuilder, Topology,
 };
+use rebeca_bench::harness::{results_json, Measurement};
 use std::time::{Duration, Instant};
 
-/// One measured churn workload.
-struct Measurement {
-    name: String,
-    events: u64,
-    elapsed: Duration,
-}
-
-impl Measurement {
-    fn events_per_sec(&self) -> f64 {
-        self.events as f64 / self.elapsed.as_secs_f64()
-    }
+/// Resolves a baseline/output path against the workspace root.
+fn workspace_path(p: &str) -> std::path::PathBuf {
+    rebeca_bench::harness::workspace_path(env!("CARGO_MANIFEST_DIR"), p)
 }
 
 /// Builds a 4-broker line with `preload` distinct filters already in every
@@ -187,23 +180,12 @@ fn parse_results(json: &str) -> std::collections::HashMap<String, f64> {
     out
 }
 
-/// Resolves a path from the environment against the workspace root (cargo
-/// runs benches with the *package* directory as cwd, but the baselines are
-/// checked in at the repository root).
-fn workspace_path(p: &str) -> std::path::PathBuf {
-    let path = std::path::Path::new(p);
-    if path.is_absolute() {
-        path.to_path_buf()
-    } else {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(path)
-    }
-}
-
 fn main() {
     let quick = std::env::var("CHURN_QUICK").is_ok();
+    let heavy = std::env::var("REBECA_BENCH_HEAVY").is_ok();
     let budget = if quick { Duration::from_millis(200) } else { Duration::from_millis(1500) };
 
-    let measurements = vec![
+    let mut measurements = vec![
         bench_subscription_churn(50, RoutingStrategy::Covering, 1, budget),
         bench_subscription_churn(200, RoutingStrategy::Covering, 1, budget),
         // Merging-strategy churn: the incremental merge products keep each
@@ -211,7 +193,7 @@ fn main() {
         bench_subscription_churn(200, RoutingStrategy::Merging, 1, budget),
         // Large-filter-count case (towards the million-filter roadmap
         // item): preloads dominate the routing tables, churn must stay
-        // O(distinct) per event.
+        // flat per event.
         bench_subscription_churn(2000, RoutingStrategy::Covering, 1, budget),
         // Sharded variants: digest-range fan-out must not tax churn — a
         // mutation touches exactly one shard.
@@ -219,6 +201,15 @@ fn main() {
         bench_subscription_churn(2000, RoutingStrategy::Covering, 4, budget),
         bench_handover_storm(8, 100, budget),
     ];
+    if heavy {
+        // The 10⁵-filter tier (REBECA_BENCH_HEAVY=1): the bucketed
+        // covering index must keep per-event cost flat relative to
+        // preload-2000 — within 25% is the PR 5 acceptance bar. Gated so
+        // the time-boxed CI bench-smoke stays quick; the checked-in
+        // BENCH_churn_pr5.json records it.
+        measurements.push(bench_subscription_churn(100_000, RoutingStrategy::Covering, 1, budget));
+        measurements.push(bench_subscription_churn(100_000, RoutingStrategy::Covering, 4, budget));
+    }
 
     for m in &measurements {
         println!(
@@ -280,23 +271,7 @@ fn main() {
     if let Ok(path) = std::env::var("CHURN_JSON") {
         let label =
             std::env::var("CHURN_LABEL").unwrap_or_else(|_| "unlabelled churn run".to_string());
-        let mut entries = String::new();
-        for (i, m) in measurements.iter().enumerate() {
-            if i > 0 {
-                entries.push_str(",\n");
-            }
-            entries.push_str(&format!(
-                "    {{\"name\": \"{}\", \"events\": {}, \"seconds\": {:.4}, \
-                 \"events_per_sec\": {:.1}}}",
-                m.name,
-                m.events,
-                m.elapsed.as_secs_f64(),
-                m.events_per_sec()
-            ));
-        }
-        let json = format!(
-            "{{\n  \"bench\": \"churn\",\n  \"label\": \"{label}\",\n  \"results\": [\n{entries}\n  ]\n}}\n"
-        );
+        let json = results_json("churn", &label, "", &measurements);
         std::fs::write(workspace_path(&path), json).expect("write CHURN_JSON output");
         println!("bench churn: wrote {path}");
     }

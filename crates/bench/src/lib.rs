@@ -13,5 +13,6 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::{run_all, run_experiment, Scale};

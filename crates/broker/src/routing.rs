@@ -14,10 +14,10 @@
 //! [`SubForward`](crate::Message::SubForward) /
 //! [`UnsubForward`](crate::Message::UnsubForward) messages.
 
-use rebeca_core::filter::{merge_set, try_merge, MergeOutcome};
-use rebeca_core::{Digest, Filter};
+use rebeca_core::filter::{merge_set, shape_digest, try_merge, MergeOutcome};
+use rebeca_core::{CoverKey, Digest, Filter};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// Content-based routing strategy of a broker network.
@@ -153,6 +153,265 @@ struct Served {
     dominated_by: usize,
 }
 
+/// The served-filter digests behind one canonical point key — almost
+/// always exactly one (a second digest under the same key means two
+/// structurally different but equal-valued filters, e.g. `Int`/`Float`
+/// aliases), so the common case stays allocation-free.
+#[derive(Debug, Clone)]
+enum PointSlot {
+    One(Digest),
+    Many(Vec<Digest>),
+}
+
+impl PointSlot {
+    fn push(&mut self, digest: Digest) {
+        match self {
+            PointSlot::One(d) => *self = PointSlot::Many(vec![*d, digest]),
+            PointSlot::Many(v) => v.push(digest),
+        }
+    }
+
+    /// Removes `digest`; returns `true` when the slot is now empty.
+    fn remove(&mut self, digest: Digest) -> bool {
+        match self {
+            PointSlot::One(d) => *d == digest,
+            PointSlot::Many(v) => {
+                v.retain(|d| *d != digest);
+                v.is_empty()
+            }
+        }
+    }
+
+    fn extend_into(&self, out: &mut Vec<Digest>) {
+        match self {
+            PointSlot::One(d) => out.push(*d),
+            PointSlot::Many(v) => out.extend_from_slice(v),
+        }
+    }
+}
+
+/// One shape bucket of the covering-candidate index: every served filter
+/// whose distinct attribute set is this bucket's `attrs`, split into
+/// *point* entries (pure `Eq`, keyed by canonical value digest) and
+/// *general* entries. See [`CoverKey`] for why this split is sound.
+///
+/// Buckets are **kept once created**, even when they drain — shape
+/// diversity is bounded by filter structure, not filter count, and
+/// re-creating a bucket (attribute strings, per-attribute shape sets) on
+/// every churn cycle of a one-off shape would dominate small-table churn.
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    /// The sorted distinct attribute names shared by every filter here.
+    attrs: Vec<String>,
+    /// Point entries, canonical value digest → served-filter digests.
+    /// Same-shape points can only cover each other within one key.
+    points: HashMap<Digest, PointSlot>,
+    /// Entries with any non-`Eq` predicate or a repeated attribute; these
+    /// are always candidates within the bucket.
+    general: Vec<Digest>,
+}
+
+/// The digest-bucketed covering-candidate index of one [`LinkAnnouncer`]
+/// (covering/merging modes only). Served filters are grouped by *shape*
+/// (digest of their distinct attribute names); because a coverer's
+/// attribute set is always a subset of the covered filter's
+/// ([`CoverKey`]), a mutation probes only the buckets whose shape is a
+/// subset (dominator direction) or superset (dominated direction) of the
+/// mutated filter's — **not** every distinct served filter. Within the
+/// filter's own shape, point entries are further keyed by canonical value
+/// digest, so the common churn workload (conjunctions of equalities)
+/// probes O(1) candidates per mutation however many filters are served.
+///
+/// Like the routing tables, the index treats digest equality as identity
+/// (64-bit FNV; the repo-wide "digest collision means same filter"
+/// assumption) — a shape collision is debug-asserted.
+#[derive(Debug, Clone, Default)]
+struct CoverIndex {
+    /// Shape digest → bucket.
+    buckets: HashMap<Digest, Bucket>,
+    /// Attribute name → shapes of the buckets constraining it (the
+    /// superset-direction probe intersects these instead of scanning).
+    attr_shapes: HashMap<String, HashSet<Digest>>,
+}
+
+/// A filter's distinct attribute names, stack-allocated for the common
+/// (≤ 8 attribute) case: the probe paths run once per churn mutation and
+/// should not pay a heap allocation for a typically 1–3 element list.
+struct AttrBuf<'f> {
+    stack: [&'f str; 8],
+    len: usize,
+    /// Spill storage, used only by > 8-attribute filters.
+    heap: Vec<&'f str>,
+}
+
+impl<'f> AttrBuf<'f> {
+    fn collect(filter: &'f Filter) -> Self {
+        let mut buf = AttrBuf { stack: [""; 8], len: 0, heap: Vec::new() };
+        for a in filter.distinct_attrs() {
+            if buf.heap.is_empty() && buf.len < buf.stack.len() {
+                buf.stack[buf.len] = a;
+                buf.len += 1;
+            } else {
+                if buf.heap.is_empty() {
+                    buf.heap.extend_from_slice(&buf.stack[..buf.len]);
+                }
+                buf.heap.push(a);
+            }
+        }
+        buf
+    }
+
+    fn as_slice(&self) -> &[&'f str] {
+        if self.heap.is_empty() {
+            &self.stack[..self.len]
+        } else {
+            &self.heap
+        }
+    }
+}
+
+/// `small ⊆ big` over two sorted name slices (one linear merge pass).
+fn sorted_subset(small: &[impl AsRef<str>], big: &[impl AsRef<str>]) -> bool {
+    let mut big_iter = big.iter();
+    'outer: for s in small {
+        for b in big_iter.by_ref() {
+            match s.as_ref().cmp(b.as_ref()) {
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Greater => continue,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+impl CoverIndex {
+    fn insert(&mut self, digest: Digest, filter: &Filter, key: CoverKey) {
+        if !self.buckets.contains_key(&key.shape) {
+            let attrs: Vec<String> = filter.distinct_attrs().map(str::to_owned).collect();
+            for a in &attrs {
+                self.attr_shapes.entry(a.clone()).or_default().insert(key.shape);
+            }
+            self.buckets.insert(key.shape, Bucket { attrs, ..Bucket::default() });
+        }
+        let bucket = self.buckets.get_mut(&key.shape).expect("bucket ensured above");
+        debug_assert!(
+            bucket.attrs.iter().map(String::as_str).eq(filter.distinct_attrs()),
+            "shape digest collision between distinct attribute sets"
+        );
+        match key.point {
+            Some(canon) => match bucket.points.entry(canon) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(PointSlot::One(digest));
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().push(digest),
+            },
+            None => bucket.general.push(digest),
+        }
+    }
+
+    fn remove(&mut self, digest: Digest, key: CoverKey) {
+        let Some(bucket) = self.buckets.get_mut(&key.shape) else {
+            debug_assert!(false, "removing from an absent shape bucket");
+            return;
+        };
+        match key.point {
+            Some(canon) => {
+                if let Some(slot) = bucket.points.get_mut(&canon) {
+                    if slot.remove(digest) {
+                        bucket.points.remove(&canon);
+                    }
+                }
+            }
+            None => bucket.general.retain(|d| *d != digest),
+        }
+        // The (now possibly empty) bucket stays: its attribute strings and
+        // shape-set registrations are reused by the next filter of this
+        // shape — churn of one-off shapes must not rebuild them per event.
+    }
+
+    /// Appends one bucket's candidates: within the probed filter's **own**
+    /// shape a point filter can only interact with same-canonical-key
+    /// points (plus every general entry); any other bucket contributes all
+    /// of its entries.
+    fn push_bucket(&self, shape: Digest, bucket: &Bucket, key: CoverKey, out: &mut Vec<Digest>) {
+        if shape == key.shape {
+            if let Some(canon) = key.point {
+                if let Some(slot) = bucket.points.get(&canon) {
+                    slot.extend_into(out);
+                }
+                out.extend_from_slice(&bucket.general);
+                return;
+            }
+        }
+        for slot in bucket.points.values() {
+            slot.extend_into(out);
+        }
+        out.extend_from_slice(&bucket.general);
+    }
+
+    /// Collects (into `out`, cleared first) the digests of every served
+    /// filter that could *dominate* one with the given attributes — the
+    /// buckets whose shape is a subset of `attrs`, enumerated directly
+    /// when `2^|attrs|` is small and by scanning the (few) buckets
+    /// otherwise.
+    fn dominator_candidates(&self, attrs: &[&str], key: CoverKey, out: &mut Vec<Digest>) {
+        out.clear();
+        let k = attrs.len();
+        if k < 16 && (1usize << k) <= self.buckets.len().saturating_mul(2).max(2) {
+            for mask in 0..(1u32 << k) {
+                let subset = attrs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << *i) != 0)
+                    .map(|(_, a)| *a);
+                let shape = shape_digest(subset);
+                if let Some(bucket) = self.buckets.get(&shape) {
+                    self.push_bucket(shape, bucket, key, out);
+                }
+            }
+        } else {
+            for (shape, bucket) in &self.buckets {
+                if sorted_subset(&bucket.attrs, attrs) {
+                    self.push_bucket(*shape, bucket, key, out);
+                }
+            }
+        }
+    }
+
+    /// Collects (into `out`, cleared first) the digests of every served
+    /// filter the given one could *dominate* — the buckets whose shape is
+    /// a superset of `attrs`, found by intersecting per-attribute shape
+    /// sets (starting from the rarest attribute).
+    fn dominated_candidates(&self, attrs: &[&str], key: CoverKey, out: &mut Vec<Digest>) {
+        out.clear();
+        if attrs.is_empty() {
+            // The match-all filter covers everything; every bucket is a
+            // candidate (rare, and such tables collapse to one announced
+            // filter anyway).
+            for (shape, bucket) in &self.buckets {
+                self.push_bucket(*shape, bucket, key, out);
+            }
+            return;
+        }
+        let mut rarest: Option<&HashSet<Digest>> = None;
+        for a in attrs {
+            // An attribute no bucket constrains ⇒ no superset shape exists.
+            let Some(shapes) = self.attr_shapes.get(*a) else { return };
+            if rarest.is_none_or(|r| shapes.len() < r.len()) {
+                rarest = Some(shapes);
+            }
+        }
+        for shape in rarest.expect("attrs checked non-empty") {
+            let bucket = &self.buckets[shape];
+            if sorted_subset(attrs, &bucket.attrs) {
+                self.push_bucket(*shape, bucket, key, out);
+            }
+        }
+    }
+}
+
 /// Incrementally maintained merge products of a minimal cover, kept equal
 /// to `merge_set(cover in digest order)` after every cover transition.
 ///
@@ -222,21 +481,44 @@ impl MergeState {
 /// In *simple* mode (no covering) every distinct filter is announced; in
 /// *covering* mode only non-dominated filters are; in *merging* mode a
 /// [`MergeState`] additionally maintains the merge products of the cover.
-/// A single mutation costs `O(distinct filters)` covering checks — against
-/// the `O(n²)` of a from-scratch [`minimal_cover`] — and touches nothing
-/// outside this link.
+/// The covering modes keep a [`CoverIndex`]: a mutation probes only the
+/// *candidate* dominators/dominated filters its shape admits — for the
+/// common equality-conjunction workload that is O(1) per mutation, flat in
+/// the number of distinct served filters (the scan this replaces was
+/// `O(distinct)` per mutation, itself replacing the historical `O(n²)`
+/// from-scratch [`minimal_cover`]). Nothing outside this link is touched.
 #[derive(Debug, Clone)]
 pub struct LinkAnnouncer {
     covering: bool,
     entries: HashMap<Digest, Served>,
     merge: Option<MergeState>,
+    /// Covering modes only: the shape-bucketed candidate index. Built the
+    /// first time the link serves [`INDEX_THRESHOLD`] distinct filters and
+    /// maintained from then on — below that a plain scan of `entries` is
+    /// faster than any candidate bookkeeping, and links touched by
+    /// steady-state churn are typically tiny (the big ones are the ones
+    /// *accumulating* a preload, which is exactly where the index turns
+    /// quadratic growth linear).
+    index: Option<CoverIndex>,
+    /// Reusable candidate-digest scratch for the probes.
+    candidates: Vec<Digest>,
 }
+
+/// Distinct-filter count at which a link switches from scanning to the
+/// bucketed candidate index (hysteresis: once built, the index stays).
+const INDEX_THRESHOLD: usize = 64;
 
 impl LinkAnnouncer {
     /// Creates empty state; `covering` selects covering mode (used by the
     /// covering *and* merging strategies).
     pub fn new(covering: bool) -> Self {
-        LinkAnnouncer { covering, entries: HashMap::new(), merge: None }
+        LinkAnnouncer {
+            covering,
+            entries: HashMap::new(),
+            merge: None,
+            index: None,
+            candidates: Vec::new(),
+        }
     }
 
     /// Creates empty state configured for `strategy` (merging implies
@@ -244,7 +526,7 @@ impl LinkAnnouncer {
     pub fn for_strategy(strategy: RoutingStrategy) -> Self {
         let covering = matches!(strategy, RoutingStrategy::Covering | RoutingStrategy::Merging);
         let merge = matches!(strategy, RoutingStrategy::Merging).then(MergeState::default);
-        LinkAnnouncer { covering, entries: HashMap::new(), merge }
+        LinkAnnouncer { merge, ..LinkAnnouncer::new(covering) }
     }
 
     /// Number of distinct filters currently served through the link.
@@ -263,14 +545,46 @@ impl LinkAnnouncer {
         let (entered_from, left_from) = (changes.entered.len(), changes.left.len());
         let mut dominated_by = 0;
         if self.covering {
-            for entry in self.entries.values_mut() {
-                if dominates(&entry.filter, filter) {
-                    dominated_by += 1;
+            self.ensure_index();
+            if let Some(index) = &self.index {
+                let key = filter.cover_key();
+                let attrs = AttrBuf::collect(filter);
+                let attrs = attrs.as_slice();
+                let mut candidates = std::mem::take(&mut self.candidates);
+                // Who dominates the newcomer? Only filters whose shape is
+                // a subset of its attribute set can.
+                index.dominator_candidates(attrs, key, &mut candidates);
+                for d in &candidates {
+                    if dominates(&self.entries[d].filter, filter) {
+                        dominated_by += 1;
+                    }
                 }
-                if dominates(filter, &entry.filter) {
-                    entry.dominated_by += 1;
-                    if entry.dominated_by == 1 {
-                        changes.left.push(entry.filter.clone());
+                // Whom does the newcomer dominate? Only filters in
+                // superset shapes.
+                index.dominated_candidates(attrs, key, &mut candidates);
+                for d in &candidates {
+                    let entry = self.entries.get_mut(d).expect("indexed entry served");
+                    if dominates(filter, &entry.filter) {
+                        entry.dominated_by += 1;
+                        if entry.dominated_by == 1 {
+                            changes.left.push(entry.filter.clone());
+                        }
+                    }
+                }
+                candidates.clear();
+                self.candidates = candidates;
+                self.index.as_mut().expect("index built").insert(digest, filter, key);
+            } else {
+                // Small link: the plain scan beats candidate bookkeeping.
+                for entry in self.entries.values_mut() {
+                    if dominates(&entry.filter, filter) {
+                        dominated_by += 1;
+                    }
+                    if dominates(filter, &entry.filter) {
+                        entry.dominated_by += 1;
+                        if entry.dominated_by == 1 {
+                            changes.left.push(entry.filter.clone());
+                        }
                     }
                 }
             }
@@ -280,6 +594,20 @@ impl LinkAnnouncer {
         }
         self.entries.insert(digest, Served { filter: filter.clone(), refs: 1, dominated_by });
         self.apply_merge(changes, entered_from, left_from);
+    }
+
+    /// Builds the candidate index once the link crosses
+    /// [`INDEX_THRESHOLD`] distinct filters (one O(distinct) pass,
+    /// amortised over the adds that grew the link there).
+    fn ensure_index(&mut self) {
+        if self.index.is_some() || self.entries.len() < INDEX_THRESHOLD {
+            return;
+        }
+        let mut index = CoverIndex::default();
+        for (digest, served) in &self.entries {
+            index.insert(*digest, &served.filter, served.filter.cover_key());
+        }
+        self.index = Some(index);
     }
 
     /// Removes one occurrence of `filter` from the served multiset,
@@ -297,11 +625,33 @@ impl LinkAnnouncer {
         let (entered_from, left_from) = (changes.entered.len(), changes.left.len());
         let removed = self.entries.remove(&digest).expect("entry exists");
         if self.covering {
-            for entry in self.entries.values_mut() {
-                if dominates(&removed.filter, &entry.filter) {
-                    entry.dominated_by -= 1;
-                    if entry.dominated_by == 0 {
-                        changes.entered.push(entry.filter.clone());
+            if let Some(index) = &mut self.index {
+                let key = removed.filter.cover_key();
+                let attrs = AttrBuf::collect(&removed.filter);
+                // Take the departed filter out of the index *first*, then
+                // release everything it alone dominated.
+                index.remove(digest, key);
+                let index = &*index;
+                let mut candidates = std::mem::take(&mut self.candidates);
+                index.dominated_candidates(attrs.as_slice(), key, &mut candidates);
+                for d in &candidates {
+                    let entry = self.entries.get_mut(d).expect("indexed entry served");
+                    if dominates(&removed.filter, &entry.filter) {
+                        entry.dominated_by -= 1;
+                        if entry.dominated_by == 0 {
+                            changes.entered.push(entry.filter.clone());
+                        }
+                    }
+                }
+                candidates.clear();
+                self.candidates = candidates;
+            } else {
+                for entry in self.entries.values_mut() {
+                    if dominates(&removed.filter, &entry.filter) {
+                        entry.dominated_by -= 1;
+                        if entry.dominated_by == 0 {
+                            changes.entered.push(entry.filter.clone());
+                        }
                     }
                 }
             }
@@ -479,6 +829,101 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(RoutingStrategy::Covering.to_string(), "covering");
+    }
+
+    /// Drives an announcer well past [`INDEX_THRESHOLD`] so the bucketed
+    /// candidate index (not the small-link scan) maintains the cover, with
+    /// a workload built to hit every probe path: many same-shape points,
+    /// range (general) filters over the same attributes, subset-shape
+    /// dominators (including `Filter::all`), superset shapes, an
+    /// `In`-singleton ↔ `Eq` equivalence pair and an `Int`/`Float` alias
+    /// pair (mutual covering through the canonical point digest). After
+    /// every step the incremental state must equal the from-scratch
+    /// computation.
+    #[test]
+    fn bucketed_index_matches_from_scratch_past_threshold() {
+        let mut announcer = LinkAnnouncer::for_strategy(RoutingStrategy::Covering);
+        let mut served: Vec<Filter> = Vec::new();
+        let step =
+            |announcer: &mut LinkAnnouncer, served: &mut Vec<Filter>, add: bool, f: Filter| {
+                let mut changes = CoverChanges::default();
+                let before = announcer.announced();
+                if add {
+                    served.push(f.clone());
+                    announcer.add(&f, &mut changes);
+                } else {
+                    let pos =
+                        served.iter().position(|g| g == &f).expect("removing a served filter");
+                    served.swap_remove(pos);
+                    announcer.remove(&f, &mut changes);
+                }
+                let after = announcer.announced();
+                assert_eq!(
+                    after,
+                    RoutingStrategy::Covering.announcements(served),
+                    "incremental cover diverged (add={add}, filter={f})"
+                );
+                // Transitions are exactly the announced-set difference.
+                let mut entered: Vec<Filter> =
+                    after.iter().filter(|f| !before.contains(f)).cloned().collect();
+                let mut left: Vec<Filter> =
+                    before.iter().filter(|f| !after.contains(f)).cloned().collect();
+                entered.sort_by_key(Filter::digest);
+                left.sort_by_key(Filter::digest);
+                changes.entered.sort_by_key(Filter::digest);
+                changes.left.sort_by_key(Filter::digest);
+                assert_eq!(changes.entered, entered);
+                assert_eq!(changes.left, left);
+            };
+
+        // 1. 100 same-shape points (crosses the threshold mid-loop).
+        for i in 0..100i64 {
+            step(&mut announcer, &mut served, true, f_service_room("t", i));
+        }
+        // 2. General filters on the same shape: ranges dominating slices
+        //    of the points' rooms.
+        let wide = Filter::builder().eq("service", "t").between("room", 10, 19).build();
+        // (between adds two `room` constraints — a repeated attribute, so
+        // this is a general entry even though one constraint is Eq.)
+        step(&mut announcer, &mut served, true, wide.clone());
+        // 3. A subset-shape dominator: covers every point with service 't'.
+        let broad = f_service("t");
+        step(&mut announcer, &mut served, true, broad.clone());
+        // 4. The universal filter (empty shape) dominates everything.
+        step(&mut announcer, &mut served, true, Filter::all());
+        // 5. Superset shapes: points extending the two-attr shape.
+        for i in 0..8i64 {
+            let f = Filter::builder().eq("service", "t").eq("room", i).eq("floor", i).build();
+            step(&mut announcer, &mut served, true, f);
+        }
+        // 6. Mutual-cover pairs with distinct digests: Eq ↔ In-singleton
+        //    (general vs point) and Int ↔ Float (canonical point digests).
+        let eq_form = Filter::builder().eq("service", "t").eq("room", 500i64).build();
+        let in_form = Filter::builder().eq("service", "t").one_of("room", [500i64]).build();
+        assert!(eq_form.covers(&in_form) && in_form.covers(&eq_form));
+        step(&mut announcer, &mut served, true, eq_form.clone());
+        step(&mut announcer, &mut served, true, in_form.clone());
+        let int_form = Filter::builder().eq("service", "t").eq("room", 600i64).build();
+        let float_form = Filter::builder().eq("service", "t").eq("room", 600.0f64).build();
+        assert_ne!(int_form.digest(), float_form.digest());
+        assert!(int_form.covers(&float_form) && float_form.covers(&int_form));
+        step(&mut announcer, &mut served, true, int_form.clone());
+        step(&mut announcer, &mut served, true, float_form.clone());
+        // 7. Unwind the dominators: the covered sets must resurface.
+        step(&mut announcer, &mut served, false, Filter::all());
+        step(&mut announcer, &mut served, false, broad);
+        step(&mut announcer, &mut served, false, wide);
+        step(&mut announcer, &mut served, false, int_form);
+        step(&mut announcer, &mut served, false, eq_form);
+        // 8. Drain a slice of the points (bucket keeps its shape state).
+        for i in 0..50i64 {
+            step(&mut announcer, &mut served, false, f_service_room("t", i));
+        }
+        // 9. Refill: the retained empty buckets must be reused correctly.
+        for i in 0..25i64 {
+            step(&mut announcer, &mut served, true, f_service_room("t", i));
+        }
+        assert!(announcer.distinct_len() > INDEX_THRESHOLD);
     }
 }
 

@@ -22,7 +22,7 @@
 //!   shard, for live threaded deployments where N cores should match
 //!   concurrently.
 
-use crate::table::{ClientEntry, RouteDecision, RouteKey, RouteScratch, RoutingTable, TableDelta};
+use crate::table::{ClientEntry, RouteDecision, RouteScratch, RoutingTable, TableDelta};
 use rebeca_core::{ClientId, Digest, Filter, Notification, SharedInterner, SubscriptionId};
 use rebeca_net::{NodeId, ShardPool};
 use std::collections::HashMap;
@@ -265,6 +265,16 @@ impl ShardedRouter {
 /// One shard's raw contribution to a parallel routing decision.
 type ShardMatches = (Vec<(ClientId, NodeId)>, Vec<NodeId>);
 
+/// One parallel worker's owned state: its shard table plus a persistent
+/// per-worker [`RouteScratch`]. The scratch keeps the match-key buffer —
+/// and, inside the table's match index, the cached interner snapshot —
+/// warm across route calls, so a worker's steady-state matching touches no
+/// shared state at all: no lock, no refcount bump, just its own shard.
+struct ShardSlot {
+    table: RoutingTable,
+    scratch: RouteScratch,
+}
+
 /// The live-runtime sharded router: the same digest-range shards as
 /// [`ShardedRouter`], but each owned by a [`ShardPool`] worker thread, so
 /// [`ParallelRouter::route`] matches on N cores **concurrently**.
@@ -278,9 +288,16 @@ type ShardMatches = (Vec<(ClientId, NodeId)>, Vec<NodeId>);
 /// between the two by construction (same shards, same merge; asserted by
 /// the `parallel_router_agrees_with_sequential` test).
 pub struct ParallelRouter {
-    pool: ShardPool<RoutingTable>,
+    pool: ShardPool<ShardSlot>,
     sub_home: HashMap<(ClientId, SubscriptionId), u32>,
     shard_count: usize,
+    /// Long-lived reply channel for [`ParallelRouter::route_into`] — one
+    /// per router instead of one per call.
+    results: (mpsc::Sender<ShardMatches>, mpsc::Receiver<ShardMatches>),
+    /// Recycled reply-buffer pairs: drained into the caller's scratch and
+    /// handed back to the next batch of route jobs, so a warm route path
+    /// reuses its decision buffers instead of allocating per shard.
+    spare: Vec<ShardMatches>,
 }
 
 impl fmt::Debug for ParallelRouter {
@@ -294,7 +311,17 @@ impl ParallelRouter {
     pub fn spawn(router: ShardedRouter) -> Self {
         let (shards, sub_home) = router.into_parts();
         let shard_count = shards.len();
-        ParallelRouter { pool: ShardPool::new(shards), sub_home, shard_count }
+        let slots = shards
+            .into_iter()
+            .map(|table| ShardSlot { table, scratch: RouteScratch::new() })
+            .collect();
+        ParallelRouter {
+            pool: ShardPool::new(slots),
+            sub_home,
+            shard_count,
+            results: mpsc::channel(),
+            spare: Vec::new(),
+        }
     }
 
     /// Number of shards (= worker threads).
@@ -308,7 +335,7 @@ impl ParallelRouter {
 
     /// Registers a client behind `node` in every shard.
     pub fn attach_client(&mut self, client: ClientId, node: NodeId) {
-        self.pool.run_all(|_| Box::new(move |shard| shard.attach_client(client, node)));
+        self.pool.run_all(|_| Box::new(move |slot| slot.table.attach_client(client, node)));
     }
 
     /// Adds (or replaces) a client subscription; same shard-routing rules
@@ -326,11 +353,11 @@ impl ParallelRouter {
         let (tx, rx) = mpsc::channel();
         self.pool.run_on(
             home,
-            Box::new(move |shard| {
-                if shard.client(client).is_none() {
+            Box::new(move |slot| {
+                if slot.table.client(client).is_none() {
                     let _ = tx.send((false, TableDelta::default()));
                 } else {
-                    let _ = tx.send((true, shard.subscribe_client(client, sub, filter)));
+                    let _ = tx.send((true, slot.table.subscribe_client(client, sub, filter)));
                 }
             }),
         );
@@ -348,8 +375,8 @@ impl ParallelRouter {
                 let (tx, rx) = mpsc::channel();
                 self.pool.run_on(
                     old as usize,
-                    Box::new(move |shard| {
-                        let _ = tx.send(shard.unsubscribe_client(client, sub));
+                    Box::new(move |slot| {
+                        let _ = tx.send(slot.table.unsubscribe_client(client, sub));
                     }),
                 );
                 let mut retracted = rx.recv().expect("shard worker replied");
@@ -373,8 +400,8 @@ impl ParallelRouter {
         let (tx, rx) = mpsc::channel();
         self.pool.run_on(
             home,
-            Box::new(move |shard| {
-                let _ = tx.send(shard.unsubscribe_client(client, sub));
+            Box::new(move |slot| {
+                let _ = tx.send(slot.table.unsubscribe_client(client, sub));
             }),
         );
         rx.recv().expect("shard worker replied")
@@ -386,8 +413,8 @@ impl ParallelRouter {
         let (tx, rx) = mpsc::channel();
         self.pool.run_on(
             home,
-            Box::new(move |shard| {
-                let _ = tx.send(shard.neighbor_subscribe(node, filter));
+            Box::new(move |slot| {
+                let _ = tx.send(slot.table.neighbor_subscribe(node, filter));
             }),
         );
         rx.recv().expect("shard worker replied")
@@ -399,8 +426,8 @@ impl ParallelRouter {
         let (tx, rx) = mpsc::channel();
         self.pool.run_on(
             home,
-            Box::new(move |shard| {
-                let _ = tx.send(shard.neighbor_unsubscribe(node, digest));
+            Box::new(move |slot| {
+                let _ = tx.send(slot.table.neighbor_unsubscribe(node, digest));
             }),
         );
         rx.recv().expect("shard worker replied")
@@ -409,38 +436,60 @@ impl ParallelRouter {
     /// The routing decision for a notification, matched by all shard
     /// workers concurrently and merged into the canonical (sorted,
     /// deduplicated) form — identical to what [`ShardedRouter::route`]
-    /// computes in-line.
+    /// computes in-line. Allocating convenience form of
+    /// [`ParallelRouter::route_into`].
     pub fn route(&mut self, n: &Arc<Notification>) -> RouteDecision {
-        let (tx, rx) = mpsc::channel::<ShardMatches>();
+        let mut scratch = RouteScratch::new();
+        self.route_into(n, &mut scratch);
+        RouteDecision { clients: scratch.clients, neighbors: scratch.neighbors }
+    }
+
+    /// Computes the routing decision into a reusable scratch (cleared
+    /// first). Each worker matches against its own shard with its own
+    /// persistent buffers and cached interner snapshot, and the reply
+    /// buffers are recycled across calls — a warm route fan-out shares
+    /// only the notification `Arc` and allocates nothing beyond the boxed
+    /// job closures.
+    pub fn route_into(&mut self, n: &Arc<Notification>, scratch: &mut RouteScratch) {
+        let (tx, rx) = &self.results;
+        let spare = &mut self.spare;
         self.pool.run_all(|_| {
             let n = Arc::clone(n);
             let tx = tx.clone();
-            Box::new(move |shard| {
-                let mut keys: Vec<RouteKey> = Vec::new();
-                let mut clients = Vec::new();
-                let mut neighbors = Vec::new();
-                shard.route_append(&n, &mut keys, &mut clients, &mut neighbors);
+            let (mut clients, mut neighbors) = spare.pop().unwrap_or_default();
+            Box::new(move |slot| {
+                clients.clear();
+                neighbors.clear();
+                // The worker-owned key buffer is the one that grows with
+                // the match count; it stays warm across calls.
+                slot.table.route_append(&n, &mut slot.scratch.keys, &mut clients, &mut neighbors);
                 let _ = tx.send((clients, neighbors));
             })
         });
-        // Only the per-job clones remain: a worker that died before
-        // replying disconnects the channel, so the recv loop fails loudly
-        // instead of blocking forever.
-        drop(tx);
-        let mut scratch = RouteScratch::new();
+        // `run_all` blocks until every job completed, so all replies are
+        // already queued: an empty channel here means a worker died
+        // mid-job (its completion guard fired without a send) — fail
+        // loudly instead of blocking.
+        scratch.clients.clear();
+        scratch.neighbors.clear();
         for _ in 0..self.shard_count {
-            let (mut clients, mut neighbors) = rx.recv().expect("shard worker replied");
+            let (mut clients, mut neighbors) = rx.try_recv().expect("shard worker replied");
+            // `append` drains the reply buffers, so they go back into the
+            // spare pool empty but with their capacity intact.
             scratch.clients.append(&mut clients);
             scratch.neighbors.append(&mut neighbors);
+            self.spare.push((clients, neighbors));
         }
         scratch.finish();
-        RouteDecision { clients: scratch.clients, neighbors: scratch.neighbors }
     }
 
     /// Stops the workers and reassembles the sequential router (e.g. to
     /// hand the state back to a simulator-driven harness).
     pub fn join(self) -> ShardedRouter {
-        ShardedRouter { shards: self.pool.join(), sub_home: self.sub_home }
+        ShardedRouter {
+            shards: self.pool.join().into_iter().map(|slot| slot.table).collect(),
+            sub_home: self.sub_home,
+        }
     }
 }
 

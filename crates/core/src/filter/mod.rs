@@ -235,6 +235,95 @@ impl Filter {
         }
         h.finish()
     }
+
+    /// The distinct constrained attribute names, in sorted order
+    /// (constraints are kept attribute-sorted, so this is a dedup pass).
+    pub fn distinct_attrs(&self) -> impl Iterator<Item = &str> {
+        let mut prev: Option<&str> = None;
+        self.constraints.iter().filter_map(move |c| {
+            if prev == Some(c.attr.as_str()) {
+                None
+            } else {
+                prev = Some(c.attr.as_str());
+                Some(c.attr.as_str())
+            }
+        })
+    }
+
+    /// Classification of this filter for covering-candidate indexing (the
+    /// broker's bucketed announcement engine): the *shape* plus, for
+    /// *point* filters, a canonical value digest. See [`CoverKey`] for the
+    /// two structural facts that make these sound candidate keys.
+    pub fn cover_key(&self) -> CoverKey {
+        let mut shape = Fnv1a::new();
+        let mut point = Fnv1a::new();
+        let mut is_point = true;
+        let mut prev: Option<&str> = None;
+        for c in &self.constraints {
+            if prev == Some(c.attr.as_str()) {
+                // A repeated attribute (e.g. a range as two constraints)
+                // disqualifies the point fast path but not the shape.
+                is_point = false;
+                continue;
+            }
+            prev = Some(c.attr.as_str());
+            shape.write_u64(c.attr.len() as u64);
+            shape.write(c.attr.as_bytes());
+            match &c.predicate {
+                Predicate::Eq(v) if is_point => {
+                    point.write_u64(c.attr.len() as u64);
+                    point.write(c.attr.as_bytes());
+                    v.canonical_hash_into(&mut point);
+                }
+                Predicate::Eq(_) => {}
+                _ => is_point = false,
+            }
+        }
+        CoverKey { shape: shape.finish(), point: is_point.then(|| point.finish()) }
+    }
+}
+
+/// Digest of a sorted sequence of attribute names — the *shape* key of
+/// [`Filter::cover_key`], exposed so a covering index can compute the
+/// shape of an arbitrary attribute subset (candidate-bucket enumeration)
+/// with the same hash.
+pub fn shape_digest<'a>(names: impl IntoIterator<Item = &'a str>) -> Digest {
+    let mut h = Fnv1a::new();
+    for name in names {
+        h.write_u64(name.len() as u64);
+        h.write(name.as_bytes());
+    }
+    h.finish()
+}
+
+/// A filter's covering-candidate classification (see
+/// [`Filter::cover_key`]), built on two structural facts about
+/// [`Filter::covers`]:
+///
+/// 1. **Shape subsumption.** `g.covers(f)` requires every constraint of
+///    `g` to be backed by a constraint of `f` *on the same attribute*, so
+///    the coverer's distinct attribute set is always a **subset** of the
+///    covered filter's. Candidate dominators of `f` therefore live only in
+///    shapes ⊆ `shape(f)`, and filters dominated by `f` only in shapes ⊇
+///    `shape(f)`.
+/// 2. **Point separation.** A *point* filter (pure `Eq` conjunction, no
+///    repeated attribute) covers another point filter of the **same
+///    shape** only when their constrained values are pairwise equal —
+///    `Eq` covers `Eq` only at equality — and equal value vectors always
+///    share the canonical `point` digest (which folds `Int`/`Float` the
+///    way [`Value`] equality does). Two same-shape points with different
+///    `point` digests therefore never cover each other in either
+///    direction and need no pairwise check at all.
+///
+/// Both digests are candidate keys: a collision only adds a candidate
+/// (callers re-check with [`Filter::covers`]), never hides one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverKey {
+    /// Digest of the sorted distinct attribute names ([`shape_digest`]).
+    pub shape: Digest,
+    /// Canonical digest of the `Eq` values when the filter is a point
+    /// (all constraints `Eq`, no attribute repeated); `None` otherwise.
+    pub point: Option<Digest>,
 }
 
 impl fmt::Display for Filter {

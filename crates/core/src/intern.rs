@@ -10,15 +10,32 @@
 //! The interner is append-only: symbols stay valid for the lifetime of the
 //! interner, and interning the same name twice returns the same symbol.
 //!
-//! [`SharedInterner`] wraps an [`Interner`] behind interior mutability so
+//! [`SharedInterner`] publishes an [`Interner`] as an **RCU snapshot** so
 //! one symbol table can be owned per broker — or per world — and shared
 //! (`Arc<SharedInterner>`) by every routing table, local-delivery index and
-//! replicator: all of them resolve the same [`Symbol`]s, which is what lets
-//! notifications flow through the whole pipeline without re-interning.
+//! replicator. Writers (rare: only the first sight of a new attribute name)
+//! build a new immutable `Interner` and atomically install it; readers work
+//! against an immutable snapshot and never serialize on each other — the
+//! only shared touch an uncached reader makes is a read-locked `Arc` clone.
+//! Because snapshots are append-only *prefixes* of every later snapshot,
+//! any symbol ever minted resolves identically in every snapshot taken
+//! afterwards — which is what lets N broker shards (and N
+//! `ParallelRouter` worker threads) match concurrently without a single
+//! shared lock on the per-notification path.
+//!
+//! The steady-state read protocol is [`InternerCache`]: each match index
+//! keeps the `Arc` of the snapshot it last used plus the generation it was
+//! current at, and revalidates with **one atomic load** per matching call.
+//! Only when the generation moved (someone interned a genuinely new name)
+//! does the reader touch shared state again — one brief lock to clone the
+//! new `Arc`. A warm reader therefore performs zero shared-cacheline
+//! writes per notification: no lock, no refcount bump, just an `Acquire`
+//! load of the generation counter.
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A dense interned identifier for an attribute name.
@@ -96,8 +113,8 @@ impl Interner {
     }
 
     /// The name behind a symbol as a shared string (cheap clone of the
-    /// interned storage — used through [`SharedInterner::resolve`], whose
-    /// guard cannot hand out a borrow).
+    /// interned storage — used through [`SharedInterner::resolve`], which
+    /// cannot hand out a borrow of its snapshot).
     ///
     /// # Panics
     ///
@@ -117,14 +134,30 @@ impl Interner {
     }
 }
 
-/// A thread-safe, shareable symbol table.
+/// A thread-safe, shareable symbol table with wait-free snapshot reads.
 ///
 /// One `SharedInterner` is owned per broker (the [`System`] facade shares a
 /// single one across the whole world) and handed to every [`MatchIndex`]
 /// via [`MatchIndex::with_interner`]; symbols minted by any holder are
-/// valid for every other holder. The lock is write-acquired only when a
-/// *new* filter is indexed; the per-notification hot path takes one read
-/// guard per matching call.
+/// valid for every other holder.
+///
+/// Internally this is an epoch-style RCU cell: the current [`Interner`]
+/// lives behind an `Arc` that is *replaced*, never mutated. Interning a
+/// name that already exists is a pure snapshot read. Interning a **new**
+/// name takes the writer lock, re-checks under it (two racing interns of
+/// one name can never mint two symbols), builds the successor snapshot and
+/// installs it, then advances the generation counter. Readers either take
+/// a fresh snapshot ([`SharedInterner::snapshot`]) or — on the matching
+/// hot path — revalidate an [`InternerCache`] against the generation with
+/// a single atomic load.
+///
+/// The write path clones the whole table per **new** name (`O(current
+/// size)`), trading writer cost for wait-free readers — the right trade
+/// for attribute vocabularies, which are bounded by schema (dozens to
+/// hundreds of names), not by filter count. A workload minting tens of
+/// thousands of distinct attribute names would pay quadratic warm-up
+/// here; see ROADMAP ("interner write amplification") before using it as
+/// a general-purpose string interner.
 ///
 /// ```
 /// use rebeca_core::intern::SharedInterner;
@@ -133,14 +166,36 @@ impl Interner {
 /// let a = shared.intern("service");
 /// assert_eq!(shared.lookup("service"), Some(a));
 /// assert_eq!(&*shared.resolve(a), "service");
+/// // Snapshots are immutable and append-only across generations.
+/// let snap = shared.snapshot();
+/// shared.intern("room");
+/// assert_eq!(snap.lookup("service"), Some(a), "old snapshots stay valid");
+/// assert_eq!(snap.lookup("room"), None, "…and immutable");
+/// assert_eq!(shared.snapshot().lookup("service"), Some(a));
 /// ```
 ///
 /// [`MatchIndex`]: crate::MatchIndex
 /// [`MatchIndex::with_interner`]: crate::MatchIndex::with_interner
 /// [`System`]: ../../rebeca/struct.System.html
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SharedInterner {
-    inner: RwLock<Interner>,
+    /// Advanced (with `Release` ordering) after each snapshot install;
+    /// [`InternerCache`] revalidates against it with one `Acquire` load.
+    generation: AtomicU64,
+    /// The current snapshot. Readers take the **shared** side only long
+    /// enough to clone the `Arc` (uncached reads never serialize on each
+    /// other); the exclusive side is taken only to *install* a successor
+    /// — rare: first sight of a new name. Never held while matching.
+    current: RwLock<Arc<Interner>>,
+}
+
+impl Default for SharedInterner {
+    fn default() -> Self {
+        SharedInterner {
+            generation: AtomicU64::new(0),
+            current: RwLock::new(Arc::new(Interner::new())),
+        }
+    }
 }
 
 impl SharedInterner {
@@ -149,19 +204,54 @@ impl SharedInterner {
         Self::default()
     }
 
-    /// Interns `name` (write lock; allocates only for names never seen
+    /// Interns `name` (a shared snapshot read for names already interned —
+    /// concurrent callers never serialize; the writer path clones the
+    /// table and installs a new snapshot only for names never seen
     /// before).
     pub fn intern(&self, name: &str) -> Symbol {
-        // Fast path: the name is usually already interned.
-        if let Some(sym) = self.inner.read().lookup(name) {
+        // Fast path: the name is usually already interned, and any
+        // snapshot can answer that — borrow under the read guard, no
+        // refcount traffic.
+        if let Some(sym) = self.current.read().lookup(name) {
             return sym;
         }
-        self.inner.write().intern(name)
+        let mut slot = self.current.write();
+        // Re-check under the writer lock: between our snapshot miss and
+        // acquiring the lock a racing intern of the same name may have
+        // installed it. Without this check two racers could each mint a
+        // symbol for one name — the classic check-then-act window.
+        if let Some(sym) = slot.lookup(name) {
+            return sym;
+        }
+        let mut next = Interner::clone(&slot);
+        let sym = next.intern(name);
+        // Install first, then advance the generation: a reader that
+        // observes the new generation and goes to refresh its cache is
+        // guaranteed to find (at least) this snapshot installed.
+        *slot = Arc::new(next);
+        self.generation.fetch_add(1, Ordering::Release);
+        sym
     }
 
-    /// Looks a name up without interning it (read lock, allocation-free).
+    /// The current immutable snapshot. All lookups against it are
+    /// wait-free; it stays valid (and unchanged) however many names are
+    /// interned afterwards. Taking it is one shared (read) lock held for
+    /// an `Arc` clone — uncached readers never serialize on each other.
+    pub fn snapshot(&self) -> Arc<Interner> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// The current snapshot generation — advances exactly once per newly
+    /// interned name. [`InternerCache`] compares against this to decide
+    /// whether its snapshot is still current.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Looks a name up without interning it (a borrow under the shared
+    /// read guard — no snapshot `Arc` clone).
     pub fn lookup(&self, name: &str) -> Option<Symbol> {
-        self.inner.read().lookup(name)
+        self.current.read().lookup(name)
     }
 
     /// The name behind a symbol.
@@ -170,24 +260,70 @@ impl SharedInterner {
     ///
     /// Panics if `sym` was minted by a different interner.
     pub fn resolve(&self, sym: Symbol) -> Arc<str> {
-        self.inner.read().resolve_shared(sym)
+        self.current.read().resolve_shared(sym)
     }
 
     /// Number of distinct interned names.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.current.read().len()
     }
 
     /// Returns `true` if nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.current.read().is_empty()
     }
 
-    /// Runs `f` under a single read guard — the per-notification hot path
-    /// uses this to amortise locking over all attribute lookups of one
-    /// notification.
+    /// Runs `f` against the current table under the shared read guard —
+    /// for callers that batch several lookups without wanting to keep a
+    /// snapshot alive. (Long-running readers should prefer
+    /// [`SharedInterner::snapshot`], which lets writers install successors
+    /// while `f` keeps reading the old table.)
     pub fn with_read<R>(&self, f: impl FnOnce(&Interner) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.current.read())
+    }
+}
+
+/// A reader's cached snapshot of a [`SharedInterner`], revalidated with a
+/// single atomic generation load.
+///
+/// This is the steady-state protocol of the matching hot path: each
+/// [`MatchIndex`](crate::MatchIndex) (hence each broker shard, and each
+/// `ParallelRouter` worker) owns one cache; [`InternerCache::get`] returns
+/// the current table without touching any shared cache line as long as no
+/// new attribute name appeared anywhere in the world. Only when the
+/// generation moved does it briefly lock to clone the new `Arc`.
+///
+/// ```
+/// use rebeca_core::intern::{InternerCache, SharedInterner};
+/// let shared = SharedInterner::new();
+/// let a = shared.intern("a");
+/// let mut cache = InternerCache::default();
+/// assert_eq!(cache.get(&shared).lookup("a"), Some(a));
+/// let b = shared.intern("b"); // generation moves → next get() revalidates
+/// assert_eq!(cache.get(&shared).lookup("b"), Some(b));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InternerCache {
+    generation: u64,
+    snapshot: Option<Arc<Interner>>,
+}
+
+impl InternerCache {
+    /// Returns a snapshot that is current as of this call, refreshing the
+    /// cache only if `shared`'s generation moved since the last call.
+    /// Allocation-free in both cases; lock-free and wait-free when the
+    /// cache is warm.
+    pub fn get<'a>(&'a mut self, shared: &SharedInterner) -> &'a Interner {
+        // Load the generation *before* (possibly) cloning the snapshot:
+        // if a writer installs in between, we cache a newer snapshot under
+        // an older generation, which only costs one redundant refresh —
+        // never a stale read, because snapshots are append-only.
+        let generation = shared.generation();
+        if self.snapshot.is_none() || generation != self.generation {
+            self.snapshot = Some(shared.snapshot());
+            self.generation = generation;
+        }
+        self.snapshot.as_deref().expect("snapshot cached above")
     }
 }
 
@@ -235,6 +371,51 @@ mod tests {
     }
 
     #[test]
+    fn generation_advances_once_per_new_name() {
+        let shared = SharedInterner::new();
+        let g0 = shared.generation();
+        shared.intern("x");
+        assert_eq!(shared.generation(), g0 + 1);
+        shared.intern("x"); // already interned: pure read, no new snapshot
+        assert_eq!(shared.generation(), g0 + 1);
+        shared.intern("y");
+        assert_eq!(shared.generation(), g0 + 2);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_append_only_prefixes() {
+        let shared = SharedInterner::new();
+        let a = shared.intern("a");
+        let old = shared.snapshot();
+        let b = shared.intern("b");
+        // The old snapshot is frozen at its generation…
+        assert_eq!(old.len(), 1);
+        assert_eq!(old.lookup("a"), Some(a));
+        assert_eq!(old.lookup("b"), None);
+        // …and the new one extends it without renumbering anything.
+        let new = shared.snapshot();
+        assert_eq!(new.len(), 2);
+        assert_eq!(new.lookup("a"), Some(a));
+        assert_eq!(new.lookup("b"), Some(b));
+        assert_eq!(new.resolve(a), "a");
+    }
+
+    #[test]
+    fn cache_revalidates_only_on_generation_moves() {
+        let shared = SharedInterner::new();
+        let a = shared.intern("a");
+        let mut cache = InternerCache::default();
+        let p1: *const Interner = cache.get(&shared);
+        let p2: *const Interner = cache.get(&shared);
+        assert_eq!(p1, p2, "warm cache hands out the same snapshot");
+        assert_eq!(cache.get(&shared).lookup("a"), Some(a));
+        let b = shared.intern("b");
+        let snap = cache.get(&shared);
+        assert_eq!(snap.lookup("a"), Some(a));
+        assert_eq!(snap.lookup("b"), Some(b), "stale cache refreshed after intern");
+    }
+
+    #[test]
     fn shared_interner_is_consistent_across_threads() {
         let shared = Arc::new(SharedInterner::new());
         let handles: Vec<_> = (0..4)
@@ -251,5 +432,45 @@ mod tests {
             assert_eq!(w[0], w[1], "every thread resolves identical symbols");
         }
         assert_eq!(shared.len(), 8);
+    }
+
+    /// The check-then-act regression: many threads race to intern the
+    /// *same fresh* names simultaneously (released by a barrier, so the
+    /// snapshot-miss → writer-lock window is actually contended). Exactly
+    /// one symbol per name may ever exist, every racer must agree on it,
+    /// and the table must stay dense.
+    #[test]
+    fn racing_interns_never_mint_two_symbols_for_one_name() {
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 64;
+        let shared = Arc::new(SharedInterner::new());
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut got = Vec::with_capacity(ROUNDS);
+                    for round in 0..ROUNDS {
+                        // Everyone attacks the same brand-new name at once.
+                        barrier.wait();
+                        got.push(shared.intern(&format!("contended-{round}")));
+                    }
+                    got
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Symbol>> =
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1], "racing threads must agree on every symbol");
+        }
+        assert_eq!(shared.len(), ROUNDS, "one symbol per distinct name, ever");
+        // Dense and resolvable: the final snapshot maps each name back.
+        let snap = shared.snapshot();
+        for (round, sym) in results[0].iter().enumerate() {
+            assert!(sym.index() < ROUNDS, "symbols stay dense");
+            assert_eq!(&*snap.resolve_shared(*sym), format!("contended-{round}"));
+        }
     }
 }

@@ -63,9 +63,9 @@ pub mod value;
 
 pub use digest::Digest;
 pub use error::CoreError;
-pub use filter::{Constraint, Filter, FilterBuilder, MergeOutcome, Predicate};
+pub use filter::{Constraint, CoverKey, Filter, FilterBuilder, MergeOutcome, Predicate};
 pub use id::{ApplicationId, BrokerId, ClientId, LocationId, SubscriptionId};
-pub use intern::{Interner, SharedInterner, Symbol};
+pub use intern::{Interner, InternerCache, SharedInterner, Symbol};
 pub use matching::MatchIndex;
 pub use notification::{Notification, NotificationBuilder, NotificationId};
 pub use subscription::Subscription;

@@ -19,7 +19,7 @@
 //!   satisfied.
 
 use crate::filter::{Filter, Predicate};
-use crate::intern::SharedInterner;
+use crate::intern::{InternerCache, SharedInterner, Symbol};
 use crate::notification::Notification;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -37,7 +37,9 @@ struct Slot<K> {
 }
 
 /// Reusable per-notification scratch: a generation-stamped counter per
-/// slot plus the list of slots touched in the current generation.
+/// slot plus the list of slots touched in the current generation, plus the
+/// index's cached interner snapshot (revalidated per matching call with
+/// one atomic load — see [`InternerCache`]).
 #[derive(Debug, Clone, Default)]
 struct Scratch {
     generation: u64,
@@ -45,6 +47,9 @@ struct Scratch {
     counts: Vec<(u64, u32)>,
     /// Slots touched in the current generation, in first-touch order.
     touched: Vec<u32>,
+    /// Cached symbol-table snapshot: the hot path resolves attribute names
+    /// against this without taking any lock or bumping any refcount.
+    interner: InternerCache,
 }
 
 /// A matching index over a keyed set of [`Filter`]s.
@@ -128,6 +133,16 @@ impl<K: Copy + Eq + Hash> MatchIndex<K> {
         Self::default()
     }
 
+    /// Interns `attr`, resolving already-known names through the cached
+    /// snapshot (one atomic generation load — the mutation path pays the
+    /// shared interner's lock only for genuinely new attribute names).
+    fn intern_cached(&self, attr: &str) -> Symbol {
+        if let Some(sym) = self.scratch.borrow_mut().interner.get(&self.interner).lookup(attr) {
+            return sym;
+        }
+        self.interner.intern(attr)
+    }
+
     /// Inserts (or replaces) a filter under the given key.
     ///
     /// Filters containing unresolved markers (`myloc`/`myctx`) are legal to
@@ -145,7 +160,7 @@ impl<K: Copy + Eq + Hash> MatchIndex<K> {
             self.universal.push(key);
         } else {
             for c in filter.constraints() {
-                let sym = self.interner.intern(c.attr());
+                let sym = self.intern_cached(c.attr());
                 if self.by_attr.len() <= sym.index() {
                     self.by_attr.resize_with(sym.index() + 1, Vec::new);
                 }
@@ -166,7 +181,13 @@ impl<K: Copy + Eq + Hash> MatchIndex<K> {
             self.universal.retain(|k| k != key);
         } else {
             for c in entry.filter.constraints() {
-                let sym = self.interner.lookup(c.attr()).expect("indexed attr interned");
+                let sym = self
+                    .scratch
+                    .borrow_mut()
+                    .interner
+                    .get(&self.interner)
+                    .lookup(c.attr())
+                    .expect("indexed attr interned");
                 self.by_attr[sym.index()].retain(|(s, _)| *s != slot);
             }
         }
@@ -224,25 +245,25 @@ impl<K: Copy + Eq + Hash> MatchIndex<K> {
             scratch.counts.resize(self.slots.len(), (0, 0));
         }
         scratch.touched.clear();
-        // One read guard for the whole notification: symbol lookups inside
-        // are array-free hash probes, and a symbol minted by a *different*
-        // index over the same interner may exceed `by_attr` — hence `get`.
-        self.interner.with_read(|interner| {
-            for (attr, value) in n.attrs() {
-                let Some(sym) = interner.lookup(attr) else { continue };
-                let Some(constraints) = self.by_attr.get(sym.index()) else { continue };
-                for (slot, predicate) in constraints {
-                    if predicate.matches(value) {
-                        let cell = &mut scratch.counts[*slot as usize];
-                        if cell.0 != generation {
-                            *cell = (generation, 0);
-                            scratch.touched.push(*slot);
-                        }
-                        cell.1 += 1;
+        // One snapshot for the whole notification — no lock, no shared
+        // refcount traffic when the cache is warm. A symbol minted by a
+        // *different* index over the same interner may exceed `by_attr` —
+        // hence `get`.
+        let interner = scratch.interner.get(&self.interner);
+        for (attr, value) in n.attrs() {
+            let Some(sym) = interner.lookup(attr) else { continue };
+            let Some(constraints) = self.by_attr.get(sym.index()) else { continue };
+            for (slot, predicate) in constraints {
+                if predicate.matches(value) {
+                    let cell = &mut scratch.counts[*slot as usize];
+                    if cell.0 != generation {
+                        *cell = (generation, 0);
+                        scratch.touched.push(*slot);
                     }
+                    cell.1 += 1;
                 }
             }
-        });
+        }
         for slot in &scratch.touched {
             let entry = self.slots[*slot as usize].as_ref().expect("indexed slot occupied");
             if scratch.counts[*slot as usize].1 == entry.required {
@@ -265,27 +286,25 @@ impl<K: Copy + Eq + Hash> MatchIndex<K> {
         if scratch.counts.len() < self.slots.len() {
             scratch.counts.resize(self.slots.len(), (0, 0));
         }
-        self.interner.with_read(|interner| {
-            for (attr, value) in n.attrs() {
-                let Some(sym) = interner.lookup(attr) else { continue };
-                let Some(constraints) = self.by_attr.get(sym.index()) else { continue };
-                for (slot, predicate) in constraints {
-                    if predicate.matches(value) {
-                        let cell = &mut scratch.counts[*slot as usize];
-                        if cell.0 != generation {
-                            *cell = (generation, 0);
-                        }
-                        cell.1 += 1;
-                        let entry =
-                            self.slots[*slot as usize].as_ref().expect("indexed slot occupied");
-                        if cell.1 == entry.required {
-                            return true;
-                        }
+        let interner = scratch.interner.get(&self.interner);
+        for (attr, value) in n.attrs() {
+            let Some(sym) = interner.lookup(attr) else { continue };
+            let Some(constraints) = self.by_attr.get(sym.index()) else { continue };
+            for (slot, predicate) in constraints {
+                if predicate.matches(value) {
+                    let cell = &mut scratch.counts[*slot as usize];
+                    if cell.0 != generation {
+                        *cell = (generation, 0);
+                    }
+                    cell.1 += 1;
+                    let entry = self.slots[*slot as usize].as_ref().expect("indexed slot occupied");
+                    if cell.1 == entry.required {
+                        return true;
                     }
                 }
             }
-            false
-        })
+        }
+        false
     }
 
     /// Brute-force matching (linear scan), used to cross-check the index in

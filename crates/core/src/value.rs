@@ -130,6 +130,47 @@ impl Value {
         }
     }
 
+    /// Feeds a *canonical* encoding into a digest hasher: equal values
+    /// (per `PartialEq`, which compares `Int` and `Float` numerically)
+    /// always hash identically — `Int(3)` and `Float(3.0)` fold together,
+    /// and `-0.0` folds onto `+0.0`. Unequal values may collide (large
+    /// integers folded through `f64` lose precision), so this is a
+    /// *candidate* key, not an identity: callers must re-check with a real
+    /// comparison.
+    pub(crate) fn canonical_hash_into(&self, h: &mut Fnv1a) {
+        fn canon_bits(f: f64) -> u64 {
+            if f == 0.0 {
+                0.0f64.to_bits()
+            } else {
+                f.to_bits()
+            }
+        }
+        match self {
+            Value::Bool(b) => {
+                h.write_u8(0);
+                h.write_u8(u8::from(*b));
+            }
+            // One shared tag for the whole numeric class.
+            Value::Int(i) => {
+                h.write_u8(1);
+                h.write_u64(canon_bits(*i as f64));
+            }
+            Value::Float(f) => {
+                h.write_u8(1);
+                h.write_u64(canon_bits(*f));
+            }
+            Value::Str(s) => {
+                h.write_u8(3);
+                h.write_u64(s.len() as u64);
+                h.write(s.as_bytes());
+            }
+            Value::Loc(l) => {
+                h.write_u8(4);
+                h.write_u32(l.raw());
+            }
+        }
+    }
+
     /// Size of this value in the compact wire encoding, in bytes (tag
     /// included).
     pub(crate) fn wire_size(&self) -> usize {

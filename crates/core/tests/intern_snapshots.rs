@@ -1,0 +1,144 @@
+//! Snapshot semantics of the RCU [`SharedInterner`], under real
+//! concurrency.
+//!
+//! The contract the matching hot path depends on:
+//!
+//! * **Monotone resolvability** — any [`Symbol`] ever returned by
+//!   `intern` stays resolvable (to the same name) in *every* snapshot
+//!   taken afterwards, on any thread.
+//! * **No torn snapshots** — a snapshot read never observes a
+//!   partially-built table: its name vector and its name→symbol map agree
+//!   exactly (every `resolve` round-trips through `lookup`, symbols are
+//!   dense).
+//! * **One symbol per name** — racing interns of the same name agree.
+//!
+//! Proptest generates the op schedule (which thread interns which names,
+//! in which order); the threads then really run concurrently, with a
+//! reader thread continuously snapshotting and checking consistency while
+//! the writers race.
+
+use proptest::prelude::*;
+use rebeca_core::intern::{Interner, SharedInterner, Symbol};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Builds the `Symbol` with dense index `i` through the public API:
+/// symbols are plain dense ids, so the i-th mint of *any* interner equals
+/// index `i`.
+fn probe_symbol(i: usize) -> Symbol {
+    let mut scratch = Interner::new();
+    let mut sym = scratch.intern("p0");
+    for k in 1..=i {
+        sym = scratch.intern(&format!("p{k}"));
+    }
+    assert_eq!(sym.index(), i);
+    sym
+}
+
+/// Asserts a snapshot is internally consistent — dense, name vector and
+/// name→symbol map in exact agreement: resolving every occupied index
+/// yields a name that looks back up to exactly that symbol. A torn
+/// (partially-built) table would break the round-trip.
+fn assert_snapshot_consistent(snap: &Interner) {
+    for i in 0..snap.len() {
+        let sym = probe_symbol(i);
+        let name = snap.resolve_shared(sym);
+        assert_eq!(
+            snap.lookup(&name),
+            Some(sym),
+            "symbol {i} resolves to {name:?} but {name:?} does not look back up to it"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Writers race over a generated schedule while a reader continuously
+    /// snapshots; every invariant above must hold during *and* after.
+    #[test]
+    fn snapshots_stay_consistent_under_concurrent_interning(
+        // Per-writer op list: indices into a shared name universe, so
+        // threads genuinely collide on names.
+        schedules in proptest::collection::vec(
+            proptest::collection::vec(0usize..24, 1..32),
+            1..4,
+        ),
+    ) {
+        let shared = Arc::new(SharedInterner::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let start = Arc::new(Barrier::new(schedules.len() + 1));
+
+        // Reader: snapshots in a tight loop, checking torn-snapshot
+        // freedom and append-only monotonicity against its previous
+        // snapshot.
+        let reader = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut prev = shared.snapshot();
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = shared.snapshot();
+                    assert!(snap.len() >= prev.len(), "snapshots only grow");
+                    for i in 0..prev.len() {
+                        assert_eq!(
+                            prev.resolve_shared(probe_symbol(i)),
+                            snap.resolve_shared(probe_symbol(i)),
+                            "later snapshots preserve every earlier symbol"
+                        );
+                    }
+                    assert_snapshot_consistent(&snap);
+                    prev = snap;
+                }
+            })
+        };
+
+        let writers: Vec<_> = schedules
+            .into_iter()
+            .map(|ops| {
+                let shared = Arc::clone(&shared);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    let mut minted: Vec<(String, Symbol)> = Vec::new();
+                    for op in ops {
+                        let name = format!("attr-{op}");
+                        let sym = shared.intern(&name);
+                        // Immediately after intern the symbol resolves in
+                        // any fresh snapshot (the caller's own mint is
+                        // never lost).
+                        let snap = shared.snapshot();
+                        assert_eq!(snap.lookup(&name), Some(sym));
+                        assert_eq!(&*snap.resolve_shared(sym), name);
+                        minted.push((name, sym));
+                    }
+                    minted
+                })
+            })
+            .collect();
+        start.wait();
+
+        let mut all: Vec<(String, Symbol)> = Vec::new();
+        for w in writers {
+            all.extend(w.join().expect("writer thread panicked"));
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().expect("reader thread panicked");
+
+        // Final snapshot: every symbol ever returned, by any thread,
+        // resolves to its name; racing interns agreed per name; the table
+        // is dense and exactly as large as the distinct-name count.
+        let fin = shared.snapshot();
+        let mut per_name: std::collections::HashMap<&str, Symbol> =
+            std::collections::HashMap::new();
+        for (name, sym) in &all {
+            assert_eq!(fin.lookup(name), Some(*sym), "{name} must keep its symbol");
+            assert_eq!(&*fin.resolve_shared(*sym), *name);
+            if let Some(prev) = per_name.insert(name, *sym) {
+                assert_eq!(prev, *sym, "two symbols minted for {name}");
+            }
+        }
+        assert_eq!(fin.len(), per_name.len(), "table is exactly the distinct names");
+        assert_snapshot_consistent(&fin);
+    }
+}

@@ -77,6 +77,11 @@
 //!    [`SharedInterner`]** — one symbol table, owned by the [`System`]
 //!    (accessible via [`System::interner`]) and shared by every routing
 //!    table and local-delivery index, so no stage ever re-interns. The
+//!    interner publishes **RCU snapshots**: writers (first sight of a new
+//!    attribute name) install a new immutable table; each index keeps a
+//!    cached snapshot ([`core::InternerCache`]) revalidated with a single
+//!    atomic generation load per matching call, so the match path holds
+//!    no lock and bumps no shared refcount at any shard count. The
 //!    counting state lives in generation-stamped scratch reused across
 //!    notifications.
 //! 3. **Route.** [`broker::BrokerCore`] threads a reusable
@@ -134,7 +139,25 @@
 //! ([`broker::ShardedRouter`]); a live threaded deployment can move the
 //! same shards onto one worker thread each
 //! ([`broker::ParallelRouter`] over [`net::ShardPool`]) so a multi-core
-//! broker matches concurrently.
+//! broker matches concurrently. Since the snapshot interner, the parallel
+//! route path shares **nothing** between workers beyond the notification
+//! `Arc`: each worker owns its shard, its scratch buffers and its cached
+//! interner snapshot (the `parallel_route` bench measures the fan-out at
+//! shard counts {1, 2, 4, 8}).
+//!
+//! ## Subscription churn at 10⁵ filters
+//!
+//! The announcement engine (the covering state each broker maintains per
+//! neighbour link) is indexed by filter *shape*: a mutation probes only
+//! candidate dominators — filters whose distinct attribute set is a
+//! subset or superset of the churning filter's, pure-equality filters
+//! additionally pre-filtered by a canonical value digest
+//! ([`core::filter::Filter::cover_key`]). Links below 64 distinct filters
+//! keep the plain scan (faster at that size); larger links build the
+//! index once and from then on pay O(candidates) per mutation instead of
+//! O(distinct served filters). The churn bench's `preload-100000` tier
+//! (`REBECA_BENCH_HEAVY=1`) holds per-event cost within a few percent of
+//! the 2000-filter tier — see `BENCH_churn_pr5.json`.
 //!
 //! ## Migrating from the panicking API
 //!
