@@ -31,16 +31,26 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 // SAFETY: delegates directly to the system allocator; the counter is a
 // relaxed atomic with no further invariants.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` unchanged to the system allocator, which
+    // upholds the GlobalAlloc contract for it.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // ordering: Relaxed — a monotonically increasing event counter;
+        // the test reads it from the same thread that allocates, so no
+        // cross-thread ordering is needed.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr`/`layout` come from our `alloc`, which returned a
+    // system allocation of exactly that layout.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same delegation as `alloc`/`dealloc`; the system allocator
+    // upholds the realloc contract for a pointer it handed out.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // ordering: Relaxed — same single-threaded event counter as `alloc`.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
@@ -50,6 +60,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
+    // ordering: Relaxed — read on the allocating thread itself; the test
+    // only compares counts taken on one thread.
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 

@@ -281,7 +281,20 @@ impl Node<Message> for ClientNode {
             Message::AppSubscribe { id, filter } => self.local.subscribe(ctx, id, filter),
             Message::AppUnsubscribe { id } => self.local.unsubscribe(ctx, id),
             Message::Deliver { notification, .. } => self.local.on_deliver(ctx.now(), notification),
-            _ => {}
+            // Broker-to-broker and mobility traffic never addresses a
+            // plain client node. Spelled out (the lint forbids `_ =>` in
+            // handlers) so a new protocol variant forces this match to
+            // decide instead of silently swallowing it.
+            Message::ClientAttach { .. }
+            | Message::ClientDetach { .. }
+            | Message::Publish { .. }
+            | Message::Subscribe { .. }
+            | Message::Unsubscribe { .. }
+            | Message::Forward { .. }
+            | Message::SubForward { .. }
+            | Message::UnsubForward { .. }
+            | Message::Routed { .. }
+            | Message::Mobility(_) => {}
         }
     }
 

@@ -243,6 +243,8 @@ impl ShardedRouter {
     /// different shards still receives exactly one delivery. With a warm
     /// scratch the whole fan-out performs **zero** heap allocation,
     /// whatever the shard count.
+    // hot-path: begin (in-line shard fan-out — no allocation with a warm
+    // scratch, no locks; enforced by `cargo run -p xtask -- lint`)
     pub fn route_into(&self, n: &Notification, scratch: &mut RouteScratch) {
         scratch.clients.clear();
         scratch.neighbors.clear();
@@ -252,6 +254,7 @@ impl ShardedRouter {
         }
         scratch.finish();
     }
+    // hot-path: end
 
     /// Consumes the router into its shard tables (for moving them onto a
     /// [`ShardPool`], see [`ParallelRouter`]). The subscription→shard map
@@ -335,7 +338,9 @@ impl ParallelRouter {
 
     /// Registers a client behind `node` in every shard.
     pub fn attach_client(&mut self, client: ClientId, node: NodeId) {
-        self.pool.run_all(|_| Box::new(move |slot| slot.table.attach_client(client, node)));
+        self.pool
+            .run_all(|_| Box::new(move |slot| slot.table.attach_client(client, node)))
+            .expect("shard worker died: pool poisoned");
     }
 
     /// Adds (or replaces) a client subscription; same shard-routing rules
@@ -351,16 +356,18 @@ impl ParallelRouter {
         // channel disconnects and the recv below fails loudly instead of
         // blocking forever.
         let (tx, rx) = mpsc::channel();
-        self.pool.run_on(
-            home,
-            Box::new(move |slot| {
-                if slot.table.client(client).is_none() {
-                    let _ = tx.send((false, TableDelta::default()));
-                } else {
-                    let _ = tx.send((true, slot.table.subscribe_client(client, sub, filter)));
-                }
-            }),
-        );
+        self.pool
+            .run_on(
+                home,
+                Box::new(move |slot| {
+                    if slot.table.client(client).is_none() {
+                        let _ = tx.send((false, TableDelta::default()));
+                    } else {
+                        let _ = tx.send((true, slot.table.subscribe_client(client, sub, filter)));
+                    }
+                }),
+            )
+            .expect("shard worker died: pool poisoned");
         let (attached, mut delta) = rx.recv().expect("shard worker replied");
         if !attached {
             return TableDelta::default();
@@ -373,12 +380,14 @@ impl ParallelRouter {
         if let Some(&old) = self.sub_home.get(&(client, sub)) {
             if old as usize != home {
                 let (tx, rx) = mpsc::channel();
-                self.pool.run_on(
-                    old as usize,
-                    Box::new(move |slot| {
-                        let _ = tx.send(slot.table.unsubscribe_client(client, sub));
-                    }),
-                );
+                self.pool
+                    .run_on(
+                        old as usize,
+                        Box::new(move |slot| {
+                            let _ = tx.send(slot.table.unsubscribe_client(client, sub));
+                        }),
+                    )
+                    .expect("shard worker died: pool poisoned");
                 let mut retracted = rx.recv().expect("shard worker replied");
                 delta.removed.append(&mut retracted.removed);
             }
@@ -398,12 +407,14 @@ impl ParallelRouter {
             }
         };
         let (tx, rx) = mpsc::channel();
-        self.pool.run_on(
-            home,
-            Box::new(move |slot| {
-                let _ = tx.send(slot.table.unsubscribe_client(client, sub));
-            }),
-        );
+        self.pool
+            .run_on(
+                home,
+                Box::new(move |slot| {
+                    let _ = tx.send(slot.table.unsubscribe_client(client, sub));
+                }),
+            )
+            .expect("shard worker died: pool poisoned");
         rx.recv().expect("shard worker replied")
     }
 
@@ -411,12 +422,14 @@ impl ParallelRouter {
     pub fn neighbor_subscribe(&mut self, node: NodeId, filter: Filter) -> TableDelta {
         let home = self.home(filter.digest());
         let (tx, rx) = mpsc::channel();
-        self.pool.run_on(
-            home,
-            Box::new(move |slot| {
-                let _ = tx.send(slot.table.neighbor_subscribe(node, filter));
-            }),
-        );
+        self.pool
+            .run_on(
+                home,
+                Box::new(move |slot| {
+                    let _ = tx.send(slot.table.neighbor_subscribe(node, filter));
+                }),
+            )
+            .expect("shard worker died: pool poisoned");
         rx.recv().expect("shard worker replied")
     }
 
@@ -424,12 +437,14 @@ impl ParallelRouter {
     pub fn neighbor_unsubscribe(&mut self, node: NodeId, digest: Digest) -> TableDelta {
         let home = self.home(digest);
         let (tx, rx) = mpsc::channel();
-        self.pool.run_on(
-            home,
-            Box::new(move |slot| {
-                let _ = tx.send(slot.table.neighbor_unsubscribe(node, digest));
-            }),
-        );
+        self.pool
+            .run_on(
+                home,
+                Box::new(move |slot| {
+                    let _ = tx.send(slot.table.neighbor_unsubscribe(node, digest));
+                }),
+            )
+            .expect("shard worker died: pool poisoned");
         rx.recv().expect("shard worker replied")
     }
 
@@ -453,23 +468,29 @@ impl ParallelRouter {
     pub fn route_into(&mut self, n: &Arc<Notification>, scratch: &mut RouteScratch) {
         let (tx, rx) = &self.results;
         let spare = &mut self.spare;
-        self.pool.run_all(|_| {
-            let n = Arc::clone(n);
-            let tx = tx.clone();
-            let (mut clients, mut neighbors) = spare.pop().unwrap_or_default();
-            Box::new(move |slot| {
-                clients.clear();
-                neighbors.clear();
-                // The worker-owned key buffer is the one that grows with
-                // the match count; it stays warm across calls.
-                slot.table.route_append(&n, &mut slot.scratch.keys, &mut clients, &mut neighbors);
-                let _ = tx.send((clients, neighbors));
+        self.pool
+            .run_all(|_| {
+                let n = Arc::clone(n);
+                let tx = tx.clone();
+                let (mut clients, mut neighbors) = spare.pop().unwrap_or_default();
+                Box::new(move |slot| {
+                    clients.clear();
+                    neighbors.clear();
+                    // The worker-owned key buffer is the one that grows with
+                    // the match count; it stays warm across calls.
+                    slot.table.route_append(
+                        &n,
+                        &mut slot.scratch.keys,
+                        &mut clients,
+                        &mut neighbors,
+                    );
+                    let _ = tx.send((clients, neighbors));
+                })
             })
-        });
+            .expect("shard worker died: pool poisoned");
         // `run_all` blocks until every job completed, so all replies are
-        // already queued: an empty channel here means a worker died
-        // mid-job (its completion guard fired without a send) — fail
-        // loudly instead of blocking.
+        // already queued — and it reported any dead worker above, so every
+        // reply a healthy worker queued is here.
         scratch.clients.clear();
         scratch.neighbors.clear();
         for _ in 0..self.shard_count {

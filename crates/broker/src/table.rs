@@ -289,6 +289,8 @@ impl RoutingTable {
         RouteDecision { clients: scratch.clients, neighbors: scratch.neighbors }
     }
 
+    // hot-path: begin (per-notification route decision — no allocation
+    // with a warm scratch, no locks; enforced by `cargo run -p xtask -- lint`)
     /// Computes the routing decision into a reusable scratch (cleared
     /// first). With a warm scratch this performs **zero** heap allocation
     /// per notification: matching uses the index's generation-stamped
@@ -327,6 +329,7 @@ impl RoutingTable {
             }
         }
     }
+    // hot-path: end
 
     /// All distinct filters that must be served through links *other than*
     /// `exclude`: every local client filter plus every filter announced by

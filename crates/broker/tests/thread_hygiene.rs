@@ -1,0 +1,127 @@
+//! Thread hygiene: components that spawn worker threads must not leak
+//! them. Dropping or joining a [`ParallelRouter`] (and the [`ShardPool`]
+//! under it) returns the process to its exact prior thread count — counted
+//! via `/proc/self/task`, the kernel's own ledger — and a panicking worker
+//! poisons its pool into a clean, reported error instead of a hang.
+//!
+//! The tests serialise on a process-wide mutex so the thread counts are
+//! deterministic (integration tests in one file share one process and run
+//! on parallel test threads by default).
+
+#![cfg(not(rebeca_verify))]
+
+use rebeca_broker::{ParallelRouter, ShardedRouter};
+use rebeca_core::{ClientId, Filter, SubscriptionId};
+use rebeca_net::{NodeId, ShardPool};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Serialises the hygiene tests so one test's workers never show up in
+/// another test's baseline.
+static HYGIENE: Mutex<()> = Mutex::new(());
+
+/// Live threads in this process, per the kernel.
+///
+/// Falls back to `1` where `/proc` is unavailable (non-Linux dev machines)
+/// — the assertions then compare `1 == 1` and the tests still exercise the
+/// join/drop paths for hangs.
+fn live_threads() -> usize {
+    std::fs::read_dir("/proc/self/task").map(|d| d.count()).unwrap_or(1)
+}
+
+/// Polls until the thread count drops back to `baseline` (joins have
+/// already happened, but give `/proc` a beat on slow machines).
+fn assert_returns_to(baseline: usize, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let now = live_threads();
+        if now == baseline {
+            return;
+        }
+        assert!(Instant::now() < deadline, "{what}: {now} threads live, expected {baseline}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn loaded_router(shards: usize) -> ShardedRouter {
+    let mut router = ShardedRouter::new(shards);
+    for c in 0..8u32 {
+        let client = ClientId::new(c);
+        router.attach_client(client, NodeId::new(c));
+        router.subscribe_client(
+            client,
+            SubscriptionId::new(c),
+            Filter::builder().gt("price", i64::from(c) * 10).build(),
+        );
+    }
+    router
+}
+
+#[test]
+fn shard_pool_join_returns_every_thread() {
+    let _guard = HYGIENE.lock().unwrap();
+    let baseline = live_threads();
+    let mut pool = ShardPool::new(vec![0u64; 6]);
+    assert_eq!(live_threads(), baseline + 6, "one worker per shard");
+    pool.run_all(|_| Box::new(|s: &mut u64| *s += 1)).expect("no shard died");
+    assert_eq!(pool.join(), vec![1; 6]);
+    assert_returns_to(baseline, "after ShardPool::join");
+}
+
+#[test]
+fn shard_pool_drop_returns_every_thread() {
+    let _guard = HYGIENE.lock().unwrap();
+    let baseline = live_threads();
+    let pool = ShardPool::new(vec![(); 6]);
+    assert_eq!(live_threads(), baseline + 6, "one worker per shard");
+    drop(pool);
+    assert_returns_to(baseline, "after dropping an unjoined ShardPool");
+}
+
+#[test]
+fn parallel_router_join_returns_every_thread() {
+    let _guard = HYGIENE.lock().unwrap();
+    let baseline = live_threads();
+    let par = ParallelRouter::spawn(loaded_router(4));
+    assert_eq!(live_threads(), baseline + 4, "one worker per shard");
+    let router = par.join();
+    assert_eq!(router.shard_count(), 4);
+    assert_returns_to(baseline, "after ParallelRouter::join");
+}
+
+#[test]
+fn parallel_router_drop_returns_every_thread() {
+    let _guard = HYGIENE.lock().unwrap();
+    let baseline = live_threads();
+    let mut par = ParallelRouter::spawn(loaded_router(4));
+    // Use it once so the workers provably ran jobs before the drop.
+    par.attach_client(ClientId::new(99), NodeId::new(99));
+    drop(par);
+    assert_returns_to(baseline, "after dropping an unjoined ParallelRouter");
+}
+
+#[test]
+fn panicking_worker_poisons_cleanly_and_still_joins_the_rest() {
+    let _guard = HYGIENE.lock().unwrap();
+    let baseline = live_threads();
+    let mut pool = ShardPool::new(vec![0u32; 3]);
+    let err = pool
+        .run_all(|i| {
+            Box::new(move |s: &mut u32| {
+                if i == 1 {
+                    panic!("injected worker failure");
+                }
+                *s += 1;
+            })
+        })
+        .expect_err("the poisoned shard must be reported, not hung on");
+    assert_eq!(err.shard, 1);
+    assert_eq!(err.to_string(), "shard worker 1 died from a panicking job");
+    // The dead worker's thread has already unwound; healthy ones remain.
+    assert_returns_to(baseline + 2, "after one of three workers died");
+    pool.run_on(0, Box::new(|s| *s += 10)).expect("healthy shard still works");
+    // Dropping the poisoned pool joins the survivors and must not hang on
+    // the dead worker.
+    drop(pool);
+    assert_returns_to(baseline, "after dropping a poisoned pool");
+}

@@ -32,10 +32,9 @@
 //! writes per notification: no lock, no refcount bump, just an `Acquire`
 //! load of the generation counter.
 
-use parking_lot::RwLock;
+use crate::sync::{AtomicU64, Ordering, RwLock};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A dense interned identifier for an attribute name.
@@ -96,11 +95,14 @@ impl Interner {
         sym
     }
 
+    // hot-path: begin (per-notification symbol lookup — no allocation,
+    // no locks; see `cargo run -p xtask -- lint`)
     /// Looks a name up without interning it — allocation-free, for the
     /// per-notification hot path.
     pub fn lookup(&self, name: &str) -> Option<Symbol> {
         self.map.get(name).copied()
     }
+    // hot-path: end
 
     /// The name behind a symbol.
     ///
@@ -215,7 +217,35 @@ impl SharedInterner {
         if let Some(sym) = self.current.read().lookup(name) {
             return sym;
         }
+        // Model-checker fault injection: advance the generation *before*
+        // installing the snapshot. `crates/verify/tests/intern.rs` proves
+        // the checker catches this publish-ordering bug (a reader can then
+        // observe generation g with fewer than g names installed) and that
+        // the printed schedule replays it deterministically.
+        #[cfg(rebeca_verify)]
+        if rebeca_verify::inject::enabled("intern_publish_early") {
+            // ordering: (injected bug) same Release as the real bump, but
+            // hoisted before the install it is supposed to sequence after.
+            self.generation.fetch_add(1, Ordering::Release);
+        }
         let mut slot = self.current.write();
+        // Model-checker fault injection: skip the re-check below and mint
+        // blindly — the classic check-then-act bug this protocol exists to
+        // prevent. `crates/verify/tests/intern.rs` proves the checker finds
+        // the interleaving where two racers mint two symbols for one name.
+        #[cfg(rebeca_verify)]
+        if rebeca_verify::inject::enabled("intern_skip_recheck") {
+            let mut next = Interner::clone(&slot);
+            let sym = Symbol(next.names.len() as u32);
+            let shared_name: Arc<str> = Arc::from(name);
+            next.names.push(Arc::clone(&shared_name));
+            next.map.insert(shared_name, sym);
+            *slot = Arc::new(next);
+            // ordering: Release — the injected-bug path still publishes
+            // like the real bump below; the *bug* is skipping the re-check.
+            self.generation.fetch_add(1, Ordering::Release);
+            return sym;
+        }
         // Re-check under the writer lock: between our snapshot miss and
         // acquiring the lock a racing intern of the same name may have
         // installed it. Without this check two racers could each mint a
@@ -229,6 +259,14 @@ impl SharedInterner {
         // observes the new generation and goes to refresh its cache is
         // guaranteed to find (at least) this snapshot installed.
         *slot = Arc::new(next);
+        // ordering: Release pairs with the Acquire load in `generation()`.
+        // The happens-before edge it publishes is "snapshot installed
+        // before generation g became visible", which is what lets
+        // `InternerCache::get` treat an unchanged generation as proof its
+        // cached snapshot is still complete. (The write lock held across
+        // install+bump additionally keeps the two writer steps atomic for
+        // other *writers*; it does not order anything for the lock-free
+        // generation readers — the Release/Acquire pair does that.)
         self.generation.fetch_add(1, Ordering::Release);
         sym
     }
@@ -245,6 +283,11 @@ impl SharedInterner {
     /// interned name. [`InternerCache`] compares against this to decide
     /// whether its snapshot is still current.
     pub fn generation(&self) -> u64 {
+        // ordering: Acquire pairs with the Release `fetch_add` in
+        // `intern()`: a reader that observes generation g here also
+        // observes every snapshot installed before g was published, so a
+        // cache whose stamp equals g provably holds a complete table.
+        // Relaxed would let a warm cache skip a refresh it needs.
         self.generation.load(Ordering::Acquire)
     }
 
@@ -309,6 +352,8 @@ pub struct InternerCache {
 }
 
 impl InternerCache {
+    // hot-path: begin (warm revalidation — one Acquire load, no locks,
+    // no allocation; the cold refresh lives in `refresh` below)
     /// Returns a snapshot that is current as of this call, refreshing the
     /// cache only if `shared`'s generation moved since the last call.
     /// Allocation-free in both cases; lock-free and wait-free when the
@@ -320,10 +365,30 @@ impl InternerCache {
         // never a stale read, because snapshots are append-only.
         let generation = shared.generation();
         if self.snapshot.is_none() || generation != self.generation {
-            self.snapshot = Some(shared.snapshot());
-            self.generation = generation;
+            self.refresh(shared, generation);
         }
         self.snapshot.as_deref().expect("snapshot cached above")
+    }
+    // hot-path: end
+
+    /// The cold path of [`get`](InternerCache::get): clone the current
+    /// snapshot (one brief read lock) and stamp it with the generation
+    /// loaded *before* the clone.
+    #[cold]
+    fn refresh(&mut self, shared: &SharedInterner, generation: u64) {
+        // Model-checker fault injection: stamp with a generation loaded
+        // *after* the snapshot clone — the reversed read order the comment
+        // in `get` warns about. A writer between the clone and the load
+        // then stamps an old table as current forever; see
+        // `crates/verify/tests/intern.rs`.
+        #[cfg(rebeca_verify)]
+        if rebeca_verify::inject::enabled("cache_stamp_late") {
+            self.snapshot = Some(shared.snapshot());
+            self.generation = shared.generation();
+            return;
+        }
+        self.snapshot = Some(shared.snapshot());
+        self.generation = generation;
     }
 }
 

@@ -58,6 +58,7 @@ pub mod intern;
 pub mod matching;
 pub mod notification;
 pub mod subscription;
+mod sync;
 pub mod time;
 pub mod value;
 

@@ -229,6 +229,8 @@ impl<K: Copy + Eq + Hash> MatchIndex<K> {
         out
     }
 
+    // hot-path: begin (per-notification counting match — no allocation
+    // beyond buffer growth, no locks; enforced by `cargo run -p xtask -- lint`)
     /// Appends the keys of all matching filters to `out` (which is cleared
     /// first). This is the allocation-free form: the counting state lives
     /// in a generation-stamped scratch buffer reused across calls, so a
@@ -306,6 +308,7 @@ impl<K: Copy + Eq + Hash> MatchIndex<K> {
         }
         false
     }
+    // hot-path: end
 
     /// Brute-force matching (linear scan), used to cross-check the index in
     /// tests and benchmarks.

@@ -1,0 +1,21 @@
+//! Concurrency-primitive facade: real primitives in normal builds,
+//! model-checked shims under `--cfg rebeca_verify`.
+//!
+//! Everything in `rebeca-core` that synchronizes between threads imports
+//! its primitives from here instead of `std`/`parking_lot`, so the exact
+//! production protocol code can be compiled against the
+//! [`rebeca-verify`](../../rebeca_verify/index.html) shims and
+//! exhaustively interleaved by the model checker — no copies, no drift.
+//!
+//! The switch is a compiler `cfg` (set via `RUSTFLAGS="--cfg
+//! rebeca_verify"`), deliberately *not* a cargo feature: feature
+//! unification would let one crate in a build graph silently swap the
+//! shims into every other crate's normal build.
+
+#[cfg(not(rebeca_verify))]
+pub(crate) use parking_lot::RwLock;
+#[cfg(not(rebeca_verify))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(rebeca_verify)]
+pub(crate) use rebeca_verify::shim::{AtomicU64, Ordering, RwLock};

@@ -77,6 +77,9 @@ proptest! {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut prev = shared.snapshot();
+                // ordering: Relaxed — a pure stop flag; the reader only
+                // needs to observe it eventually, and the join below is
+                // the real synchronization point.
                 while !stop.load(Ordering::Relaxed) {
                     let snap = shared.snapshot();
                     assert!(snap.len() >= prev.len(), "snapshots only grow");
@@ -122,6 +125,8 @@ proptest! {
         for w in writers {
             all.extend(w.join().expect("writer thread panicked"));
         }
+        // ordering: Relaxed — pairs with the reader's Relaxed poll; no
+        // data is published through this flag.
         stop.store(true, Ordering::Relaxed);
         reader.join().expect("reader thread panicked");
 

@@ -177,7 +177,22 @@ impl MobileClientNode {
                     self.local.subscribe(ctx, id, f);
                 }
             }
-            _ => {}
+            // `AppPrepareMove` in relocation mode falls through the guard
+            // above: movement is uncertain, nothing is announced. The
+            // broker-to-broker relocation/replication traffic never
+            // addresses the device itself. Spelled out (the lint forbids
+            // `_ =>` in handlers) so a new mobility variant forces this
+            // match to decide instead of silently swallowing it.
+            MobilityMsg::AppPrepareMove
+            | MobilityMsg::MoveIn { .. }
+            | MobilityMsg::FetchBuffered { .. }
+            | MobilityMsg::BufferedBatch { .. }
+            | MobilityMsg::ReplicaCreate { .. }
+            | MobilityMsg::ReplicaDelete { .. }
+            | MobilityMsg::ReplicaSubscribe { .. }
+            | MobilityMsg::ReplicaUnsubscribe { .. }
+            | MobilityMsg::ReplicaFetch { .. }
+            | MobilityMsg::ReplicaBatch { .. } => {}
         }
     }
 }
@@ -201,7 +216,19 @@ impl Node<Message> for MobileClientNode {
                 self.local.on_deliver(ctx.now(), notification);
             }
             Message::Mobility(m) => self.handle_app_mobility(ctx, m),
-            _ => {}
+            // Broker-to-broker traffic never addresses the device. Spelled
+            // out (the lint forbids `_ =>` in handlers) so a new protocol
+            // variant forces this match to decide instead of silently
+            // swallowing it.
+            Message::ClientAttach { .. }
+            | Message::ClientDetach { .. }
+            | Message::Publish { .. }
+            | Message::Subscribe { .. }
+            | Message::Unsubscribe { .. }
+            | Message::Forward { .. }
+            | Message::SubForward { .. }
+            | Message::UnsubForward { .. }
+            | Message::Routed { .. } => {}
         }
     }
 

@@ -711,8 +711,14 @@ impl ReplicatorNode {
                     }
                 }
             }
-            // Application-side messages never reach a replicator.
-            _ => {}
+            // Application-side messages never reach a replicator. Spelled
+            // out (the lint forbids `_ =>` in handlers) so a new protocol
+            // variant forces this match to decide instead of silently
+            // swallowing it.
+            MobilityMsg::AppPrepareMove
+            | MobilityMsg::AppMoveTo { .. }
+            | MobilityMsg::AppDisconnect
+            | MobilityMsg::AppSetContext { .. } => {}
         }
     }
 

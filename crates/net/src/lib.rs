@@ -27,14 +27,17 @@ pub mod link;
 pub mod metrics;
 pub mod node;
 pub mod rng;
+pub mod shard_pool;
+mod sync;
 pub mod thread_rt;
 pub mod topology;
 pub mod world;
 
-pub use link::{LatencyModel, LinkConfig, LinkKey};
+pub use link::{LatencyModel, LinkConfig, LinkKey, LinkTable};
 pub use metrics::NetMetrics;
 pub use node::{Ctx, Node, NodeId, Payload, TimerId};
 pub use rng::SplitMix64;
-pub use thread_rt::{ShardJob, ShardPool, ThreadRuntime};
+pub use shard_pool::{ShardJob, ShardPool, ShardPoolPoisoned};
+pub use thread_rt::ThreadRuntime;
 pub use topology::{Topology, TopologyError};
 pub use world::World;

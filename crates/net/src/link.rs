@@ -118,7 +118,11 @@ impl LinkTable {
     /// at the retired floor of a previous incarnation of the same directed
     /// link if that lies later — messages in flight across a remove +
     /// re-insert are never overtaken.
-    pub(crate) fn insert(
+    ///
+    /// Public so the model checker can drive the handover protocol
+    /// directly (`crates/verify/tests/link_floor.rs`); the simulator calls
+    /// it through [`World`](crate::World).
+    pub fn insert(
         &mut self,
         a: NodeId,
         b: NodeId,
@@ -150,7 +154,7 @@ impl LinkTable {
     /// for a possible re-insert. Floors are only worth remembering while
     /// they lie in the future, so floors already at or before `now` are not
     /// retired at all.
-    pub(crate) fn remove(&mut self, a: NodeId, b: NodeId, now: SimTime) {
+    pub fn remove(&mut self, a: NodeId, b: NodeId, now: SimTime) {
         for key in [LinkKey { from: a, to: b }, LinkKey { from: b, to: a }] {
             if let Some(state) = self.links.remove(&key) {
                 if state.fifo_floor > now {
@@ -166,8 +170,24 @@ impl LinkTable {
     /// the world on every link mutation, which keeps the map bounded by
     /// *currently in-flight* removed links instead of every node pair ever
     /// torn down.
-    pub(crate) fn prune_retired(&mut self, now: SimTime) {
+    pub fn prune_retired(&mut self, now: SimTime) {
         self.retired_floors.retain(|_, floor| *floor > now);
+    }
+
+    /// Returns the FIFO floor of a directed link — the earliest time its
+    /// next delivery may be scheduled — or `None` if the link does not
+    /// exist.
+    pub fn fifo_floor(&self, from: NodeId, to: NodeId) -> Option<SimTime> {
+        self.links.get(&LinkKey { from, to }).map(|l| l.fifo_floor)
+    }
+
+    /// Raises the FIFO floor of a directed link to at least `at`, as
+    /// scheduling a delivery at `at` does; a floor never moves backwards.
+    /// No-op if the link does not exist.
+    pub fn raise_fifo_floor(&mut self, from: NodeId, to: NodeId, at: SimTime) {
+        if let Some(l) = self.links.get_mut(&LinkKey { from, to }) {
+            l.fifo_floor = l.fifo_floor.max(at);
+        }
     }
 
     /// Number of remembered floors of removed links (diagnostics).

@@ -1,0 +1,376 @@
+//! A persistent fan-out pool for sharded state: ownership is the lock.
+//!
+//! Worker thread `i` **owns** shard `i` and executes the closures mailed to
+//! it, so a job scattered with [`ShardPool::run_all`] runs on all shards
+//! concurrently — N shards, N cores, no shared-state locking at all.
+//!
+//! This is the live-runtime counterpart of the simulator's sequential shard
+//! loop: the deterministic [`World`](crate::World) fans a sharded broker's
+//! match across shards in-line (replayable, allocation-free), while a
+//! threaded deployment moves the same shard states into a pool and gets
+//! true multi-core matching. The pool is deliberately dumb — it knows
+//! nothing about brokers or routing, only "each worker owns a `T`" — so any
+//! sharded structure can ride it.
+//!
+//! ## Failure model
+//!
+//! A panicking job can never hang a fan-out: the worker's completion signal
+//! is sent from a drop guard during the unwind, so [`run_all`] and
+//! [`run_on`] always return. The dead worker *poisons* its shard — both
+//! methods report it as [`ShardPoolPoisoned`] — while every healthy shard
+//! stays fully usable. [`join`] propagates the original panic. Dropping a
+//! pool without joining it stops and joins all workers (no leaked
+//! threads).
+//!
+//! ## Verification
+//!
+//! The mailbox/completion protocol compiles against the model-checker
+//! shims under `--cfg rebeca_verify` (see [`crate::sync`]);
+//! `crates/verify/tests/shard_pool.rs` exhaustively interleaves it and
+//! proves the [`run_all`] barrier: no job still runs after the fan-out
+//! returns, no completion is lost, and workers quiesce after [`join`].
+//!
+//! [`run_all`]: ShardPool::run_all
+//! [`run_on`]: ShardPool::run_on
+//! [`join`]: ShardPool::join
+
+use crate::sync::channel::{unbounded, Receiver, Sender};
+use crate::sync::thread;
+use std::fmt;
+
+/// A job mailed to one [`ShardPool`] worker: a closure over the worker's
+/// owned shard state.
+pub type ShardJob<T> = Box<dyn FnOnce(&mut T) + Send>;
+
+enum ShardMail<T> {
+    Run(ShardJob<T>),
+    Stop,
+}
+
+/// Sends the worker's completion signal on drop — including during a
+/// panic's unwind, so [`ShardPool::run_all`]/[`ShardPool::run_on`] can
+/// never block forever on a worker that died mid-job. The flag records
+/// whether the job completed by unwinding, which is what poisons the
+/// shard on the waiting side.
+struct DoneGuard<'a> {
+    tx: &'a Sender<(usize, bool)>,
+    i: usize,
+}
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        let _ = self.tx.send((self.i, std::thread::panicking()));
+    }
+}
+
+/// A shard worker died from a panicking job.
+///
+/// The shard's state is gone (it unwound with its worker thread); every
+/// *other* shard remains fully usable, and [`ShardPool::join`] will
+/// propagate the original panic payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPoolPoisoned {
+    /// Index of the first poisoned shard encountered.
+    pub shard: usize,
+}
+
+impl fmt::Display for ShardPoolPoisoned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard worker {} died from a panicking job", self.shard)
+    }
+}
+
+impl std::error::Error for ShardPoolPoisoned {}
+
+/// A persistent fan-out pool for sharded state (see the [module
+/// docs](self) for the ownership model and failure semantics).
+///
+/// Methods take `&mut self` purely to serialise completion accounting; the
+/// workers themselves never share anything.
+pub struct ShardPool<T> {
+    senders: Vec<Sender<ShardMail<T>>>,
+    done_rx: Receiver<(usize, bool)>,
+    handles: Vec<thread::JoinHandle<T>>,
+    /// `dead[i]` once shard `i`'s worker unwound; such shards are skipped
+    /// by [`ShardPool::run_all`] and reported as poisoned.
+    dead: Vec<bool>,
+}
+
+impl<T> fmt::Debug for ShardPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("shards", &self.senders.len())
+            .field("dead", &self.dead.iter().filter(|d| **d).count())
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> ShardPool<T> {
+    /// Spawns one worker thread per element of `shards`, moving each shard
+    /// into its worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn new(shards: Vec<T>) -> Self {
+        assert!(!shards.is_empty(), "a shard pool needs at least one shard");
+        let (done_tx, done_rx) = unbounded();
+        let n = shards.len();
+        let mut senders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (i, mut shard) in shards.into_iter().enumerate() {
+            let (tx, rx) = unbounded::<ShardMail<T>>();
+            let done = done_tx.clone();
+            let handle = thread::Builder::new()
+                .name(format!("rebeca-shard-{i}"))
+                .spawn(move || {
+                    while let Ok(mail) = rx.recv() {
+                        match mail {
+                            ShardMail::Run(job) => {
+                                // Model-checker fault injection: signal
+                                // completion *before* running the job — the
+                                // barrier bug the guard-after-job ordering
+                                // exists to prevent. The checker finds the
+                                // interleaving where run_all returns while
+                                // a job is still mutating its shard (see
+                                // crates/verify/tests/shard_pool.rs).
+                                #[cfg(rebeca_verify)]
+                                if rebeca_verify::inject::enabled("shardpool_early_done") {
+                                    let _ = done.send((i, false));
+                                    job(&mut shard);
+                                    continue;
+                                }
+                                // The guard signals completion even if the
+                                // job panics (the send happens in Drop
+                                // during unwinding), so a waiting fan-out
+                                // never deadlocks on a dead worker — the
+                                // failure surfaces as ShardPoolPoisoned
+                                // instead.
+                                let _guard = DoneGuard { tx: &done, i };
+                                job(&mut shard);
+                            }
+                            ShardMail::Stop => break,
+                        }
+                    }
+                    shard
+                })
+                .expect("spawn shard worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        ShardPool { senders, done_rx, handles, dead: vec![false; n] }
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Returns `true` if the pool has no shards (never: construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Scatters one job per shard (built by `make`, in shard order) and
+    /// blocks until **all** shards have executed theirs — the parallel
+    /// fan-out. Results travel through whatever channels the closures
+    /// captured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardPoolPoisoned`] if any shard is dead — whether it
+    /// died during *this* fan-out or a previous one (dead shards are
+    /// skipped, so `make` never runs for them). Healthy shards executed
+    /// their jobs either way.
+    pub fn run_all(
+        &mut self,
+        mut make: impl FnMut(usize) -> ShardJob<T>,
+    ) -> Result<(), ShardPoolPoisoned> {
+        let mut first_dead: Option<usize> = None;
+        let mut awaiting = 0usize;
+        for (i, tx) in self.senders.iter().enumerate() {
+            if self.dead[i] {
+                first_dead.get_or_insert(i);
+                continue;
+            }
+            match tx.send(ShardMail::Run(make(i))) {
+                Ok(()) => awaiting += 1,
+                // A worker that unwound outside a job (its receiver is
+                // gone) is dead without having sent a poisoned completion.
+                Err(_) => {
+                    self.dead[i] = true;
+                    first_dead.get_or_insert(i);
+                }
+            }
+        }
+        for _ in 0..awaiting {
+            // Completions sent before a worker died remain receivable
+            // after its `done` sender dropped, so this never loses one.
+            let (i, panicked) = self.done_rx.recv().expect("a done sender lives in every worker");
+            if panicked {
+                self.dead[i] = true;
+                first_dead.get_or_insert(i);
+            }
+        }
+        match first_dead {
+            Some(shard) => Err(ShardPoolPoisoned { shard }),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs one job on shard `i` and blocks until it completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardPoolPoisoned`] if shard `i` is dead (the job is not
+    /// run) or if this job panicked the worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn run_on(&mut self, i: usize, job: ShardJob<T>) -> Result<(), ShardPoolPoisoned> {
+        if self.dead[i] || self.senders[i].send(ShardMail::Run(job)).is_err() {
+            self.dead[i] = true;
+            return Err(ShardPoolPoisoned { shard: i });
+        }
+        let (done, panicked) = self.done_rx.recv().expect("a done sender lives in every worker");
+        debug_assert_eq!(done, i, "completion from an unexpected shard");
+        if panicked {
+            self.dead[i] = true;
+            return Err(ShardPoolPoisoned { shard: i });
+        }
+        Ok(())
+    }
+
+    /// Stops all workers and returns the shard states, in shard order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panic of a poisoned shard's worker, if any.
+    pub fn join(mut self) -> Vec<T> {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMail::Stop);
+        }
+        // Taking the handles disarms the join-on-drop in Drop below; the
+        // remaining workers exit on the Stop they already received even if
+        // an expect here unwinds past them.
+        let handles = std::mem::take(&mut self.handles);
+        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+    }
+}
+
+impl<T> Drop for ShardPool<T> {
+    /// Join-on-drop: an un-joined pool stops its workers and waits for
+    /// them, so dropping a pool never leaks threads
+    /// (`crates/broker/tests/thread_hygiene.rs` counts them). Skipped
+    /// during an unwind — blocking on worker threads while panicking
+    /// risks turning a test failure into a hang.
+    fn drop(&mut self) {
+        if self.handles.is_empty() || std::thread::panicking() {
+            return;
+        }
+        for tx in &self.senders {
+            let _ = tx.send(ShardMail::Stop);
+        }
+        for h in std::mem::take(&mut self.handles) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[cfg(not(rebeca_verify))]
+    use crossbeam::channel::unbounded;
+
+    // The wall-clock and panic-propagation tests exercise real threads and
+    // real unwinding; under the model checker the protocol is covered by
+    // crates/verify/tests/shard_pool.rs instead.
+
+    #[test]
+    #[cfg(not(rebeca_verify))]
+    fn shard_pool_scatters_and_returns_state() {
+        let mut pool = ShardPool::new(vec![0u64, 10, 20, 30]);
+        assert_eq!(pool.len(), 4);
+        assert!(!pool.is_empty());
+        // Fan a job across all shards; results travel through a captured
+        // channel tagged with the shard index.
+        let (tx, rx) = unbounded();
+        pool.run_all(|i| {
+            let tx = tx.clone();
+            Box::new(move |shard: &mut u64| {
+                *shard += 1;
+                let _ = tx.send((i, *shard));
+            })
+        })
+        .expect("no shard died");
+        let mut results: Vec<(usize, u64)> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        results.sort_unstable();
+        assert_eq!(results, vec![(0, 1), (1, 11), (2, 21), (3, 31)]);
+        // A targeted job touches exactly its shard.
+        pool.run_on(2, Box::new(|shard| *shard = 99)).expect("no shard died");
+        assert_eq!(pool.join(), vec![1, 11, 99, 31]);
+    }
+
+    #[test]
+    #[cfg(not(rebeca_verify))]
+    fn shard_pool_survives_a_panicking_job() {
+        // A job that panics must not deadlock the fan-out: the completion
+        // signal is sent during unwinding, so run_all returns — with the
+        // poisoned shard named — and healthy shards keep working.
+        let mut pool = ShardPool::new(vec![0u32, 0]);
+        let err = pool
+            .run_all(|i| {
+                Box::new(move |shard: &mut u32| {
+                    if i == 0 {
+                        panic!("shard job failure");
+                    }
+                    *shard = 7;
+                })
+            })
+            .expect_err("the dead shard must be reported");
+        assert_eq!(err.shard, 0);
+        // The healthy worker did its job; the pool is still answerable.
+        pool.run_on(1, Box::new(|shard| *shard += 1)).expect("healthy shard works");
+        // A fan-out over the remaining shards keeps reporting the poison
+        // without re-hanging or re-running shard 0.
+        let err = pool.run_all(|_| Box::new(|shard| *shard += 1)).expect_err("still poisoned");
+        assert_eq!(err.shard, 0);
+        // Targeting the dead shard fails cleanly instead of hanging.
+        assert_eq!(pool.run_on(0, Box::new(|_| {})).expect_err("dead shard reported").shard, 0);
+        // Joining reports the dead worker loudly.
+        let joined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.join()));
+        assert!(joined.is_err(), "join must propagate the worker panic");
+    }
+
+    #[test]
+    #[cfg(not(rebeca_verify))]
+    fn shard_pool_runs_shards_concurrently() {
+        use std::time::{Duration, Instant};
+        // Four workers each sleep 60 ms inside one fan-out; a serial
+        // execution would need 240 ms. Allow generous slack for slow CI
+        // machines while still distinguishing parallel from serial.
+        let mut pool = ShardPool::new(vec![(); 4]);
+        let start = Instant::now();
+        pool.run_all(|_| Box::new(|_| std::thread::sleep(Duration::from_millis(60))))
+            .expect("no shard died");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "fan-out took {elapsed:?}; shards are executing serially"
+        );
+        pool.join();
+    }
+
+    #[test]
+    #[cfg(not(rebeca_verify))]
+    fn dropping_an_unjoined_pool_does_not_leak_threads() {
+        let pool = ShardPool::new(vec![0u8; 8]);
+        drop(pool); // must block until all eight workers exited
+                    // The stronger /proc-based count lives in
+                    // crates/broker/tests/thread_hygiene.rs; here we only assert the
+                    // drop path terminates (a hang would time the test out).
+    }
+}

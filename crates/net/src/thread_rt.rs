@@ -158,141 +158,10 @@ impl<M: Payload> Default for ThreadRuntime<M> {
     }
 }
 
-/// A job mailed to one [`ShardPool`] worker: a closure over the worker's
-/// owned shard state.
-pub type ShardJob<T> = Box<dyn FnOnce(&mut T) + Send>;
-
-enum ShardMail<T> {
-    Run(ShardJob<T>),
-    Stop,
-}
-
-/// Sends the worker's completion signal on drop — including during a
-/// panic's unwind, so [`ShardPool::run_all`]/[`ShardPool::run_on`] can
-/// never block forever on a worker that died mid-job.
-struct DoneGuard<'a> {
-    tx: &'a Sender<usize>,
-    i: usize,
-}
-
-impl Drop for DoneGuard<'_> {
-    fn drop(&mut self) {
-        let _ = self.tx.send(self.i);
-    }
-}
-
-/// A persistent fan-out pool for sharded state: worker thread `i` **owns**
-/// shard `i` and executes the closures mailed to it, so a job scattered
-/// with [`ShardPool::run_all`] runs on all shards concurrently — N shards,
-/// N cores, no shared-state locking at all (ownership *is* the lock).
-///
-/// This is the live-runtime counterpart of the simulator's sequential
-/// shard loop: the deterministic [`World`](crate::World) fans a sharded
-/// broker's match across shards in-line (replayable, allocation-free),
-/// while a threaded deployment moves the same shard states into a pool and
-/// gets true multi-core matching. The pool is deliberately dumb — it knows
-/// nothing about brokers or routing, only "each worker owns a `T`" — so
-/// any sharded structure can ride it.
-///
-/// Methods take `&mut self` purely to serialise completion accounting; the
-/// workers themselves never share anything.
-pub struct ShardPool<T> {
-    senders: Vec<Sender<ShardMail<T>>>,
-    done_rx: Receiver<usize>,
-    handles: Vec<std::thread::JoinHandle<T>>,
-}
-
-impl<T> fmt::Debug for ShardPool<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ShardPool").field("shards", &self.senders.len()).finish()
-    }
-}
-
-impl<T: Send + 'static> ShardPool<T> {
-    /// Spawns one worker thread per element of `shards`, moving each shard
-    /// into its worker.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shards` is empty.
-    pub fn new(shards: Vec<T>) -> Self {
-        assert!(!shards.is_empty(), "a shard pool needs at least one shard");
-        let (done_tx, done_rx) = unbounded();
-        let mut senders = Vec::with_capacity(shards.len());
-        let mut handles = Vec::with_capacity(shards.len());
-        for (i, mut shard) in shards.into_iter().enumerate() {
-            let (tx, rx) = unbounded::<ShardMail<T>>();
-            let done = done_tx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("rebeca-shard-{i}"))
-                .spawn(move || {
-                    while let Ok(mail) = rx.recv() {
-                        match mail {
-                            ShardMail::Run(job) => {
-                                // The guard signals completion even if the
-                                // job panics (the send happens in Drop
-                                // during unwinding), so a waiting fan-out
-                                // never deadlocks on a dead worker — the
-                                // next interaction with this worker fails
-                                // loudly instead.
-                                let _guard = DoneGuard { tx: &done, i };
-                                job(&mut shard);
-                            }
-                            ShardMail::Stop => break,
-                        }
-                    }
-                    shard
-                })
-                .expect("spawn shard worker");
-            senders.push(tx);
-            handles.push(handle);
-        }
-        ShardPool { senders, done_rx, handles }
-    }
-
-    /// Number of shards (= worker threads).
-    pub fn len(&self) -> usize {
-        self.senders.len()
-    }
-
-    /// Returns `true` if the pool has no shards (never: construction
-    /// requires at least one).
-    pub fn is_empty(&self) -> bool {
-        self.senders.is_empty()
-    }
-
-    /// Scatters one job per shard (built by `make`, in shard order) and
-    /// blocks until **all** shards have executed theirs — the parallel
-    /// fan-out. Results travel through whatever channels the closures
-    /// captured.
-    pub fn run_all(&mut self, mut make: impl FnMut(usize) -> ShardJob<T>) {
-        for (i, tx) in self.senders.iter().enumerate() {
-            tx.send(ShardMail::Run(make(i))).expect("shard worker alive");
-        }
-        for _ in 0..self.senders.len() {
-            self.done_rx.recv().expect("shard worker alive");
-        }
-    }
-
-    /// Runs one job on shard `i` and blocks until it completed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range.
-    pub fn run_on(&mut self, i: usize, job: ShardJob<T>) {
-        self.senders[i].send(ShardMail::Run(job)).expect("shard worker alive");
-        let done = self.done_rx.recv().expect("shard worker alive");
-        debug_assert_eq!(done, i, "completion from an unexpected shard");
-    }
-
-    /// Stops all workers and returns the shard states, in shard order.
-    pub fn join(self) -> Vec<T> {
-        for tx in &self.senders {
-            let _ = tx.send(ShardMail::Stop);
-        }
-        self.handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
-    }
-}
+// The shard fan-out pool used to live here; it moved to its own module so
+// it can compile against the model-checker shims (see `crate::sync`). The
+// re-export keeps `thread_rt::ShardPool` paths working.
+pub use crate::shard_pool::{ShardJob, ShardPool, ShardPoolPoisoned};
 
 struct PendingTimer {
     at: SimTime,
@@ -535,66 +404,6 @@ mod tests {
         std::thread::sleep(Duration::from_millis(100));
         let nodes = rt.stop();
         assert!(nodes[t.raw() as usize].as_any().downcast_ref::<TimerOnce>().unwrap().fired);
-    }
-
-    #[test]
-    fn shard_pool_scatters_and_returns_state() {
-        let mut pool = ShardPool::new(vec![0u64, 10, 20, 30]);
-        assert_eq!(pool.len(), 4);
-        assert!(!pool.is_empty());
-        // Fan a job across all shards; results travel through a captured
-        // channel tagged with the shard index.
-        let (tx, rx) = unbounded();
-        pool.run_all(|i| {
-            let tx = tx.clone();
-            Box::new(move |shard: &mut u64| {
-                *shard += 1;
-                let _ = tx.send((i, *shard));
-            })
-        });
-        let mut results: Vec<(usize, u64)> = (0..4).map(|_| rx.recv().unwrap()).collect();
-        results.sort_unstable();
-        assert_eq!(results, vec![(0, 1), (1, 11), (2, 21), (3, 31)]);
-        // A targeted job touches exactly its shard.
-        pool.run_on(2, Box::new(|shard| *shard = 99));
-        assert_eq!(pool.join(), vec![1, 11, 99, 31]);
-    }
-
-    #[test]
-    fn shard_pool_survives_a_panicking_job() {
-        // A job that panics must not deadlock the fan-out: the completion
-        // signal is sent during unwinding, so run_all returns and the
-        // failure surfaces on the next interaction instead of hanging.
-        let mut pool = ShardPool::new(vec![0u32, 0]);
-        pool.run_all(|i| {
-            Box::new(move |shard: &mut u32| {
-                if i == 0 {
-                    panic!("shard job failure");
-                }
-                *shard = 7;
-            })
-        });
-        // The healthy worker did its job; the pool is still answerable.
-        pool.run_on(1, Box::new(|shard| *shard += 1));
-        // Joining reports the dead worker loudly.
-        let joined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.join()));
-        assert!(joined.is_err(), "join must propagate the worker panic");
-    }
-
-    #[test]
-    fn shard_pool_runs_shards_concurrently() {
-        // Four workers each sleep 60 ms inside one fan-out; a serial
-        // execution would need 240 ms. Allow generous slack for slow CI
-        // machines while still distinguishing parallel from serial.
-        let mut pool = ShardPool::new(vec![(); 4]);
-        let start = Instant::now();
-        pool.run_all(|_| Box::new(|_| std::thread::sleep(Duration::from_millis(60))));
-        let elapsed = start.elapsed();
-        assert!(
-            elapsed < Duration::from_millis(200),
-            "fan-out took {elapsed:?}; shards are executing serially"
-        );
-        pool.join();
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Model-checks the `SharedInterner` RCU writer race and the
+//! `InternerCache` revalidation protocol from `rebeca-core` — the *real*
+//! production code, compiled against the shims through the
+//! `rebeca_core::sync` facade.
+//!
+//! Run with: `RUSTFLAGS="--cfg rebeca_verify" cargo test -p rebeca-verify --release`
+//!
+//! Three fault injections (see `crates/core/src/intern.rs`) re-introduce
+//! the classic bugs the protocol exists to prevent; each test proves the
+//! checker finds the bad interleaving and that its printed schedule
+//! replays deterministically.
+#![cfg(rebeca_verify)]
+
+use rebeca_core::intern::{InternerCache, SharedInterner};
+use rebeca_verify::shim::thread;
+use rebeca_verify::shim::Arc;
+use rebeca_verify::Checker;
+
+/// Two threads race to intern the *same* never-seen name: they must agree
+/// on one symbol, the table must hold exactly one entry, and the
+/// generation must equal the number of interned names.
+#[test]
+fn racing_interns_of_one_name_agree() {
+    Checker::new("racing_interns_of_one_name_agree")
+        .check(|| {
+            let shared = Arc::new(SharedInterner::new());
+            let s2 = Arc::clone(&shared);
+            let t = thread::spawn(move || s2.intern("pressure"));
+            let a = shared.intern("pressure");
+            let b = t.join().unwrap();
+            assert_eq!(a, b, "two racing interns minted two symbols for one name");
+            assert_eq!(shared.len(), 1, "duplicate entry for one name");
+            assert_eq!(shared.generation(), 1, "generation out of step with table size");
+        })
+        .assert_ok();
+}
+
+/// Two threads intern *different* names: both survive, the generation
+/// counts both, and each racer can resolve its own symbol afterwards.
+#[test]
+fn racing_interns_of_distinct_names_both_land() {
+    Checker::new("racing_interns_of_distinct_names_both_land")
+        .check(|| {
+            let shared = Arc::new(SharedInterner::new());
+            let s2 = Arc::clone(&shared);
+            let t = thread::spawn(move || s2.intern("alpha"));
+            let b = shared.intern("beta");
+            let a = t.join().unwrap();
+            assert_ne!(a, b, "distinct names collided on one symbol");
+            assert_eq!(shared.len(), 2);
+            assert_eq!(shared.generation(), 2);
+            assert_eq!(&*shared.resolve(a), "alpha");
+            assert_eq!(&*shared.resolve(b), "beta");
+        })
+        .assert_ok();
+}
+
+/// A lock-free reader that observes generation `g` must find at least `g`
+/// names in the next snapshot it takes — the publish-ordering contract of
+/// the Release bump in `intern()` / Acquire load in `generation()`.
+#[test]
+fn observed_generation_never_overstates_the_table() {
+    Checker::new("observed_generation_never_overstates_the_table")
+        .check(|| {
+            let shared = Arc::new(SharedInterner::new());
+            let s2 = Arc::clone(&shared);
+            let t = thread::spawn(move || {
+                s2.intern("x");
+            });
+            let g = shared.generation();
+            let snap = shared.snapshot();
+            assert!(
+                snap.len() as u64 >= g,
+                "generation {g} visible but only {} names installed",
+                snap.len()
+            );
+            t.join().unwrap();
+        })
+        .assert_ok();
+}
+
+/// A warm `InternerCache` races a writer: whatever interleaving happens,
+/// once the writer's intern has returned, a fresh `get()` must see the new
+/// name (the cache may refresh at most one generation late, never stay
+/// stale).
+#[test]
+fn cache_revalidation_never_serves_a_stale_table() {
+    Checker::new("cache_revalidation_never_serves_a_stale_table")
+        .check(|| {
+            let shared = Arc::new(SharedInterner::new());
+            shared.intern("warm");
+            let mut cache = InternerCache::default();
+            // Warm the cache on the generation-1 snapshot.
+            assert!(cache.get(&shared).lookup("warm").is_some());
+            let s2 = Arc::clone(&shared);
+            let t = thread::spawn(move || {
+                s2.intern("fresh");
+            });
+            // Racing get(): allowed to see either table, never a torn one.
+            let mid = cache.get(&shared);
+            assert!(mid.lookup("warm").is_some(), "old names never disappear");
+            t.join().unwrap();
+            // The intern happens-before the join: the next revalidation
+            // must observe it.
+            assert!(
+                cache.get(&shared).lookup("fresh").is_some(),
+                "cache stayed stale after the writer completed"
+            );
+        })
+        .assert_ok();
+}
+
+/// Injected bug #1: skip the re-check under the write lock (blind mint).
+/// The checker must find the interleaving where two racers mint two
+/// symbols for one name — and its schedule must replay deterministically.
+#[test]
+fn injected_skip_recheck_is_caught_and_replays() {
+    let body = || {
+        let shared = Arc::new(SharedInterner::new());
+        let s2 = Arc::clone(&shared);
+        let t = thread::spawn(move || s2.intern("pressure"));
+        let a = shared.intern("pressure");
+        let b = t.join().unwrap();
+        assert_eq!(a, b, "two racing interns minted two symbols for one name");
+        assert_eq!(shared.len(), 1, "duplicate entry for one name");
+    };
+    let report = Checker::new("injected_skip_recheck_is_caught_and_replays")
+        .inject("intern_skip_recheck")
+        .check(body);
+    let failure = report.assert_fails();
+    // Seeded replay: running *only* the reported schedule reproduces the
+    // exact same failure in a single execution.
+    let replay = Checker::new("injected_skip_recheck_is_caught_and_replays")
+        .inject("intern_skip_recheck")
+        .schedule(&failure.schedule)
+        .check(body);
+    assert_eq!(replay.explored, 1, "a replay explores exactly one schedule");
+    let refound = replay.assert_fails();
+    assert_eq!(refound.message, failure.message, "replay diverged from the recorded failure");
+    assert_eq!(refound.schedule, failure.schedule);
+}
+
+/// Injected bug #2: advance the generation *before* installing the
+/// snapshot. A reader can then observe generation `g` with fewer than `g`
+/// names installed.
+#[test]
+fn injected_early_publish_is_caught_and_replays() {
+    let body = || {
+        let shared = Arc::new(SharedInterner::new());
+        let s2 = Arc::clone(&shared);
+        let t = thread::spawn(move || {
+            s2.intern("x");
+        });
+        let g = shared.generation();
+        let snap = shared.snapshot();
+        assert!(
+            snap.len() as u64 >= g,
+            "generation {g} visible but only {} names installed",
+            snap.len()
+        );
+        t.join().unwrap();
+    };
+    let report = Checker::new("injected_early_publish_is_caught_and_replays")
+        .inject("intern_publish_early")
+        .check(body);
+    let failure = report.assert_fails();
+    let replay = Checker::new("injected_early_publish_is_caught_and_replays")
+        .inject("intern_publish_early")
+        .schedule(&failure.schedule)
+        .check(body);
+    assert_eq!(replay.explored, 1);
+    assert_eq!(replay.assert_fails().message, failure.message);
+}
+
+/// Injected bug #3: `InternerCache::refresh` stamps with a generation
+/// loaded *after* the snapshot clone. A writer landing in between stamps
+/// an old table as current, and the cache then serves it forever.
+#[test]
+fn injected_late_stamp_is_caught_and_replays() {
+    let body = || {
+        let shared = Arc::new(SharedInterner::new());
+        let mut cache = InternerCache::default();
+        let s2 = Arc::clone(&shared);
+        let t = thread::spawn(move || {
+            s2.intern("fresh");
+        });
+        // This get() may race the writer's install+bump; with the late
+        // stamp it can cache the empty table under generation 1...
+        let _ = cache.get(&shared);
+        t.join().unwrap();
+        // ...and then refuse to refresh even after the writer finished.
+        assert!(
+            cache.get(&shared).lookup("fresh").is_some(),
+            "cache stayed stale after the writer completed"
+        );
+    };
+    let report = Checker::new("injected_late_stamp_is_caught_and_replays")
+        .inject("cache_stamp_late")
+        .check(body);
+    let failure = report.assert_fails();
+    let replay = Checker::new("injected_late_stamp_is_caught_and_replays")
+        .inject("cache_stamp_late")
+        .schedule(&failure.schedule)
+        .check(body);
+    assert_eq!(replay.explored, 1);
+    assert_eq!(replay.assert_fails().message, failure.message);
+}

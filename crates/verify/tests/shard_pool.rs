@@ -1,0 +1,113 @@
+//! Model-checks the `ShardPool` fan-out/completion protocol from
+//! `rebeca-net` — the real production code, compiled against the shims
+//! through the `rebeca_net::sync` facade.
+//!
+//! Run with: `RUSTFLAGS="--cfg rebeca_verify" cargo test -p rebeca-verify --release`
+//!
+//! The properties checked are the ones `ParallelRouter` stakes its
+//! correctness on: `run_all` is a barrier (every job has completed when it
+//! returns), no completion signal is lost, and `join` quiesces the
+//! workers. The `shardpool_early_done` injection re-introduces the barrier
+//! bug (completion signalled before the job runs) and proves the checker
+//! catches it with a deterministically replayable schedule.
+#![cfg(rebeca_verify)]
+
+use rebeca_net::ShardPool;
+use rebeca_verify::shim::{Arc, AtomicUsize, Ordering};
+use rebeca_verify::Checker;
+
+/// `run_all` only returns once **all** jobs have executed, under every
+/// interleaving of worker and caller steps.
+#[test]
+fn run_all_is_a_barrier() {
+    Checker::new("run_all_is_a_barrier")
+        .check(|| {
+            let ran = Arc::new(AtomicUsize::new(0));
+            let mut pool = ShardPool::new(vec![0u64, 0]);
+            let r = Arc::clone(&ran);
+            pool.run_all(|_| {
+                let r = Arc::clone(&r);
+                Box::new(move |shard| {
+                    *shard += 1;
+                    // ordering: Release pairs with the Acquire load after
+                    // the fan-out; the completion protocol must make every
+                    // job's effects visible to the caller.
+                    r.fetch_add(1, Ordering::Release);
+                })
+            })
+            .expect("no job panics in this model");
+            assert_eq!(
+                ran.load(Ordering::Acquire),
+                2,
+                "run_all returned before every job completed"
+            );
+            // join returns the shard states the jobs produced, and
+            // quiesces the workers (the model would flag any still-running
+            // thread as a deadlock/leak at the end of the execution).
+            assert_eq!(pool.join(), vec![1, 1], "a job's shard mutation was lost");
+        })
+        .assert_ok();
+}
+
+/// A targeted `run_on` is a barrier for its one shard, and completions are
+/// attributed to the right shard even with other traffic around.
+#[test]
+fn run_on_completion_is_not_lost() {
+    Checker::new("run_on_completion_is_not_lost")
+        .check(|| {
+            let ran = Arc::new(AtomicUsize::new(0));
+            let mut pool = ShardPool::new(vec![0u64, 0]);
+            let r = Arc::clone(&ran);
+            pool.run_on(
+                1,
+                Box::new(move |shard| {
+                    *shard = 7;
+                    // ordering: Release pairs with the caller's Acquire
+                    // below — run_on must not return early.
+                    r.fetch_add(1, Ordering::Release);
+                }),
+            )
+            .expect("no job panics in this model");
+            assert_eq!(ran.load(Ordering::Acquire), 1, "run_on returned before its job ran");
+            assert_eq!(pool.join(), vec![0, 7]);
+        })
+        .assert_ok();
+}
+
+/// Injected bug: the worker signals completion *before* running the job.
+/// The checker must find the interleaving where `run_all` returns while a
+/// job is still pending — and the schedule must replay deterministically.
+#[test]
+fn injected_early_done_is_caught_and_replays() {
+    let body = || {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let mut pool = ShardPool::new(vec![0u64, 0]);
+        let r = Arc::clone(&ran);
+        pool.run_all(|_| {
+            let r = Arc::clone(&r);
+            Box::new(move |shard| {
+                *shard += 1;
+                r.fetch_add(1, Ordering::Release);
+            })
+        })
+        .expect("no job panics in this model");
+        assert_eq!(ran.load(Ordering::Acquire), 2, "run_all returned before every job completed");
+        let _ = pool.join();
+    };
+    let report = Checker::new("injected_early_done_is_caught_and_replays")
+        .inject("shardpool_early_done")
+        .check(body);
+    let failure = report.assert_fails();
+    assert!(
+        failure.message.contains("run_all returned before every job completed"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    // Seeded replay: the reported schedule alone reproduces the failure.
+    let replay = Checker::new("injected_early_done_is_caught_and_replays")
+        .inject("shardpool_early_done")
+        .schedule(&failure.schedule)
+        .check(body);
+    assert_eq!(replay.explored, 1, "a replay explores exactly one schedule");
+    assert_eq!(replay.assert_fails().message, failure.message);
+}

@@ -1,0 +1,83 @@
+//! `cargo run -p xtask -- lint` — repository task runner.
+//!
+//! The only task so far is `lint`: the hot-path invariant linter (see
+//! [`lint`] module docs for the rules). It walks every `.rs` file under
+//! `crates/`, `src/`, `tests/` and `examples/` of the workspace (skipping
+//! `vendor/` and build output), prints findings as `path:line: [rule]
+//! message`, and exits non-zero if there are any — CI runs it next to
+//! clippy.
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // xtask always runs via `cargo run -p xtask`, so the manifest dir is
+    // `<root>/crates/xtask`.
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    Path::new(manifest).ancestors().nth(2).expect("crates/xtask has a workspace root").to_path_buf()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "vendor" {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn run_lint(root: &Path) -> ExitCode {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in &files {
+        let Ok(src) = std::fs::read_to_string(file) else {
+            eprintln!("warning: unreadable file {}", file.display());
+            continue;
+        };
+        let rel = file.strip_prefix(root).unwrap_or(file).display().to_string();
+        findings.extend(lint::lint_source(&rel, &src));
+    }
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("xtask lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask lint: {} finding(s) in {} files", findings.len(), files.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&workspace_root()),
+        Some(other) => {
+            eprintln!("unknown task `{other}`; available tasks: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!(
+                "usage: cargo run -p xtask -- <task>\n\ntasks:\n  lint   hot-path invariant linter"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
