@@ -187,4 +187,41 @@ fn steady_state_pipeline_allocates_nothing() {
         buffered, 0,
         "warm replay-buffer offers allocated {buffered} times for 256 notifications"
     );
+
+    // --- wire codec: the encode side into a reused buffer, and the
+    //     zero-copy archived read path (parse + warm symbol resolution +
+    //     by-name access), as run per received notification on a
+    //     cross-process link ---
+    let mut wire = Vec::with_capacity(n.wire_size());
+    n.encode(&mut wire);
+    let shared = SharedInterner::new();
+    for (name, _) in n.attrs() {
+        shared.intern(name);
+    }
+    let mut cache = rebeca_core::intern::InternerCache::default();
+    let mut symbols = Vec::with_capacity(n.attr_count());
+    // Warm-up: capacity for the encode buffer and symbol vector, plus the
+    // interner cache's snapshot clone.
+    for _ in 0..8 {
+        wire.clear();
+        n.encode(&mut wire);
+        let (view, _) = rebeca_core::codec::ArchivedNotification::parse(&wire).expect("own bytes");
+        view.resolve_symbols(cache.get(&shared), &mut symbols);
+    }
+    let before = allocations();
+    for _ in 0..256 {
+        wire.clear();
+        n.encode(&mut wire);
+        let (view, rest) =
+            rebeca_core::codec::ArchivedNotification::parse(&wire).expect("own bytes");
+        assert!(rest.is_empty());
+        view.resolve_symbols(cache.get(&shared), &mut symbols);
+        assert!(view.get("room").is_some());
+        assert_eq!(symbols.len(), n.attr_count());
+    }
+    let coded = allocations() - before;
+    assert_eq!(
+        coded, 0,
+        "warm encode + archived decode allocated {coded} times for 256 notifications"
+    );
 }

@@ -29,6 +29,7 @@
 
 mod broker;
 mod client;
+pub mod codec;
 pub mod message;
 pub mod routing;
 pub mod shard;
@@ -36,6 +37,7 @@ pub mod table;
 
 pub use broker::{BrokerCore, BrokerNode, BrokerStats, LocalDelivery, Outcome};
 pub use client::{ClientNode, DeliveryRecord, LocalBroker};
+pub use codec::{decode_message, decode_mobility, encode_message, encode_mobility};
 pub use message::{Message, MobilityMsg};
 pub use routing::{minimal_cover, CoverChanges, LinkAnnouncer, RoutingStrategy};
 pub use shard::{ParallelRouter, ShardedRouter};

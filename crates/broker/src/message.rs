@@ -16,7 +16,7 @@ use rebeca_net::Payload;
 use std::sync::Arc;
 
 /// A message on some link of the REBECA network.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     // ----- application → its local broker (injected externally) -----
     /// The application publishes a notification; the local broker stamps
@@ -113,7 +113,7 @@ pub enum Message {
 
 /// The mobility sub-protocol (physical relocation per Zeidler/Fiege [8] and
 /// the extended-logical-mobility replicator layer of §3).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MobilityMsg {
     // ----- application → mobile client node (injected externally) -----
     /// The device is about to leave its current broker's range, while the
@@ -237,12 +237,16 @@ pub enum MobilityMsg {
         reply_to: BrokerId,
     },
     /// Reply to [`MobilityMsg::ReplicaFetch`]: the buffered notifications
-    /// (shared, not copied).
+    /// (shared, not copied). Large buffers are paged into size-bounded
+    /// chunks; `complete` marks the final one so a huge handover cannot
+    /// head-of-line-block the link it travels on.
     ReplicaBatch {
         /// The mobile application.
         app: rebeca_core::ApplicationId,
         /// Buffered notifications in order.
         notifications: Vec<Arc<Notification>>,
+        /// Whether this is the last chunk of the buffer.
+        complete: bool,
     },
 }
 
@@ -314,7 +318,7 @@ impl MobilityMsg {
             MobilityMsg::ReplicaUnsubscribe { .. } => 16,
             MobilityMsg::ReplicaFetch { .. } => 8,
             MobilityMsg::ReplicaBatch { notifications, .. } => {
-                4 + notifications.iter().map(|n| n.wire_size()).sum::<usize>()
+                5 + notifications.iter().map(|n| n.wire_size()).sum::<usize>()
             }
         }
     }

@@ -1,0 +1,843 @@
+//! Wire codec for the full data model: values, predicates, filters,
+//! subscriptions — and a **zero-copy archived view** of notifications.
+//!
+//! [`Notification::encode`]/[`Notification::decode`] define the compact
+//! little-endian wire format for notifications; this module extends the
+//! same format conventions to every other type the broker protocol ships
+//! over a link, so the framed transport (`rebeca-net`) can carry the whole
+//! protocol without a serialisation framework:
+//!
+//! * Every multi-byte integer is little-endian, fixed width.
+//! * Variable-length payloads are length-prefixed (`u16` for names and
+//!   short operands, `u32` for string values).
+//! * Enums carry a leading tag byte. Predicate tags equal the canonical
+//!   digest tags of [`Predicate::hash_into`] (0–13); value tags equal the
+//!   notification attribute tags (0–4).
+//! * Decoders never panic on foreign bytes: a short buffer is
+//!   [`CoreError::Truncated`], an unknown tag byte is
+//!   [`CoreError::BadTag`], invalid UTF-8 is [`CoreError::Decode`].
+//!
+//! Each `encode_*` writes exactly the number of bytes the matching
+//! `wire_size` estimator reports, so the simulator's bandwidth accounting
+//! and the real transport agree byte-for-byte.
+//!
+//! ## The archived read path
+//!
+//! [`ArchivedNotification`] is the rkyv-style view used on the receive hot
+//! path: [`ArchivedNotification::parse`] validates an encoded notification
+//! **once** (bounds, tags, UTF-8) against the borrowed input and from then
+//! on every access — attribute iteration ([`ArchivedNotification::attrs`]),
+//! lookup ([`ArchivedNotification::get`]), symbol resolution
+//! ([`ArchivedNotification::resolve_symbols`]) — reads straight out of the
+//! received buffer: **no per-attribute allocation, no copies**. Attribute
+//! names resolve to process-local [`Symbol`]s through a
+//! [`SharedInterner`](crate::SharedInterner) snapshot (via
+//! [`InternerCache`](crate::InternerCache)), never by shipping symbol
+//! indices across the wire — symbols are meaningful only within one
+//! process. Promotion to an owned [`Notification`]
+//! ([`ArchivedNotification::to_notification`]) is the one deliberately
+//! allocating exit.
+
+use crate::error::CoreError;
+use crate::filter::{Constraint, Filter, Predicate};
+use crate::id::{ClientId, LocationId, SubscriptionId};
+use crate::intern::{Interner, Symbol};
+use crate::notification::{Notification, NotificationId};
+use crate::subscription::Subscription;
+use crate::time::SimTime;
+use crate::value::Value;
+use bytes::{Buf, BufMut};
+use std::collections::BTreeSet;
+
+/// Fails with [`CoreError::Truncated`] unless `n` more bytes remain.
+pub fn need(buf: &impl Buf, n: usize) -> Result<(), CoreError> {
+    if buf.remaining() < n {
+        Err(CoreError::Truncated { need: n, have: buf.remaining() })
+    } else {
+        Ok(())
+    }
+}
+
+/// Reads a length-delimited UTF-8 string (allocating exit; the archived
+/// path borrows instead).
+pub fn get_string(buf: &mut impl Buf, len: usize) -> Result<String, CoreError> {
+    need(buf, len)?;
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|e| CoreError::Decode(e.to_string()))
+}
+
+#[cold]
+fn bad_utf8() -> CoreError {
+    CoreError::Decode("invalid utf-8 in wire string".into())
+}
+
+/// Encodes one attribute value (tag byte + payload, tags 0–4 as in the
+/// notification attribute encoding).
+pub fn encode_value(v: &Value, buf: &mut impl BufMut) {
+    match v {
+        Value::Bool(b) => {
+            buf.put_u8(0);
+            buf.put_u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.put_u8(1);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(2);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(3);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Loc(l) => {
+            buf.put_u8(4);
+            buf.put_u32_le(l.raw());
+        }
+    }
+}
+
+/// Decodes one attribute value.
+///
+/// # Errors
+///
+/// [`CoreError::Truncated`], [`CoreError::BadTag`] or [`CoreError::Decode`]
+/// (invalid UTF-8).
+pub fn decode_value(buf: &mut impl Buf) -> Result<Value, CoreError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => {
+            need(buf, 1)?;
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        1 => {
+            need(buf, 8)?;
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        2 => {
+            need(buf, 8)?;
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        3 => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            Ok(Value::Str(get_string(buf, len)?))
+        }
+        4 => {
+            need(buf, 4)?;
+            Ok(Value::Loc(LocationId::new(buf.get_u32_le())))
+        }
+        tag => Err(CoreError::BadTag { what: "value", tag }),
+    }
+}
+
+fn put_short_str(s: &str, buf: &mut impl BufMut) {
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_short_string(buf: &mut impl Buf) -> Result<String, CoreError> {
+    need(buf, 2)?;
+    let len = buf.get_u16_le() as usize;
+    get_string(buf, len)
+}
+
+/// Encodes a predicate (tag byte + operands; tags are the canonical digest
+/// tags 0–13 of `Predicate::hash_into`). Writes exactly
+/// [`Predicate::wire_size`] bytes.
+pub fn encode_predicate(p: &Predicate, buf: &mut impl BufMut) {
+    use Predicate::*;
+    match p {
+        Any => buf.put_u8(0),
+        Eq(v) => {
+            buf.put_u8(1);
+            encode_value(v, buf);
+        }
+        Ne(v) => {
+            buf.put_u8(2);
+            encode_value(v, buf);
+        }
+        Lt(v) => {
+            buf.put_u8(3);
+            encode_value(v, buf);
+        }
+        Le(v) => {
+            buf.put_u8(4);
+            encode_value(v, buf);
+        }
+        Gt(v) => {
+            buf.put_u8(5);
+            encode_value(v, buf);
+        }
+        Ge(v) => {
+            buf.put_u8(6);
+            encode_value(v, buf);
+        }
+        In(s) => {
+            buf.put_u8(7);
+            buf.put_u16_le(s.len() as u16);
+            for v in s {
+                encode_value(v, buf);
+            }
+        }
+        Prefix(s) => {
+            buf.put_u8(8);
+            put_short_str(s, buf);
+        }
+        Suffix(s) => {
+            buf.put_u8(9);
+            put_short_str(s, buf);
+        }
+        Contains(s) => {
+            buf.put_u8(10);
+            put_short_str(s, buf);
+        }
+        InLocations(set) => {
+            buf.put_u8(11);
+            buf.put_u16_le(set.len() as u16);
+            for l in set {
+                buf.put_u32_le(l.raw());
+            }
+        }
+        MyLoc => buf.put_u8(12),
+        MyCtx(k) => {
+            buf.put_u8(13);
+            put_short_str(k, buf);
+        }
+    }
+}
+
+/// Decodes a predicate.
+///
+/// # Errors
+///
+/// [`CoreError::Truncated`], [`CoreError::BadTag`] or [`CoreError::Decode`].
+pub fn decode_predicate(buf: &mut impl Buf) -> Result<Predicate, CoreError> {
+    use Predicate::*;
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => Ok(Any),
+        1 => Ok(Eq(decode_value(buf)?)),
+        2 => Ok(Ne(decode_value(buf)?)),
+        3 => Ok(Lt(decode_value(buf)?)),
+        4 => Ok(Le(decode_value(buf)?)),
+        5 => Ok(Gt(decode_value(buf)?)),
+        6 => Ok(Ge(decode_value(buf)?)),
+        7 => {
+            need(buf, 2)?;
+            let n = buf.get_u16_le() as usize;
+            let mut vs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                vs.push(decode_value(buf)?);
+            }
+            Ok(In(vs))
+        }
+        8 => Ok(Prefix(get_short_string(buf)?)),
+        9 => Ok(Suffix(get_short_string(buf)?)),
+        10 => Ok(Contains(get_short_string(buf)?)),
+        11 => {
+            need(buf, 2)?;
+            let n = buf.get_u16_le() as usize;
+            let mut set = BTreeSet::new();
+            for _ in 0..n {
+                need(buf, 4)?;
+                set.insert(LocationId::new(buf.get_u32_le()));
+            }
+            Ok(InLocations(set))
+        }
+        12 => Ok(MyLoc),
+        13 => Ok(MyCtx(get_short_string(buf)?)),
+        tag => Err(CoreError::BadTag { what: "predicate", tag }),
+    }
+}
+
+/// Encodes a filter: `u16` constraint count, then per constraint a `u16`
+/// attribute-name length, the name bytes and the predicate. Writes exactly
+/// [`Filter::wire_size`] bytes.
+pub fn encode_filter(f: &Filter, buf: &mut impl BufMut) {
+    buf.put_u16_le(f.len() as u16);
+    for c in f.constraints() {
+        put_short_str(c.attr(), buf);
+        encode_predicate(c.predicate(), buf);
+    }
+}
+
+/// Decodes a filter. Constraints are re-normalised through
+/// [`Filter::from_constraints`], so a decoded filter compares equal to the
+/// encoded original (all construction paths keep constraints sorted).
+///
+/// # Errors
+///
+/// [`CoreError::Truncated`], [`CoreError::BadTag`] or [`CoreError::Decode`].
+pub fn decode_filter(buf: &mut impl Buf) -> Result<Filter, CoreError> {
+    need(buf, 2)?;
+    let n = buf.get_u16_le() as usize;
+    let mut constraints = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let attr = get_short_string(buf)?;
+        let predicate = decode_predicate(buf)?;
+        constraints.push(Constraint::new(attr, predicate));
+    }
+    Ok(Filter::from_constraints(constraints))
+}
+
+/// Encodes a subscription: `u32` subscription id, `u32` client id, filter.
+/// Writes exactly [`Subscription::wire_size`] bytes.
+pub fn encode_subscription(s: &Subscription, buf: &mut impl BufMut) {
+    buf.put_u32_le(s.id().raw());
+    buf.put_u32_le(s.client().raw());
+    encode_filter(s.filter(), buf);
+}
+
+/// Decodes a subscription.
+///
+/// # Errors
+///
+/// [`CoreError::Truncated`], [`CoreError::BadTag`] or [`CoreError::Decode`].
+pub fn decode_subscription(buf: &mut impl Buf) -> Result<Subscription, CoreError> {
+    need(buf, 8)?;
+    let id = SubscriptionId::new(buf.get_u32_le());
+    let client = ClientId::new(buf.get_u32_le());
+    let filter = decode_filter(buf)?;
+    Ok(Subscription::new(id, client, filter))
+}
+
+/// A borrowed attribute value inside an [`ArchivedNotification`]: numeric
+/// variants are copied out of the wire bytes (they are `Copy`), strings
+/// stay borrowed from the received buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueRef<'a> {
+    /// A boolean value.
+    Bool(bool),
+    /// A 64-bit integer value.
+    Int(i64),
+    /// A 64-bit float value.
+    Float(f64),
+    /// A string value, borrowed from the encoded buffer.
+    Str(&'a str),
+    /// A location value.
+    Loc(LocationId),
+}
+
+impl ValueRef<'_> {
+    /// Promotes to an owned [`Value`] (allocates for strings).
+    pub fn to_value(self) -> Value {
+        match self {
+            ValueRef::Bool(b) => Value::Bool(b),
+            ValueRef::Int(i) => Value::Int(i),
+            ValueRef::Float(f) => Value::Float(f),
+            ValueRef::Str(s) => Value::Str(s.into()),
+            ValueRef::Loc(l) => Value::Loc(l),
+        }
+    }
+
+    /// Structural equality against an owned [`Value`] without allocating.
+    pub fn matches_value(self, v: &Value) -> bool {
+        match (self, v) {
+            (ValueRef::Bool(a), Value::Bool(b)) => a == *b,
+            (ValueRef::Int(a), Value::Int(b)) => a == *b,
+            (ValueRef::Float(a), Value::Float(b)) => a == *b,
+            (ValueRef::Str(a), Value::Str(b)) => a == b.as_str(),
+            (ValueRef::Loc(a), Value::Loc(b)) => a == *b,
+            _ => false,
+        }
+    }
+}
+
+/// The fixed notification header: publisher (4) + seq (8) + published_at
+/// (8) + attribute count (2).
+const NOTIFICATION_HEADER: usize = 4 + 8 + 8 + 2;
+
+/// A zero-copy view of one encoded notification (see the [module
+/// docs](self) for the validation contract).
+#[derive(Debug, Clone, Copy)]
+pub struct ArchivedNotification<'a> {
+    publisher: ClientId,
+    seq: u64,
+    published_at: SimTime,
+    attr_count: u16,
+    /// The validated attribute region, borrowed from the input buffer.
+    attrs: &'a [u8],
+}
+
+impl<'a> ArchivedNotification<'a> {
+    /// Validates one encoded notification at the front of `bytes` and
+    /// returns the archived view plus the unconsumed tail. This is the
+    /// **only** fallible step of the archived read path: every later
+    /// access reads the pre-validated region infallibly.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Truncated`], [`CoreError::BadTag`] or
+    /// [`CoreError::Decode`] (invalid UTF-8) — never a panic, whatever the
+    /// input bytes.
+    pub fn parse(bytes: &'a [u8]) -> Result<(ArchivedNotification<'a>, &'a [u8]), CoreError> {
+        let mut cur = bytes;
+        need(&cur, NOTIFICATION_HEADER)?;
+        // hot-path: begin archived notification validation — one pass over
+        // the received bytes: bounds, value tags and UTF-8 checked here so
+        // iteration below is infallible; no allocation, no copies.
+        let publisher = ClientId::new(cur.get_u32_le());
+        let seq = cur.get_u64_le();
+        let published_at = SimTime::from_micros(cur.get_u64_le());
+        let attr_count = cur.get_u16_le();
+        let body = cur;
+        let mut walk = body;
+        for _ in 0..attr_count {
+            need(&walk, 2)?;
+            let name_len = walk.get_u16_le() as usize;
+            need(&walk, name_len)?;
+            let (name, rest) = walk.split_at(name_len);
+            if std::str::from_utf8(name).is_err() {
+                return Err(bad_utf8());
+            }
+            walk = rest;
+            need(&walk, 1)?;
+            let skip = match walk.get_u8() {
+                0 => 1,
+                1 | 2 => 8,
+                3 => {
+                    need(&walk, 4)?;
+                    let len = walk.get_u32_le() as usize;
+                    need(&walk, len)?;
+                    let (s, rest) = walk.split_at(len);
+                    if std::str::from_utf8(s).is_err() {
+                        return Err(bad_utf8());
+                    }
+                    walk = rest;
+                    0
+                }
+                4 => 4,
+                tag => return Err(CoreError::BadTag { what: "value", tag }),
+            };
+            need(&walk, skip)?;
+            let (_, rest) = walk.split_at(skip);
+            walk = rest;
+        }
+        let consumed = body.len() - walk.len();
+        let (attrs, rest) = body.split_at(consumed);
+        // hot-path: end
+        Ok((ArchivedNotification { publisher, seq, published_at, attr_count, attrs }, rest))
+    }
+
+    /// The globally unique identifier (publisher + sequence number).
+    pub fn id(&self) -> NotificationId {
+        NotificationId::new(self.publisher, self.seq)
+    }
+
+    /// The publishing client.
+    pub fn publisher(&self) -> ClientId {
+        self.publisher
+    }
+
+    /// The per-publisher sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// When the notification was published.
+    pub fn published_at(&self) -> SimTime {
+        self.published_at
+    }
+
+    /// Number of attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attr_count as usize
+    }
+
+    /// Total encoded length of this notification on the wire.
+    pub fn wire_len(&self) -> usize {
+        NOTIFICATION_HEADER + self.attrs.len()
+    }
+
+    /// Iterates the attributes in encoded (name) order, borrowing names
+    /// and string values from the received buffer — no allocation.
+    pub fn attrs(&self) -> ArchivedAttrs<'a> {
+        ArchivedAttrs { rest: self.attrs, left: self.attr_count }
+    }
+
+    /// Looks up one attribute by name (linear scan; the attribute counts
+    /// of real notifications are single-digit).
+    pub fn get(&self, name: &str) -> Option<ValueRef<'a>> {
+        self.attrs().find(|(n, _)| *n == name).map(|(_, v)| v)
+    }
+
+    /// Resolves every attribute name to a process-local [`Symbol`] through
+    /// `interner` (a [`SharedInterner`](crate::SharedInterner) snapshot,
+    /// typically obtained via
+    /// [`InternerCache::get`](crate::InternerCache::get)). Reuses `out`;
+    /// with warm symbols and sufficient capacity this performs **zero**
+    /// allocations (asserted by the `alloc_regression` codec case).
+    /// `None` entries mark names this process has never interned.
+    pub fn resolve_symbols(&self, interner: &Interner, out: &mut Vec<Option<Symbol>>) {
+        out.clear();
+        // hot-path: begin archived symbol resolution — borrowed names
+        // resolve through the snapshot's lock-free lookup; the reused
+        // output vector is the only storage touched.
+        for (name, _) in self.attrs() {
+            out.push(interner.lookup(name));
+        }
+        // hot-path: end
+    }
+
+    /// Promotes the view to an owned [`Notification`] — the deliberately
+    /// allocating exit of the archived path (used when a notification
+    /// leaves the transport layer and enters buffers / delivery logs).
+    pub fn to_notification(&self) -> Notification {
+        let mut b = Notification::builder();
+        for (name, v) in self.attrs() {
+            b = b.attr(name, v.to_value());
+        }
+        b.publish(self.publisher, self.seq, self.published_at)
+    }
+}
+
+/// Iterator over the attributes of an [`ArchivedNotification`].
+///
+/// Infallible: the region was validated by
+/// [`ArchivedNotification::parse`].
+#[derive(Debug, Clone)]
+pub struct ArchivedAttrs<'a> {
+    rest: &'a [u8],
+    left: u16,
+}
+
+impl<'a> Iterator for ArchivedAttrs<'a> {
+    type Item = (&'a str, ValueRef<'a>);
+
+    fn next(&mut self) -> Option<(&'a str, ValueRef<'a>)> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        // hot-path: begin archived attribute iteration — straight reads
+        // out of the pre-validated buffer; no bounds rechecks beyond the
+        // slice ops, no allocation.
+        let mut cur = self.rest;
+        let name_len = cur.get_u16_le() as usize;
+        let (name, rest) = cur.split_at(name_len);
+        let name = std::str::from_utf8(name).expect("validated at parse");
+        cur = rest;
+        let value = match cur.get_u8() {
+            0 => ValueRef::Bool(cur.get_u8() != 0),
+            1 => ValueRef::Int(cur.get_i64_le()),
+            2 => ValueRef::Float(cur.get_f64_le()),
+            3 => {
+                let len = cur.get_u32_le() as usize;
+                let (s, rest) = cur.split_at(len);
+                cur = rest;
+                ValueRef::Str(std::str::from_utf8(s).expect("validated at parse"))
+            }
+            4 => ValueRef::Loc(LocationId::new(cur.get_u32_le())),
+            _ => unreachable!("tag validated at parse"),
+        };
+        self.rest = cur;
+        // hot-path: end
+        Some((name, value))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.left as usize, Some(self.left as usize))
+    }
+}
+
+impl ExactSizeIterator for ArchivedAttrs<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::{InternerCache, SharedInterner};
+
+    fn sample_filter() -> Filter {
+        Filter::builder().eq("service", "temperature").gt("celsius", 20.0).myloc("location").build()
+    }
+
+    fn all_predicates() -> Vec<Predicate> {
+        use Predicate::*;
+        vec![
+            Any,
+            Eq(Value::from(3i64)),
+            Ne(Value::from("x")),
+            Lt(Value::from(2.5)),
+            Le(Value::from(true)),
+            Gt(Value::from(LocationId::new(7))),
+            Ge(Value::from(-1i64)),
+            In(vec![Value::from(1i64), Value::from("two"), Value::from(3.0)]),
+            Prefix("tem".into()),
+            Suffix("ure".into()),
+            Contains("per".into()),
+            InLocations([LocationId::new(1), LocationId::new(9)].into()),
+            MyLoc,
+            MyCtx("speed".into()),
+        ]
+    }
+
+    #[test]
+    fn predicate_codec_round_trips_every_variant_at_exact_size() {
+        for p in all_predicates() {
+            let mut buf = Vec::new();
+            encode_predicate(&p, &mut buf);
+            assert_eq!(buf.len(), p.wire_size(), "wire_size exact for {p:?}");
+            let mut cur: &[u8] = &buf;
+            let back = decode_predicate(&mut cur).expect("decode");
+            assert_eq!(back, p);
+            assert_eq!(cur.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn predicate_decode_rejects_truncation_at_every_byte() {
+        for p in all_predicates() {
+            let mut buf = Vec::new();
+            encode_predicate(&p, &mut buf);
+            for cut in 0..buf.len() {
+                let mut cur = &buf[..cut];
+                assert!(decode_predicate(&mut cur).is_err(), "cut {cut} of {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_and_subscription_round_trip() {
+        let f = sample_filter();
+        let mut buf = Vec::new();
+        encode_filter(&f, &mut buf);
+        assert_eq!(buf.len(), f.wire_size());
+        let mut cur: &[u8] = &buf;
+        assert_eq!(decode_filter(&mut cur).expect("decode"), f);
+        assert_eq!(cur.remaining(), 0);
+
+        let s = Subscription::new(SubscriptionId::new(4), ClientId::new(9), f);
+        let mut buf = Vec::new();
+        encode_subscription(&s, &mut buf);
+        assert_eq!(buf.len(), s.wire_size());
+        let mut cur: &[u8] = &buf;
+        assert_eq!(decode_subscription(&mut cur).expect("decode"), s);
+    }
+
+    #[test]
+    fn bad_tags_error_cleanly() {
+        let mut cur: &[u8] = &[99u8, 0, 0];
+        assert!(matches!(
+            decode_predicate(&mut cur),
+            Err(CoreError::BadTag { what: "predicate", tag: 99 })
+        ));
+        let mut cur: &[u8] = &[250u8];
+        assert!(matches!(
+            decode_value(&mut cur),
+            Err(CoreError::BadTag { what: "value", tag: 250 })
+        ));
+    }
+
+    fn sample_notification() -> Notification {
+        Notification::builder()
+            .attr("service", "temperature")
+            .attr("celsius", 21.5)
+            .attr("room", 104i64)
+            .attr("location", LocationId::new(3))
+            .attr("stable", true)
+            .publish(ClientId::new(2), 9, SimTime::from_millis(42))
+    }
+
+    #[test]
+    fn archived_view_agrees_with_owned_decode() {
+        let n = sample_notification();
+        let mut buf = Vec::new();
+        n.encode(&mut buf);
+        let (a, rest) = ArchivedNotification::parse(&buf).expect("parse");
+        assert!(rest.is_empty());
+        assert_eq!(a.id(), n.id());
+        assert_eq!(a.published_at(), n.published_at());
+        assert_eq!(a.attr_count(), n.attr_count());
+        assert_eq!(a.wire_len(), n.wire_size());
+        for ((an, av), (on, ov)) in a.attrs().zip(n.attrs()) {
+            assert_eq!(an, on);
+            assert!(av.matches_value(ov), "{av:?} vs {ov:?}");
+            assert_eq!(&av.to_value(), ov);
+        }
+        assert_eq!(a.get("room").map(ValueRef::to_value), Some(Value::Int(104)));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.to_notification(), n);
+    }
+
+    #[test]
+    fn archived_parse_returns_unconsumed_tail() {
+        let n = sample_notification();
+        let mut buf = Vec::new();
+        n.encode(&mut buf);
+        buf.extend_from_slice(b"tail");
+        let (a, rest) = ArchivedNotification::parse(&buf).expect("parse");
+        assert_eq!(rest, b"tail");
+        assert_eq!(a.to_notification(), n);
+    }
+
+    #[test]
+    fn archived_parse_rejects_truncation_at_every_byte() {
+        let n = sample_notification();
+        let mut buf = Vec::new();
+        n.encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(ArchivedNotification::parse(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn archived_parse_rejects_bad_value_tag_and_utf8() {
+        let n = sample_notification();
+        let mut buf = Vec::new();
+        n.encode(&mut buf);
+        // First attribute's tag byte.
+        let name_len = u16::from_le_bytes([buf[22], buf[23]]) as usize;
+        let tag_at = 24 + name_len;
+        let mut corrupt = buf.clone();
+        corrupt[tag_at] = 250;
+        assert!(matches!(
+            ArchivedNotification::parse(&corrupt),
+            Err(CoreError::BadTag { what: "value", tag: 250 })
+        ));
+        // Invalid UTF-8 in the first attribute name.
+        let mut corrupt = buf.clone();
+        corrupt[24] = 0xFF;
+        assert!(ArchivedNotification::parse(&corrupt).is_err());
+    }
+
+    #[test]
+    fn symbols_resolve_through_snapshot_and_stay_process_local() {
+        let shared = SharedInterner::new();
+        let service = shared.intern("service");
+        let celsius = shared.intern("celsius");
+        let n = sample_notification();
+        let mut buf = Vec::new();
+        n.encode(&mut buf);
+        let (a, _) = ArchivedNotification::parse(&buf).expect("parse");
+        let mut cache = InternerCache::default();
+        let mut syms = Vec::new();
+        a.resolve_symbols(cache.get(&shared), &mut syms);
+        assert_eq!(syms.len(), a.attr_count());
+        // Names iterate in BTreeMap order: celsius, location, room,
+        // service, stable. Only the interned two resolve.
+        assert_eq!(syms[0], Some(celsius));
+        assert_eq!(syms[1], None);
+        assert_eq!(syms[2], None);
+        assert_eq!(syms[3], Some(service));
+        assert_eq!(syms[4], None);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            (-1e12f64..1e12).prop_map(Value::Float),
+            ".{0,16}".prop_map(Value::Str),
+            any::<u32>().prop_map(|i| Value::Loc(LocationId::new(i))),
+        ]
+    }
+
+    fn arb_predicate() -> impl Strategy<Value = Predicate> {
+        let locset = proptest::collection::btree_set(any::<u32>().prop_map(LocationId::new), 0..5);
+        prop_oneof![
+            Just(Predicate::Any),
+            arb_value().prop_map(Predicate::Eq),
+            arb_value().prop_map(Predicate::Ne),
+            arb_value().prop_map(Predicate::Lt),
+            arb_value().prop_map(Predicate::Le),
+            arb_value().prop_map(Predicate::Gt),
+            arb_value().prop_map(Predicate::Ge),
+            proptest::collection::vec(arb_value(), 0..4).prop_map(Predicate::In),
+            "[a-z]{0,6}".prop_map(Predicate::Prefix),
+            "[a-z]{0,6}".prop_map(Predicate::Suffix),
+            "[a-z]{0,6}".prop_map(Predicate::Contains),
+            locset.prop_map(Predicate::InLocations),
+            Just(Predicate::MyLoc),
+            "[a-z]{0,6}".prop_map(Predicate::MyCtx),
+        ]
+    }
+
+    pub(crate) fn arb_filter() -> impl Strategy<Value = Filter> {
+        proptest::collection::btree_map("[a-z]{1,8}", arb_predicate(), 0..5).prop_map(|m| {
+            Filter::from_constraints(m.into_iter().map(|(a, p)| Constraint::new(a, p)))
+        })
+    }
+
+    fn arb_notification() -> impl Strategy<Value = Notification> {
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::btree_map("[a-z]{1,8}", arb_value(), 0..6),
+        )
+            .prop_map(|(publisher, seq, at, attrs)| {
+                let mut b = Notification::builder();
+                for (k, v) in attrs {
+                    b = b.attr(k, v);
+                }
+                b.publish(ClientId::new(publisher), seq, SimTime::from_micros(at))
+            })
+    }
+
+    proptest! {
+        /// Predicate/filter/subscription codecs round-trip at the exact
+        /// estimated size and consume exactly their bytes.
+        #[test]
+        fn structured_codecs_round_trip(
+            p in arb_predicate(),
+            f in arb_filter(),
+            id in any::<u32>(),
+            client in any::<u32>(),
+        ) {
+            let mut buf = Vec::new();
+            encode_predicate(&p, &mut buf);
+            prop_assert_eq!(buf.len(), p.wire_size());
+            let mut cur: &[u8] = &buf;
+            prop_assert_eq!(decode_predicate(&mut cur).expect("predicate"), p);
+            prop_assert_eq!(cur.remaining(), 0);
+
+            let s = Subscription::new(SubscriptionId::new(id), ClientId::new(client), f.clone());
+            let mut buf = Vec::new();
+            encode_subscription(&s, &mut buf);
+            prop_assert_eq!(buf.len(), s.wire_size());
+            let mut cur: &[u8] = &buf;
+            prop_assert_eq!(decode_subscription(&mut cur).expect("subscription"), s);
+            prop_assert_eq!(cur.remaining(), 0);
+        }
+
+        /// Truncating an encoded filter at every byte fails cleanly.
+        #[test]
+        fn filter_codec_rejects_truncation(f in arb_filter()) {
+            let mut buf = Vec::new();
+            encode_filter(&f, &mut buf);
+            for cut in 0..buf.len() {
+                let mut cur = &buf[..cut];
+                prop_assert!(decode_filter(&mut cur).is_err(), "cut at {}", cut);
+            }
+        }
+
+        /// The archived view is observationally equal to the owned decode
+        /// for every notification, and parsing any truncation fails
+        /// cleanly.
+        #[test]
+        fn archived_view_is_faithful(n in arb_notification()) {
+            let mut buf = Vec::new();
+            n.encode(&mut buf);
+            let (a, rest) = ArchivedNotification::parse(&buf).expect("parse");
+            prop_assert!(rest.is_empty());
+            prop_assert_eq!(a.wire_len(), n.wire_size());
+            prop_assert_eq!(a.to_notification(), n.clone());
+            for cut in 0..buf.len() {
+                if cut == 22 && n.attr_count() == 0 {
+                    continue; // header-only encoding: 22 bytes are complete
+                }
+                prop_assert!(ArchivedNotification::parse(&buf[..cut]).is_err(), "cut {}", cut);
+            }
+        }
+    }
+}

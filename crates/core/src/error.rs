@@ -14,6 +14,20 @@ pub enum CoreError {
     },
     /// A wire message could not be decoded.
     Decode(String),
+    /// A wire message ended before the bytes it promised.
+    Truncated {
+        /// Bytes the decoder needed next.
+        need: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// A wire message carried an unknown tag byte.
+    BadTag {
+        /// What was being decoded, e.g. `"value"` or `"predicate"`.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
     /// A filter containing an unresolved marker (`myloc` / `myctx`) was used
     /// where a concrete filter is required.
     UnresolvedMarker {
@@ -29,6 +43,12 @@ impl fmt::Display for CoreError {
                 write!(f, "non-finite float value for attribute `{attribute}`")
             }
             CoreError::Decode(msg) => write!(f, "malformed wire message: {msg}"),
+            CoreError::Truncated { need, have } => {
+                write!(f, "truncated wire message: need {need} more bytes, have {have}")
+            }
+            CoreError::BadTag { what, tag } => {
+                write!(f, "unknown {what} tag {tag} in wire message")
+            }
             CoreError::UnresolvedMarker { marker } => {
                 write!(f, "filter still contains unresolved marker `{marker}`")
             }
@@ -48,6 +68,10 @@ mod tests {
         assert_eq!(e.to_string(), "non-finite float value for attribute `x`");
         let e = CoreError::UnresolvedMarker { marker: "myloc".into() };
         assert!(e.to_string().contains("myloc"));
+        let e = CoreError::Truncated { need: 8, have: 3 };
+        assert_eq!(e.to_string(), "truncated wire message: need 8 more bytes, have 3");
+        let e = CoreError::BadTag { what: "value", tag: 9 };
+        assert_eq!(e.to_string(), "unknown value tag 9 in wire message");
     }
 
     #[test]

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod codec;
 pub mod digest;
 pub mod error;
 pub mod filter;
@@ -62,6 +63,7 @@ mod sync;
 pub mod time;
 pub mod value;
 
+pub use codec::{ArchivedAttrs, ArchivedNotification, ValueRef};
 pub use digest::Digest;
 pub use error::CoreError;
 pub use filter::{Constraint, CoverKey, Filter, FilterBuilder, MergeOutcome, Predicate};

@@ -261,7 +261,7 @@ impl fmt::Display for Notification {
 /// The terminal method is [`NotificationBuilder::publish`], which attaches
 /// the publisher identity, sequence number and timestamp (normally filled in
 /// by the local broker).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NotificationBuilder {
     attrs: BTreeMap<String, Value>,
 }
@@ -306,6 +306,12 @@ impl NotificationBuilder {
     /// Returns `true` if no attribute has been staged.
     pub fn is_empty(&self) -> bool {
         self.attrs.is_empty()
+    }
+
+    /// Iterates the staged attributes in name order (used by the wire
+    /// codec to ship unpublished attribute sets).
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Finalises the notification with its publishing metadata.

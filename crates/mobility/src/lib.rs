@@ -38,6 +38,7 @@ pub mod client;
 pub mod context;
 pub mod location;
 pub mod movement;
+pub mod paging;
 pub mod physical;
 pub mod replicator;
 
@@ -46,6 +47,7 @@ pub use client::{ClientMobilityMode, MobileClientNode};
 pub use context::ContextMap;
 pub use location::LocationMap;
 pub use movement::MovementGraph;
+pub use paging::{pages, DEFAULT_MAX_BATCH_BYTES};
 pub use physical::{MobileBrokerConfig, MobileBrokerNode, RelocationBuffers};
 pub use replicator::{
     app_of, virtual_client_id, ReplicatorConfig, ReplicatorNode, ReplicatorStats, VirtualClient,

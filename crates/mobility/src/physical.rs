@@ -151,6 +151,10 @@ pub struct MobileBrokerConfig {
     /// stragglers to the new border — the make-before-break window that
     /// makes relocation lossless.
     pub handover_grace: SimDuration,
+    /// Byte budget of one `BufferedBatch` chunk: a relocation buffer
+    /// larger than this is paged into several messages (see
+    /// [`crate::paging`]) so it cannot head-of-line-block a link.
+    pub max_batch_bytes: usize,
 }
 
 impl Default for MobileBrokerConfig {
@@ -160,6 +164,7 @@ impl Default for MobileBrokerConfig {
             relocation_ttl: SimDuration::from_secs(300),
             sweep_interval: SimDuration::from_secs(5),
             handover_grace: SimDuration::from_millis(100),
+            max_batch_bytes: crate::paging::DEFAULT_MAX_BATCH_BYTES,
         }
     }
 }
@@ -287,12 +292,17 @@ impl MobileBrokerNode {
                 // way are forwarded instead of lost (make-before-break).
                 self.devices.remove(&client);
                 self.reloc.begin_drain(client, new_border);
-                let reply = Message::Mobility(MobilityMsg::BufferedBatch {
-                    client,
-                    notifications: batch,
-                    complete: false,
-                });
-                self.send_routed(ctx, new_border, reply);
+                // Page the buffer: all chunks `complete: false` — the
+                // drain-expiry timer sends the terminating chunk after the
+                // make-before-break grace period.
+                for page in crate::paging::pages(batch, self.config.max_batch_bytes) {
+                    let reply = Message::Mobility(MobilityMsg::BufferedBatch {
+                        client,
+                        notifications: page,
+                        complete: false,
+                    });
+                    self.send_routed(ctx, new_border, reply);
+                }
                 ctx.set_timer(self.config.handover_grace, DRAIN_TAG_BASE + u64::from(client.raw()));
             }
             MobilityMsg::BufferedBatch { client, notifications, complete } => {

@@ -147,6 +147,10 @@ pub struct ReplicatorConfig {
     /// Make-before-break window of the relocation hand-off (see
     /// [`MobileBrokerConfig`](crate::MobileBrokerConfig)).
     pub handover_grace: SimDuration,
+    /// Byte budget of one `BufferedBatch`/`ReplicaBatch` chunk: a handover
+    /// buffer larger than this is paged into several messages (see
+    /// [`crate::paging`]) so it cannot head-of-line-block a link.
+    pub max_batch_bytes: usize,
 }
 
 impl Default for ReplicatorConfig {
@@ -158,6 +162,7 @@ impl Default for ReplicatorConfig {
             relocation_ttl: SimDuration::from_secs(300),
             sweep_interval: SimDuration::from_secs(5),
             handover_grace: SimDuration::from_millis(100),
+            max_batch_bytes: crate::paging::DEFAULT_MAX_BATCH_BYTES,
         }
     }
 }
@@ -592,14 +597,20 @@ impl ReplicatorNode {
                 self.device_nodes.remove(&client);
                 let batch = self.reloc.take_buffer(client);
                 self.reloc.begin_drain(client, new_border);
-                ctx.send(
-                    self.peer(new_border),
-                    Message::Mobility(MobilityMsg::BufferedBatch {
-                        client,
-                        notifications: batch,
-                        complete: false,
-                    }),
-                );
+                // Page the buffer: all chunks `complete: false` — the
+                // drain-expiry timer sends the terminating chunk after the
+                // make-before-break grace period.
+                let peer = self.peer(new_border);
+                for page in crate::paging::pages(batch, self.config.max_batch_bytes) {
+                    ctx.send(
+                        peer,
+                        Message::Mobility(MobilityMsg::BufferedBatch {
+                            client,
+                            notifications: page,
+                            complete: false,
+                        }),
+                    );
+                }
                 ctx.set_timer(self.config.handover_grace, DRAIN_TAG_BASE + u64::from(client.raw()));
             }
             MobilityMsg::BufferedBatch { client, notifications, complete } => {
@@ -695,12 +706,23 @@ impl ReplicatorNode {
                     },
                     None => Vec::new(),
                 };
-                ctx.send(
-                    self.peer(reply_to),
-                    Message::Mobility(MobilityMsg::ReplicaBatch { app, notifications: items }),
-                );
+                // Page the replica buffer; only the last chunk carries the
+                // `complete` marker that ends the handover.
+                let peer = self.peer(reply_to);
+                let pages = crate::paging::pages(items, self.config.max_batch_bytes);
+                let last = pages.len() - 1;
+                for (i, page) in pages.into_iter().enumerate() {
+                    ctx.send(
+                        peer,
+                        Message::Mobility(MobilityMsg::ReplicaBatch {
+                            app,
+                            notifications: page,
+                            complete: i == last,
+                        }),
+                    );
+                }
             }
-            MobilityMsg::ReplicaBatch { app, notifications } => {
+            MobilityMsg::ReplicaBatch { app, notifications, complete: _ } => {
                 if let Some(vc) = self.vcs.get(&app) {
                     if let Some(node) = vc.active_node {
                         let device = vc.device;

@@ -26,18 +26,26 @@
 pub mod link;
 pub mod metrics;
 pub mod node;
+pub mod process_rt;
 pub mod rng;
+pub mod send_buffer;
 pub mod shard_pool;
 mod sync;
 pub mod thread_rt;
 pub mod topology;
+pub mod wire;
 pub mod world;
 
 pub use link::{LatencyModel, LinkConfig, LinkKey, LinkTable};
 pub use metrics::NetMetrics;
 pub use node::{Ctx, Node, NodeId, Payload, TimerId};
+pub use process_rt::{PeerId, ProcessRuntime, PEER_SEND_CAPACITY};
 pub use rng::SplitMix64;
+pub use send_buffer::{LinkClosed, SendBuffer};
 pub use shard_pool::{ShardJob, ShardPool, ShardPoolPoisoned};
 pub use thread_rt::ThreadRuntime;
 pub use topology::{Topology, TopologyError};
+pub use wire::{
+    decode_frame, encode_frame, Frame, FrameReassembler, Wire, MAX_FRAME, WIRE_VERSION,
+};
 pub use world::World;

@@ -1,0 +1,219 @@
+//! Bounded per-link send buffer with blocking backpressure.
+//!
+//! Every inter-process link owns one [`SendBuffer`]. Node threads push
+//! encoded frames into it; the link's writer thread drains **everything
+//! queued** in one call and issues a single stream write — coalescing many
+//! small frames into few syscalls. The buffer is bounded by a byte
+//! capacity: a producer that would overflow it blocks until the writer
+//! drains (backpressure), so one slow link cannot balloon process memory.
+//! One deliberate exception keeps the system live: a frame larger than the
+//! whole capacity is admitted alone into an *empty* buffer rather than
+//! deadlocking its producer forever.
+//!
+//! Concurrency comes from the crate's `sync` facade: real
+//! `parking_lot`-style primitives in normal builds, model-checked shims
+//! under `--cfg rebeca_verify`. The exact code below — including its
+//! wait-loop structure — is what `crates/verify/tests/send_buffer.rs`
+//! exhaustively interleaves, and the `sendbuf_skip_recheck` injection twin
+//! demonstrates the checker catches the classic condvar bug (treating a
+//! wakeup as a grant without re-checking occupancy).
+
+use crate::sync::lock::{Condvar, Mutex};
+use std::fmt;
+use std::sync::Arc;
+
+/// Error returned by [`SendBuffer::push`] after [`SendBuffer::close`]: the
+/// link is gone, the frame will never be sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkClosed;
+
+impl fmt::Display for LinkClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "send buffer closed: the link is being torn down")
+    }
+}
+
+impl std::error::Error for LinkClosed {}
+
+#[derive(Default)]
+struct State {
+    queue: Vec<u8>,
+    closed: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled by the drainer; waited on by producers blocked on space.
+    space: Condvar,
+    /// Signalled by producers; waited on by the drainer when empty.
+    ready: Condvar,
+    capacity: usize,
+}
+
+/// Bounded byte buffer between node threads (producers) and one link
+/// writer thread (consumer). Cheap to clone; clones share the buffer.
+#[derive(Clone)]
+pub struct SendBuffer {
+    shared: Arc<Shared>,
+}
+
+impl fmt::Debug for SendBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SendBuffer")
+            .field("capacity", &self.shared.capacity)
+            .field("occupancy", &self.occupancy())
+            .finish()
+    }
+}
+
+impl SendBuffer {
+    /// Creates a buffer bounded at `capacity` bytes.
+    pub fn new(capacity: usize) -> SendBuffer {
+        SendBuffer {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State::default()),
+                space: Condvar::new(),
+                ready: Condvar::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// Byte capacity the buffer admits before pushes block.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Bytes currently queued.
+    pub fn occupancy(&self) -> usize {
+        self.shared.state.lock().queue.len()
+    }
+
+    /// Appends one encoded frame, blocking while the buffer is full
+    /// (backpressure). An oversized frame (larger than the whole capacity)
+    /// is admitted once the buffer is empty, so it still makes progress.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkClosed`] once [`close`](SendBuffer::close) was called.
+    pub fn push(&self, frame: &[u8]) -> Result<(), LinkClosed> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if st.closed {
+                return Err(LinkClosed);
+            }
+            if st.queue.is_empty() || st.queue.len() + frame.len() <= self.shared.capacity {
+                break;
+            }
+            self.shared.space.wait(&mut st);
+            // Model-checker fault injection: treat the wakeup itself as a
+            // space grant and skip the occupancy re-check. Two producers
+            // woken by one drain can then both append, overshooting the
+            // byte bound; `crates/verify/tests/send_buffer.rs` proves the
+            // checker catches it.
+            #[cfg(rebeca_verify)]
+            if rebeca_verify::inject::enabled("sendbuf_skip_recheck") {
+                if st.closed {
+                    return Err(LinkClosed);
+                }
+                break;
+            }
+        }
+        st.queue.extend_from_slice(frame);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Swaps all queued bytes into `out` (cleared first), blocking until
+    /// data arrives. Returns `false` once the buffer is closed *and*
+    /// drained — the writer thread's signal to exit after a final flush.
+    /// `out`'s storage is recycled as the next queue, so a steady-state
+    /// writer loop allocates nothing.
+    pub fn drain_into(&self, out: &mut Vec<u8>) -> bool {
+        out.clear();
+        let mut st = self.shared.state.lock();
+        while st.queue.is_empty() {
+            if st.closed {
+                return false;
+            }
+            self.shared.ready.wait(&mut st);
+        }
+        std::mem::swap(&mut st.queue, out);
+        // Every producer blocked on space may fit now; wake them all, they
+        // re-check under the lock.
+        self.shared.space.notify_all();
+        true
+    }
+
+    /// Closes the buffer: pending bytes stay drainable, further pushes
+    /// fail, blocked producers and the drainer wake immediately.
+    pub fn close(&self) {
+        let mut st = self.shared.state.lock();
+        st.closed = true;
+        drop(st);
+        self.shared.space.notify_all();
+        self.shared.ready.notify_all();
+    }
+}
+
+#[cfg(all(test, not(rebeca_verify)))]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn pushes_then_drains_coalesced() {
+        let sb = SendBuffer::new(64);
+        sb.push(&[1, 2, 3]).unwrap();
+        sb.push(&[4, 5]).unwrap();
+        let mut out = Vec::new();
+        assert!(sb.drain_into(&mut out));
+        assert_eq!(out, vec![1, 2, 3, 4, 5], "one drain returns all queued frames");
+        assert_eq!(sb.occupancy(), 0);
+    }
+
+    #[test]
+    fn full_buffer_blocks_until_drained() {
+        let sb = SendBuffer::new(8);
+        sb.push(&[0u8; 8]).unwrap();
+        let sb2 = sb.clone();
+        let t = thread::spawn(move || {
+            sb2.push(&[1u8; 4]).unwrap(); // must block until the drain below
+            sb2.occupancy()
+        });
+        thread::sleep(Duration::from_millis(50));
+        let mut out = Vec::new();
+        assert!(sb.drain_into(&mut out));
+        assert_eq!(out.len(), 8);
+        let occupancy_after_push = t.join().unwrap();
+        assert_eq!(occupancy_after_push, 4, "blocked push completed after drain");
+    }
+
+    #[test]
+    fn oversized_frame_is_admitted_alone() {
+        let sb = SendBuffer::new(4);
+        sb.push(&[7u8; 10]).unwrap(); // larger than capacity, buffer empty
+        let mut out = Vec::new();
+        assert!(sb.drain_into(&mut out));
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn close_wakes_everyone() {
+        let sb = SendBuffer::new(4);
+        sb.push(&[0u8; 4]).unwrap();
+        let sb2 = sb.clone();
+        let blocked_push = thread::spawn(move || sb2.push(&[1u8; 2]));
+        let sb3 = sb.clone();
+        thread::sleep(Duration::from_millis(20));
+        sb3.close();
+        assert_eq!(blocked_push.join().unwrap(), Err(LinkClosed));
+        // Pending bytes still drain, then the writer is told to exit.
+        let mut out = Vec::new();
+        assert!(sb.drain_into(&mut out));
+        assert_eq!(out.len(), 4);
+        assert!(!sb.drain_into(&mut out), "closed and empty ends the writer loop");
+        assert!(sb.push(&[9]).is_err());
+    }
+}

@@ -25,5 +25,15 @@ pub(crate) mod thread {
     pub(crate) use std::thread::{Builder, JoinHandle};
 }
 
+#[cfg(not(rebeca_verify))]
+pub(crate) mod lock {
+    pub(crate) use parking_lot::{Condvar, Mutex};
+}
+
 #[cfg(rebeca_verify)]
 pub(crate) use rebeca_verify::shim::{channel, thread};
+
+#[cfg(rebeca_verify)]
+pub(crate) mod lock {
+    pub(crate) use rebeca_verify::shim::{Condvar, Mutex};
+}

@@ -13,9 +13,10 @@
 //!   `.write()`) in hot regions: the routing fan-out's whole design is
 //!   that shard ownership and interner snapshots make locks unnecessary.
 //! * **wildcard-arm** — no `_ =>` match arms in protocol handler files
-//!   (`broker.rs`, `client.rs`, `replicator.rs`): adding a `Message`
-//!   variant must force every node handler to decide, not silently
-//!   swallow it.
+//!   (`broker.rs`, `client.rs`, `replicator.rs`) or transport dispatch
+//!   files (`wire.rs`, `process_rt.rs`): adding a `Message` variant or a
+//!   frame tag must force every handler to decide, not silently swallow
+//!   it.
 //! * **safety-comment** — every `unsafe` item carries a `// SAFETY:`
 //!   comment on it or in the comment block directly above it.
 //! * **ordering-comment** — every atomic `Ordering::…` site carries a
@@ -77,8 +78,11 @@ const LOCK_PATTERNS: &[(&str, &str)] = &[
 ];
 
 /// File names whose `match` arms must be exhaustive over protocol
-/// messages (no `_ =>`).
-const HANDLER_FILES: &[&str] = &["broker.rs", "client.rs", "replicator.rs"];
+/// messages (no `_ =>`). `wire.rs` and `process_rt.rs` are the transport
+/// layer: frame-tag dispatch must name every tag so a new frame kind
+/// forces both the reassembler and the peer loop to decide.
+const HANDLER_FILES: &[&str] =
+    &["broker.rs", "client.rs", "replicator.rs", "wire.rs", "process_rt.rs"];
 
 fn is_ident_char(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_'
@@ -483,6 +487,9 @@ fn hot() {
     fn wildcard_arm_in_handler_file_is_flagged() {
         let src = "fn on_message(m: Message) { match m { Message::A => {} _ => {} } }\n";
         assert_eq!(rules("crates/broker/src/client.rs", src), vec!["wildcard-arm"]);
+        // Transport frame-tag dispatch files are held to the same rule.
+        assert_eq!(rules("crates/net/src/wire.rs", src), vec!["wildcard-arm"]);
+        assert_eq!(rules("crates/net/src/process_rt.rs", src), vec!["wildcard-arm"]);
         // Same code in a non-handler file: fine.
         assert!(lint_source("crates/broker/src/table.rs", src).is_empty());
         // Handler-named file outside src/ (a test fixture): fine.

@@ -159,6 +159,36 @@
 //! (`REBECA_BENCH_HEAVY=1`) holds per-event cost within a few percent of
 //! the 2000-filter tier — see `BENCH_churn_pr5.json`.
 //!
+//! ## Wire protocol & multi-process runtime
+//!
+//! Everything the brokers say has a canonical binary encoding: the full
+//! [`broker::Message`] / [`broker::MobilityMsg`] surface (notifications,
+//! filters, subscriptions, table deltas, replication control) round-trips
+//! through `broker::codec`, with truncation and unknown-tag errors
+//! surfaced as values, never panics. The receive side is **zero-copy**:
+//! [`core::codec::ArchivedNotification`] validates received bytes once
+//! and then serves ids, attributes and by-name lookups by reference,
+//! resolving attribute names to process-local symbols through a warm
+//! [`core::InternerCache`] with zero allocations (asserted by the
+//! allocation-regression suite; `BENCH_codec_pr7.json` records the
+//! throughput).
+//!
+//! On top of the codec sits length-prefixed framing ([`net::wire`]:
+//! version byte, frame tags, 16 MiB cap, a [`net::FrameReassembler`] that
+//! tolerates arbitrary read chunking) and the [`net::ProcessRuntime`]: the
+//! [`net::ThreadRuntime`]'s peer that hosts a *partition* of the global
+//! node table per OS process and carries inter-process traffic over Unix
+//! domain sockets — per-peer writer threads coalesce frames out of a
+//! bounded [`net::SendBuffer`] (blocking producers = backpressure), reader
+//! threads reassemble, decode via the [`net::Wire`] seam and route into
+//! local inboxes. Large mobility batches ([`mobility::pages`]) cross the
+//! wire as size-bounded chunks with a `complete` marker on the last one.
+//! [`SystemBuilder::build_process_partition`] deploys one process's share
+//! of a static broker tier; `examples/live_processes.rs` runs two broker
+//! processes end to end, and `tests/process_soak.rs` proves the
+//! two-process deployment delivery-identical to the threaded runtime —
+//! including a link drop + reconnect across the real socket.
+//!
 //! ## Migrating from the panicking API
 //!
 //! Earlier revisions of this facade modelled uncertain operations as
@@ -488,6 +518,84 @@ impl SystemBuilder {
             next_client: 0,
             next_sub: 0,
         })
+    }
+
+    /// Deploys the broker tier of this configuration into one process of a
+    /// multi-process deployment (see
+    /// [`ProcessRuntime`](rebeca_net::ProcessRuntime)).
+    ///
+    /// Brokers listed in `hosted` become local nodes of `rt`; every other
+    /// broker is declared remote behind the peer connection `peer_of`
+    /// returns for it. Every participating process must call this with the
+    /// *same* topology (so the global node table lines up) but its own
+    /// `hosted` set; topology edges are connected on all of them. Client
+    /// nodes are added by the caller afterwards — again in the same order
+    /// in every process, using
+    /// [`add_local`](rebeca_net::ProcessRuntime::add_local) here and
+    /// [`add_remote`](rebeca_net::ProcessRuntime::add_remote) elsewhere.
+    ///
+    /// Each process builds its own [`SharedInterner`]: attribute-name
+    /// symbols are process-local, resolved on decode — nothing interned
+    /// ever crosses the wire. Returns the broker node ids, indexed by
+    /// [`BrokerId`]. The simulation-only settings of the builder (seed,
+    /// link latency) are ignored, exactly as in the threaded runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`RebecaError::InvalidDeployment`] for a non-static deployment (the
+    /// mobility tiers currently ride on the simulator), a `hosted` broker
+    /// outside the topology, or a remote broker for which `peer_of`
+    /// returns `None`; plus anything [`SystemBuilder::build`] would reject.
+    pub fn build_process_partition(
+        self,
+        rt: &mut rebeca_net::ProcessRuntime<Message>,
+        hosted: &[BrokerId],
+        mut peer_of: impl FnMut(BrokerId) -> Option<rebeca_net::PeerId>,
+    ) -> Result<Vec<NodeId>, RebecaError> {
+        self.validate()?;
+        if !matches!(self.deployment, Deployment::Static) {
+            return Err(RebecaError::InvalidDeployment(
+                "process partitions deploy the static broker tier; mobility \
+                 deployments run on the simulator or the threaded runtime"
+                    .into(),
+            ));
+        }
+        let n = self.topology.broker_count();
+        for b in hosted {
+            if b.raw() as usize >= n {
+                return Err(RebecaError::InvalidDeployment(format!(
+                    "hosted broker {b} is outside the {n}-broker topology"
+                )));
+            }
+        }
+        let topology = Arc::new(self.topology);
+        let broker_nodes: Arc<Vec<NodeId>> = Arc::new((0..n as u32).map(NodeId::new).collect());
+        let interner = Arc::new(SharedInterner::new());
+        let mut ids = Vec::with_capacity(n);
+        for b in topology.brokers() {
+            if hosted.contains(&b) {
+                let core = BrokerCore::with_shards(
+                    b,
+                    Arc::clone(&topology),
+                    Arc::clone(&broker_nodes),
+                    self.strategy,
+                    Arc::clone(&interner),
+                    self.shards,
+                );
+                ids.push(rt.add_local(Box::new(BrokerNode::new(core))));
+            } else {
+                let peer = peer_of(b).ok_or_else(|| {
+                    RebecaError::InvalidDeployment(format!(
+                        "broker {b} is not hosted here and has no peer connection"
+                    ))
+                })?;
+                ids.push(rt.add_remote(peer));
+            }
+        }
+        for (a, b) in topology.edges() {
+            rt.connect(ids[a.raw() as usize], ids[b.raw() as usize]);
+        }
+        Ok(ids)
     }
 }
 

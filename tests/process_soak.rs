@@ -1,0 +1,375 @@
+//! Two-OS-process soak: the same seed-derived publish/subscribe script is
+//! driven through the in-memory [`ThreadRuntime`] and through a
+//! [`ProcessRuntime`] split across **two real OS processes** joined by a
+//! Unix domain socket, and the delivered mark sets must come out
+//! *identical*. Mid-scenario one inter-broker link is dropped and
+//! re-established, with a blackout batch published while it is down: those
+//! marks must be lost in **both** runtimes (proving the wire path honours
+//! the same "unplugged cable" semantics as the channel path) while every
+//! other mark arrives in both, FIFO-clean and duplicate-free.
+//!
+//! The child process is this very test binary re-executed with
+//! `--exact process_soak_child` and role/seed/socket environment variables
+//! — the same trick `examples/live_processes.rs` uses. On any failure the
+//! master seed is printed so the run reproduces with:
+//!
+//! ```text
+//! REBECA_SOAK_SEED=<seed> cargo test --release --test process_soak
+//! ```
+
+use rebeca::broker::{BrokerCore, BrokerNode, ClientNode, Message, RoutingStrategy};
+use rebeca::net::{NodeId, ProcessRuntime, SplitMix64, ThreadRuntime, Topology};
+use rebeca::{BrokerId, ClientId, Filter, Notification, SubscriptionId, SystemBuilder};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROLE_ENV: &str = "REBECA_PROCESS_SOAK_ROLE";
+const SOCK_ENV: &str = "REBECA_PROCESS_SOAK_SOCK";
+const SEED_ENV: &str = "REBECA_PROCESS_SOAK_SEED";
+
+/// Global node table, identical in every runtime and every process:
+/// 0..=2 = brokers on a line, 3 = publisher (at broker 0),
+/// 4 = consumer A (at broker 2, threshold filter),
+/// 5 = consumer B (at broker 1, service filter).
+const BROKERS: usize = 3;
+const PUBLISHER: NodeId = NodeId::new(3);
+const CONSUMER_A: NodeId = NodeId::new(4);
+const CONSUMER_B: NodeId = NodeId::new(5);
+
+/// The seed-derived script both runtimes replay. Batch 1 and batch 2 flow
+/// while all links are up; the blackout batch is published while the
+/// broker 1 – broker 2 link is down, so consumer A (behind that link) must
+/// never see it — in either runtime.
+struct Script {
+    /// Consumer A subscribes to `mark > threshold`.
+    threshold: i64,
+    batch1: Vec<i64>,
+    blackout: Vec<i64>,
+    batch2: Vec<i64>,
+}
+
+impl Script {
+    fn derive(seed: u64) -> Script {
+        let mut rng = SplitMix64::new(seed);
+        let threshold = (rng.next_u64() % 8) as i64; // 0..=7
+        let n1 = 10 + (rng.next_u64() % 8) as i64; // 10..=17
+        let n2 = 10 + (rng.next_u64() % 8) as i64;
+        Script {
+            threshold,
+            batch1: (0..n1).collect(),
+            blackout: (1000..1003).collect(),
+            batch2: (100..100 + n2).collect(),
+        }
+    }
+
+    /// Marks consumer A must end up with: both live batches above the
+    /// threshold, and nothing from the blackout.
+    fn expected_a(&self) -> BTreeSet<i64> {
+        self.batch1.iter().chain(&self.batch2).copied().filter(|m| *m > self.threshold).collect()
+    }
+
+    /// Marks consumer B must end up with: everything, including the
+    /// blackout batch (its broker sits on the live side of the cut).
+    fn expected_b(&self) -> BTreeSet<i64> {
+        self.batch1.iter().chain(&self.blackout).chain(&self.batch2).copied().collect()
+    }
+
+    fn filter_a(&self) -> Filter {
+        Filter::builder().eq("service", "soak").gt("mark", self.threshold).build()
+    }
+
+    fn filter_b(&self) -> Filter {
+        Filter::builder().eq("service", "soak").build()
+    }
+}
+
+fn publish(send: &impl Fn(NodeId, Message), marks: &[i64]) {
+    for &m in marks {
+        send(
+            PUBLISHER,
+            Message::AppPublish {
+                attrs: Notification::builder().attr("service", "soak").attr("mark", m),
+            },
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// What one consumer saw, comparable across runtimes.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    marks: BTreeSet<i64>,
+    fifo_violations: u64,
+    duplicates: u64,
+}
+
+fn observe(client: &ClientNode) -> Observed {
+    Observed {
+        marks: client
+            .local()
+            .delivered()
+            .iter()
+            .filter_map(|r| r.notification.get("mark").and_then(|v| v.as_int()))
+            .collect(),
+        fifo_violations: client.local().fifo_violations(),
+        duplicates: client.local().duplicates(),
+    }
+}
+
+/// Drives the script's publish/link timeline. `set_link` flips the
+/// broker 1 – broker 2 link in whichever runtime is hosting the scenario.
+fn drive(script: &Script, send: impl Fn(NodeId, Message), set_link: impl Fn(bool)) {
+    // Subscriptions (consumer A's is issued by whichever process hosts it)
+    // get a beat to flood every routing table before the first publish.
+    std::thread::sleep(Duration::from_millis(800));
+    publish(&send, &script.batch1);
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Link drop: broker 1 stops being able to reach broker 2, so the
+    // blackout batch dead-ends at broker 1 and consumer A never sees it.
+    set_link(false);
+    std::thread::sleep(Duration::from_millis(300));
+    publish(&send, &script.blackout);
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Reconnect — for the process runtime this is the "one more link
+    // re-establishment" path — and finish with a second live batch.
+    set_link(true);
+    std::thread::sleep(Duration::from_millis(300));
+    publish(&send, &script.batch2);
+    std::thread::sleep(Duration::from_millis(600));
+}
+
+/// The whole scenario on the in-memory threaded runtime: six nodes, one
+/// process, crossbeam channels.
+fn run_threaded(script: &Script) -> (Observed, Observed) {
+    let topology = Arc::new(Topology::line(BROKERS).expect("non-empty"));
+    let broker_nodes: Arc<Vec<NodeId>> = Arc::new((0..BROKERS as u32).map(NodeId::new).collect());
+
+    let mut rt: ThreadRuntime<Message> = ThreadRuntime::new();
+    for b in topology.brokers() {
+        let core = BrokerCore::new(
+            b,
+            Arc::clone(&topology),
+            Arc::clone(&broker_nodes),
+            RoutingStrategy::Simple,
+        );
+        rt.add_node(Box::new(BrokerNode::new(core)));
+    }
+    rt.add_node(Box::new(ClientNode::new(ClientId::new(1), Some(NodeId::new(0)))));
+    rt.add_node(Box::new(ClientNode::new(ClientId::new(2), Some(NodeId::new(2)))));
+    rt.add_node(Box::new(ClientNode::new(ClientId::new(3), Some(NodeId::new(1)))));
+
+    for (a, b) in topology.edges() {
+        rt.connect(NodeId::new(a.raw()), NodeId::new(b.raw()));
+    }
+    rt.connect(PUBLISHER, NodeId::new(0));
+    rt.connect(CONSUMER_A, NodeId::new(2));
+    rt.connect(CONSUMER_B, NodeId::new(1));
+    rt.start();
+
+    std::thread::sleep(Duration::from_millis(100));
+    rt.send_external(
+        CONSUMER_A,
+        Message::AppSubscribe { id: SubscriptionId::new(1), filter: script.filter_a() },
+    );
+    rt.send_external(
+        CONSUMER_B,
+        Message::AppSubscribe { id: SubscriptionId::new(2), filter: script.filter_b() },
+    );
+
+    let cell = std::cell::RefCell::new(&mut rt);
+    drive(
+        script,
+        |to, msg| cell.borrow().send_external(to, msg),
+        |up| cell.borrow_mut().set_link_up(NodeId::new(1), NodeId::new(2), up),
+    );
+
+    let nodes = rt.stop();
+    let client = |id: NodeId| {
+        nodes[id.raw() as usize].as_any().downcast_ref::<ClientNode>().expect("client node")
+    };
+    (observe(client(CONSUMER_A)), observe(client(CONSUMER_B)))
+}
+
+/// The same scenario split across two OS processes: the parent hosts
+/// brokers 0–1, the publisher, and consumer B; the re-executed child hosts
+/// broker 2 and consumer A on the far side of a Unix domain socket. The
+/// dropped-and-restored link is exactly the one whose traffic crosses the
+/// socket.
+fn run_two_processes(script: &Script, seed: u64) -> (Observed, Observed) {
+    let sock =
+        std::env::temp_dir().join(format!("rebeca-process-soak-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let child = std::process::Command::new(exe)
+        .args(["process_soak_child", "--exact", "--nocapture"])
+        .env(ROLE_ENV, "child")
+        .env(SOCK_ENV, &sock)
+        .env(SEED_ENV, seed.to_string())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn child process");
+
+    let mut rt: ProcessRuntime<Message> = ProcessRuntime::new();
+    let peer = rt.listen_uds(&sock).expect("accept child process");
+    let builder = SystemBuilder::new(Topology::line(BROKERS).expect("non-empty"))
+        .strategy(RoutingStrategy::Simple);
+    builder
+        .build_process_partition(&mut rt, &[BrokerId::new(0), BrokerId::new(1)], |_| Some(peer))
+        .expect("deploy parent partition");
+    rt.add_local(Box::new(ClientNode::new(ClientId::new(1), Some(NodeId::new(0)))));
+    rt.add_remote(peer); // consumer A lives in the child
+    rt.add_local(Box::new(ClientNode::new(ClientId::new(3), Some(NodeId::new(1)))));
+    rt.connect(PUBLISHER, NodeId::new(0));
+    rt.connect(CONSUMER_A, NodeId::new(2));
+    rt.connect(CONSUMER_B, NodeId::new(1));
+    rt.start();
+
+    std::thread::sleep(Duration::from_millis(100));
+    rt.send_external(
+        CONSUMER_B,
+        Message::AppSubscribe { id: SubscriptionId::new(2), filter: script.filter_b() },
+    );
+
+    drive(
+        script,
+        |to, msg| rt.send_external(to, msg),
+        |up| rt.set_link_up(NodeId::new(1), NodeId::new(2), up),
+    );
+
+    // The child sleeps out its fixed schedule, prints what consumer A saw,
+    // and exits; its stdout is the cross-process report channel.
+    let out = child.wait_with_output().expect("wait for child process");
+    let nodes = rt.stop();
+    let _ = std::fs::remove_file(&sock);
+    assert!(out.status.success(), "child process failed");
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let field = |key: &str| -> String {
+        stdout
+            .lines()
+            // libtest prints `test process_soak_child ... ` without a
+            // newline, so the first report key lands mid-line.
+            .find_map(|l| l.split_once(key).map(|(_, rest)| rest))
+            .unwrap_or_else(|| panic!("child printed no `{key}` line; stdout:\n{stdout}"))
+            .trim()
+            .to_string()
+    };
+    let a = Observed {
+        marks: field("SOAK-A-MARKS:")
+            .split_whitespace()
+            .map(|m| m.parse().expect("mark"))
+            .collect(),
+        fifo_violations: field("SOAK-A-FIFO:").parse().expect("fifo count"),
+        duplicates: field("SOAK-A-DUP:").parse().expect("duplicate count"),
+    };
+
+    let b_node = nodes[CONSUMER_B.raw() as usize]
+        .as_ref()
+        .expect("consumer B is local to the parent")
+        .as_any()
+        .downcast_ref::<ClientNode>()
+        .expect("client node");
+    (a, observe(b_node))
+}
+
+/// Child-process half of [`run_two_processes`]: a no-op under a normal
+/// test run (the role variable is absent), the broker-2 host when
+/// re-executed by the parent.
+#[test]
+fn process_soak_child() {
+    if std::env::var(ROLE_ENV).as_deref() != Ok("child") {
+        return;
+    }
+    let sock = PathBuf::from(std::env::var(SOCK_ENV).expect("socket path env"));
+    let seed: u64 = std::env::var(SEED_ENV).expect("seed env").parse().expect("seed");
+    let script = Script::derive(seed);
+
+    let mut rt: ProcessRuntime<Message> = ProcessRuntime::new();
+    let peer = rt.dial_uds(&sock, Duration::from_secs(10)).expect("dial parent process");
+    let builder = SystemBuilder::new(Topology::line(BROKERS).expect("non-empty"))
+        .strategy(RoutingStrategy::Simple);
+    builder
+        .build_process_partition(&mut rt, &[BrokerId::new(2)], |_| Some(peer))
+        .expect("deploy child partition");
+    rt.add_remote(peer); // publisher lives in the parent
+    rt.add_local(Box::new(ClientNode::new(ClientId::new(2), Some(NodeId::new(2)))));
+    rt.add_remote(peer); // consumer B lives in the parent
+    rt.connect(PUBLISHER, NodeId::new(0));
+    rt.connect(CONSUMER_A, NodeId::new(2));
+    rt.connect(CONSUMER_B, NodeId::new(1));
+    rt.start();
+
+    std::thread::sleep(Duration::from_millis(100));
+    rt.send_external(
+        CONSUMER_A,
+        Message::AppSubscribe { id: SubscriptionId::new(1), filter: script.filter_a() },
+    );
+
+    // Sleep past the parent's whole publish/link timeline (about 3.2 s of
+    // driving plus margin), then report.
+    std::thread::sleep(Duration::from_millis(4500));
+    let nodes = rt.stop();
+    let client = nodes[CONSUMER_A.raw() as usize]
+        .as_ref()
+        .expect("consumer A is local to the child")
+        .as_any()
+        .downcast_ref::<ClientNode>()
+        .expect("client node");
+    let seen = observe(client);
+    let marks: Vec<String> = seen.marks.iter().map(|m| m.to_string()).collect();
+    println!("SOAK-A-MARKS: {}", marks.join(" "));
+    println!("SOAK-A-FIFO: {}", seen.fifo_violations);
+    println!("SOAK-A-DUP: {}", seen.duplicates);
+}
+
+#[test]
+fn process_runtime_is_delivery_identical_to_thread_runtime() {
+    if std::env::var(ROLE_ENV).is_ok() {
+        return; // never recurse inside a child re-execution
+    }
+    let seed: u64 = match std::env::var("REBECA_SOAK_SEED") {
+        Ok(s) => s.parse().expect("REBECA_SOAK_SEED must be a u64"),
+        Err(_) => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos() as u64,
+    };
+    println!("process soak master seed: {seed}");
+
+    let result = std::panic::catch_unwind(|| {
+        let script = Script::derive(seed);
+        let (thread_a, thread_b) = run_threaded(&script);
+        let (proc_a, proc_b) = run_two_processes(&script, seed);
+
+        // Non-vacuous: the blackout batch matched consumer A's filter, so
+        // only the link drop explains its absence.
+        assert!(script.blackout.iter().all(|m| *m > script.threshold));
+        assert!(!thread_a.marks.is_empty(), "consumer A saw nothing at all");
+
+        for (label, seen) in [
+            ("thread A", &thread_a),
+            ("thread B", &thread_b),
+            ("process A", &proc_a),
+            ("process B", &proc_b),
+        ] {
+            assert_eq!(seen.fifo_violations, 0, "{label}: FIFO violated");
+            assert_eq!(seen.duplicates, 0, "{label}: duplicate deliveries");
+        }
+        assert_eq!(thread_a.marks, script.expected_a(), "thread A vs oracle");
+        assert_eq!(thread_b.marks, script.expected_b(), "thread B vs oracle");
+        assert_eq!(proc_a, thread_a, "consumer A: two processes vs one");
+        assert_eq!(proc_b, thread_b, "consumer B: two processes vs one");
+    });
+    if let Err(panic) = result {
+        eprintln!("\nprocess soak FAILED under master seed {seed}");
+        eprintln!(
+            "reproduce with: REBECA_SOAK_SEED={seed} cargo test --release --test process_soak\n"
+        );
+        std::panic::resume_unwind(panic);
+    }
+}

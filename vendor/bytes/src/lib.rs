@@ -218,6 +218,19 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +273,18 @@ mod tests {
     #[should_panic(expected = "underflow")]
     fn underflow_panics() {
         Bytes::from(vec![1]).get_u32_le();
+    }
+
+    #[test]
+    fn slice_cursor_consumes_without_copying_storage() {
+        let data = [7u8, 44, 1, 2, 0, 0];
+        let mut cur: &[u8] = &data;
+        assert_eq!(cur.remaining(), 6);
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u8(), 44);
+        assert_eq!(cur.get_u32_le(), 0x0000_0201);
+        assert_eq!(cur.remaining(), 0);
+        // The cursor is a view: the backing array is untouched.
+        assert_eq!(data[0], 7);
     }
 }

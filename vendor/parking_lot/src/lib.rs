@@ -1,13 +1,13 @@
 //! Offline stand-in for `parking_lot`, backed by `std::sync`.
 //!
-//! Only the surface the workspace uses is provided: an `RwLock` (and a
-//! `Mutex` for good measure) whose guards are acquired without a poison
-//! `Result`, matching parking_lot's API. Poisoned std locks are recovered
-//! by taking the inner guard — consistent with parking_lot, which does not
-//! poison at all.
+//! Only the surface the workspace uses is provided: `RwLock`, `Mutex` and
+//! `Condvar` whose guards are acquired without a poison `Result`, matching
+//! parking_lot's API (`Condvar::wait` takes the guard by `&mut`, unlike
+//! `std`). Poisoned std locks are recovered by taking the inner guard —
+//! consistent with parking_lot, which does not poison at all.
 
 use std::fmt;
-use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
 /// A reader-writer lock with parking_lot's non-poisoning API.
 #[derive(Default)]
@@ -51,23 +51,78 @@ pub struct Mutex<T: ?Sized> {
     inner: std::sync::Mutex<T>,
 }
 
+/// Guard for [`Mutex`]. Wraps the std guard so [`Condvar::wait`] can take
+/// it by `&mut` (parking_lot style) and re-fill it after the park.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub fn new(value: T) -> Self {
         Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())) }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard payload present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard payload present")
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.inner.fmt(f)
+    }
+}
+
+/// A condition variable with parking_lot's API: [`Condvar::wait`] borrows
+/// the guard mutably instead of consuming it.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar::default()
+    }
+
+    /// Atomically releases the guard's mutex and parks until notified,
+    /// then reacquires the mutex.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard payload present");
+        guard.inner = Some(self.inner.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Wakes one parked waiter, if any.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all parked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
     }
 }
 
@@ -89,5 +144,24 @@ mod tests {
         let m = Mutex::new(5);
         *m.lock() += 1;
         assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn condvar_wait_by_mut_borrow() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+        drop(done);
+        t.join().unwrap();
     }
 }
