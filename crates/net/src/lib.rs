@@ -18,6 +18,14 @@
 //! [`topology`] builds the acyclic broker graphs (line, star, balanced and
 //! random trees) and answers the tree-path/junction queries that the
 //! physical-mobility relocation protocol needs.
+//!
+//! For deployments split over several OS processes,
+//! [`process_rt::ProcessRuntime`] frames the same node traffic over Unix
+//! domain sockets, with a **supervised link lifecycle**
+//! ([`supervisor`]): a dying peer never panics a service thread — its
+//! routes go down, its traffic is counted and dropped, and under a
+//! [`ReconnectPolicy`] the link is re-dialed with backoff and healed in
+//! place.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +38,7 @@ pub mod process_rt;
 pub mod rng;
 pub mod send_buffer;
 pub mod shard_pool;
+pub mod supervisor;
 mod sync;
 pub mod thread_rt;
 pub mod topology;
@@ -37,12 +46,13 @@ pub mod wire;
 pub mod world;
 
 pub use link::{LatencyModel, LinkConfig, LinkKey, LinkTable};
-pub use metrics::NetMetrics;
+pub use metrics::{LinkCounters, LinkMetrics, NetMetrics};
 pub use node::{Ctx, Node, NodeId, Payload, TimerId};
-pub use process_rt::{PeerId, ProcessRuntime, PEER_SEND_CAPACITY};
+pub use process_rt::{LinkMetricsHandle, PeerId, PeerStatus, ProcessRuntime, PEER_SEND_CAPACITY};
 pub use rng::SplitMix64;
 pub use send_buffer::{LinkClosed, SendBuffer};
 pub use shard_pool::{ShardJob, ShardPool, ShardPoolPoisoned};
+pub use supervisor::{LinkDownCause, LinkLifecycle, ReconnectPolicy};
 pub use thread_rt::ThreadRuntime;
 pub use topology::{Topology, TopologyError};
 pub use wire::{

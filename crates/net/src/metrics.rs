@@ -1,13 +1,24 @@
 //! Link-level traffic accounting.
 //!
-//! The experiment harness charges every sent message against its directed
-//! link and its coarse message class (`kind`), which is how the bandwidth
-//! overhead of pre-subscription replication (experiment E3) and the control
-//! traffic of routing strategies (E7) are measured.
+//! Two consumers live here:
+//!
+//! * [`NetMetrics`] — the simulator's per-link / per-kind traffic charge
+//!   sheet. The experiment harness charges every sent message against its
+//!   directed link and its coarse message class (`kind`), which is how
+//!   the bandwidth overhead of pre-subscription replication (experiment
+//!   E3) and the control traffic of routing strategies (E7) are measured.
+//! * [`LinkCounters`] / [`LinkMetrics`] — the
+//!   [`ProcessRuntime`](crate::ProcessRuntime)'s supervision counters:
+//!   how often peer links died, how many frames were dropped into dead
+//!   links, how hard reconnection worked, and whether any service thread
+//!   ever died by panic. Shared atomics, written by supervisor and
+//!   service threads, snapshot via
+//!   [`ProcessRuntime::metrics`](crate::ProcessRuntime::metrics).
 
 use crate::link::LinkKey;
 use crate::node::NodeId;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters for one directed link or one message kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -96,6 +107,63 @@ impl NetMetrics {
     pub fn delivered(&self) -> u64 {
         self.delivered
     }
+}
+
+/// Shared atomic counters behind the process runtime's link supervision.
+///
+/// All loads and stores are `Relaxed`: these are statistics, read after
+/// the fact — no other memory is published through them.
+#[derive(Debug, Default)]
+pub struct LinkCounters {
+    /// Peer links that went down (any [`LinkDownCause`](crate::LinkDownCause)).
+    pub link_downs: AtomicU64,
+    /// Reconnection attempts made under a `ReconnectPolicy` (successful
+    /// or not).
+    pub reconnect_attempts: AtomicU64,
+    /// Peer links successfully re-established (fresh reader/writer
+    /// threads spawned, Hello replayed).
+    pub link_restarts: AtomicU64,
+    /// Reader/writer/supervisor threads that terminated by panic. The
+    /// supervision contract is that this stays 0 — malformed input is an
+    /// error, never a panic.
+    pub thread_panics: AtomicU64,
+}
+
+impl LinkCounters {
+    /// ordering: Relaxed — pure statistics counter, no memory published
+    /// through it.
+    pub(crate) fn bump(counter: &AtomicU64) {
+        // ordering: Relaxed — pure statistics counter, no memory published.
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// ordering: Relaxed — see [`LinkCounters::bump`].
+    pub(crate) fn get(counter: &AtomicU64) -> u64 {
+        // ordering: Relaxed — pure statistics counter, no memory published.
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// One consistent-enough snapshot of a [`ProcessRuntime`]'s supervision
+/// counters (the atomic counters plus the per-peer send-buffer drop
+/// accounting).
+///
+/// [`ProcessRuntime`]: crate::ProcessRuntime
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkMetrics {
+    /// Whole frames dropped by pushes into down links.
+    pub frames_dropped: u64,
+    /// Bytes discarded by link death: queued bytes drained-and-dropped
+    /// plus every dropped frame's bytes.
+    pub bytes_dropped: u64,
+    /// Peer links that went down.
+    pub link_downs: u64,
+    /// Reconnection attempts made.
+    pub reconnect_attempts: u64,
+    /// Peer links successfully re-established.
+    pub link_restarts: u64,
+    /// Service threads that died by panic (contract: 0).
+    pub thread_panics: u64,
 }
 
 #[cfg(test)]

@@ -30,21 +30,40 @@
 //! read) and routes whole frames to local node inboxes. Node threads run
 //! the same message/timer loop as the threaded runtime.
 //!
+//! A **supervisor** thread owns every link's service threads. Any link
+//! failure — the peer killed mid-stream, a torn write, garbage bytes, an
+//! undecodable payload, a contradictory Hello — becomes a
+//! [`LinkDownCause`] report (first reporter of the link's epoch wins, see
+//! [`LinkLifecycle`]), never a panic: the supervisor marks the routes
+//! crossing that peer down, drains-and-drops its send buffer (counted in
+//! [`LinkMetrics`]), and — when a [`ReconnectPolicy`] is armed via
+//! [`set_reconnect_policy`] — re-dials or re-accepts the UDS endpoint
+//! under jittered exponential backoff, replays the Hello handshake, and
+//! re-broadcasts link state so both sides converge. Without a policy
+//! (the default) a dead link simply stays down and everything else keeps
+//! running.
+//!
 //! [`add_local`]: ProcessRuntime::add_local
 //! [`add_remote`]: ProcessRuntime::add_remote
 //! [`set_link_up`]: ProcessRuntime::set_link_up
+//! [`set_reconnect_policy`]: ProcessRuntime::set_reconnect_policy
 
+use crate::metrics::{LinkCounters, LinkMetrics};
 use crate::node::{Action, Ctx, Node, NodeId, Payload, TimerId};
+use crate::rng::SplitMix64;
 use crate::send_buffer::SendBuffer;
+use crate::supervisor::{LinkDownCause, LinkLifecycle, ReconnectPolicy};
 use crate::wire::{encode_frame, Frame, FrameReassembler, Wire};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rebeca_core::SimTime;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 use std::io::{Read, Write};
+use std::os::unix::fs::FileTypeExt;
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -58,9 +77,42 @@ enum Envelope<M> {
     Stop,
 }
 
+/// Events flowing from a link's service threads to the supervisor.
+enum SupEvent {
+    /// The winning down report of one peer link epoch (see
+    /// [`LinkLifecycle::report_down`]).
+    Down { peer: usize, cause: LinkDownCause },
+    /// The runtime is stopping: tear every link down and exit.
+    Stop,
+}
+
 #[derive(Debug, Default)]
 struct LinkSet {
     up: HashSet<(NodeId, NodeId)>,
+    /// Every pair ever connected or flipped — the universe the supervisor
+    /// re-broadcasts to a restarted peer so it converges on our view.
+    known: HashSet<(NodeId, NodeId)>,
+}
+
+/// Externally visible state of one peer link, kept current by the
+/// supervisor; read via [`ProcessRuntime::peer_status`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PeerStatus {
+    /// True while the link's reader/writer threads are live.
+    pub up: bool,
+    /// Successful re-establishments of this link.
+    pub restarts: u64,
+    /// Why the link last went down (sticky across restarts).
+    pub last_cause: Option<LinkDownCause>,
+}
+
+/// How a peer connection was established — and therefore how the
+/// supervisor can re-establish it after the peer dies.
+enum PeerEndpoint {
+    /// This process bound the listener; reconnect re-accepts on it.
+    Listen(UnixListener),
+    /// This process dialed the path; reconnect re-dials it.
+    Dial(PathBuf),
 }
 
 enum Slot<M: Payload> {
@@ -80,11 +132,12 @@ pub const PEER_SEND_CAPACITY: usize = 4 * 1024 * 1024;
 
 struct PeerLink {
     stream: Option<UnixStream>,
-    /// Clone kept for teardown: `stop()` shuts the socket's read half down
-    /// so the reader thread's blocking `read` returns even if the peer
-    /// process has not sent its `Shutdown` frame yet.
-    teardown: Option<UnixStream>,
+    /// How to re-establish this connection (None for adopted socketpairs,
+    /// which have no address to return to).
+    endpoint: Option<PeerEndpoint>,
     buffer: SendBuffer,
+    lifecycle: Arc<LinkLifecycle>,
+    status: Arc<Mutex<PeerStatus>>,
 }
 
 /// Builder + handle for one process of a multi-process deployment.
@@ -110,8 +163,11 @@ pub struct ProcessRuntime<M: Payload + Wire> {
     links: Arc<RwLock<LinkSet>>,
     peers: Vec<PeerLink>,
     node_handles: Vec<std::thread::JoinHandle<Box<dyn Node<M>>>>,
-    writer_handles: Vec<std::thread::JoinHandle<()>>,
-    reader_handles: Vec<std::thread::JoinHandle<()>>,
+    supervisor_handle: Option<std::thread::JoinHandle<()>>,
+    events_tx: Option<Sender<SupEvent>>,
+    stopping: Arc<AtomicBool>,
+    counters: Arc<LinkCounters>,
+    policy: Option<ReconnectPolicy>,
     started: bool,
 }
 
@@ -134,10 +190,28 @@ impl<M: Payload + Wire> ProcessRuntime<M> {
             links: Arc::new(RwLock::new(LinkSet::default())),
             peers: Vec::new(),
             node_handles: Vec::new(),
-            writer_handles: Vec::new(),
-            reader_handles: Vec::new(),
+            supervisor_handle: None,
+            events_tx: None,
+            stopping: Arc::new(AtomicBool::new(false)),
+            counters: Arc::new(LinkCounters::default()),
+            policy: None,
             started: false,
         }
+    }
+
+    /// Arms link supervision with automatic reconnection: when a peer link
+    /// dies of a retryable [`LinkDownCause`], the supervisor re-dials (or
+    /// re-accepts) under `policy`'s backoff schedule, replays the Hello
+    /// handshake and re-broadcasts link state. Without a policy (the
+    /// default), a dead link stays down — frames towards it are counted
+    /// and dropped — and everything else keeps running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime has already started.
+    pub fn set_reconnect_policy(&mut self, policy: ReconnectPolicy) {
+        assert!(!self.started, "cannot change reconnect policy after start");
+        self.policy = Some(policy);
     }
 
     /// Declares the next node of the global table as hosted *here*.
@@ -174,47 +248,110 @@ impl<M: Payload + Wire> ProcessRuntime<M> {
         let mut l = self.links.write();
         l.up.insert((a, b));
         l.up.insert((b, a));
+        l.known.insert((a, b));
+        l.known.insert((b, a));
     }
 
     /// Binds a UDS listener at `path` and accepts exactly one peer
-    /// connection (blocking).
+    /// connection (blocking). A stale socket file left behind by a killed
+    /// process is unlinked first (only if it actually is a socket), so a
+    /// restarted process can rebind its old address.
+    ///
+    /// The listener is kept for the link's lifetime: under a
+    /// [`ReconnectPolicy`], the supervisor re-accepts on it when the peer
+    /// dies.
     ///
     /// # Errors
     ///
     /// Any I/O error from bind/accept.
     pub fn listen_uds(&mut self, path: &Path) -> std::io::Result<PeerId> {
+        match std::fs::symlink_metadata(path) {
+            Ok(meta) if meta.file_type().is_socket() => {
+                let _ = std::fs::remove_file(path);
+            }
+            Ok(_) | Err(_) => {}
+        }
         let listener = UnixListener::bind(path)?;
         let (stream, _) = listener.accept()?;
-        Ok(self.add_peer(stream))
+        Ok(self.add_peer_with_endpoint(stream, Some(PeerEndpoint::Listen(listener))))
     }
 
     /// Connects to the UDS listener at `path`, retrying until the peer has
-    /// bound it or `timeout` elapses.
+    /// bound it or `timeout` elapses. Errors that waiting cannot heal
+    /// (permissions, a non-directory path component) fail immediately
+    /// instead of burning the whole timeout.
     ///
     /// # Errors
     ///
-    /// The last connect error once `timeout` is exhausted.
+    /// The first non-healing connect error, or the last error once
+    /// `timeout` is exhausted.
     pub fn dial_uds(&mut self, path: &Path, timeout: Duration) -> std::io::Result<PeerId> {
         let deadline = Instant::now() + timeout;
         loop {
             match UnixStream::connect(path) {
-                Ok(stream) => return Ok(self.add_peer(stream)),
-                Err(e) if Instant::now() >= deadline => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                Ok(stream) => {
+                    return Ok(self.add_peer_with_endpoint(
+                        stream,
+                        Some(PeerEndpoint::Dial(path.to_path_buf())),
+                    ));
+                }
+                Err(e) if connect_error_is_fatal(e.kind()) => return Err(e),
+                Err(e) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(e);
+                    }
+                    // Sleep at most the remaining budget, so a short
+                    // timeout is honoured to the millisecond.
+                    std::thread::sleep((deadline - now).min(Duration::from_millis(10)));
+                }
             }
         }
     }
 
     /// Adopts an already-connected stream (e.g. one half of a socketpair)
-    /// as a peer link.
+    /// as a peer link. Such a link has no address to reconnect to; if it
+    /// dies it stays down even under a [`ReconnectPolicy`].
     pub fn add_peer(&mut self, stream: UnixStream) -> PeerId {
+        self.add_peer_with_endpoint(stream, None)
+    }
+
+    fn add_peer_with_endpoint(
+        &mut self,
+        stream: UnixStream,
+        endpoint: Option<PeerEndpoint>,
+    ) -> PeerId {
         let id = PeerId(self.peers.len());
         self.peers.push(PeerLink {
             stream: Some(stream),
-            teardown: None,
+            endpoint,
             buffer: SendBuffer::new(PEER_SEND_CAPACITY),
+            lifecycle: Arc::new(LinkLifecycle::new()),
+            status: Arc::new(Mutex::new(PeerStatus::default())),
         });
         id
+    }
+
+    /// The supervision state of one peer link.
+    pub fn peer_status(&self, peer: PeerId) -> PeerStatus {
+        self.peers[peer.0].status.lock().clone()
+    }
+
+    /// Snapshot of the supervision counters. For reading the counters
+    /// *after* [`stop`](ProcessRuntime::stop) (which consumes the
+    /// runtime), grab a [`metrics_handle`](ProcessRuntime::metrics_handle)
+    /// first.
+    pub fn metrics(&self) -> LinkMetrics {
+        self.metrics_handle().snapshot()
+    }
+
+    /// A handle that can snapshot this runtime's [`LinkMetrics`] even
+    /// after the runtime itself has been stopped and consumed.
+    pub fn metrics_handle(&self) -> LinkMetricsHandle {
+        LinkMetricsHandle {
+            counters: Arc::clone(&self.counters),
+            buffers: self.peers.iter().map(|p| p.buffer.clone()).collect(),
+        }
     }
 
     fn sinks(&self) -> Vec<Sink<M>> {
@@ -230,7 +367,8 @@ impl<M: Payload + Wire> ProcessRuntime<M> {
             .collect()
     }
 
-    /// Spawns node threads plus a reader and a writer thread per peer.
+    /// Spawns node threads, a supervisor thread, and (via the supervisor)
+    /// a reader and a writer thread per peer.
     ///
     /// # Panics
     ///
@@ -243,8 +381,10 @@ impl<M: Payload + Wire> ProcessRuntime<M> {
         let buffers: Arc<Vec<SendBuffer>> =
             Arc::new(self.peers.iter().map(|p| p.buffer.clone()).collect());
 
-        // Handshake: announce our node count so a topology mismatch dies
-        // loudly at connect time instead of misrouting forever.
+        // Handshake: announce our node count so a topology mismatch tears
+        // the link down at connect time instead of misrouting forever.
+        // Queued before any service thread exists, so it is always the
+        // first frame on the wire.
         let hello = Frame::Hello { nodes: self.slots.len() as u32 };
         for peer in &self.peers {
             let mut bytes = Vec::new();
@@ -252,26 +392,50 @@ impl<M: Payload + Wire> ProcessRuntime<M> {
             peer.buffer.push(&bytes).expect("peer buffer open at start");
         }
 
-        for (i, peer) in self.peers.iter_mut().enumerate() {
-            let stream = peer.stream.take().expect("peer stream present at start");
-            let write_half = stream.try_clone().expect("clone peer stream");
-            peer.teardown = Some(stream.try_clone().expect("clone peer stream"));
-            let buffer = peer.buffer.clone();
-            let wr = std::thread::Builder::new()
-                .name(format!("rebeca-wr-{i}"))
-                .spawn(move || writer_loop(write_half, buffer))
-                .expect("spawn writer thread");
-            self.writer_handles.push(wr);
-
-            let senders = self.senders.clone();
-            let links = Arc::clone(&self.links);
-            let expected_nodes = self.slots.len() as u32;
-            let rd = std::thread::Builder::new()
-                .name(format!("rebeca-rd-{i}"))
-                .spawn(move || reader_loop(stream, senders, links, expected_nodes))
-                .expect("spawn reader thread");
-            self.reader_handles.push(rd);
-        }
+        let (events_tx, events_rx) = unbounded();
+        self.events_tx = Some(events_tx.clone());
+        let sup_peers: Vec<SupPeer> = self
+            .peers
+            .iter_mut()
+            .enumerate()
+            .map(|(i, peer)| SupPeer {
+                pending_stream: Some(peer.stream.take().expect("peer stream present at start")),
+                teardown: None,
+                endpoint: peer.endpoint.take(),
+                buffer: peer.buffer.clone(),
+                lifecycle: Arc::clone(&peer.lifecycle),
+                status: Arc::clone(&peer.status),
+                writer: None,
+                reader: None,
+                saved_routes: Vec::new(),
+                behind: self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(n, slot)| match slot {
+                        Slot::Remote { peer } if peer.0 == i => Some(NodeId::new(n as u32)),
+                        Slot::Remote { .. } | Slot::Local { .. } => None,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let supervisor = Supervisor {
+            rx: events_rx,
+            tx: events_tx,
+            peers: sup_peers,
+            senders: self.senders.clone(),
+            links: Arc::clone(&self.links),
+            expected_nodes: self.slots.len() as u32,
+            policy: self.policy.clone(),
+            counters: Arc::clone(&self.counters),
+            stopping: Arc::clone(&self.stopping),
+        };
+        self.supervisor_handle = Some(
+            std::thread::Builder::new()
+                .name("rebeca-sup".into())
+                .spawn(move || supervisor.run())
+                .expect("spawn supervisor thread"),
+        );
 
         for i in 0..self.slots.len() {
             if let Slot::Local { node, rx } = &mut self.slots[i] {
@@ -331,6 +495,10 @@ impl<M: Payload + Wire> ProcessRuntime<M> {
     /// Stops local node threads, flushes and tears down peer links, and
     /// returns the local nodes in global id order (`None` in remote slots).
     pub fn stop(mut self) -> Vec<Option<Box<dyn Node<M>>>> {
+        // ordering: Relaxed — the flag is advisory (suppresses further
+        // reconnect attempts); the teardown itself is sequenced by the
+        // channel sends and joins below.
+        self.stopping.store(true, Ordering::Relaxed);
         for tx in self.senders.iter().flatten() {
             let _ = tx.send(Envelope::Stop);
         }
@@ -339,26 +507,23 @@ impl<M: Payload + Wire> ProcessRuntime<M> {
 
         // Orderly teardown: a Shutdown frame, then close each buffer. The
         // writer drains what is queued (final flush) and exits; the peer's
-        // reader exits on the Shutdown frame or on EOF. Our own reader
-        // cannot wait for the peer to stop first (both processes tear down
-        // independently), so once our writer has flushed we force its
-        // blocking read to return by shutting the read half down.
+        // reader exits on the Shutdown frame or on EOF. Then tell the
+        // supervisor to stop: it shuts each socket's read half down (our
+        // reader cannot wait for the peer to stop first — both processes
+        // tear down independently) and joins every service thread.
         let mut bytes = Vec::new();
         encode_frame(&Frame::Shutdown, &mut bytes);
         for peer in &self.peers {
             let _ = peer.buffer.push(&bytes);
             peer.buffer.close();
         }
-        for h in self.writer_handles.drain(..) {
-            let _ = h.join();
+        if let Some(tx) = self.events_tx.take() {
+            let _ = tx.send(SupEvent::Stop);
         }
-        for peer in &mut self.peers {
-            if let Some(s) = peer.teardown.take() {
-                let _ = s.shutdown(std::net::Shutdown::Read);
+        if let Some(h) = self.supervisor_handle.take() {
+            if h.join().is_err() {
+                LinkCounters::bump(&self.counters.thread_panics);
             }
-        }
-        for h in self.reader_handles.drain(..) {
-            let _ = h.join();
         }
 
         let mut locals = local_nodes.into_iter();
@@ -378,8 +543,49 @@ impl<M: Payload + Wire> Default for ProcessRuntime<M> {
     }
 }
 
+/// Snapshots a runtime's [`LinkMetrics`] without borrowing the runtime —
+/// usable after [`ProcessRuntime::stop`] has consumed it.
+#[derive(Clone, Debug)]
+pub struct LinkMetricsHandle {
+    counters: Arc<LinkCounters>,
+    buffers: Vec<SendBuffer>,
+}
+
+impl LinkMetricsHandle {
+    /// Current counter values.
+    pub fn snapshot(&self) -> LinkMetrics {
+        let mut m = LinkMetrics {
+            link_downs: LinkCounters::get(&self.counters.link_downs),
+            reconnect_attempts: LinkCounters::get(&self.counters.reconnect_attempts),
+            link_restarts: LinkCounters::get(&self.counters.link_restarts),
+            thread_panics: LinkCounters::get(&self.counters.thread_panics),
+            frames_dropped: 0,
+            bytes_dropped: 0,
+        };
+        for b in &self.buffers {
+            m.frames_dropped += b.dropped_frames();
+            m.bytes_dropped += b.dropped_bytes();
+        }
+        m
+    }
+}
+
+/// True for connect/accept errors that retrying cannot heal: the path is
+/// wrong or forbidden, not merely "peer not up yet".
+fn connect_error_is_fatal(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::PermissionDenied
+            | std::io::ErrorKind::NotADirectory
+            | std::io::ErrorKind::InvalidInput
+            | std::io::ErrorKind::Unsupported
+    )
+}
+
 fn apply_link(links: &Arc<RwLock<LinkSet>>, a: NodeId, b: NodeId, up: bool) {
     let mut l = links.write();
+    l.known.insert((a, b));
+    l.known.insert((b, a));
     if up {
         l.up.insert((a, b));
         l.up.insert((b, a));
@@ -389,68 +595,387 @@ fn apply_link(links: &Arc<RwLock<LinkSet>>, a: NodeId, b: NodeId, up: bool) {
     }
 }
 
-fn writer_loop(mut stream: UnixStream, buffer: SendBuffer) {
+/// The supervisor's view of one peer link.
+struct SupPeer {
+    /// The initial connection, consumed by the first bring-up.
+    pending_stream: Option<UnixStream>,
+    /// Clone of the live stream, kept so the supervisor can force the
+    /// reader's blocking `read` to return (socket shutdown) on teardown.
+    teardown: Option<UnixStream>,
+    endpoint: Option<PeerEndpoint>,
+    buffer: SendBuffer,
+    lifecycle: Arc<LinkLifecycle>,
+    status: Arc<Mutex<PeerStatus>>,
+    /// Live writer/reader thread handles of the current epoch.
+    writer: Option<std::thread::JoinHandle<()>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    /// Routes this supervisor forced down when the peer died, restored on
+    /// reconnect.
+    saved_routes: Vec<(NodeId, NodeId)>,
+    /// Nodes hosted behind this peer (for computing crossing routes).
+    behind: Vec<NodeId>,
+}
+
+/// Owner of every link's service threads. One per runtime, spawned by
+/// [`ProcessRuntime::start`]; consumes [`SupEvent`]s until told to stop.
+///
+/// The supervision contract: a link failure of any kind — torn socket,
+/// misframed stream, undecodable payload, handshake mismatch — becomes a
+/// [`LinkDownCause`] delivered here, never a panic. The supervisor marks
+/// the peer's routes down, drains-and-drops its send buffer (producers
+/// blocked on the dead link wake immediately; subsequent frames are
+/// counted and dropped), joins the dead epoch's threads, and — when a
+/// [`ReconnectPolicy`] is armed and the cause is retryable —
+/// re-establishes the connection, replays Hello, restores the saved
+/// routes and re-broadcasts the full known link state.
+struct Supervisor<M: Payload + Wire> {
+    rx: Receiver<SupEvent>,
+    tx: Sender<SupEvent>,
+    peers: Vec<SupPeer>,
+    senders: Vec<Option<Sender<Envelope<M>>>>,
+    links: Arc<RwLock<LinkSet>>,
+    expected_nodes: u32,
+    policy: Option<ReconnectPolicy>,
+    counters: Arc<LinkCounters>,
+    stopping: Arc<AtomicBool>,
+}
+
+impl<M: Payload + Wire> Supervisor<M> {
+    fn run(mut self) {
+        for i in 0..self.peers.len() {
+            let stream = self.peers[i].pending_stream.take().expect("initial stream present");
+            if let Err(e) = self.bring_up(i, stream, 0) {
+                // Could not even clone the initial socket: treat as an
+                // immediate link death.
+                self.handle_down(i, LinkDownCause::Read(e.kind()));
+                continue;
+            }
+            self.peers[i].status.lock().up = true;
+        }
+        // `Stop` (or a closed channel) ends supervision; everything else
+        // is a link death to contain.
+        while let Ok(SupEvent::Down { peer, cause }) = self.rx.recv() {
+            self.handle_down(peer, cause);
+        }
+        for i in 0..self.peers.len() {
+            self.teardown_peer(i, true);
+        }
+    }
+
+    /// Spawns the writer/reader pair of `epoch` over `stream`.
+    fn bring_up(&mut self, i: usize, stream: UnixStream, epoch: u64) -> std::io::Result<()> {
+        let write_half = stream.try_clone()?;
+        let teardown = stream.try_clone()?;
+        let p = &mut self.peers[i];
+        p.teardown = Some(teardown);
+        let buffer = p.buffer.clone();
+        let lifecycle = Arc::clone(&p.lifecycle);
+        let events = self.tx.clone();
+        let wr = std::thread::Builder::new()
+            .name(format!("rebeca-wr-{i}-e{epoch}"))
+            .spawn(move || writer_loop(write_half, buffer, lifecycle, events, i, epoch))
+            .expect("spawn writer thread");
+        p.writer = Some(wr);
+
+        let lifecycle = Arc::clone(&p.lifecycle);
+        let events = self.tx.clone();
+        let senders = self.senders.clone();
+        let links = Arc::clone(&self.links);
+        let expected_nodes = self.expected_nodes;
+        let rd = std::thread::Builder::new()
+            .name(format!("rebeca-rd-{i}-e{epoch}"))
+            .spawn(move || {
+                reader_loop(stream, senders, links, expected_nodes, lifecycle, events, i, epoch)
+            })
+            .expect("spawn reader thread");
+        self.peers[i].reader = Some(rd);
+        Ok(())
+    }
+
+    /// One link died: contain the damage, then (policy permitting) heal.
+    fn handle_down(&mut self, i: usize, cause: LinkDownCause) {
+        LinkCounters::bump(&self.counters.link_downs);
+        {
+            let mut st = self.peers[i].status.lock();
+            st.up = false;
+            st.last_cause = Some(cause.clone());
+        }
+        // Mark every up route that crosses this peer down, locally only:
+        // the peer is unreachable, so there is nobody to broadcast to, and
+        // other peers' views of *their* routes are unaffected.
+        let saved: Vec<(NodeId, NodeId)> = {
+            let behind = &self.peers[i].behind;
+            let mut l = self.links.write();
+            let crossing: Vec<(NodeId, NodeId)> =
+                l.up.iter()
+                    .filter(|(a, b)| behind.contains(a) || behind.contains(b))
+                    .copied()
+                    .collect();
+            for pair in &crossing {
+                l.up.remove(pair);
+            }
+            crossing
+        };
+        for tx in self.senders.iter().flatten() {
+            let _ = tx.send(Envelope::SetLinkNotice);
+        }
+        self.peers[i].saved_routes = saved;
+        // Drain-and-drop the send buffer: releases any producer blocked on
+        // the dead link and tells the old writer (if it is the surviving
+        // half) to exit. Every discarded byte is counted.
+        self.peers[i].buffer.mark_down();
+        self.teardown_peer(i, false);
+
+        // ordering: Relaxed — advisory flag, see ProcessRuntime::stop.
+        if self.stopping.load(Ordering::Relaxed) {
+            return;
+        }
+        let Some(policy) = self.policy.clone() else { return };
+        if !cause.retryable() {
+            return;
+        }
+        if let Some(stream) = self.reconnect(i, &policy) {
+            self.restart_peer(i, stream);
+        }
+    }
+
+    /// Retires the current epoch's socket and threads, counting panics
+    /// (the supervision contract says there are none). `orderly` teardown
+    /// (runtime stop) lets the writer flush its closed buffer — including
+    /// the final `Shutdown` frame — before touching the socket; a dead
+    /// link is shut down immediately to release whichever thread survived.
+    fn teardown_peer(&mut self, i: usize, orderly: bool) {
+        let mut panics = 0u64;
+        let mut join = |h: Option<std::thread::JoinHandle<()>>| {
+            if let Some(h) = h {
+                if h.join().is_err() {
+                    panics += 1;
+                }
+            }
+        };
+        if orderly {
+            join(self.peers[i].writer.take());
+            if let Some(s) = self.peers[i].teardown.take() {
+                let _ = s.shutdown(std::net::Shutdown::Read);
+            }
+        } else {
+            if let Some(s) = self.peers[i].teardown.take() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            join(self.peers[i].writer.take());
+        }
+        join(self.peers[i].reader.take());
+        for _ in 0..panics {
+            LinkCounters::bump(&self.counters.thread_panics);
+        }
+    }
+
+    /// Re-establishes the connection under `policy`. Returns `None` when
+    /// the link cannot heal: no endpoint (adopted socketpair), a fatal
+    /// connect error, attempts exhausted, or the runtime is stopping.
+    fn reconnect(&mut self, i: usize, policy: &ReconnectPolicy) -> Option<UnixStream> {
+        let endpoint = self.peers[i].endpoint.as_ref()?;
+        let mut rng = SplitMix64::new(0x7ec0_u64 ^ (i as u64) << 8);
+        for attempt in 0..policy.max_attempts {
+            // ordering: Relaxed — advisory flag, see ProcessRuntime::stop.
+            if self.stopping.load(Ordering::Relaxed) {
+                return None;
+            }
+            LinkCounters::bump(&self.counters.reconnect_attempts);
+            let result = match endpoint {
+                PeerEndpoint::Dial(path) => UnixStream::connect(path),
+                PeerEndpoint::Listen(listener) => {
+                    // Poll-accept: a blocking accept could strand the
+                    // supervisor forever if the peer never comes back.
+                    listener.set_nonblocking(true).and_then(|()| {
+                        listener.accept().map(|(s, _)| s).inspect(|s| {
+                            let _ = s.set_nonblocking(false);
+                        })
+                    })
+                }
+            };
+            match result {
+                Ok(stream) => return Some(stream),
+                Err(e) if connect_error_is_fatal(e.kind()) => {
+                    self.peers[i].status.lock().last_cause = Some(LinkDownCause::Read(e.kind()));
+                    return None;
+                }
+                Err(_) => sleep_unless_stopping(policy.backoff(attempt, &mut rng), &self.stopping),
+            }
+        }
+        None
+    }
+
+    /// A fresh connection is up: replay the handshake, restore routes,
+    /// re-broadcast link state, and spawn the next epoch's threads.
+    fn restart_peer(&mut self, i: usize, stream: UnixStream) {
+        let epoch = self.peers[i].lifecycle.restarted();
+        // One coalesced batch, queued atomically with the up-flip (and
+        // before the new writer exists): Hello first (the peer's handshake
+        // check), then our full known link state — the restarted peer may
+        // have empty or stale state, and convergence beats minimality
+        // here.
+        let mut bytes = Vec::new();
+        encode_frame(&Frame::Hello { nodes: self.expected_nodes }, &mut bytes);
+        {
+            let mut l = self.links.write();
+            let saved = std::mem::take(&mut self.peers[i].saved_routes);
+            for pair in saved {
+                l.up.insert(pair);
+            }
+            let mut known: Vec<(NodeId, NodeId)> =
+                l.known.iter().filter(|(a, b)| a.raw() <= b.raw()).copied().collect();
+            known.sort_unstable_by_key(|(a, b)| (a.raw(), b.raw()));
+            for (a, b) in known {
+                let up = l.up.contains(&(a, b));
+                encode_frame(&Frame::SetLink { a, b, up }, &mut bytes);
+            }
+        }
+        self.peers[i].buffer.mark_up_with(&bytes);
+        if let Err(e) = self.bring_up(i, stream, epoch) {
+            self.peers[i].buffer.mark_down();
+            self.peers[i].status.lock().last_cause = Some(LinkDownCause::Read(e.kind()));
+            return;
+        }
+        LinkCounters::bump(&self.counters.link_restarts);
+        {
+            let mut st = self.peers[i].status.lock();
+            st.up = true;
+            st.restarts += 1;
+        }
+        for tx in self.senders.iter().flatten() {
+            let _ = tx.send(Envelope::SetLinkNotice);
+        }
+    }
+}
+
+/// Sleeps `total` in short slices, returning early once `stopping` flips.
+fn sleep_unless_stopping(total: Duration, stopping: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    loop {
+        // ordering: Relaxed — advisory flag, see ProcessRuntime::stop.
+        if stopping.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(10)));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn writer_loop(
+    mut stream: UnixStream,
+    buffer: SendBuffer,
+    lifecycle: Arc<LinkLifecycle>,
+    events: Sender<SupEvent>,
+    peer: usize,
+    epoch: u64,
+) {
     let mut out = Vec::new();
     while buffer.drain_into(&mut out) {
-        if stream.write_all(&out).is_err() {
-            // Peer gone: swallow what remains so producers never block on
-            // a dead link.
-            while buffer.drain_into(&mut out) {}
+        if let Err(e) = stream.write_all(&out) {
+            // Torn link: report it (first reporter of this epoch wins) and
+            // exit. The supervisor drains-and-drops the buffer, so
+            // producers never block on the dead link.
+            if lifecycle.report_down(epoch) {
+                let _ = events.send(SupEvent::Down { peer, cause: LinkDownCause::Write(e.kind()) });
+            }
             return;
         }
     }
+    // Buffer closed (orderly stop) or marked down: flush and half-close so
+    // the peer's reader sees EOF after the last frame.
     let _ = stream.flush();
     let _ = stream.shutdown(std::net::Shutdown::Write);
 }
 
+/// What a cleanly parsed batch of frames asks the reader to do next.
+enum ReadControl {
+    /// Keep reading.
+    Continue,
+    /// The peer announced an orderly shutdown.
+    PeerShutdown,
+}
+
+/// Parses and dispatches every whole frame currently buffered in `re`.
+/// Malformed input — misframing, undecodable payloads, a Hello that
+/// contradicts our node table — is an error, never a panic: the caller
+/// turns it into a link-down report. Split out from [`reader_loop`] so
+/// property tests can drive it with arbitrary bytes.
+fn drain_frames<M: Payload + Wire>(
+    re: &mut FrameReassembler,
+    senders: &[Option<Sender<Envelope<M>>>],
+    links: &Arc<RwLock<LinkSet>>,
+    expected_nodes: u32,
+) -> Result<ReadControl, LinkDownCause> {
+    loop {
+        match re.next_frame() {
+            Ok(Some(Frame::Msg { from, to, payload })) => {
+                let msg = match M::decode(&payload) {
+                    Ok(m) => m,
+                    Err(e) => return Err(LinkDownCause::Decode(e.to_string())),
+                };
+                // Frames for nodes this process does not host are dropped:
+                // the sender misdeclared the topology, and the Hello
+                // handshake already tore the link down for it.
+                if let Some(Some(tx)) = senders.get(to.raw() as usize) {
+                    let _ = tx.send(Envelope::Msg { from, msg });
+                }
+            }
+            Ok(Some(Frame::SetLink { a, b, up })) => {
+                apply_link(links, a, b, up);
+                for id in [a, b] {
+                    if let Some(Some(tx)) = senders.get(id.raw() as usize) {
+                        let _ = tx.send(Envelope::SetLinkNotice);
+                    }
+                }
+            }
+            Ok(Some(Frame::Hello { nodes })) => {
+                if nodes != expected_nodes {
+                    return Err(LinkDownCause::HelloMismatch {
+                        peer_nodes: nodes,
+                        local_nodes: expected_nodes,
+                    });
+                }
+            }
+            Ok(Some(Frame::Shutdown)) => return Ok(ReadControl::PeerShutdown),
+            Ok(None) => return Ok(ReadControl::Continue), // partial frame
+            Err(e) => return Err(LinkDownCause::Misframe(e.to_string())),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn reader_loop<M: Payload + Wire>(
     mut stream: UnixStream,
     senders: Vec<Option<Sender<Envelope<M>>>>,
     links: Arc<RwLock<LinkSet>>,
     expected_nodes: u32,
+    lifecycle: Arc<LinkLifecycle>,
+    events: Sender<SupEvent>,
+    peer: usize,
+    epoch: u64,
 ) {
     let mut re = FrameReassembler::new();
     let mut chunk = [0u8; 64 * 1024];
-    loop {
+    let cause = loop {
         let n = match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => return, // EOF or torn link
+            Ok(0) => break LinkDownCause::Eof,
+            Err(e) => break LinkDownCause::Read(e.kind()),
             Ok(n) => n,
         };
         re.push(&chunk[..n]);
-        loop {
-            match re.next_frame() {
-                Ok(Some(Frame::Msg { from, to, payload })) => {
-                    let msg = match M::decode(&payload) {
-                        Ok(m) => m,
-                        Err(e) => panic!("undecodable payload from peer: {e}"),
-                    };
-                    // Frames for nodes this process does not host are
-                    // dropped: the sender misdeclared the topology, and
-                    // the Hello handshake already screamed about it.
-                    if let Some(Some(tx)) = senders.get(to.raw() as usize) {
-                        let _ = tx.send(Envelope::Msg { from, msg });
-                    }
-                }
-                Ok(Some(Frame::SetLink { a, b, up })) => {
-                    apply_link(&links, a, b, up);
-                    for id in [a, b] {
-                        if let Some(Some(tx)) = senders.get(id.raw() as usize) {
-                            let _ = tx.send(Envelope::SetLinkNotice);
-                        }
-                    }
-                }
-                Ok(Some(Frame::Hello { nodes })) => {
-                    assert_eq!(
-                        nodes, expected_nodes,
-                        "peer declared {nodes} nodes, this process declared \
-                         {expected_nodes}: the global node tables disagree"
-                    );
-                }
-                Ok(Some(Frame::Shutdown)) => return,
-                Ok(None) => break, // partial frame: read more
-                Err(e) => panic!("misframed stream from peer: {e}"),
-            }
+        match drain_frames(&mut re, &senders, &links, expected_nodes) {
+            Ok(ReadControl::Continue) => {}
+            Ok(ReadControl::PeerShutdown) => break LinkDownCause::PeerShutdown,
+            Err(cause) => break cause,
         }
+    };
+    if lifecycle.report_down(epoch) {
+        let _ = events.send(SupEvent::Down { peer, cause });
     }
 }
 
@@ -764,5 +1289,283 @@ mod tests {
             vec![201],
             "frame sent across the down link must drop; post-reconnect frame must arrive"
         );
+    }
+
+    fn frame_bytes(f: &Frame) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_frame(f, &mut out);
+        out
+    }
+
+    /// Reads whole frames off a raw test-side stream.
+    fn recv_frame(stream: &mut UnixStream, re: &mut FrameReassembler) -> Frame {
+        loop {
+            if let Some(f) = re.next_frame().expect("well-formed frame from runtime") {
+                return f;
+            }
+            let mut buf = [0u8; 1024];
+            let n = stream.read(&mut buf).expect("read from runtime");
+            assert!(n > 0, "unexpected EOF from runtime");
+            re.push(&buf[..n]);
+        }
+    }
+
+    fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
+    fn connect_retry(path: &Path, timeout: Duration) -> UnixStream {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match UnixStream::connect(path) {
+                Ok(s) => return s,
+                Err(e) if Instant::now() >= deadline => panic!("connect {path:?}: {e}"),
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+
+    fn temp_sock(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("rebeca-prt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    /// A peer feeding garbage bytes kills only *its* link — no panic, no
+    /// collateral damage to other peers — and the cause is recorded.
+    #[test]
+    fn garbage_bytes_tear_down_only_that_link() {
+        let (garbage_local, mut garbage_remote) = UnixStream::pair().expect("socketpair");
+        let (healthy_local, mut healthy_remote) = UnixStream::pair().expect("socketpair");
+
+        let mut rt: ProcessRuntime<Tick> = ProcessRuntime::new();
+        let pg = rt.add_peer(garbage_local);
+        let ph = rt.add_peer(healthy_local);
+        let n0 = rt.add_local(Box::new(Collector { peer: None, ..Default::default() }));
+        let n1 = rt.add_remote(pg);
+        let n2 = rt.add_remote(ph);
+        rt.connect(n0, n1);
+        rt.connect(n0, n2);
+        let mh = rt.metrics_handle();
+        rt.start();
+
+        // Not a frame in any protocol version: the reader must lose sync.
+        garbage_remote.write_all(&[0xFF; 64]).expect("write garbage");
+        assert!(
+            wait_until(Duration::from_secs(5), || rt.peer_status(pg).last_cause.is_some()),
+            "garbage link must be reported down"
+        );
+        assert!(!rt.peer_status(pg).up);
+        assert!(
+            matches!(rt.peer_status(pg).last_cause, Some(LinkDownCause::Misframe(_))),
+            "cause must be Misframe, got {:?}",
+            rt.peer_status(pg).last_cause
+        );
+
+        // The healthy link keeps delivering.
+        let mut re = FrameReassembler::new();
+        let hello = recv_frame(&mut healthy_remote, &mut re);
+        assert_eq!(hello, Frame::Hello { nodes: 3 });
+        healthy_remote.write_all(&frame_bytes(&Frame::Hello { nodes: 3 })).expect("hello");
+        let mut payload = Vec::new();
+        Tick(7).encode_into(&mut payload);
+        healthy_remote
+            .write_all(&frame_bytes(&Frame::Msg { from: n2, to: n0, payload }))
+            .expect("msg");
+        assert!(wait_until(Duration::from_secs(5), || rt.peer_status(ph).up));
+
+        std::thread::sleep(Duration::from_millis(100));
+        let nodes = rt.stop();
+        let c = nodes[0].as_ref().unwrap().as_any().downcast_ref::<Collector>().unwrap();
+        assert_eq!(c.received, vec![7], "healthy peer unaffected by the garbage one");
+        let m = mh.snapshot();
+        assert_eq!(m.link_downs, 1);
+        assert_eq!(m.reconnect_attempts, 0, "no policy: no reconnection");
+        assert_eq!(m.thread_panics, 0, "malformed input must never panic a thread");
+    }
+
+    /// A Hello declaring a different node table downs the link with a
+    /// non-retryable cause: even an armed policy must not redial.
+    #[test]
+    fn hello_mismatch_downs_the_link_and_never_redials() {
+        let (local, mut remote) = UnixStream::pair().expect("socketpair");
+        let mut rt: ProcessRuntime<Tick> = ProcessRuntime::new();
+        let peer = rt.add_peer(local);
+        let n0 = rt.add_local(Box::new(Collector { peer: None, ..Default::default() }));
+        let n1 = rt.add_remote(peer);
+        rt.connect(n0, n1);
+        rt.set_reconnect_policy(ReconnectPolicy::default());
+        let mh = rt.metrics_handle();
+        rt.start();
+
+        remote.write_all(&frame_bytes(&Frame::Hello { nodes: 99 })).expect("bad hello");
+        assert!(wait_until(Duration::from_secs(5), || rt.peer_status(peer).last_cause.is_some()));
+        assert!(!rt.peer_status(peer).up);
+        assert_eq!(
+            rt.peer_status(peer).last_cause,
+            Some(LinkDownCause::HelloMismatch { peer_nodes: 99, local_nodes: 2 })
+        );
+        rt.stop();
+        let m = mh.snapshot();
+        assert_eq!(m.link_downs, 1);
+        assert_eq!(m.reconnect_attempts, 0, "HelloMismatch is not retryable");
+        assert_eq!(m.thread_panics, 0);
+    }
+
+    fn fast_policy() -> ReconnectPolicy {
+        ReconnectPolicy {
+            initial: Duration::from_millis(2),
+            max: Duration::from_millis(10),
+            jitter: 0.0,
+            max_attempts: 400,
+        }
+    }
+
+    /// Dial-side supervision: when the dialed peer dies, the supervisor
+    /// re-dials the same path, replays Hello, and re-broadcasts link state.
+    #[test]
+    fn reconnect_redials_and_replays_the_handshake() {
+        let path = temp_sock("redial");
+        let listener = UnixListener::bind(&path).expect("bind");
+        let accept = std::thread::spawn(move || {
+            let (s, _) = listener.accept().expect("accept");
+            (listener, s)
+        });
+
+        let mut rt: ProcessRuntime<Tick> = ProcessRuntime::new();
+        let peer = rt.dial_uds(&path, Duration::from_secs(1)).expect("dial");
+        let n0 = rt.add_local(Box::new(Collector { peer: None, ..Default::default() }));
+        let n1 = rt.add_remote(peer);
+        rt.connect(n0, n1);
+        rt.set_reconnect_policy(fast_policy());
+        let mh = rt.metrics_handle();
+        rt.start();
+
+        let (listener, mut conn1) = accept.join().expect("accept thread");
+        let mut re = FrameReassembler::new();
+        assert_eq!(recv_frame(&mut conn1, &mut re), Frame::Hello { nodes: 2 });
+
+        // Kill the first connection: the supervisor must re-dial.
+        drop(conn1);
+        let (mut conn2, _) = listener.accept().expect("re-accept the supervisor's dial");
+        let mut re = FrameReassembler::new();
+        assert_eq!(
+            recv_frame(&mut conn2, &mut re),
+            Frame::Hello { nodes: 2 },
+            "handshake replays first on the fresh connection"
+        );
+        assert_eq!(
+            recv_frame(&mut conn2, &mut re),
+            Frame::SetLink { a: n0, b: n1, up: true },
+            "saved routes are restored and re-broadcast"
+        );
+
+        conn2.write_all(&frame_bytes(&Frame::Hello { nodes: 2 })).expect("hello");
+        let mut payload = Vec::new();
+        Tick(42).encode_into(&mut payload);
+        conn2.write_all(&frame_bytes(&Frame::Msg { from: n1, to: n0, payload })).expect("msg");
+
+        assert!(wait_until(Duration::from_secs(5), || {
+            let st = rt.peer_status(peer);
+            st.up && st.restarts == 1
+        }));
+        std::thread::sleep(Duration::from_millis(100));
+        let nodes = rt.stop();
+        let c = nodes[0].as_ref().unwrap().as_any().downcast_ref::<Collector>().unwrap();
+        assert_eq!(c.received, vec![42], "the healed link delivers");
+        let m = mh.snapshot();
+        assert_eq!(m.link_downs, 1);
+        assert_eq!(m.link_restarts, 1);
+        assert!(m.reconnect_attempts >= 1);
+        assert_eq!(m.thread_panics, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Listen-side supervision: the listener is retained, so when the
+    /// dialing peer dies the supervisor re-accepts its replacement.
+    #[test]
+    fn reconnect_reaccepts_on_the_listen_side() {
+        let path = temp_sock("reaccept");
+        let dial_path = path.clone();
+        let dialer = std::thread::spawn(move || connect_retry(&dial_path, Duration::from_secs(5)));
+
+        let mut rt: ProcessRuntime<Tick> = ProcessRuntime::new();
+        let peer = rt.listen_uds(&path).expect("listen");
+        let mut conn1 = dialer.join().expect("dialer thread");
+        let n0 = rt.add_local(Box::new(Collector { peer: None, ..Default::default() }));
+        let n1 = rt.add_remote(peer);
+        rt.connect(n0, n1);
+        rt.set_reconnect_policy(fast_policy());
+        let mh = rt.metrics_handle();
+        rt.start();
+
+        let mut re = FrameReassembler::new();
+        assert_eq!(recv_frame(&mut conn1, &mut re), Frame::Hello { nodes: 2 });
+        drop(conn1);
+
+        // The "restarted process": a fresh dial to the same address.
+        let mut conn2 = connect_retry(&path, Duration::from_secs(5));
+        let mut re = FrameReassembler::new();
+        assert_eq!(recv_frame(&mut conn2, &mut re), Frame::Hello { nodes: 2 });
+        assert_eq!(recv_frame(&mut conn2, &mut re), Frame::SetLink { a: n0, b: n1, up: true });
+        conn2.write_all(&frame_bytes(&Frame::Hello { nodes: 2 })).expect("hello");
+        let mut payload = Vec::new();
+        Tick(9).encode_into(&mut payload);
+        conn2.write_all(&frame_bytes(&Frame::Msg { from: n1, to: n0, payload })).expect("msg");
+
+        assert!(wait_until(Duration::from_secs(5), || {
+            let st = rt.peer_status(peer);
+            st.up && st.restarts == 1
+        }));
+        std::thread::sleep(Duration::from_millis(100));
+        let nodes = rt.stop();
+        let c = nodes[0].as_ref().unwrap().as_any().downcast_ref::<Collector>().unwrap();
+        assert_eq!(c.received, vec![9]);
+        let m = mh.snapshot();
+        assert_eq!(m.link_restarts, 1);
+        assert_eq!(m.thread_panics, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A socket file left behind by a killed process must not block
+    /// rebinding the same address.
+    #[test]
+    fn listen_uds_rebinds_over_a_stale_socket_file() {
+        let path = temp_sock("stale");
+        drop(UnixListener::bind(&path).expect("first bind"));
+        assert!(path.exists(), "stale socket file left behind");
+
+        let mut rt: ProcessRuntime<Tick> = ProcessRuntime::new();
+        let dial_path = path.clone();
+        let dialer = std::thread::spawn(move || connect_retry(&dial_path, Duration::from_secs(5)));
+        rt.listen_uds(&path).expect("rebind over the stale socket");
+        drop(dialer.join().expect("dialer thread"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Non-healing dial errors fail fast instead of burning the timeout.
+    #[test]
+    fn dial_uds_fails_fast_on_fatal_errors() {
+        // A path through a regular file is NotADirectory: retrying cannot
+        // ever heal it.
+        let file = temp_sock("notadir");
+        std::fs::write(&file, b"x").expect("file");
+        let inner = file.join("sock");
+        let mut rt: ProcessRuntime<Tick> = ProcessRuntime::new();
+        let t = Instant::now();
+        let err = rt.dial_uds(&inner, Duration::from_secs(10)).expect_err("must fail");
+        assert!(
+            t.elapsed() < Duration::from_secs(5),
+            "fatal error must not burn the whole timeout"
+        );
+        assert_eq!(err.kind(), std::io::ErrorKind::NotADirectory);
+        let _ = std::fs::remove_file(&file);
     }
 }

@@ -10,6 +10,13 @@
 //! whole capacity is admitted alone into an *empty* buffer rather than
 //! deadlocking its producer forever.
 //!
+//! Link supervision adds a third state between open and closed: **down**
+//! ([`SendBuffer::mark_down`] / [`SendBuffer::mark_up`]). While down,
+//! queued bytes are discarded, blocked producers are released, and every
+//! push is a counted drop instead of a write into a dead link's queue —
+//! the "drain" step of the supervisor's down → drain → redial lifecycle
+//! (see [`supervisor`](crate::supervisor)).
+//!
 //! Concurrency comes from the crate's `sync` facade: real
 //! `parking_lot`-style primitives in normal builds, model-checked shims
 //! under `--cfg rebeca_verify`. The exact code below — including its
@@ -39,6 +46,14 @@ impl std::error::Error for LinkClosed {}
 struct State {
     queue: Vec<u8>,
     closed: bool,
+    /// Link supervision: while down, pushes are counted drops (never
+    /// blocking, never queued) and the drainer is told to exit.
+    down: bool,
+    /// Whole frames dropped by pushes that found the link down.
+    dropped_frames: u64,
+    /// Bytes discarded: queued bytes cleared by [`SendBuffer::mark_down`]
+    /// plus the bytes of every dropped frame.
+    dropped_bytes: u64,
 }
 
 struct Shared {
@@ -102,6 +117,13 @@ impl SendBuffer {
             if st.closed {
                 return Err(LinkClosed);
             }
+            if st.down {
+                // Supervised link death: producers never block on (or
+                // queue into) a dead link — the frame is a counted drop.
+                st.dropped_frames += 1;
+                st.dropped_bytes += frame.len() as u64;
+                return Ok(());
+            }
             if st.queue.is_empty() || st.queue.len() + frame.len() <= self.shared.capacity {
                 break;
             }
@@ -133,7 +155,7 @@ impl SendBuffer {
         out.clear();
         let mut st = self.shared.state.lock();
         while st.queue.is_empty() {
-            if st.closed {
+            if st.closed || st.down {
                 return false;
             }
             self.shared.ready.wait(&mut st);
@@ -153,6 +175,72 @@ impl SendBuffer {
         drop(st);
         self.shared.space.notify_all();
         self.shared.ready.notify_all();
+    }
+
+    /// Link supervision, step "drain": the peer died, so everything
+    /// queued is discarded (counted into
+    /// [`dropped_bytes`](SendBuffer::dropped_bytes)), blocked producers
+    /// are released (their frames become counted drops), further pushes
+    /// are counted drops, and the writer thread's `drain_into` returns
+    /// `false` so it exits. The buffer is re-armed by
+    /// [`mark_up`](SendBuffer::mark_up) once the link is re-established.
+    pub fn mark_down(&self) {
+        let mut st = self.shared.state.lock();
+        st.down = true;
+        // Model-checker fault injection: skip the drain, leaving the dead
+        // epoch's bytes queued — after `mark_up` the new writer would ship
+        // stale frames onto the fresh connection.
+        // `crates/verify/tests/supervisor.rs` proves the checker sees the
+        // stale bytes survive.
+        #[cfg(rebeca_verify)]
+        if rebeca_verify::inject::enabled("linkdown_skip_drain") {
+            drop(st);
+            self.shared.space.notify_all();
+            self.shared.ready.notify_all();
+            return;
+        }
+        st.dropped_bytes += st.queue.len() as u64;
+        st.queue.clear();
+        drop(st);
+        self.shared.space.notify_all();
+        self.shared.ready.notify_all();
+    }
+
+    /// Link supervision, re-arm: the link was re-established; pushes
+    /// queue (and block on capacity) again. The caller spawns a fresh
+    /// writer thread to drain.
+    pub fn mark_up(&self) {
+        let mut st = self.shared.state.lock();
+        st.down = false;
+    }
+
+    /// [`mark_up`](SendBuffer::mark_up) plus queueing `first` in the same
+    /// critical section, so no concurrent producer can slip a frame in
+    /// ahead of it — the supervisor uses this to guarantee the replayed
+    /// `Hello` is the first frame of a re-established connection.
+    pub fn mark_up_with(&self, first: &[u8]) {
+        let mut st = self.shared.state.lock();
+        st.down = false;
+        st.queue.extend_from_slice(first);
+        drop(st);
+        self.shared.ready.notify_one();
+    }
+
+    /// True while [`mark_down`](SendBuffer::mark_down) is in effect.
+    pub fn is_down(&self) -> bool {
+        self.shared.state.lock().down
+    }
+
+    /// Whole frames dropped by pushes that found the link down.
+    pub fn dropped_frames(&self) -> u64 {
+        self.shared.state.lock().dropped_frames
+    }
+
+    /// Bytes discarded by link death: the queue cleared at
+    /// [`mark_down`](SendBuffer::mark_down) plus every dropped frame's
+    /// bytes.
+    pub fn dropped_bytes(&self) -> u64 {
+        self.shared.state.lock().dropped_bytes
     }
 }
 
@@ -197,6 +285,46 @@ mod tests {
         let mut out = Vec::new();
         assert!(sb.drain_into(&mut out));
         assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn mark_down_drains_drops_and_releases_producers() {
+        let sb = SendBuffer::new(4);
+        sb.push(&[1u8; 4]).unwrap();
+        let sb2 = sb.clone();
+        let blocked = thread::spawn(move || sb2.push(&[2u8; 3]));
+        thread::sleep(Duration::from_millis(30));
+        sb.mark_down();
+        // The blocked producer is released with its frame dropped, not an
+        // error — the link is down, not torn down.
+        assert_eq!(blocked.join().unwrap(), Ok(()));
+        assert!(sb.is_down());
+        // Queued bytes were discarded, further pushes are counted drops.
+        sb.push(&[3u8; 2]).unwrap();
+        assert_eq!(sb.occupancy(), 0);
+        assert_eq!(sb.dropped_frames(), 2, "the blocked push and the down push");
+        assert_eq!(sb.dropped_bytes(), 4 + 3 + 2);
+        // The writer loop is told to exit.
+        let mut out = Vec::new();
+        assert!(!sb.drain_into(&mut out), "down and empty ends the writer loop");
+        // mark_up re-arms the buffer for the fresh connection.
+        sb.mark_up();
+        sb.push(&[9u8; 2]).unwrap();
+        assert!(sb.drain_into(&mut out));
+        assert_eq!(out, vec![9u8; 2], "nothing from the dead epoch survives");
+    }
+
+    #[test]
+    fn mark_down_wakes_a_blocked_drainer() {
+        let sb = SendBuffer::new(8);
+        let sb2 = sb.clone();
+        let writer = thread::spawn(move || {
+            let mut out = Vec::new();
+            sb2.drain_into(&mut out) // blocks: nothing queued
+        });
+        thread::sleep(Duration::from_millis(30));
+        sb.mark_down();
+        assert!(!writer.join().unwrap(), "down wakes the drainer and tells it to exit");
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! Supervised peer-link lifecycle: the state machine behind the
+//! [`ProcessRuntime`](crate::ProcessRuntime)'s "un-killable links".
+//!
+//! A peer connection is serviced by one reader and one writer thread.
+//! Either can die at any moment — EOF when the peer process is killed, a
+//! write error on a torn socket, a misframed stream, an undecodable
+//! payload, a topology-mismatch Hello. None of those may panic a thread
+//! or silently strand the link: they become a **down report** that the
+//! runtime's supervisor turns into `down → drain → redial`:
+//!
+//! 1. **down** — the first reporter of the link's current epoch wins
+//!    ([`LinkLifecycle::report_down`]); the partner thread's report of the
+//!    same failure, and any report from a *previous* epoch arriving after
+//!    a restart, are stale and ignored. The supervisor marks every route
+//!    crossing the peer down (local flip, no broadcast — the peer is
+//!    gone).
+//! 2. **drain** — the peer's `SendBuffer` is drained-and-dropped
+//!    ([`SendBuffer::mark_down`](crate::SendBuffer::mark_down)): queued
+//!    bytes are discarded and counted, blocked producers are released,
+//!    and pushes while down are counted drops instead of writes into a
+//!    black hole.
+//! 3. **redial** — when a [`ReconnectPolicy`] is configured and the cause
+//!    is [retryable](LinkDownCause::retryable), the supervisor re-dials
+//!    (or re-accepts) the peer's UDS endpoint under exponential backoff
+//!    with jitter, replays the Hello handshake, restores the routes it
+//!    took down, and re-broadcasts local link state so the restarted
+//!    peer converges. Without a policy the link stays down — PR 7
+//!    semantics, bit for bit.
+//!
+//! [`LinkLifecycle`] compiles against the crate's `sync` facade, so the
+//! exact production epoch/dedup protocol is exhaustively interleaved by
+//! `crates/verify/tests/supervisor.rs` (with `supervisor_stale_epoch` and
+//! `linkdown_skip_drain` injection twins proving the checker has teeth).
+
+use crate::rng::SplitMix64;
+use crate::sync::lock::Mutex;
+use std::fmt;
+use std::time::Duration;
+
+/// Why a peer link went down. Carried in the supervisor's down event and
+/// surfaced through
+/// [`ProcessRuntime::peer_status`](crate::ProcessRuntime::peer_status).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkDownCause {
+    /// The stream hit end-of-file without an orderly `Shutdown` frame:
+    /// the peer process died (killed, crashed, or vanished).
+    Eof,
+    /// A read on the stream failed.
+    Read(std::io::ErrorKind),
+    /// A write on the stream failed (peer gone mid-send).
+    Write(std::io::ErrorKind),
+    /// A `Msg` frame arrived whose payload the protocol codec rejects.
+    Decode(String),
+    /// The byte stream lost framing (bad version, unknown tag, oversized
+    /// or truncated frame) and can never resync.
+    Misframe(String),
+    /// The peer's Hello declared a different global node table.
+    HelloMismatch {
+        /// Node count the peer declared.
+        peer_nodes: u32,
+        /// Node count this process declared.
+        local_nodes: u32,
+    },
+    /// The peer sent an orderly `Shutdown` frame: it is tearing down on
+    /// purpose, not dying.
+    PeerShutdown,
+}
+
+impl LinkDownCause {
+    /// Whether a configured [`ReconnectPolicy`] should try to bring the
+    /// link back. Transport deaths heal when the peer restarts; a
+    /// topology mismatch or an orderly shutdown will not.
+    pub fn retryable(&self) -> bool {
+        match self {
+            LinkDownCause::Eof
+            | LinkDownCause::Read(_)
+            | LinkDownCause::Write(_)
+            | LinkDownCause::Decode(_)
+            | LinkDownCause::Misframe(_) => true,
+            LinkDownCause::HelloMismatch { .. } | LinkDownCause::PeerShutdown => false,
+        }
+    }
+}
+
+impl fmt::Display for LinkDownCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkDownCause::Eof => write!(f, "peer closed the stream without a Shutdown frame"),
+            LinkDownCause::Read(kind) => write!(f, "stream read failed: {kind}"),
+            LinkDownCause::Write(kind) => write!(f, "stream write failed: {kind}"),
+            LinkDownCause::Decode(e) => write!(f, "undecodable payload from peer: {e}"),
+            LinkDownCause::Misframe(e) => write!(f, "misframed stream from peer: {e}"),
+            LinkDownCause::HelloMismatch { peer_nodes, local_nodes } => write!(
+                f,
+                "peer declared {peer_nodes} nodes, this process declared {local_nodes}: \
+                 the global node tables disagree"
+            ),
+            LinkDownCause::PeerShutdown => write!(f, "peer shut down in an orderly fashion"),
+        }
+    }
+}
+
+/// Exponential-backoff reconnection policy for supervised peer links.
+///
+/// **Off by default**: a [`ProcessRuntime`](crate::ProcessRuntime)
+/// without a policy never re-dials — a dead peer's routes stay down and
+/// its traffic is counted and dropped, exactly the pre-supervision
+/// semantics minus the panics. Configure one via
+/// [`ProcessRuntime::set_reconnect_policy`](crate::ProcessRuntime::set_reconnect_policy)
+/// or `SystemBuilder::reconnect_policy` to make peer death survivable.
+///
+/// Attempt `n` sleeps `initial · 2ⁿ`, capped at `max`, with a uniformly
+/// random jitter factor in `[1 − jitter, 1 + jitter]` so a fleet of
+/// reconnecting processes does not thunder in lockstep. The jitter RNG is
+/// seeded per peer, keeping any single run deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconnectPolicy {
+    /// Backoff before the second attempt (the first is immediate).
+    pub initial: Duration,
+    /// Upper bound any single backoff is capped at.
+    pub max: Duration,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a factor
+    /// drawn from `[1 − jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Give up (leaving the link permanently down) after this many
+    /// attempts.
+    pub max_attempts: u32,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            initial: Duration::from_millis(25),
+            max: Duration::from_secs(1),
+            jitter: 0.2,
+            max_attempts: 60,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The jittered backoff to sleep after failed attempt number
+    /// `attempt` (0-based), advancing `rng` one step.
+    pub fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+        let base = self
+            .initial
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        // Uniform in [1 - jitter, 1 + jitter].
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 - jitter + 2.0 * jitter * unit;
+        Duration::from_micros((base as f64 * factor) as u64)
+    }
+}
+
+#[derive(Debug)]
+struct LifecycleState {
+    /// Bumped on every successful restart; reader/writer threads carry
+    /// the epoch they were spawned under.
+    epoch: u64,
+    /// True between the winning down report and the restart (or forever,
+    /// if the link is terminally down).
+    down: bool,
+}
+
+/// Per-peer epoch/dedup state machine shared by a link's reader thread,
+/// writer thread and the runtime's supervisor.
+///
+/// Both service threads of a link usually observe the same failure (the
+/// reader gets EOF, the writer gets `EPIPE`), and after a restart the
+/// *old* threads' dying gasps can still be in flight. Exactly one report
+/// per epoch may win and trigger supervision; this type is that
+/// arbitration, built on the crate's `sync` facade so the model checker
+/// interleaves the real code (`crates/verify/tests/supervisor.rs`).
+#[derive(Debug)]
+pub struct LinkLifecycle {
+    st: Mutex<LifecycleState>,
+}
+
+impl Default for LinkLifecycle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinkLifecycle {
+    /// A lifecycle starting up at epoch 0.
+    pub fn new() -> LinkLifecycle {
+        LinkLifecycle { st: Mutex::new(LifecycleState { epoch: 0, down: false }) }
+    }
+
+    /// Reports that the link of `epoch` died. Returns `true` iff this is
+    /// the *first* report of the *current* epoch — the caller then owns
+    /// delivering the down event to the supervisor. Reports from an
+    /// earlier epoch (a zombie thread outliving a restart) and duplicate
+    /// reports of the same failure return `false`.
+    pub fn report_down(&self, epoch: u64) -> bool {
+        let mut st = self.st.lock();
+        // Model-checker fault injection: skip the epoch comparison, so a
+        // zombie thread's stale report re-downs a link that was already
+        // restarted — the double-restart bug the epoch exists to prevent.
+        // `crates/verify/tests/supervisor.rs` proves the checker finds it.
+        #[cfg(rebeca_verify)]
+        if rebeca_verify::inject::enabled("supervisor_stale_epoch") {
+            if st.down {
+                return false;
+            }
+            st.down = true;
+            return true;
+        }
+        if epoch != st.epoch || st.down {
+            return false;
+        }
+        st.down = true;
+        true
+    }
+
+    /// Marks the link restarted: bumps the epoch and re-arms
+    /// [`report_down`](LinkLifecycle::report_down). Returns the new epoch
+    /// to spawn the replacement reader/writer threads under.
+    pub fn restarted(&self) -> u64 {
+        let mut st = self.st.lock();
+        st.epoch += 1;
+        st.down = false;
+        st.epoch
+    }
+
+    /// Current epoch (the one live threads were spawned under).
+    pub fn epoch(&self) -> u64 {
+        self.st.lock().epoch
+    }
+
+    /// True while the link is down (reported, not yet restarted).
+    pub fn is_down(&self) -> bool {
+        self.st.lock().down
+    }
+}
+
+#[cfg(all(test, not(rebeca_verify)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_report_of_an_epoch_wins_and_duplicates_lose() {
+        let lc = LinkLifecycle::new();
+        assert_eq!(lc.epoch(), 0);
+        assert!(!lc.is_down());
+        assert!(lc.report_down(0), "first report wins");
+        assert!(lc.is_down());
+        assert!(!lc.report_down(0), "partner thread's duplicate report loses");
+    }
+
+    #[test]
+    fn stale_epoch_reports_lose_after_restart() {
+        let lc = LinkLifecycle::new();
+        assert!(lc.report_down(0));
+        assert_eq!(lc.restarted(), 1);
+        assert!(!lc.is_down());
+        assert!(!lc.report_down(0), "a zombie thread of epoch 0 cannot re-down epoch 1");
+        assert!(lc.report_down(1), "a genuine epoch-1 failure is reported");
+        assert_eq!(lc.restarted(), 2);
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_stays_within_jitter_bounds() {
+        let p = ReconnectPolicy {
+            initial: Duration::from_millis(10),
+            max: Duration::from_millis(400),
+            jitter: 0.25,
+            max_attempts: 10,
+        };
+        let mut rng = SplitMix64::new(7);
+        for attempt in 0..12 {
+            let base = Duration::from_millis(10)
+                .saturating_mul(1u32 << attempt.min(20))
+                .min(Duration::from_millis(400));
+            let b = p.backoff(attempt, &mut rng);
+            let lo = base.mul_f64(0.75);
+            let hi = base.mul_f64(1.25);
+            assert!(b >= lo && b <= hi, "attempt {attempt}: {b:?} outside [{lo:?}, {hi:?}]");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let p = ReconnectPolicy::default();
+        let once: Vec<_> =
+            (0..6).map(|a| p.backoff(a, &mut SplitMix64::new(3)).as_micros()).collect();
+        let twice: Vec<_> =
+            (0..6).map(|a| p.backoff(a, &mut SplitMix64::new(3)).as_micros()).collect();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn zero_jitter_is_exactly_exponential_with_cap() {
+        let p = ReconnectPolicy {
+            initial: Duration::from_millis(10),
+            max: Duration::from_millis(80),
+            jitter: 0.0,
+            max_attempts: 10,
+        };
+        let mut rng = SplitMix64::new(1);
+        let got: Vec<u64> = (0..5).map(|a| p.backoff(a, &mut rng).as_millis() as u64).collect();
+        assert_eq!(got, vec![10, 20, 40, 80, 80]);
+    }
+
+    #[test]
+    fn retryability_is_cause_specific() {
+        assert!(LinkDownCause::Eof.retryable());
+        assert!(LinkDownCause::Read(std::io::ErrorKind::ConnectionReset).retryable());
+        assert!(LinkDownCause::Write(std::io::ErrorKind::BrokenPipe).retryable());
+        assert!(LinkDownCause::Decode("bad".into()).retryable());
+        assert!(LinkDownCause::Misframe("bad".into()).retryable());
+        assert!(!LinkDownCause::HelloMismatch { peer_nodes: 3, local_nodes: 6 }.retryable());
+        assert!(!LinkDownCause::PeerShutdown.retryable());
+    }
+}

@@ -10,9 +10,11 @@
 //! `len` counts every byte after the length prefix (version + tag + body),
 //! so a reader can split a stream into frames without understanding any
 //! payload. The version byte rejects cross-version links at the first
-//! frame; the tag selects a [`Frame`] variant; unknown tags and truncated
-//! bodies are explicit [`CoreError`]s, never panics — a peer can feed this
-//! parser arbitrary bytes.
+//! frame; the tag selects a [`Frame`] variant; unknown tags, truncated
+//! bodies and trailing bytes after a fixed-size body are explicit
+//! [`CoreError`]s, never panics — a peer can feed this parser arbitrary
+//! bytes, and the [`ProcessRuntime`](crate::ProcessRuntime) turns every
+//! such error into a supervised link-down, not a dead thread.
 //!
 //! [`FrameReassembler`] is the receive-side state machine: bytes arrive in
 //! arbitrary read-sized chunks (partial frames, many frames per read) and
@@ -127,8 +129,25 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
 fn get_u32(body: &[u8], at: usize) -> Result<u32, CoreError> {
     match body.get(at..at + 4) {
         Some(b) => Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice"))),
-        None => Err(CoreError::Truncated { need: at + 4 - body.len(), have: 0 }),
+        // `need`/`have` count the field's bytes from its own offset, so
+        // the error reports what was actually available there — not a
+        // hardwired `have: 0`.
+        None => Err(CoreError::Truncated { need: 4, have: body.len().saturating_sub(at) }),
     }
+}
+
+/// Rejects bytes after a fixed-size frame body, mirroring the
+/// trailing-byte rejection [`Wire::decode`] implementations perform on
+/// `Msg` payloads: a frame whose declared length exceeds what its tag
+/// consumes is corrupt, not padding.
+fn reject_trailing(body: &[u8], expected: usize, what: &str) -> Result<(), CoreError> {
+    if body.len() > expected {
+        return Err(CoreError::Decode(format!(
+            "{} trailing byte(s) after a {what} frame body of {expected} bytes",
+            body.len() - expected
+        )));
+    }
+    Ok(())
 }
 
 /// Decodes one frame body (the bytes *after* the length prefix).
@@ -140,7 +159,7 @@ fn get_u32(body: &[u8], at: usize) -> Result<u32, CoreError> {
 /// its tag requires.
 pub fn decode_frame(body: &[u8]) -> Result<Frame, CoreError> {
     if body.len() < 2 {
-        return Err(CoreError::Truncated { need: 2 - body.len(), have: 0 });
+        return Err(CoreError::Truncated { need: 2, have: body.len() });
     }
     if body[0] != WIRE_VERSION {
         return Err(CoreError::Decode(format!(
@@ -163,10 +182,18 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, CoreError> {
                 Some(&tag) => return Err(CoreError::BadTag { what: "link state", tag }),
                 None => return Err(CoreError::Truncated { need: 1, have: 0 }),
             };
+            reject_trailing(body, 11, "SetLink")?;
             Ok(Frame::SetLink { a, b, up })
         }
-        TAG_HELLO => Ok(Frame::Hello { nodes: get_u32(body, 2)? }),
-        TAG_SHUTDOWN => Ok(Frame::Shutdown),
+        TAG_HELLO => {
+            let nodes = get_u32(body, 2)?;
+            reject_trailing(body, 6, "Hello")?;
+            Ok(Frame::Hello { nodes })
+        }
+        TAG_SHUTDOWN => {
+            reject_trailing(body, 2, "Shutdown")?;
+            Ok(Frame::Shutdown)
+        }
         tag => Err(CoreError::BadTag { what: "frame", tag }),
     }
 }
@@ -341,6 +368,40 @@ mod tests {
     }
 
     #[test]
+    fn truncation_errors_report_actual_available_bytes() {
+        // Hello needs a u32 at offset 2; give it two of the four bytes.
+        let body = [WIRE_VERSION, TAG_HELLO, 7, 7];
+        assert!(matches!(decode_frame(&body), Err(CoreError::Truncated { need: 4, have: 2 })));
+        // Msg's `to` field at offset 6, one byte available there.
+        let body = [WIRE_VERSION, TAG_MSG, 1, 2, 3, 4, 5];
+        assert!(matches!(decode_frame(&body), Err(CoreError::Truncated { need: 4, have: 1 })));
+        // Shorter than version + tag.
+        assert!(matches!(
+            decode_frame(&[WIRE_VERSION]),
+            Err(CoreError::Truncated { need: 2, have: 1 })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_after_fixed_size_bodies_are_rejected() {
+        for frame in [
+            Frame::SetLink { a: NodeId::new(0), b: NodeId::new(1), up: true },
+            Frame::Hello { nodes: 4 },
+            Frame::Shutdown,
+        ] {
+            let mut out = Vec::new();
+            encode_frame(&frame, &mut out);
+            let mut body = out[LEN_PREFIX..].to_vec();
+            assert_eq!(decode_frame(&body).expect("exact body decodes"), frame);
+            body.push(0);
+            assert!(
+                matches!(decode_frame(&body), Err(CoreError::Decode(_))),
+                "{frame:?} accepted a trailing byte"
+            );
+        }
+    }
+
+    #[test]
     fn oversized_length_prefix_is_rejected_not_allocated() {
         let mut re = FrameReassembler::new();
         re.push(&u32::MAX.to_le_bytes());
@@ -368,5 +429,85 @@ mod tests {
         assert_eq!(re.pending_bytes(), 0);
         // The consumed prefix must not grow without bound.
         assert!(re.buf.len() < 2 * (COMPACT_THRESHOLD + 16 * 1024), "buffer never compacted");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Arbitrary bytes (the vendored proptest has no `u8` strategy, so
+        /// sample `u32` and truncate).
+        fn arb_bytes(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+            proptest::collection::vec(0u32..256, len)
+                .prop_map(|v| v.into_iter().map(|b| b as u8).collect())
+        }
+
+        fn arb_frame() -> impl Strategy<Value = Frame> {
+            prop_oneof![
+                (any::<u32>(), any::<u32>(), arb_bytes(0..64)).prop_map(|(f, t, payload)| {
+                    Frame::Msg { from: NodeId::new(f), to: NodeId::new(t), payload }
+                }),
+                (any::<u32>(), any::<u32>(), any::<bool>()).prop_map(|(a, b, up)| {
+                    Frame::SetLink { a: NodeId::new(a), b: NodeId::new(b), up }
+                }),
+                any::<u32>().prop_map(|nodes| Frame::Hello { nodes }),
+                Just(Frame::Shutdown),
+            ]
+        }
+
+        proptest! {
+            /// Every frame round-trips through encode → decode.
+            #[test]
+            fn frame_round_trips(f in arb_frame()) {
+                let mut out = Vec::new();
+                encode_frame(&f, &mut out);
+                prop_assert_eq!(decode_frame(&out[LEN_PREFIX..]).expect("decode"), f);
+            }
+
+            /// Appending junk to a fixed-size body is an error; appending
+            /// junk to a Msg body just grows the payload (its length is
+            /// the frame's). Either way: a value, never a panic.
+            #[test]
+            fn trailing_bytes_never_panic(f in arb_frame(), junk in 1usize..8) {
+                let mut out = Vec::new();
+                encode_frame(&f, &mut out);
+                out.extend(std::iter::repeat_n(0xAAu8, junk));
+                match (&f, decode_frame(&out[LEN_PREFIX..])) {
+                    (Frame::Msg { .. }, Ok(Frame::Msg { payload, .. })) => {
+                        prop_assert!(payload.ends_with(&[0xAA]));
+                    }
+                    (Frame::Msg { .. }, other) => {
+                        prop_assert!(false, "Msg decoded to {other:?}");
+                    }
+                    (
+                        Frame::SetLink { .. } | Frame::Hello { .. } | Frame::Shutdown,
+                        result,
+                    ) => prop_assert!(result.is_err(), "fixed-size body accepted trailing junk"),
+                }
+            }
+
+            /// The reassembler survives arbitrary bytes under arbitrary
+            /// read chunking: every outcome is a frame, "need more", or an
+            /// error value — never a panic.
+            #[test]
+            fn reassembler_never_panics_on_arbitrary_bytes(
+                bytes in arb_bytes(0..512),
+                chunk in 1usize..17,
+            ) {
+                let mut re = FrameReassembler::new();
+                'outer: for c in bytes.chunks(chunk) {
+                    re.push(c);
+                    loop {
+                        match re.next_frame() {
+                            Ok(Some(_)) => {}
+                            Ok(None) => break,
+                            // Sync is lost for good; a real reader drops
+                            // the link here.
+                            Err(_) => break 'outer,
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,134 @@
+//! Model-checks the supervised link lifecycle from `rebeca-net` — the
+//! real production code, compiled against the shims through the
+//! `rebeca_net::sync` facade.
+//!
+//! Run with: `RUSTFLAGS="--cfg rebeca_verify" cargo test -p rebeca-verify --release`
+//!
+//! Two protocols are interleaved exhaustively:
+//!
+//! * **Epoch arbitration** ([`LinkLifecycle`]): both service threads of a
+//!   link usually observe the same failure; exactly one report per epoch
+//!   may win, and a zombie thread's stale report must never re-down a
+//!   link that was already restarted. The `supervisor_stale_epoch`
+//!   injection removes the epoch comparison and proves the checker finds
+//!   the double-down.
+//! * **down → drain → redial** ([`SendBuffer`]): whatever interleaving a
+//!   racing producer gets, nothing queued before the link died may ship
+//!   on the re-established connection, and the replayed Hello is always
+//!   the first frame of the new epoch. The `linkdown_skip_drain`
+//!   injection leaves the dead epoch's bytes queued and proves the
+//!   checker sees them survive.
+#![cfg(rebeca_verify)]
+
+use rebeca_net::{LinkLifecycle, SendBuffer};
+use rebeca_verify::shim::thread;
+use rebeca_verify::Checker;
+use std::sync::Arc;
+
+/// Both service threads of epoch 0 report the same failure; after the
+/// restart a zombie of epoch 0 gasps late and must lose.
+fn epoch_arbitration_body() {
+    let lc = Arc::new(LinkLifecycle::new());
+    let r1 = {
+        let lc = Arc::clone(&lc);
+        thread::spawn(move || lc.report_down(0))
+    };
+    let r2 = {
+        let lc = Arc::clone(&lc);
+        thread::spawn(move || lc.report_down(0))
+    };
+    let w1 = r1.join().expect("reader's report");
+    let w2 = r2.join().expect("writer's report");
+    assert!(w1 ^ w2, "exactly one report of an epoch wins (got {w1} and {w2})");
+    assert!(lc.is_down());
+    // The supervisor restarts the link...
+    assert_eq!(lc.restarted(), 1);
+    // ...and the dead epoch's other thread finally gets scheduled.
+    assert!(!lc.report_down(0), "a stale-epoch report must lose");
+    assert!(!lc.is_down(), "the restarted link stays up despite the zombie");
+}
+
+#[test]
+fn one_report_per_epoch_wins_and_zombies_lose() {
+    Checker::new("one_report_per_epoch_wins_and_zombies_lose")
+        .check(epoch_arbitration_body)
+        .assert_ok();
+}
+
+/// Injected bug: `report_down` skips the epoch comparison, so the zombie
+/// thread's stale report re-downs the restarted link — the double-restart
+/// bug the epoch exists to prevent. The checker must find it, and the
+/// printed schedule must replay deterministically.
+#[test]
+fn injected_stale_epoch_is_caught_and_replays() {
+    let report = Checker::new("injected_stale_epoch_is_caught_and_replays")
+        .inject("supervisor_stale_epoch")
+        .check(epoch_arbitration_body);
+    let failure = report.assert_fails();
+    assert!(
+        failure.message.contains("stale-epoch report must lose")
+            || failure.message.contains("exactly one report"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    let replay = Checker::new("injected_stale_epoch_is_caught_and_replays")
+        .inject("supervisor_stale_epoch")
+        .schedule(&failure.schedule)
+        .check(epoch_arbitration_body);
+    assert_eq!(replay.explored, 1, "a replay explores exactly one schedule");
+    assert_eq!(replay.assert_fails().message, failure.message);
+}
+
+/// The supervisor's down → drain → redial against a racing producer:
+/// `0xAA` was queued before the link died, the producer pushes `0xBB` at
+/// an arbitrary point, the supervisor drains-and-drops then re-arms with
+/// the replayed Hello (`0x11`). However the three interleave, the dead
+/// epoch's bytes must be gone and the Hello must lead.
+fn down_drain_redial_body() {
+    let sb = SendBuffer::new(64);
+    sb.push(&[0xAA; 2]).expect("queued before the death");
+    let producer = {
+        let sb = sb.clone();
+        thread::spawn(move || sb.push(&[0xBB; 2]).expect("a down link drops, never errors"))
+    };
+    // The supervisor's containment + heal, racing the producer.
+    sb.mark_down();
+    sb.mark_up_with(&[0x11]);
+    producer.join().expect("producer");
+    let mut out = Vec::new();
+    let mut shipped = Vec::new();
+    while sb.occupancy() > 0 {
+        assert!(sb.drain_into(&mut out), "buffer was not closed");
+        shipped.extend_from_slice(&out);
+    }
+    assert!(
+        !shipped.contains(&0xAA),
+        "dead epoch's bytes must never ship on the fresh connection: {shipped:?}"
+    );
+    assert_eq!(shipped.first(), Some(&0x11), "the replayed Hello leads the new epoch");
+}
+
+#[test]
+fn down_drain_redial_never_leaks_the_dead_epoch() {
+    Checker::new("down_drain_redial_never_leaks_the_dead_epoch")
+        .check(down_drain_redial_body)
+        .assert_ok();
+}
+
+/// Injected bug: `mark_down` skips the drain, so the dead epoch's queued
+/// bytes survive into the re-established connection (stale frames on a
+/// fresh stream — the exact corruption the drain step prevents).
+#[test]
+fn injected_skip_drain_is_caught_and_replays() {
+    let report = Checker::new("injected_skip_drain_is_caught_and_replays")
+        .inject("linkdown_skip_drain")
+        .check(down_drain_redial_body);
+    let failure = report.assert_fails();
+    assert!(failure.message.contains("must never ship"), "unexpected failure: {}", failure.message);
+    let replay = Checker::new("injected_skip_drain_is_caught_and_replays")
+        .inject("linkdown_skip_drain")
+        .schedule(&failure.schedule)
+        .check(down_drain_redial_body);
+    assert_eq!(replay.explored, 1, "a replay explores exactly one schedule");
+    assert_eq!(replay.assert_fails().message, failure.message);
+}

@@ -14,9 +14,9 @@
 //!   that shard ownership and interner snapshots make locks unnecessary.
 //! * **wildcard-arm** — no `_ =>` match arms in protocol handler files
 //!   (`broker.rs`, `client.rs`, `replicator.rs`) or transport dispatch
-//!   files (`wire.rs`, `process_rt.rs`): adding a `Message` variant or a
-//!   frame tag must force every handler to decide, not silently swallow
-//!   it.
+//!   files (`wire.rs`, `process_rt.rs`, `supervisor.rs`): adding a
+//!   `Message` variant, a frame tag or a link-down cause must force every
+//!   handler to decide, not silently swallow it.
 //! * **safety-comment** — every `unsafe` item carries a `// SAFETY:`
 //!   comment on it or in the comment block directly above it.
 //! * **ordering-comment** — every atomic `Ordering::…` site carries a
@@ -78,11 +78,12 @@ const LOCK_PATTERNS: &[(&str, &str)] = &[
 ];
 
 /// File names whose `match` arms must be exhaustive over protocol
-/// messages (no `_ =>`). `wire.rs` and `process_rt.rs` are the transport
-/// layer: frame-tag dispatch must name every tag so a new frame kind
-/// forces both the reassembler and the peer loop to decide.
+/// messages (no `_ =>`). `wire.rs`, `process_rt.rs` and `supervisor.rs`
+/// are the transport layer: frame-tag and link-down-cause dispatch must
+/// name every variant so a new frame kind or failure cause forces the
+/// reassembler, the peer loops and the supervisor to decide.
 const HANDLER_FILES: &[&str] =
-    &["broker.rs", "client.rs", "replicator.rs", "wire.rs", "process_rt.rs"];
+    &["broker.rs", "client.rs", "replicator.rs", "wire.rs", "process_rt.rs", "supervisor.rs"];
 
 fn is_ident_char(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_'
@@ -490,6 +491,8 @@ fn hot() {
         // Transport frame-tag dispatch files are held to the same rule.
         assert_eq!(rules("crates/net/src/wire.rs", src), vec!["wildcard-arm"]);
         assert_eq!(rules("crates/net/src/process_rt.rs", src), vec!["wildcard-arm"]);
+        // The link supervisor dispatches on failure causes: same rule.
+        assert_eq!(rules("crates/net/src/supervisor.rs", src), vec!["wildcard-arm"]);
         // Same code in a non-handler file: fine.
         assert!(lint_source("crates/broker/src/table.rs", src).is_empty());
         // Handler-named file outside src/ (a test fixture): fine.

@@ -9,11 +9,17 @@
 //! codec, framed, reassembled and decoded on the far side — symbols are
 //! re-resolved against the receiving process's own interner.
 //!
+//! Both halves arm a [`ReconnectPolicy`]: the links are *supervised*, so
+//! if either process died mid-run the survivor would mark the routes
+//! down, drop (and count) traffic towards the corpse, and re-dial with
+//! backoff instead of panicking — see `tests/process_soak.rs` for the
+//! kill/recover proof.
+//!
 //! Run with: `cargo run --example live_processes`
 
 use rebeca::broker::{ClientNode, Message, RoutingStrategy};
 use rebeca::{BrokerId, ClientId, Filter, Notification, SubscriptionId, SystemBuilder};
-use rebeca_net::{ProcessRuntime, Topology};
+use rebeca_net::{ProcessRuntime, ReconnectPolicy, Topology};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -23,7 +29,9 @@ const SOCK_ENV: &str = "REBECA_LIVE_PROCESS_SOCK";
 /// Global node table, identical in both processes:
 /// 0 = broker 0, 1 = broker 1, 2 = publisher client, 3 = consumer client.
 fn builder() -> SystemBuilder {
-    SystemBuilder::new(Topology::line(2).expect("non-empty")).strategy(RoutingStrategy::Simple)
+    SystemBuilder::new(Topology::line(2).expect("non-empty"))
+        .strategy(RoutingStrategy::Simple)
+        .reconnect_policy(ReconnectPolicy::default())
 }
 
 fn main() {
@@ -74,10 +82,17 @@ fn publisher_process() {
     }
 
     let status = child.wait().expect("wait for consumer process");
+    let metrics = rt.metrics_handle();
     rt.stop();
     let _ = std::fs::remove_file(&sock);
     assert!(status.success(), "consumer process failed");
+    let m = metrics.snapshot();
+    assert_eq!(m.thread_panics, 0, "supervised links never die by panic");
     println!("publisher process: 10 notifications shipped across the socket.");
+    println!(
+        "link supervision: {} downs, {} restarts, {} thread panics.",
+        m.link_downs, m.link_restarts, m.thread_panics
+    );
     println!("same state machines, two OS processes — the wire codec pays off.");
 }
 

@@ -301,6 +301,7 @@ pub struct SystemBuilder {
     link_latency: SimDuration,
     seed: u64,
     shards: usize,
+    reconnect: Option<rebeca_net::ReconnectPolicy>,
 }
 
 impl SystemBuilder {
@@ -320,6 +321,7 @@ impl SystemBuilder {
             link_latency: SimDuration::from_millis(1),
             seed: 42,
             shards: default_shard_count(),
+            reconnect: None,
         }
     }
 
@@ -370,6 +372,20 @@ impl SystemBuilder {
     #[must_use]
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Arms link supervision with automatic reconnection for
+    /// [`build_process_partition`](SystemBuilder::build_process_partition)
+    /// deployments: a peer process that dies is re-dialed (or re-accepted)
+    /// under `policy`'s jittered exponential backoff, the Hello handshake
+    /// is replayed, and link state is re-broadcast. Off by default — a
+    /// dead peer's links then stay down (traffic towards it is counted
+    /// and dropped) while everything else keeps running. Ignored by the
+    /// simulator and threaded-runtime builds, which have no sockets.
+    #[must_use]
+    pub fn reconnect_policy(mut self, policy: rebeca_net::ReconnectPolicy) -> Self {
+        self.reconnect = Some(policy);
         self
     }
 
@@ -538,7 +554,10 @@ impl SystemBuilder {
     /// symbols are process-local, resolved on decode — nothing interned
     /// ever crosses the wire. Returns the broker node ids, indexed by
     /// [`BrokerId`]. The simulation-only settings of the builder (seed,
-    /// link latency) are ignored, exactly as in the threaded runtime.
+    /// link latency) are ignored, exactly as in the threaded runtime. A
+    /// [`reconnect_policy`](SystemBuilder::reconnect_policy), if set, is
+    /// installed on `rt` so killed peer processes are survivable (see
+    /// [`rebeca_net::supervisor`]).
     ///
     /// # Errors
     ///
@@ -567,6 +586,9 @@ impl SystemBuilder {
                     "hosted broker {b} is outside the {n}-broker topology"
                 )));
             }
+        }
+        if let Some(policy) = self.reconnect {
+            rt.set_reconnect_policy(policy);
         }
         let topology = Arc::new(self.topology);
         let broker_nodes: Arc<Vec<NodeId>> = Arc::new((0..n as u32).map(NodeId::new).collect());

@@ -8,17 +8,28 @@
 //! the same "unplugged cable" semantics as the channel path) while every
 //! other mark arrives in both, FIFO-clean and duplicate-free.
 //!
-//! The child process is this very test binary re-executed with
-//! `--exact process_soak_child` and role/seed/socket environment variables
-//! — the same trick `examples/live_processes.rs` uses. On any failure the
-//! master seed is printed so the run reproduces with:
+//! A second scenario goes further: the child process is **SIGKILLed**
+//! mid-run — no goodbye frame, just a dead socket. The parent's supervised
+//! link must notice, drain-and-drop the traffic queued towards the corpse,
+//! and (with a [`ReconnectPolicy`] armed) re-accept a respawned
+//! generation-2 child on the *same* retained listener. The reborn consumer
+//! must then see exactly the post-recovery batch — nothing from the outage
+//! replayed, nothing from the recovery lost — with zero FIFO violations,
+//! zero duplicates, and zero thread panics on either side.
+//!
+//! The child processes are this very test binary re-executed with
+//! `--exact <child test>` and role/seed/socket environment variables — the
+//! same trick `examples/live_processes.rs` uses. On any failure the master
+//! seed is printed so the run reproduces with:
 //!
 //! ```text
 //! REBECA_SOAK_SEED=<seed> cargo test --release --test process_soak
 //! ```
 
 use rebeca::broker::{BrokerCore, BrokerNode, ClientNode, Message, RoutingStrategy};
-use rebeca::net::{NodeId, ProcessRuntime, SplitMix64, ThreadRuntime, Topology};
+use rebeca::net::{
+    LinkMetrics, NodeId, ProcessRuntime, ReconnectPolicy, SplitMix64, ThreadRuntime, Topology,
+};
 use rebeca::{BrokerId, ClientId, Filter, Notification, SubscriptionId, SystemBuilder};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -116,6 +127,63 @@ fn observe(client: &ClientNode) -> Observed {
         fifo_violations: client.local().fifo_violations(),
         duplicates: client.local().duplicates(),
     }
+}
+
+/// Polls `cond` every few milliseconds until it holds or `timeout`
+/// elapses; returns whether it ever held.
+fn wait_until(timeout: Duration, cond: impl Fn() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+/// Extracts the value after `key` from a child process's stdout report.
+/// libtest prints `test <name> ... ` without a trailing newline, so the
+/// first report key lands mid-line.
+fn child_field(stdout: &str, key: &str) -> String {
+    stdout
+        .lines()
+        .find_map(|l| l.split_once(key).map(|(_, rest)| rest))
+        .unwrap_or_else(|| panic!("child printed no `{key}` line; stdout:\n{stdout}"))
+        .trim()
+        .to_string()
+}
+
+/// Parses the `SOAK-A-*` report lines a child prints before exiting.
+fn child_observed(stdout: &str) -> Observed {
+    Observed {
+        marks: child_field(stdout, "SOAK-A-MARKS:")
+            .split_whitespace()
+            .map(|m| m.parse().expect("mark"))
+            .collect(),
+        fifo_violations: child_field(stdout, "SOAK-A-FIFO:").parse().expect("fifo count"),
+        duplicates: child_field(stdout, "SOAK-A-DUP:").parse().expect("duplicate count"),
+    }
+}
+
+/// Builds the child half of the deployment: broker 2 and consumer A,
+/// dialling the parent's socket; the publisher and consumer B are remote
+/// stubs behind the link. Shared by every child role in this file.
+fn child_runtime(sock: &std::path::Path, dial_timeout: Duration) -> ProcessRuntime<Message> {
+    let mut rt: ProcessRuntime<Message> = ProcessRuntime::new();
+    let peer = rt.dial_uds(sock, dial_timeout).expect("dial parent process");
+    let builder = SystemBuilder::new(Topology::line(BROKERS).expect("non-empty"))
+        .strategy(RoutingStrategy::Simple);
+    builder
+        .build_process_partition(&mut rt, &[BrokerId::new(2)], |_| Some(peer))
+        .expect("deploy child partition");
+    rt.add_remote(peer); // publisher lives in the parent
+    rt.add_local(Box::new(ClientNode::new(ClientId::new(2), Some(NodeId::new(2)))));
+    rt.add_remote(peer); // consumer B lives in the parent
+    rt.connect(PUBLISHER, NodeId::new(0));
+    rt.connect(CONSUMER_A, NodeId::new(2));
+    rt.connect(CONSUMER_B, NodeId::new(1));
+    rt
 }
 
 /// Drives the script's publish/link timeline. `set_link` flips the
@@ -227,6 +295,7 @@ fn run_two_processes(script: &Script, seed: u64) -> (Observed, Observed) {
     rt.connect(PUBLISHER, NodeId::new(0));
     rt.connect(CONSUMER_A, NodeId::new(2));
     rt.connect(CONSUMER_B, NodeId::new(1));
+    let metrics = rt.metrics_handle();
     rt.start();
 
     std::thread::sleep(Duration::from_millis(100));
@@ -247,26 +316,10 @@ fn run_two_processes(script: &Script, seed: u64) -> (Observed, Observed) {
     let nodes = rt.stop();
     let _ = std::fs::remove_file(&sock);
     assert!(out.status.success(), "child process failed");
+    assert_eq!(metrics.snapshot().thread_panics, 0, "parent link threads must never panic");
 
     let stdout = String::from_utf8_lossy(&out.stdout);
-    let field = |key: &str| -> String {
-        stdout
-            .lines()
-            // libtest prints `test process_soak_child ... ` without a
-            // newline, so the first report key lands mid-line.
-            .find_map(|l| l.split_once(key).map(|(_, rest)| rest))
-            .unwrap_or_else(|| panic!("child printed no `{key}` line; stdout:\n{stdout}"))
-            .trim()
-            .to_string()
-    };
-    let a = Observed {
-        marks: field("SOAK-A-MARKS:")
-            .split_whitespace()
-            .map(|m| m.parse().expect("mark"))
-            .collect(),
-        fifo_violations: field("SOAK-A-FIFO:").parse().expect("fifo count"),
-        duplicates: field("SOAK-A-DUP:").parse().expect("duplicate count"),
-    };
+    let a = child_observed(&stdout);
 
     let b_node = nodes[CONSUMER_B.raw() as usize]
         .as_ref()
@@ -289,19 +342,8 @@ fn process_soak_child() {
     let seed: u64 = std::env::var(SEED_ENV).expect("seed env").parse().expect("seed");
     let script = Script::derive(seed);
 
-    let mut rt: ProcessRuntime<Message> = ProcessRuntime::new();
-    let peer = rt.dial_uds(&sock, Duration::from_secs(10)).expect("dial parent process");
-    let builder = SystemBuilder::new(Topology::line(BROKERS).expect("non-empty"))
-        .strategy(RoutingStrategy::Simple);
-    builder
-        .build_process_partition(&mut rt, &[BrokerId::new(2)], |_| Some(peer))
-        .expect("deploy child partition");
-    rt.add_remote(peer); // publisher lives in the parent
-    rt.add_local(Box::new(ClientNode::new(ClientId::new(2), Some(NodeId::new(2)))));
-    rt.add_remote(peer); // consumer B lives in the parent
-    rt.connect(PUBLISHER, NodeId::new(0));
-    rt.connect(CONSUMER_A, NodeId::new(2));
-    rt.connect(CONSUMER_B, NodeId::new(1));
+    let mut rt = child_runtime(&sock, Duration::from_secs(10));
+    let metrics = rt.metrics_handle();
     rt.start();
 
     std::thread::sleep(Duration::from_millis(100));
@@ -314,6 +356,7 @@ fn process_soak_child() {
     // driving plus margin), then report.
     std::thread::sleep(Duration::from_millis(4500));
     let nodes = rt.stop();
+    assert_eq!(metrics.snapshot().thread_panics, 0, "child link threads must never panic");
     let client = nodes[CONSUMER_A.raw() as usize]
         .as_ref()
         .expect("consumer A is local to the child")
@@ -367,6 +410,259 @@ fn process_runtime_is_delivery_identical_to_thread_runtime() {
     });
     if let Err(panic) = result {
         eprintln!("\nprocess soak FAILED under master seed {seed}");
+        eprintln!(
+            "reproduce with: REBECA_SOAK_SEED={seed} cargo test --release --test process_soak\n"
+        );
+        std::panic::resume_unwind(panic);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kill/recover soak: SIGKILL one broker process mid-scenario, respawn it,
+// and prove the supervised link heals with zero loss, zero replay.
+// ---------------------------------------------------------------------------
+
+/// The seed-derived script for the kill/recover soak. Batch 1 flows while
+/// generation 1 of the child is alive; the kill window is published after
+/// it has been SIGKILLed (those marks match consumer A's filter, so only
+/// the supervisor's drain-and-drop explains their absence from the reborn
+/// consumer); batch 2 flows once generation 2 has been re-accepted.
+struct KillScript {
+    /// Consumer A subscribes to `mark > threshold` in every generation.
+    threshold: i64,
+    batch1: Vec<i64>,
+    kill_window: Vec<i64>,
+    batch2: Vec<i64>,
+}
+
+impl KillScript {
+    fn derive(seed: u64) -> KillScript {
+        let mut rng = SplitMix64::new(seed ^ 0x6b69_6c6c); // "kill"
+        let threshold = (rng.next_u64() % 8) as i64; // 0..=7
+        let n1 = 10 + (rng.next_u64() % 8) as i64; // 10..=17
+        let n2 = 10 + (rng.next_u64() % 8) as i64;
+        KillScript {
+            threshold,
+            batch1: (0..n1).collect(),
+            kill_window: (1000..1004).collect(),
+            batch2: (2000..2000 + n2).collect(),
+        }
+    }
+
+    /// Marks the *reborn* consumer A must end up with: exactly batch 2.
+    /// Batch 1 died with generation 1; the kill-window marks must have
+    /// been drained-and-dropped, never replayed onto the fresh connection.
+    fn expected_a_reborn(&self) -> BTreeSet<i64> {
+        self.batch2.iter().copied().filter(|m| *m > self.threshold).collect()
+    }
+
+    /// Consumer B sits in the surviving parent and must see everything —
+    /// the kill only ever severs the road to broker 2.
+    fn expected_b(&self) -> BTreeSet<i64> {
+        self.batch1.iter().chain(&self.kill_window).chain(&self.batch2).copied().collect()
+    }
+
+    fn filter_a(&self) -> Filter {
+        Filter::builder().eq("service", "soak").gt("mark", self.threshold).build()
+    }
+
+    fn filter_b(&self) -> Filter {
+        Filter::builder().eq("service", "soak").build()
+    }
+}
+
+/// Parent half of the kill/recover soak. Hosts brokers 0–1, the publisher
+/// and consumer B behind a retained listener with a [`ReconnectPolicy`]
+/// armed; SIGKILLs the generation-1 child mid-scenario, respawns it, and
+/// returns what the reborn consumer A saw, its thread-panic count, the
+/// parent's link metrics, and what consumer B saw.
+fn run_kill_recover(script: &KillScript, seed: u64) -> (Observed, u64, LinkMetrics, Observed) {
+    let sock = std::env::temp_dir().join(format!("rebeca-kill-soak-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let spawn_child = |generation: &str| {
+        std::process::Command::new(&exe)
+            .args(["kill_recover_child", "--exact", "--nocapture"])
+            .env(ROLE_ENV, generation)
+            .env(SOCK_ENV, &sock)
+            .env(SEED_ENV, seed.to_string())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn child process")
+    };
+    let mut gen1 = spawn_child("kill-gen1");
+
+    let mut rt: ProcessRuntime<Message> = ProcessRuntime::new();
+    let peer = rt.listen_uds(&sock).expect("accept generation-1 child");
+    let builder = SystemBuilder::new(Topology::line(BROKERS).expect("non-empty"))
+        .strategy(RoutingStrategy::Simple)
+        .reconnect_policy(ReconnectPolicy {
+            initial: Duration::from_millis(10),
+            max: Duration::from_millis(100),
+            jitter: 0.2,
+            max_attempts: 600,
+        });
+    builder
+        .build_process_partition(&mut rt, &[BrokerId::new(0), BrokerId::new(1)], |_| Some(peer))
+        .expect("deploy parent partition");
+    rt.add_local(Box::new(ClientNode::new(ClientId::new(1), Some(NodeId::new(0)))));
+    rt.add_remote(peer); // consumer A lives in the child
+    rt.add_local(Box::new(ClientNode::new(ClientId::new(3), Some(NodeId::new(1)))));
+    rt.connect(PUBLISHER, NodeId::new(0));
+    rt.connect(CONSUMER_A, NodeId::new(2));
+    rt.connect(CONSUMER_B, NodeId::new(1));
+    let metrics = rt.metrics_handle();
+    rt.start();
+
+    std::thread::sleep(Duration::from_millis(100));
+    rt.send_external(
+        CONSUMER_B,
+        Message::AppSubscribe { id: SubscriptionId::new(2), filter: script.filter_b() },
+    );
+    let send = |to, msg| rt.send_external(to, msg);
+
+    // Generation 1 subscribes right after dialling; give the routing
+    // tables a beat to flood, then publish the first live batch.
+    std::thread::sleep(Duration::from_millis(800));
+    publish(&send, &script.batch1);
+    std::thread::sleep(Duration::from_millis(300));
+
+    // SIGKILL broker 2's process mid-scenario: no goodbye frame, no flush
+    // — the parent's reader sees a raw EOF on the next read.
+    gen1.kill().expect("SIGKILL generation-1 child");
+    let _ = gen1.wait(); // reap; it died by signal, so no status assert
+    assert!(
+        wait_until(Duration::from_secs(10), || !rt.peer_status(peer).up),
+        "parent never noticed the SIGKILL"
+    );
+
+    // Published into the outage: drained-and-dropped towards the corpse,
+    // still delivered to the parent-local consumer B.
+    publish(&send, &script.kill_window);
+
+    // Rebirth: generation 2 dials the same path; the supervisor re-accepts
+    // on the retained listener and replays the handshake.
+    let gen2 = spawn_child("kill-gen2");
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            let st = rt.peer_status(peer);
+            st.up && st.restarts >= 1
+        }),
+        "link never healed after the respawn"
+    );
+
+    // Generation 2's re-subscription floods the routing tables again, then
+    // the post-recovery batch rides the fresh connection.
+    std::thread::sleep(Duration::from_millis(800));
+    publish(&send, &script.batch2);
+    std::thread::sleep(Duration::from_millis(600));
+
+    let out = gen2.wait_with_output().expect("wait for generation-2 child");
+    let nodes = rt.stop();
+    let _ = std::fs::remove_file(&sock);
+    assert!(out.status.success(), "generation-2 child failed");
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let a = child_observed(&stdout);
+    let a_panics: u64 = child_field(&stdout, "SOAK-A-PANICS:").parse().expect("panic count");
+
+    let b_node = nodes[CONSUMER_B.raw() as usize]
+        .as_ref()
+        .expect("consumer B is local to the parent")
+        .as_any()
+        .downcast_ref::<ClientNode>()
+        .expect("client node");
+    (a, a_panics, metrics.snapshot(), observe(b_node))
+}
+
+/// Child-process half of the kill/recover soak: a no-op under a normal
+/// test run. Generation 1 subscribes and then idles until the parent
+/// SIGKILLs it; generation 2 dials the same socket, re-subscribes, and
+/// reports what the reborn consumer A saw.
+#[test]
+fn kill_recover_child() {
+    let role = std::env::var(ROLE_ENV).unwrap_or_default();
+    if role != "kill-gen1" && role != "kill-gen2" {
+        return;
+    }
+    let sock = PathBuf::from(std::env::var(SOCK_ENV).expect("socket path env"));
+    let seed: u64 = std::env::var(SEED_ENV).expect("seed env").parse().expect("seed");
+    let script = KillScript::derive(seed);
+
+    let mut rt = child_runtime(&sock, Duration::from_secs(15));
+    let metrics = rt.metrics_handle();
+    rt.start();
+    std::thread::sleep(Duration::from_millis(100));
+    rt.send_external(
+        CONSUMER_A,
+        Message::AppSubscribe { id: SubscriptionId::new(1), filter: script.filter_a() },
+    );
+
+    if role == "kill-gen1" {
+        // Nothing to report: this generation exists to be SIGKILLed. Idle
+        // far past the scenario; the parent reaps us long before this.
+        std::thread::sleep(Duration::from_secs(600));
+        rt.stop();
+        return;
+    }
+
+    // Generation 2: the parent publishes the post-recovery batch only
+    // after it has watched the link heal, so a generous fixed sleep is
+    // race-free. Then report, including our own thread hygiene.
+    std::thread::sleep(Duration::from_millis(5000));
+    let nodes = rt.stop();
+    let client = nodes[CONSUMER_A.raw() as usize]
+        .as_ref()
+        .expect("consumer A is local to the child")
+        .as_any()
+        .downcast_ref::<ClientNode>()
+        .expect("client node");
+    let seen = observe(client);
+    let marks: Vec<String> = seen.marks.iter().map(|m| m.to_string()).collect();
+    println!("SOAK-A-MARKS: {}", marks.join(" "));
+    println!("SOAK-A-FIFO: {}", seen.fifo_violations);
+    println!("SOAK-A-DUP: {}", seen.duplicates);
+    println!("SOAK-A-PANICS: {}", metrics.snapshot().thread_panics);
+}
+
+#[test]
+fn killed_broker_process_recovers_with_zero_loss() {
+    if std::env::var(ROLE_ENV).is_ok() {
+        return; // never recurse inside a child re-execution
+    }
+    let seed: u64 = match std::env::var("REBECA_SOAK_SEED") {
+        Ok(s) => s.parse().expect("REBECA_SOAK_SEED must be a u64"),
+        Err(_) => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos() as u64,
+    };
+    println!("kill/recover soak master seed: {seed}");
+
+    let result = std::panic::catch_unwind(|| {
+        let script = KillScript::derive(seed);
+        let (a, a_panics, metrics, b) = run_kill_recover(&script, seed);
+
+        // Non-vacuous: every kill-window mark matched consumer A's filter,
+        // so only the drain-and-drop explains its absence below.
+        assert!(script.kill_window.iter().all(|m| *m > script.threshold));
+        assert!(!a.marks.is_empty(), "the reborn consumer A saw nothing at all");
+
+        assert_eq!(a.marks, script.expected_a_reborn(), "reborn consumer A vs oracle");
+        assert_eq!(a.fifo_violations, 0, "reborn consumer A: FIFO violated");
+        assert_eq!(a.duplicates, 0, "reborn consumer A: duplicate deliveries");
+        assert_eq!(b.marks, script.expected_b(), "consumer B vs oracle");
+        assert_eq!(b.fifo_violations, 0, "consumer B: FIFO violated");
+        assert_eq!(b.duplicates, 0, "consumer B: duplicate deliveries");
+
+        assert!(metrics.link_downs >= 1, "the SIGKILL must register as a link down");
+        assert!(metrics.link_restarts >= 1, "the respawn must register as a link restart");
+        assert_eq!(metrics.thread_panics, 0, "parent link threads must never panic");
+        assert_eq!(a_panics, 0, "generation-2 link threads must never panic");
+    });
+    if let Err(panic) = result {
+        eprintln!("\nkill/recover soak FAILED under master seed {seed}");
         eprintln!(
             "reproduce with: REBECA_SOAK_SEED={seed} cargo test --release --test process_soak\n"
         );
