@@ -1,0 +1,158 @@
+//! Replication benchmark: what does the op log cost, and what does it not?
+//!
+//! PR 10's replica groups sit on the broker's **mutation path** only:
+//! subscription churn rides Prepare/PrepareOk/Commit round trips, while
+//! the per-notification route path never touches the log. This bench
+//! measures both claims as throughput pairs, replication off vs a group
+//! of three:
+//!
+//! * `churn-*` — a subscribe/unsubscribe storm through a 3-broker line.
+//!   The group-of-3 case pays the in-simulation quorum round trips per
+//!   mutation; the gap between the pair is the whole logging cost.
+//! * `publish-*` — end-to-end notification delivery through the same
+//!   line. The pair must track each other: the read path is
+//!   replication-free by construction (`xtask lint` pins the no-lock
+//!   hot-path markers, `alloc_regression` pins zero steady-state allocs).
+//!
+//! Results print in the criterion-stub format and, when `REPLICATION_JSON`
+//! names a file, are additionally written as JSON so CI can track the
+//! trajectory (see `BENCH_replication_pr10.json` at the repo root).
+//! `REPLICATION_QUICK` shrinks the measurement window for smoke runs.
+
+use rebeca::{
+    BrokerId, Filter, Notification, RoutingStrategy, SimDuration, System, SystemBuilder, Topology,
+};
+use rebeca_bench::harness::{results_json, Measurement};
+use std::time::{Duration, Instant};
+
+/// Resolves an output path against the workspace root.
+fn workspace_path(p: &str) -> std::path::PathBuf {
+    rebeca_bench::harness::workspace_path(env!("CARGO_MANIFEST_DIR"), p)
+}
+
+/// A 3-broker line, replication off (`group == 1`) or on (`group >= 2`),
+/// with `preload` distinct filters already in every routing table.
+fn replicated_system(group: usize, preload: usize) -> System {
+    let mut sys = SystemBuilder::new(Topology::line(3).expect("valid line"))
+        .strategy(RoutingStrategy::Covering)
+        .replication(group)
+        .build()
+        .expect("valid deployment");
+    let loader = sys.add_client(BrokerId::new(2)).expect("broker in topology");
+    sys.run_for(SimDuration::from_millis(100));
+    for i in 0..preload {
+        sys.subscribe(loader, Filter::builder().eq("room", i as i64).build()).expect("own client");
+    }
+    sys.run_for(SimDuration::from_secs(2));
+    sys
+}
+
+/// Subscribe/unsubscribe storm — every event is one logged mutation when
+/// replication is on (two ops per cycle, each a quorum round trip).
+fn bench_churn(group: usize, preload: usize, budget: Duration) -> Measurement {
+    let mut sys = replicated_system(group, preload);
+    let churner = sys.add_client(BrokerId::new(0)).expect("broker in topology");
+    sys.run_for(SimDuration::from_millis(100));
+
+    // Warm-up: one full cycle.
+    let id =
+        sys.subscribe(churner, Filter::builder().eq("churn", -1i64).build()).expect("own client");
+    sys.run_for(SimDuration::from_millis(100));
+    sys.unsubscribe(churner, id).expect("own client");
+    sys.run_for(SimDuration::from_millis(100));
+
+    let mut events = 0u64;
+    let mut round = 0i64;
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        let id = sys
+            .subscribe(churner, Filter::builder().eq("churn", round).build())
+            .expect("own client");
+        sys.run_for(SimDuration::from_millis(50));
+        sys.unsubscribe(churner, id).expect("own client");
+        sys.run_for(SimDuration::from_millis(50));
+        events += 2;
+        round += 1;
+    }
+    if group > 1 {
+        let stats = sys.replication_stats().expect("replication is on");
+        assert!(stats.ops_logged >= events, "every churn event must ride the op log");
+        assert_eq!(
+            stats.ops_committed,
+            group as u64 * stats.ops_logged,
+            "a healthy group commits every op at every member"
+        );
+    }
+    Measurement {
+        name: format!("replication/churn-group-{group}"),
+        events,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// End-to-end delivery throughput: publisher at broker 0, matching
+/// subscriber at broker 2. Replication must not tax this path at all.
+fn bench_publish(group: usize, preload: usize, budget: Duration) -> Measurement {
+    let mut sys = replicated_system(group, preload);
+    let publisher = sys.add_client(BrokerId::new(0)).expect("broker in topology");
+    let consumer = sys.add_client(BrokerId::new(2)).expect("broker in topology");
+    sys.run_for(SimDuration::from_millis(100));
+    sys.subscribe(consumer, Filter::builder().eq("service", "bench").build()).expect("own client");
+    sys.run_for(SimDuration::from_secs(1));
+
+    let logged_before = sys.replication_stats().map(|s| s.ops_logged).unwrap_or(0);
+    let mut events = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        for i in 0..64i64 {
+            sys.publish(
+                publisher,
+                Notification::builder().attr("service", "bench").attr("mark", i),
+            )
+            .expect("own client");
+        }
+        sys.run_for(SimDuration::from_secs(1));
+        events += 64;
+    }
+    let seen = sys.take_delivered(consumer).expect("own client").len() as u64;
+    assert_eq!(seen, events, "every published notification must arrive");
+    if group > 1 {
+        let logged_after = sys.replication_stats().expect("replication is on").ops_logged;
+        assert_eq!(logged_after, logged_before, "publishing must never touch the op log");
+    }
+    Measurement {
+        name: format!("replication/publish-group-{group}"),
+        events,
+        elapsed: start.elapsed(),
+    }
+}
+
+fn main() {
+    let quick = std::env::var("REPLICATION_QUICK").is_ok();
+    let budget = if quick { Duration::from_millis(200) } else { Duration::from_millis(1500) };
+
+    let measurements = vec![
+        bench_churn(1, 200, budget),
+        bench_churn(3, 200, budget),
+        bench_publish(1, 200, budget),
+        bench_publish(3, 200, budget),
+    ];
+
+    for m in &measurements {
+        println!(
+            "bench replication/{:<32} {:>12.0} events/s ({} events in {:.2?})",
+            m.name.strip_prefix("replication/").unwrap_or(&m.name),
+            m.events_per_sec(),
+            m.events,
+            m.elapsed
+        );
+    }
+
+    if let Ok(path) = std::env::var("REPLICATION_JSON") {
+        let label = std::env::var("REPLICATION_LABEL")
+            .unwrap_or_else(|_| "unlabelled replication run".to_string());
+        let json = results_json("replication", &label, "", &measurements);
+        std::fs::write(workspace_path(&path), json).expect("write REPLICATION_JSON output");
+        println!("bench replication: wrote {path}");
+    }
+}

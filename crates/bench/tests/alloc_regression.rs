@@ -8,17 +8,23 @@
 //!   one `Arc<Notification>` through a broker with local subscribers and
 //!   neighbour announcements;
 //! * [`ReplayBuffer::offer`] — buffering on behalf of an absent device.
+//! * [`ReplicatedBrokerNode`] dispatch — the same route path behind PR 10's
+//!   op-log replication wrapper, table populated through a live group of 3.
 //!
 //! Everything lives in **one** `#[test]` so no parallel test thread can
 //! allocate concurrently and pollute the counter.
 
+use rebeca_broker::replication::{
+    Outbox, Replica, ReplicaConfig, ReplicaMsg, ReplicatedBrokerNode, ReplicationMetrics,
+};
 use rebeca_broker::{BrokerCore, Message, Outcome, RoutingStrategy};
 use rebeca_core::{
-    BrokerId, ClientId, Filter, Notification, SharedInterner, SimTime, SubscriptionId,
+    BrokerId, ClientId, Filter, Notification, SharedInterner, SimTime, Subscription, SubscriptionId,
 };
 use rebeca_mobility::BufferSpec;
-use rebeca_net::{Ctx, NodeId, Topology};
+use rebeca_net::{Ctx, Node, NodeId, Topology};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -63,6 +69,37 @@ fn allocations() -> u64 {
     // ordering: Relaxed — read on the allocating thread itself; the test
     // only compares counts taken on one thread.
     ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Shuttles replica traffic between a [`ReplicatedBrokerNode`] and a set
+/// of hand-pumped sans-io backup [`Replica`]s until the group quiesces,
+/// discarding every non-replica action the node emits along the way (the
+/// measured loops call `clear_actions` the same way).
+fn pump_group(
+    ctx: &mut Ctx<'_, Message>,
+    rb: &mut ReplicatedBrokerNode,
+    backups: &mut [Replica],
+    me: NodeId,
+    seed: Vec<(NodeId, NodeId, ReplicaMsg)>,
+) {
+    let mut queue: VecDeque<(NodeId, NodeId, ReplicaMsg)> = seed.into();
+    loop {
+        for (to, msg) in ctx.sent() {
+            if let Message::Replica(rm) = msg {
+                queue.push_back((me, to, rm.clone()));
+            }
+        }
+        ctx.clear_actions();
+        let Some((from, to, rm)) = queue.pop_front() else { break };
+        if to == me {
+            rb.on_message(ctx, from, Message::Replica(rm));
+        } else if let Some(b) = backups.iter_mut().find(|b| b.me_node() == to) {
+            let mut out = Outbox::new();
+            b.on_msg(from, rm, &mut out);
+            let bfrom = b.me_node();
+            queue.extend(out.into_iter().map(|(t, m)| (bfrom, t, m)));
+        }
+    }
 }
 
 #[test]
@@ -223,5 +260,80 @@ fn steady_state_pipeline_allocates_nothing() {
     assert_eq!(
         coded, 0,
         "warm encode + archived decode allocated {coded} times for 256 notifications"
+    );
+
+    // --- the same routing core behind PR 10's replication wrapper: the
+    //     table below is populated through a *real* group-of-3 op log
+    //     (two sans-io backups pumped by hand), and once warm the
+    //     per-notification dispatch path must stay exactly as
+    //     allocation-free as the bare core's — the hot-path arm never
+    //     touches the replica ---
+    let me = NodeId::new(1);
+    let group = vec![me, NodeId::new(20), NodeId::new(21)];
+    let mut rb = ReplicatedBrokerNode::new(
+        BrokerCore::new(
+            BrokerId::new(1),
+            Arc::clone(&topology),
+            Arc::new((0..3).map(NodeId::new).collect()),
+            RoutingStrategy::Covering,
+        ),
+        group.clone(),
+        Arc::new(ReplicationMetrics::default()),
+    );
+    let mut backups: Vec<Replica> = (1..group.len())
+        .map(|i| Replica::new(ReplicaConfig { group: group.clone(), me: i }))
+        .collect();
+
+    // Boot: the node probes an all-fresh group and becomes primary of
+    // view 0; each backup then recovers its (empty) log from the node.
+    rb.on_start(&mut ctx);
+    pump_group(&mut ctx, &mut rb, &mut backups, me, Vec::new());
+    for i in 0..backups.len() {
+        let mut boot = Outbox::new();
+        backups[i].start(&mut boot);
+        let from = backups[i].me_node();
+        let seed = boot.into_iter().map(|(t, m)| (from, t, m)).collect();
+        pump_group(&mut ctx, &mut rb, &mut backups, me, seed);
+    }
+
+    // The same subscription load as the bare core, but every mutation now
+    // rides a Prepare/PrepareOk/Commit round trip through the group.
+    for i in 0..48u32 {
+        let client = ClientId::new(i % 6);
+        let from = NodeId::new(10 + (i % 6));
+        rb.on_message(&mut ctx, from, Message::ClientAttach { client });
+        pump_group(&mut ctx, &mut rb, &mut backups, me, Vec::new());
+        let filter = Filter::builder().eq("service", "t").eq("room", (i % 12) as i64).build();
+        let subscription = Subscription::new(SubscriptionId::new(i), client, filter);
+        rb.on_message(&mut ctx, from, Message::Subscribe { subscription });
+        pump_group(&mut ctx, &mut rb, &mut backups, me, Vec::new());
+    }
+    let announced = Filter::builder().eq("service", "t").build();
+    rb.on_message(&mut ctx, NodeId::new(0), Message::SubForward { filter: announced.clone() });
+    pump_group(&mut ctx, &mut rb, &mut backups, me, Vec::new());
+    rb.on_message(&mut ctx, NodeId::new(2), Message::SubForward { filter: announced });
+    pump_group(&mut ctx, &mut rb, &mut backups, me, Vec::new());
+    assert!(
+        rb.replica().commit_number() >= 98,
+        "every mutation must have committed through the group (commit = {})",
+        rb.replica().commit_number()
+    );
+    assert!(rb.core().router().entry_count() > 0, "the logged subscriptions reached the table");
+
+    for _ in 0..32 {
+        ctx.clear_actions();
+        rb.on_message(&mut ctx, NodeId::new(0), Message::Publish { notification: Arc::clone(&n) });
+    }
+    assert!(ctx.action_count() > 0, "the replicated broker delivers and forwards");
+
+    let before = allocations();
+    for _ in 0..256 {
+        ctx.clear_actions();
+        rb.on_message(&mut ctx, NodeId::new(0), Message::Publish { notification: Arc::clone(&n) });
+    }
+    let routed = allocations() - before;
+    assert_eq!(
+        routed, 0,
+        "replicated dispatch allocated {routed} times in 256 steady-state publishes"
     );
 }

@@ -292,11 +292,15 @@ impl BrokerCore {
             }
             Message::Mobility(m) => out.unhandled.push((from, m)),
             // Application-level and client-bound messages are not broker
-            // business; they are silently ignored if misdelivered.
+            // business; they are silently ignored if misdelivered. Replica
+            // traffic is only meaningful to a replicated wrapper
+            // ([`crate::replication::ReplicatedBrokerNode`]), which
+            // intercepts it before this dispatch.
             Message::AppPublish { .. }
             | Message::AppSubscribe { .. }
             | Message::AppUnsubscribe { .. }
-            | Message::Deliver { .. } => {}
+            | Message::Deliver { .. }
+            | Message::Replica(_) => {}
         }
     }
 

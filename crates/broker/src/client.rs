@@ -294,7 +294,8 @@ impl Node<Message> for ClientNode {
             | Message::SubForward { .. }
             | Message::UnsubForward { .. }
             | Message::Routed { .. }
-            | Message::Mobility(_) => {}
+            | Message::Mobility(_)
+            | Message::Replica(_) => {}
         }
     }
 

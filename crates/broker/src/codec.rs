@@ -16,6 +16,7 @@
 //! the nesting depth so adversarial bytes cannot recurse the stack away.
 
 use crate::message::{Message, MobilityMsg};
+use crate::replication::{BrokerOp, BufferOp, ReplicaMsg};
 use crate::table::{FilterOrigin, TableDelta};
 use bytes::{Buf, BufMut};
 use rebeca_core::codec::{
@@ -145,6 +146,10 @@ pub fn encode_message(m: &Message, buf: &mut impl BufMut) {
             buf.put_u8(13);
             encode_mobility(m, buf);
         }
+        Message::Replica(r) => {
+            buf.put_u8(14);
+            encode_replica(r, buf);
+        }
     }
 }
 
@@ -238,6 +243,7 @@ fn decode_message_at(buf: &mut impl Buf, depth: usize) -> Result<Message, CoreEr
             Ok(Message::Routed { to, inner })
         }
         13 => Ok(Message::Mobility(decode_mobility(buf)?)),
+        14 => Ok(Message::Replica(decode_replica(buf)?)),
         tag => Err(CoreError::BadTag { what: "message", tag }),
     }
 }
@@ -462,6 +468,300 @@ pub fn decode_table_delta(buf: &mut impl Buf) -> Result<TableDelta, CoreError> {
     Ok(delta)
 }
 
+fn encode_buffer_op(b: &BufferOp, buf: &mut impl BufMut) {
+    match b {
+        BufferOp::Store { client, notification } => {
+            buf.put_u8(0);
+            buf.put_u32_le(client.raw());
+            notification.encode(buf);
+        }
+        BufferOp::Flush { client } => {
+            buf.put_u8(1);
+            buf.put_u32_le(client.raw());
+        }
+        BufferOp::Relocate { client, to } => {
+            buf.put_u8(2);
+            buf.put_u32_le(client.raw());
+            buf.put_u32_le(to.raw());
+        }
+    }
+}
+
+fn decode_buffer_op(buf: &mut impl Buf) -> Result<BufferOp, CoreError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => {
+            need(buf, 4)?;
+            let client = ClientId::new(buf.get_u32_le());
+            let notification = Arc::new(Notification::decode(buf)?);
+            Ok(BufferOp::Store { client, notification })
+        }
+        1 => {
+            need(buf, 4)?;
+            Ok(BufferOp::Flush { client: ClientId::new(buf.get_u32_le()) })
+        }
+        2 => {
+            need(buf, 8)?;
+            let client = ClientId::new(buf.get_u32_le());
+            let to = BrokerId::new(buf.get_u32_le());
+            Ok(BufferOp::Relocate { client, to })
+        }
+        tag => Err(CoreError::BadTag { what: "buffer op", tag }),
+    }
+}
+
+/// Encodes a [`BrokerOp`] (tag byte + payload) — one entry of a
+/// replication op log.
+pub fn encode_broker_op(op: &BrokerOp, buf: &mut impl BufMut) {
+    match op {
+        BrokerOp::ClientAttach { client, node } => {
+            buf.put_u8(0);
+            buf.put_u32_le(client.raw());
+            buf.put_u32_le(node.raw());
+        }
+        BrokerOp::ClientDetach { client } => {
+            buf.put_u8(1);
+            buf.put_u32_le(client.raw());
+        }
+        BrokerOp::Subscribe { node, subscription } => {
+            buf.put_u8(2);
+            buf.put_u32_le(node.raw());
+            encode_subscription(subscription, buf);
+        }
+        BrokerOp::Unsubscribe { client, id } => {
+            buf.put_u8(3);
+            buf.put_u32_le(client.raw());
+            buf.put_u32_le(id.raw());
+        }
+        BrokerOp::NeighborSubscribe { node, filter } => {
+            buf.put_u8(4);
+            buf.put_u32_le(node.raw());
+            encode_filter(filter, buf);
+        }
+        BrokerOp::NeighborUnsubscribe { node, filter } => {
+            buf.put_u8(5);
+            buf.put_u32_le(node.raw());
+            encode_filter(filter, buf);
+        }
+        BrokerOp::LinkUp { node } => {
+            buf.put_u8(6);
+            buf.put_u32_le(node.raw());
+        }
+        BrokerOp::LinkDown { node } => {
+            buf.put_u8(7);
+            buf.put_u32_le(node.raw());
+        }
+        BrokerOp::Buffer(b) => {
+            buf.put_u8(8);
+            encode_buffer_op(b, buf);
+        }
+    }
+}
+
+/// Decodes a [`BrokerOp`].
+///
+/// # Errors
+///
+/// [`CoreError::Truncated`], [`CoreError::BadTag`] or [`CoreError::Decode`].
+pub fn decode_broker_op(buf: &mut impl Buf) -> Result<BrokerOp, CoreError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => {
+            need(buf, 8)?;
+            let client = ClientId::new(buf.get_u32_le());
+            let node = NodeId::new(buf.get_u32_le());
+            Ok(BrokerOp::ClientAttach { client, node })
+        }
+        1 => {
+            need(buf, 4)?;
+            Ok(BrokerOp::ClientDetach { client: ClientId::new(buf.get_u32_le()) })
+        }
+        2 => {
+            need(buf, 4)?;
+            let node = NodeId::new(buf.get_u32_le());
+            Ok(BrokerOp::Subscribe { node, subscription: decode_subscription(buf)? })
+        }
+        3 => {
+            need(buf, 8)?;
+            let client = ClientId::new(buf.get_u32_le());
+            let id = SubscriptionId::new(buf.get_u32_le());
+            Ok(BrokerOp::Unsubscribe { client, id })
+        }
+        4 => {
+            need(buf, 4)?;
+            let node = NodeId::new(buf.get_u32_le());
+            Ok(BrokerOp::NeighborSubscribe { node, filter: decode_filter(buf)? })
+        }
+        5 => {
+            need(buf, 4)?;
+            let node = NodeId::new(buf.get_u32_le());
+            Ok(BrokerOp::NeighborUnsubscribe { node, filter: decode_filter(buf)? })
+        }
+        6 => {
+            need(buf, 4)?;
+            Ok(BrokerOp::LinkUp { node: NodeId::new(buf.get_u32_le()) })
+        }
+        7 => {
+            need(buf, 4)?;
+            Ok(BrokerOp::LinkDown { node: NodeId::new(buf.get_u32_le()) })
+        }
+        8 => Ok(BrokerOp::Buffer(decode_buffer_op(buf)?)),
+        tag => Err(CoreError::BadTag { what: "broker op", tag }),
+    }
+}
+
+fn encode_op_log(ops: &[BrokerOp], buf: &mut impl BufMut) {
+    buf.put_u32_le(ops.len() as u32);
+    for op in ops {
+        encode_broker_op(op, buf);
+    }
+}
+
+fn decode_op_log(buf: &mut impl Buf) -> Result<Vec<BrokerOp>, CoreError> {
+    need(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(decode_broker_op(buf)?);
+    }
+    Ok(out)
+}
+
+/// Encodes a [`ReplicaMsg`] (tag byte + payload).
+pub fn encode_replica(r: &ReplicaMsg, buf: &mut impl BufMut) {
+    match r {
+        ReplicaMsg::Forward { op } => {
+            buf.put_u8(0);
+            encode_broker_op(op, buf);
+        }
+        ReplicaMsg::Prepare { view, op_number, commit_number, op } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*view);
+            buf.put_u64_le(*op_number);
+            buf.put_u64_le(*commit_number);
+            encode_broker_op(op, buf);
+        }
+        ReplicaMsg::PrepareOk { view, op_number, replica } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*view);
+            buf.put_u64_le(*op_number);
+            buf.put_u32_le(*replica);
+        }
+        ReplicaMsg::Commit { view, commit_number } => {
+            buf.put_u8(3);
+            buf.put_u64_le(*view);
+            buf.put_u64_le(*commit_number);
+        }
+        ReplicaMsg::StartViewChange { view, replica } => {
+            buf.put_u8(4);
+            buf.put_u64_le(*view);
+            buf.put_u32_le(*replica);
+        }
+        ReplicaMsg::DoViewChange { view, last_normal, commit_number, log, replica } => {
+            buf.put_u8(5);
+            buf.put_u64_le(*view);
+            buf.put_u64_le(*last_normal);
+            buf.put_u64_le(*commit_number);
+            encode_op_log(log, buf);
+            buf.put_u32_le(*replica);
+        }
+        ReplicaMsg::StartView { view, commit_number, log } => {
+            buf.put_u8(6);
+            buf.put_u64_le(*view);
+            buf.put_u64_le(*commit_number);
+            encode_op_log(log, buf);
+        }
+        ReplicaMsg::Recovery { replica, nonce } => {
+            buf.put_u8(7);
+            buf.put_u32_le(*replica);
+            buf.put_u64_le(*nonce);
+        }
+        ReplicaMsg::RecoveryResponse { view, nonce, commit_number, log, normal, replica } => {
+            buf.put_u8(8);
+            buf.put_u64_le(*view);
+            buf.put_u64_le(*nonce);
+            buf.put_u64_le(*commit_number);
+            encode_op_log(log, buf);
+            buf.put_u8(u8::from(*normal));
+            buf.put_u32_le(*replica);
+        }
+    }
+}
+
+/// Decodes a [`ReplicaMsg`].
+///
+/// # Errors
+///
+/// [`CoreError::Truncated`], [`CoreError::BadTag`] or [`CoreError::Decode`].
+pub fn decode_replica(buf: &mut impl Buf) -> Result<ReplicaMsg, CoreError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => Ok(ReplicaMsg::Forward { op: decode_broker_op(buf)? }),
+        1 => {
+            need(buf, 24)?;
+            let view = buf.get_u64_le();
+            let op_number = buf.get_u64_le();
+            let commit_number = buf.get_u64_le();
+            let op = decode_broker_op(buf)?;
+            Ok(ReplicaMsg::Prepare { view, op_number, commit_number, op })
+        }
+        2 => {
+            need(buf, 20)?;
+            let view = buf.get_u64_le();
+            let op_number = buf.get_u64_le();
+            let replica = buf.get_u32_le();
+            Ok(ReplicaMsg::PrepareOk { view, op_number, replica })
+        }
+        3 => {
+            need(buf, 16)?;
+            let view = buf.get_u64_le();
+            let commit_number = buf.get_u64_le();
+            Ok(ReplicaMsg::Commit { view, commit_number })
+        }
+        4 => {
+            need(buf, 12)?;
+            let view = buf.get_u64_le();
+            let replica = buf.get_u32_le();
+            Ok(ReplicaMsg::StartViewChange { view, replica })
+        }
+        5 => {
+            need(buf, 24)?;
+            let view = buf.get_u64_le();
+            let last_normal = buf.get_u64_le();
+            let commit_number = buf.get_u64_le();
+            let log = decode_op_log(buf)?;
+            need(buf, 4)?;
+            let replica = buf.get_u32_le();
+            Ok(ReplicaMsg::DoViewChange { view, last_normal, commit_number, log, replica })
+        }
+        6 => {
+            need(buf, 16)?;
+            let view = buf.get_u64_le();
+            let commit_number = buf.get_u64_le();
+            let log = decode_op_log(buf)?;
+            Ok(ReplicaMsg::StartView { view, commit_number, log })
+        }
+        7 => {
+            need(buf, 12)?;
+            let replica = buf.get_u32_le();
+            let nonce = buf.get_u64_le();
+            Ok(ReplicaMsg::Recovery { replica, nonce })
+        }
+        8 => {
+            need(buf, 24)?;
+            let view = buf.get_u64_le();
+            let nonce = buf.get_u64_le();
+            let commit_number = buf.get_u64_le();
+            let log = decode_op_log(buf)?;
+            need(buf, 5)?;
+            let normal = buf.get_u8() != 0;
+            let replica = buf.get_u32_le();
+            Ok(ReplicaMsg::RecoveryResponse { view, nonce, commit_number, log, normal, replica })
+        }
+        tag => Err(CoreError::BadTag { what: "replica", tag }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,7 +857,76 @@ mod tests {
             ),
         ];
         all.extend(mobility.into_iter().map(Message::Mobility));
+        all.extend(all_replica_msgs().into_iter().map(Message::Replica));
         all
+    }
+
+    /// One instance of every `BrokerOp` variant (and every `BufferOp`).
+    fn all_broker_ops() -> Vec<BrokerOp> {
+        vec![
+            BrokerOp::ClientAttach { client: ClientId::new(4), node: NodeId::new(1) },
+            BrokerOp::ClientDetach { client: ClientId::new(4) },
+            BrokerOp::Subscribe { node: NodeId::new(1), subscription: sample_subscription(8) },
+            BrokerOp::Unsubscribe { client: ClientId::new(9), id: SubscriptionId::new(8) },
+            BrokerOp::NeighborSubscribe { node: NodeId::new(2), filter: sample_filter() },
+            BrokerOp::NeighborUnsubscribe { node: NodeId::new(2), filter: Filter::all() },
+            BrokerOp::LinkUp { node: NodeId::new(3) },
+            BrokerOp::LinkDown { node: NodeId::new(3) },
+            BrokerOp::Buffer(BufferOp::Store {
+                client: ClientId::new(7),
+                notification: sample_notification(6),
+            }),
+            BrokerOp::Buffer(BufferOp::Flush { client: ClientId::new(7) }),
+            BrokerOp::Buffer(BufferOp::Relocate { client: ClientId::new(7), to: BrokerId::new(2) }),
+        ]
+    }
+
+    /// One instance of every `ReplicaMsg` variant, with empty and non-empty
+    /// logs, exercising every `BrokerOp` shape across the set.
+    fn all_replica_msgs() -> Vec<ReplicaMsg> {
+        let ops = all_broker_ops();
+        let mut msgs: Vec<ReplicaMsg> =
+            ops.iter().map(|op| ReplicaMsg::Forward { op: op.clone() }).collect();
+        msgs.extend([
+            ReplicaMsg::Prepare { view: 3, op_number: 12, commit_number: 11, op: ops[2].clone() },
+            ReplicaMsg::PrepareOk { view: 3, op_number: 12, replica: 1 },
+            ReplicaMsg::Commit { view: 3, commit_number: 12 },
+            ReplicaMsg::StartViewChange { view: 4, replica: 2 },
+            ReplicaMsg::DoViewChange {
+                view: 4,
+                last_normal: 3,
+                commit_number: 12,
+                log: ops.clone(),
+                replica: 2,
+            },
+            ReplicaMsg::DoViewChange {
+                view: 4,
+                last_normal: 0,
+                commit_number: 0,
+                log: Vec::new(),
+                replica: 0,
+            },
+            ReplicaMsg::StartView { view: 4, commit_number: 12, log: ops.clone() },
+            ReplicaMsg::StartView { view: 0, commit_number: 0, log: Vec::new() },
+            ReplicaMsg::Recovery { replica: 1, nonce: 77 },
+            ReplicaMsg::RecoveryResponse {
+                view: 4,
+                nonce: 77,
+                commit_number: 12,
+                log: ops,
+                normal: true,
+                replica: 0,
+            },
+            ReplicaMsg::RecoveryResponse {
+                view: 0,
+                nonce: 78,
+                commit_number: 0,
+                log: Vec::new(),
+                normal: false,
+                replica: 2,
+            },
+        ]);
+        msgs
     }
 
     #[test]
@@ -595,6 +964,22 @@ mod tests {
         assert!(matches!(
             decode_message(&mut cur),
             Err(CoreError::BadTag { what: "mobility", tag: 99 })
+        ));
+        let mut cur: &[u8] = &[14u8, 99];
+        assert!(matches!(
+            decode_message(&mut cur),
+            Err(CoreError::BadTag { what: "replica", tag: 99 })
+        ));
+        // Replica → Forward → bad op tag, then op → Buffer → bad buffer tag.
+        let mut cur: &[u8] = &[14u8, 0, 99];
+        assert!(matches!(
+            decode_message(&mut cur),
+            Err(CoreError::BadTag { what: "broker op", tag: 99 })
+        ));
+        let mut cur: &[u8] = &[14u8, 0, 8, 99];
+        assert!(matches!(
+            decode_message(&mut cur),
+            Err(CoreError::BadTag { what: "buffer op", tag: 99 })
         ));
     }
 

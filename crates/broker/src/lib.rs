@@ -16,7 +16,12 @@
 //! * [`BrokerCore`] / [`BrokerNode`] — the routing engine and its plain
 //!   (immobile) node wrapper;
 //! * [`LocalBroker`] / [`ClientNode`] — the client-side library ("local
-//!   broker") and its immobile node wrapper.
+//!   broker") and its immobile node wrapper;
+//! * [`replication`] — VR-style op-log replica groups: a broker's whole
+//!   mutation surface as a replicated, recoverable operation log
+//!   ([`ReplicatedBrokerNode`] + [`ReplicaNode`]), so a SIGKILLed broker
+//!   process recovers its routing table from its group instead of
+//!   depending on clients re-subscribing.
 //!
 //! The mobility crate composes [`BrokerCore`] and [`LocalBroker`] into
 //! mobility-aware nodes without touching the routing framework — the
@@ -31,6 +36,7 @@ mod broker;
 mod client;
 pub mod codec;
 pub mod message;
+pub mod replication;
 pub mod routing;
 pub mod shard;
 pub mod table;
@@ -39,6 +45,10 @@ pub use broker::{BrokerCore, BrokerNode, BrokerStats, LocalDelivery, Outcome};
 pub use client::{ClientNode, DeliveryRecord, LocalBroker};
 pub use codec::{decode_message, decode_mobility, encode_message, encode_mobility};
 pub use message::{Message, MobilityMsg};
+pub use replication::{
+    BrokerOp, BufferOp, OpLog, Replica, ReplicaMsg, ReplicaNode, ReplicaStatus,
+    ReplicatedBrokerNode, ReplicationMetrics, ReplicationStats,
+};
 pub use routing::{minimal_cover, CoverChanges, LinkAnnouncer, RoutingStrategy};
 pub use shard::{ParallelRouter, ShardedRouter};
 pub use table::{ClientEntry, RouteDecision, RouteKey, RouteScratch, RoutingTable, TableDelta};

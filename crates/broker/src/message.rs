@@ -9,6 +9,7 @@
 //! as the actual broker" and extensions never require changing the routing
 //! framework (§3).
 
+use crate::replication::ReplicaMsg;
 use rebeca_core::{
     BrokerId, ClientId, Filter, Notification, NotificationBuilder, Subscription, SubscriptionId,
 };
@@ -109,6 +110,12 @@ pub enum Message {
     // ----- mobility sub-protocol -----
     /// Mobility control traffic (physical relocation, replicator layer).
     Mobility(MobilityMsg),
+
+    // ----- replication sub-protocol -----
+    /// Replica-group traffic (op-log prepare/commit, view changes, crash
+    /// recovery) between a broker and its log backups. Only the members of
+    /// one replica group exchange these; plain brokers never see them.
+    Replica(ReplicaMsg),
 }
 
 /// The mobility sub-protocol (physical relocation per Zeidler/Fiege [8] and
@@ -274,6 +281,7 @@ impl Payload for Message {
             Message::SubForward { filter } | Message::UnsubForward { filter } => filter.wire_size(),
             Message::Routed { inner, .. } => 4 + inner.wire_size(),
             Message::Mobility(m) => m.wire_size(),
+            Message::Replica(r) => r.wire_size(),
         }
     }
 
@@ -292,6 +300,7 @@ impl Payload for Message {
             | Message::ClientDetach { .. } => "sub",
             Message::Routed { .. } => "ctl",
             Message::Mobility(_) => "mob",
+            Message::Replica(_) => "rep",
         }
     }
 }

@@ -1,0 +1,221 @@
+//! The deterministic operation log a broker replica group agrees on.
+//!
+//! Every mutation of a broker's state — routing-table churn (client
+//! attach/detach, subscriptions, neighbour announcements, link lifecycle)
+//! and mobility-buffer traffic (store/flush/relocate) — is a [`BrokerOp`].
+//! The read path (match + route + fan-out) never appears here: replication
+//! sits on the mutation path only, and applying the same op sequence to a
+//! fresh [`BrokerCore`](crate::BrokerCore) rebuilds the identical routing
+//! table, which is what lets a respawned broker process recover from its
+//! replica group instead of waiting for every client to re-subscribe.
+//!
+//! Ops are **idempotent at the table level**: re-applying a `Subscribe`
+//! with the same id/filter, or a `NeighborSubscribe` already announced,
+//! yields an empty [`TableDelta`](crate::TableDelta). Recovery therefore
+//! never needs exactly-once delivery — at-least-once replay converges.
+
+use rebeca_core::{BrokerId, ClientId, Filter, Notification, Subscription, SubscriptionId};
+use rebeca_net::NodeId;
+use std::sync::Arc;
+
+/// A logged mobility-buffer mutation (the replicator layer's uncertainty
+/// buffers, paged per the wire protocol). Buffered notifications ride
+/// behind their existing [`Arc`] — logging a store is a refcount bump.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BufferOp {
+    /// A notification was buffered on behalf of an absent client.
+    Store {
+        /// The client the buffer belongs to.
+        client: ClientId,
+        /// The buffered notification (shared, not copied).
+        notification: Arc<Notification>,
+    },
+    /// The client's buffer was drained for replay.
+    Flush {
+        /// The client whose buffer flushed.
+        client: ClientId,
+    },
+    /// The client's buffered state moved to another border broker
+    /// (relocation hand-off).
+    Relocate {
+        /// The relocating client.
+        client: ClientId,
+        /// The broker now responsible for the buffer.
+        to: BrokerId,
+    },
+}
+
+/// One replicated broker mutation.
+///
+/// Ops carry the *origin node* of the mutation where the routing table
+/// needs it (deliveries are addressed to the attaching node; neighbour
+/// announcements are keyed by link), so replaying the log is independent
+/// of who delivers it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerOp {
+    /// A client announced itself at this border broker.
+    ClientAttach {
+        /// The attaching client.
+        client: ClientId,
+        /// The node deliveries for this client are sent to.
+        node: NodeId,
+    },
+    /// Orderly client detach: drop the client's entry and subscriptions.
+    ClientDetach {
+        /// The detaching client.
+        client: ClientId,
+    },
+    /// A client subscription entered the routing table.
+    Subscribe {
+        /// The node the subscription arrived from (delivery address).
+        node: NodeId,
+        /// The subscription (filter + owner + id).
+        subscription: Subscription,
+    },
+    /// A client subscription was revoked.
+    Unsubscribe {
+        /// The owning client.
+        client: ClientId,
+        /// The revoked subscription.
+        id: SubscriptionId,
+    },
+    /// A neighbouring broker announced a filter on a link.
+    NeighborSubscribe {
+        /// The announcing neighbour's node.
+        node: NodeId,
+        /// The announced filter.
+        filter: Filter,
+    },
+    /// A neighbouring broker retracted a filter.
+    NeighborUnsubscribe {
+        /// The retracting neighbour's node.
+        node: NodeId,
+        /// The retracted filter (matched by digest).
+        filter: Filter,
+    },
+    /// A peer link came (back) up. Logged as a lifecycle marker — the
+    /// routing table itself is link-state independent (send-time gating
+    /// lives in the runtime), so applying this is a no-op.
+    LinkUp {
+        /// A node behind the affected peer link.
+        node: NodeId,
+    },
+    /// A peer link went down (lifecycle marker, no-op on apply).
+    LinkDown {
+        /// A node behind the affected peer link.
+        node: NodeId,
+    },
+    /// A mobility-buffer mutation (see [`BufferOp`]).
+    Buffer(BufferOp),
+}
+
+impl BufferOp {
+    /// Approximate encoded size (the [`Payload`](rebeca_net::Payload)
+    /// accounting model, mirroring `MobilityMsg::wire_size`).
+    pub(crate) fn wire_size(&self) -> usize {
+        match self {
+            BufferOp::Store { notification, .. } => 4 + notification.wire_size(),
+            BufferOp::Flush { .. } => 4,
+            BufferOp::Relocate { .. } => 8,
+        }
+    }
+}
+
+impl BrokerOp {
+    /// Approximate encoded size (the [`Payload`](rebeca_net::Payload)
+    /// accounting model).
+    pub(crate) fn wire_size(&self) -> usize {
+        match self {
+            BrokerOp::ClientAttach { .. } => 8,
+            BrokerOp::ClientDetach { .. } => 4,
+            BrokerOp::Subscribe { subscription, .. } => 4 + subscription.wire_size(),
+            BrokerOp::Unsubscribe { .. } => 8,
+            BrokerOp::NeighborSubscribe { filter, .. }
+            | BrokerOp::NeighborUnsubscribe { filter, .. } => 4 + filter.wire_size(),
+            BrokerOp::LinkUp { .. } | BrokerOp::LinkDown { .. } => 4,
+            BrokerOp::Buffer(b) => 1 + b.wire_size(),
+        }
+    }
+}
+
+/// The replicated operation log: ops in commit order, 1-based op numbers
+/// (op number `n` is the `n`-th entry, matching the VR literature).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpLog {
+    ops: Vec<BrokerOp>,
+}
+
+impl OpLog {
+    /// An empty log.
+    pub fn new() -> OpLog {
+        OpLog::default()
+    }
+
+    /// Number of ops in the log — also the highest op number.
+    pub fn op_number(&self) -> u64 {
+        self.ops.len() as u64
+    }
+
+    /// The op with 1-based number `n`, if present.
+    pub fn get(&self, n: u64) -> Option<&BrokerOp> {
+        if n == 0 {
+            return None;
+        }
+        self.ops.get((n - 1) as usize)
+    }
+
+    /// Appends one op, returning its op number.
+    pub fn append(&mut self, op: BrokerOp) -> u64 {
+        self.ops.push(op);
+        self.ops.len() as u64
+    }
+
+    /// All ops in order (op number 1 first).
+    pub fn ops(&self) -> &[BrokerOp] {
+        &self.ops
+    }
+
+    /// Replaces the whole log (view change / recovery adoption).
+    pub fn replace(&mut self, ops: Vec<BrokerOp>) {
+        self.ops = ops;
+    }
+
+    /// Clones the log's ops (shipped in view-change and recovery
+    /// messages; notifications inside buffer ops are shared by `Arc`).
+    pub fn to_vec(&self) -> Vec<BrokerOp> {
+        self.ops.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(i: u32) -> BrokerOp {
+        BrokerOp::ClientAttach { client: ClientId::new(i), node: NodeId::new(i) }
+    }
+
+    #[test]
+    fn op_numbers_are_one_based() {
+        let mut log = OpLog::new();
+        assert_eq!(log.op_number(), 0);
+        assert_eq!(log.get(0), None);
+        assert_eq!(log.get(1), None);
+        assert_eq!(log.append(op(0)), 1);
+        assert_eq!(log.append(op(1)), 2);
+        assert_eq!(log.op_number(), 2);
+        assert_eq!(log.get(1), Some(&op(0)));
+        assert_eq!(log.get(2), Some(&op(1)));
+        assert_eq!(log.get(3), None);
+    }
+
+    #[test]
+    fn replace_adopts_a_foreign_log() {
+        let mut log = OpLog::new();
+        log.append(op(9));
+        log.replace(vec![op(0), op(1), op(2)]);
+        assert_eq!(log.op_number(), 3);
+        assert_eq!(log.get(1), Some(&op(0)));
+        assert_eq!(log.to_vec().len(), 3);
+    }
+}

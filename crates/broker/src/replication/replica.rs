@@ -1,0 +1,1119 @@
+//! The sans-io VR-style replica state machine.
+//!
+//! One [`Replica`] per group member, driven entirely by explicit inputs —
+//! [`Replica::submit`], [`Replica::on_msg`], [`Replica::on_peer_change`],
+//! [`Replica::tick`] — and emitting `(NodeId, ReplicaMsg)` pairs into a
+//! caller-supplied [`Outbox`]. No I/O, no clock, no locks: the same code
+//! runs under the deterministic simulator, the multi-process runtime and
+//! the `crates/verify` model checker (which exhaustively interleaves the
+//! view-change arbitration — see `crates/verify/tests/replication.rs`).
+//!
+//! The protocol is viewstamped replication in its modern form:
+//!
+//! * **Normal case** — the primary of view `v` (group member `v % n`)
+//!   appends a submitted op, broadcasts `Prepare`, backups append in order
+//!   and answer cumulative `PrepareOk`s; the primary commits once a
+//!   majority (itself included) holds the op and broadcasts `Commit`.
+//! * **View change** — a downed primary (reported by the process runtime's
+//!   link supervisor via [`Replica::on_peer_change`]) triggers
+//!   `StartViewChange(v+1)`; at a majority of votes each member sends
+//!   `DoViewChange` with its log to the new primary, which adopts the log
+//!   with the highest `(last_normal, op_number)`, goes Normal and
+//!   broadcasts `StartView`. Committed ops survive by quorum
+//!   intersection: every committed op lives in a majority of logs, and
+//!   every view change hears from a majority.
+//! * **Recovery** — a (re)booting replica probes the whole group with a
+//!   `Recovery` nonce and waits; any normal response carries the full
+//!   state to adopt. A *fresh* group (nobody has state) is recognised by
+//!   all peers answering non-normal, so initial boot and crash-reboot need
+//!   no out-of-band flag. Ops submitted meanwhile queue in `pending`.
+//!
+//! Logs are shipped whole in `DoViewChange`/`StartView`/`RecoveryResponse`
+//! — broker op logs are routing-table churn, not payload traffic, and the
+//! buffered notifications inside them travel by `Arc` in-process. The
+//! durable-log/checkpoint follow-on is tracked in ROADMAP item 4.
+
+use super::oplog::{BrokerOp, OpLog};
+use rebeca_net::NodeId;
+
+/// Messages exchanged inside one replica group. Carried on the ordinary
+/// broker links as [`Message::Replica`](crate::Message::Replica), encoded
+/// through `broker::codec` like every other protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaMsg {
+    /// Backup → primary: please log this op (client traffic arrived at a
+    /// backup, e.g. after a view change moved primaryship).
+    Forward {
+        /// The op to log.
+        op: BrokerOp,
+    },
+    /// Primary → backups: append `op` as op number `op_number`.
+    Prepare {
+        /// The primary's view.
+        view: u64,
+        /// 1-based op number assigned to `op`.
+        op_number: u64,
+        /// The primary's commit number (piggybacked).
+        commit_number: u64,
+        /// The op itself.
+        op: BrokerOp,
+    },
+    /// Backup → primary: my log holds everything up to `op_number`
+    /// (cumulative acknowledgement).
+    PrepareOk {
+        /// The backup's view.
+        view: u64,
+        /// Highest contiguous op number held.
+        op_number: u64,
+        /// Group index of the acknowledging replica.
+        replica: u32,
+    },
+    /// Primary → backups: ops up to `commit_number` are committed.
+    Commit {
+        /// The primary's view.
+        view: u64,
+        /// The commit number.
+        commit_number: u64,
+    },
+    /// Any member → all: I suspect the primary of the previous view; vote
+    /// for view `view`.
+    StartViewChange {
+        /// The proposed view.
+        view: u64,
+        /// Group index of the voter.
+        replica: u32,
+    },
+    /// Member → new primary (after a majority of `StartViewChange`s): my
+    /// log, for the new view to adopt from.
+    DoViewChange {
+        /// The new view.
+        view: u64,
+        /// The last view in which this member was Normal.
+        last_normal: u64,
+        /// This member's commit number.
+        commit_number: u64,
+        /// This member's full log.
+        log: Vec<BrokerOp>,
+        /// Group index of the sender.
+        replica: u32,
+    },
+    /// New primary → backups: view `view` starts with this log.
+    StartView {
+        /// The new view.
+        view: u64,
+        /// The new primary's commit number.
+        commit_number: u64,
+        /// The adopted log.
+        log: Vec<BrokerOp>,
+    },
+    /// (Re)booting replica → all: send me your state (nonce matches the
+    /// response to the probe round that asked for it).
+    Recovery {
+        /// Group index of the recovering replica.
+        replica: u32,
+        /// Probe-round nonce.
+        nonce: u64,
+    },
+    /// Response to [`ReplicaMsg::Recovery`]. `normal` is `false` when the
+    /// responder holds no trustworthy state itself (it is recovering too)
+    /// — such responses only count towards fresh-boot detection.
+    RecoveryResponse {
+        /// The responder's view.
+        view: u64,
+        /// Echo of the probe nonce.
+        nonce: u64,
+        /// The responder's commit number.
+        commit_number: u64,
+        /// The responder's full log (empty when `normal` is false).
+        log: Vec<BrokerOp>,
+        /// Whether the responder's state is authoritative.
+        normal: bool,
+        /// Group index of the responder.
+        replica: u32,
+    },
+}
+
+impl ReplicaMsg {
+    /// Approximate encoded size (the [`Payload`](rebeca_net::Payload)
+    /// accounting model, mirroring `MobilityMsg::wire_size`).
+    pub(crate) fn wire_size(&self) -> usize {
+        fn log_size(log: &[BrokerOp]) -> usize {
+            log.iter().map(BrokerOp::wire_size).sum::<usize>()
+        }
+        match self {
+            ReplicaMsg::Forward { op } => 1 + op.wire_size(),
+            ReplicaMsg::Prepare { op, .. } => 24 + op.wire_size(),
+            ReplicaMsg::PrepareOk { .. } => 20,
+            ReplicaMsg::Commit { .. } => 16,
+            ReplicaMsg::StartViewChange { .. } => 12,
+            ReplicaMsg::DoViewChange { log, .. } => 28 + log_size(log),
+            ReplicaMsg::StartView { log, .. } => 16 + log_size(log),
+            ReplicaMsg::Recovery { .. } => 12,
+            ReplicaMsg::RecoveryResponse { log, .. } => 25 + log_size(log),
+        }
+    }
+}
+
+/// Where a replica is in the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaStatus {
+    /// Probing the group for state; not serving, ops queue in `pending`.
+    Recovering,
+    /// Serving the current view.
+    Normal,
+    /// Between views: voted, waiting for the new primary's `StartView`.
+    ViewChange,
+}
+
+/// Static description of one replica group member.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Node ids of every group member; index = group index. Member 0 is
+    /// the broker itself, the rest are its log backups.
+    pub group: Vec<NodeId>,
+    /// This replica's index in `group`.
+    pub me: usize,
+}
+
+impl ReplicaConfig {
+    /// Majority quorum of the group.
+    pub fn quorum(&self) -> usize {
+        self.group.len() / 2 + 1
+    }
+
+    /// Group index of the primary of `view`.
+    pub fn primary_of(&self, view: u64) -> usize {
+        (view % self.group.len() as u64) as usize
+    }
+}
+
+/// Messages to send, accumulated by every state-machine input.
+pub type Outbox = Vec<(NodeId, ReplicaMsg)>;
+
+/// The per-member replica state (view number, op number via the log,
+/// commit number) plus the transient vote/ack bookkeeping of the three
+/// sub-protocols.
+#[derive(Debug)]
+pub struct Replica {
+    cfg: ReplicaConfig,
+    status: ReplicaStatus,
+    view: u64,
+    last_normal: u64,
+    log: OpLog,
+    commit_number: u64,
+    applied: u64,
+    /// Primary bookkeeping: cumulative PrepareOk high-water per member.
+    ack_high: Vec<u64>,
+    /// View-change bookkeeping: StartViewChange votes for `view`.
+    svc_votes: Vec<bool>,
+    /// Whether we already sent our DoViewChange for `view`.
+    dvc_sent: bool,
+    /// New-primary bookkeeping: DoViewChange payloads for `view`.
+    dvc: Vec<Option<DvcPayload>>,
+    /// Recovery bookkeeping.
+    nonce: u64,
+    rec_responded: Vec<bool>,
+    rec_best: Option<DvcPayload>,
+    /// Ops submitted while not Normal; drained on the next transition.
+    pending: Vec<BrokerOp>,
+}
+
+#[derive(Debug, Clone)]
+struct DvcPayload {
+    view: u64,
+    last_normal: u64,
+    commit_number: u64,
+    log: Vec<BrokerOp>,
+}
+
+impl Replica {
+    /// Creates a replica. A group of one is trivially Normal (replication
+    /// off — submit commits immediately); larger groups boot Recovering
+    /// and must [`Replica::start`] their probe round.
+    pub fn new(cfg: ReplicaConfig) -> Replica {
+        assert!(!cfg.group.is_empty(), "a replica group has at least one member");
+        assert!(cfg.me < cfg.group.len(), "member index inside the group");
+        let n = cfg.group.len();
+        let status = if n == 1 { ReplicaStatus::Normal } else { ReplicaStatus::Recovering };
+        Replica {
+            cfg,
+            status,
+            view: 0,
+            last_normal: 0,
+            log: OpLog::new(),
+            commit_number: 0,
+            applied: 0,
+            ack_high: vec![0; n],
+            svc_votes: vec![false; n],
+            dvc_sent: false,
+            dvc: vec![None; n],
+            nonce: 0,
+            rec_responded: vec![false; n],
+            rec_best: None,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The group configuration.
+    pub fn config(&self) -> &ReplicaConfig {
+        &self.cfg
+    }
+
+    /// Current protocol status.
+    pub fn status(&self) -> ReplicaStatus {
+        self.status
+    }
+
+    /// Current view number.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Highest op number in the log.
+    pub fn op_number(&self) -> u64 {
+        self.log.op_number()
+    }
+
+    /// Highest committed op number.
+    pub fn commit_number(&self) -> u64 {
+        self.commit_number
+    }
+
+    /// The log (committed prefix + uncommitted suffix).
+    pub fn log(&self) -> &OpLog {
+        &self.log
+    }
+
+    /// Ops queued while the replica was not Normal.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when this member is the acting primary of its current view.
+    pub fn is_primary(&self) -> bool {
+        self.status == ReplicaStatus::Normal && self.cfg.primary_of(self.view) == self.cfg.me
+    }
+
+    /// The node id this member sends and receives replica traffic on.
+    pub fn me_node(&self) -> NodeId {
+        self.cfg.group[self.cfg.me]
+    }
+
+    fn primary_node(&self) -> NodeId {
+        self.cfg.group[self.cfg.primary_of(self.view)]
+    }
+
+    fn broadcast(&self, msg: &ReplicaMsg, out: &mut Outbox) {
+        for (i, &node) in self.cfg.group.iter().enumerate() {
+            if i != self.cfg.me {
+                out.push((node, msg.clone()));
+            }
+        }
+    }
+
+    /// Starts the recovery probe round (no-op for a Normal group-of-one).
+    /// Call once on node start, and re-call from [`Replica::tick`] — the
+    /// probe is idempotent per nonce.
+    pub fn start(&mut self, out: &mut Outbox) {
+        if self.status == ReplicaStatus::Recovering && self.nonce == 0 {
+            self.begin_recovery(out);
+        }
+    }
+
+    fn begin_recovery(&mut self, out: &mut Outbox) {
+        self.status = ReplicaStatus::Recovering;
+        self.nonce += 1;
+        self.rec_responded = vec![false; self.cfg.group.len()];
+        self.rec_best = None;
+        self.broadcast(
+            &ReplicaMsg::Recovery { replica: self.cfg.me as u32, nonce: self.nonce },
+            out,
+        );
+    }
+
+    /// Periodic retransmission driver: recovery probes, view-change votes
+    /// and the primary's commit heartbeat are all re-sent here, so a
+    /// message lost to a link outage delays the protocol by one tick
+    /// instead of wedging it.
+    pub fn tick(&mut self, out: &mut Outbox) {
+        match self.status {
+            ReplicaStatus::Recovering => {
+                if self.nonce == 0 {
+                    self.begin_recovery(out);
+                } else {
+                    // Re-probe only whoever has not answered this round.
+                    let msg =
+                        ReplicaMsg::Recovery { replica: self.cfg.me as u32, nonce: self.nonce };
+                    for (i, &node) in self.cfg.group.iter().enumerate() {
+                        if i != self.cfg.me && !self.rec_responded[i] {
+                            out.push((node, msg.clone()));
+                        }
+                    }
+                }
+            }
+            ReplicaStatus::ViewChange => {
+                let msg =
+                    ReplicaMsg::StartViewChange { view: self.view, replica: self.cfg.me as u32 };
+                self.broadcast(&msg, out);
+                if self.dvc_sent && self.cfg.primary_of(self.view) != self.cfg.me {
+                    out.push((self.primary_node(), self.do_view_change_msg()));
+                }
+            }
+            ReplicaStatus::Normal => {
+                if self.is_primary() && self.cfg.group.len() > 1 {
+                    self.broadcast(
+                        &ReplicaMsg::Commit { view: self.view, commit_number: self.commit_number },
+                        out,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Submits one mutation to the group. On the primary this appends and
+    /// broadcasts `Prepare`; on a backup it forwards to the primary; while
+    /// Recovering or in a view change it queues.
+    pub fn submit(&mut self, op: BrokerOp, out: &mut Outbox) {
+        match self.status {
+            ReplicaStatus::Recovering | ReplicaStatus::ViewChange => self.pending.push(op),
+            ReplicaStatus::Normal => {
+                if self.is_primary() {
+                    let n = self.log.append(op.clone());
+                    self.ack_high[self.cfg.me] = n;
+                    self.broadcast(
+                        &ReplicaMsg::Prepare {
+                            view: self.view,
+                            op_number: n,
+                            commit_number: self.commit_number,
+                            op,
+                        },
+                        out,
+                    );
+                    self.maybe_commit(out);
+                } else {
+                    out.push((self.primary_node(), ReplicaMsg::Forward { op }));
+                }
+            }
+        }
+    }
+
+    /// Drains `pending` through [`Replica::submit`] after a transition to
+    /// Normal.
+    fn flush_pending(&mut self, out: &mut Outbox) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        for op in pending {
+            self.submit(op, out);
+        }
+    }
+
+    /// A supervised peer link changed state. A downed node that is the
+    /// current view's primary triggers the view change; everything else is
+    /// recorded by the caller (as a [`BrokerOp::LinkDown`] marker op), not
+    /// here.
+    pub fn on_peer_change(&mut self, node: NodeId, up: bool, out: &mut Outbox) {
+        if up || self.cfg.group.len() == 1 {
+            return;
+        }
+        let primary_down =
+            self.primary_node() == node && self.cfg.primary_of(self.view) != self.cfg.me;
+        let relevant = matches!(self.status, ReplicaStatus::Normal | ReplicaStatus::ViewChange);
+        if primary_down && relevant {
+            self.begin_view_change(self.view + 1, out);
+        }
+    }
+
+    fn begin_view_change(&mut self, view: u64, out: &mut Outbox) {
+        debug_assert!(view > self.view || self.status != ReplicaStatus::Normal);
+        self.view = view;
+        self.status = ReplicaStatus::ViewChange;
+        self.svc_votes = vec![false; self.cfg.group.len()];
+        self.svc_votes[self.cfg.me] = true;
+        self.dvc_sent = false;
+        self.dvc = vec![None; self.cfg.group.len()];
+        self.broadcast(&ReplicaMsg::StartViewChange { view, replica: self.cfg.me as u32 }, out);
+        self.maybe_do_view_change(out);
+    }
+
+    fn do_view_change_msg(&self) -> ReplicaMsg {
+        ReplicaMsg::DoViewChange {
+            view: self.view,
+            last_normal: self.last_normal,
+            commit_number: self.commit_number,
+            log: self.log.to_vec(),
+            replica: self.cfg.me as u32,
+        }
+    }
+
+    /// With a majority of StartViewChange votes, send our log to the new
+    /// primary (or record it, if that is us).
+    fn maybe_do_view_change(&mut self, out: &mut Outbox) {
+        if self.dvc_sent || self.status != ReplicaStatus::ViewChange {
+            return;
+        }
+        let votes = self.svc_votes.iter().filter(|v| **v).count();
+        if votes < self.cfg.quorum() {
+            return;
+        }
+        self.dvc_sent = true;
+        let primary = self.cfg.primary_of(self.view);
+        if primary == self.cfg.me {
+            self.dvc[self.cfg.me] = Some(DvcPayload {
+                view: self.view,
+                last_normal: self.last_normal,
+                commit_number: self.commit_number,
+                log: self.log.to_vec(),
+            });
+            self.maybe_start_view(out);
+        } else {
+            out.push((self.cfg.group[primary], self.do_view_change_msg()));
+        }
+    }
+
+    /// With a majority of DoViewChange payloads (own included), the new
+    /// primary adopts the best log and starts the view.
+    fn maybe_start_view(&mut self, out: &mut Outbox) {
+        if self.status != ReplicaStatus::ViewChange || self.cfg.primary_of(self.view) != self.cfg.me
+        {
+            return;
+        }
+        let have = self.dvc.iter().filter(|d| d.is_some()).count();
+        if have < self.cfg.quorum() {
+            return;
+        }
+        let best = self
+            .dvc
+            .iter()
+            .flatten()
+            .max_by_key(|p| (p.last_normal, p.log.len() as u64))
+            .expect("quorum implies at least one payload")
+            .clone();
+        let commit = self.dvc.iter().flatten().map(|p| p.commit_number).max().unwrap_or(0);
+        debug_assert!(commit >= self.commit_number, "commit number never regresses");
+        self.log.replace(best.log);
+        self.commit_number = commit.max(self.commit_number).min(self.log.op_number());
+        self.status = ReplicaStatus::Normal;
+        self.last_normal = self.view;
+        self.ack_high = vec![0; self.cfg.group.len()];
+        self.ack_high[self.cfg.me] = self.log.op_number();
+        self.broadcast(
+            &ReplicaMsg::StartView {
+                view: self.view,
+                commit_number: self.commit_number,
+                log: self.log.to_vec(),
+            },
+            out,
+        );
+        self.flush_pending(out);
+    }
+
+    /// Raises the commit number, never lowering it and never past the log.
+    fn commit_to(&mut self, c: u64) {
+        let c = c.min(self.log.op_number());
+        if c > self.commit_number {
+            self.commit_number = c;
+        }
+    }
+
+    /// Primary-side commit rule: advance the commit number over every op a
+    /// majority of members (self included) holds, then announce it.
+    fn maybe_commit(&mut self, out: &mut Outbox) {
+        if !self.is_primary() {
+            return;
+        }
+        // Model-checker fault injection: commit on the primary's own
+        // append alone, without waiting for a backup majority — the
+        // classic "committed" op that a view change then loses. The
+        // checker proves this is caught (`commit_before_quorum` twin in
+        // crates/verify/tests/replication.rs).
+        let quorum = if rebeca_verify::inject::enabled("commit_before_quorum") {
+            1
+        } else {
+            self.cfg.quorum()
+        };
+        let mut next = self.commit_number;
+        while next < self.log.op_number() {
+            let holders = self.ack_high.iter().filter(|&&h| h > next).count();
+            if holders < quorum {
+                break;
+            }
+            next += 1;
+        }
+        if next > self.commit_number {
+            self.commit_number = next;
+            self.broadcast(
+                &ReplicaMsg::Commit { view: self.view, commit_number: self.commit_number },
+                out,
+            );
+        }
+    }
+
+    /// Handles one replica-group message from the node `from`.
+    pub fn on_msg(&mut self, from: NodeId, msg: ReplicaMsg, out: &mut Outbox) {
+        match msg {
+            ReplicaMsg::Forward { op } => self.on_forward(from, op, out),
+            ReplicaMsg::Prepare { view, op_number, commit_number, op } => {
+                self.on_prepare(from, view, op_number, commit_number, op, out);
+            }
+            ReplicaMsg::PrepareOk { view, op_number, replica } => {
+                self.on_prepare_ok(view, op_number, replica as usize, out);
+            }
+            ReplicaMsg::Commit { view, commit_number } => {
+                self.on_commit(from, view, commit_number, out);
+            }
+            ReplicaMsg::StartViewChange { view, replica } => {
+                self.on_start_view_change(view, replica as usize, out);
+            }
+            ReplicaMsg::DoViewChange { view, last_normal, commit_number, log, replica } => {
+                self.on_do_view_change(
+                    view,
+                    last_normal,
+                    commit_number,
+                    log,
+                    replica as usize,
+                    out,
+                );
+            }
+            ReplicaMsg::StartView { view, commit_number, log } => {
+                self.on_start_view(view, commit_number, log, out);
+            }
+            ReplicaMsg::Recovery { replica, nonce } => {
+                self.on_recovery(replica as usize, nonce, out);
+            }
+            ReplicaMsg::RecoveryResponse { view, nonce, commit_number, log, normal, replica } => {
+                self.on_recovery_response(
+                    view,
+                    nonce,
+                    commit_number,
+                    log,
+                    normal,
+                    replica as usize,
+                    out,
+                );
+            }
+        }
+    }
+
+    fn on_forward(&mut self, from: NodeId, op: BrokerOp, out: &mut Outbox) {
+        match self.status {
+            ReplicaStatus::Recovering | ReplicaStatus::ViewChange => self.pending.push(op),
+            ReplicaStatus::Normal => {
+                if self.is_primary() {
+                    self.submit(op, out);
+                } else if self.primary_node() != from {
+                    // Stale-view sender: hand the op to our primary. If the
+                    // sender *is* our primary we are both confused — drop
+                    // rather than ping-pong; idempotent ops make the
+                    // client's retry safe.
+                    out.push((self.primary_node(), ReplicaMsg::Forward { op }));
+                }
+            }
+        }
+    }
+
+    fn on_prepare(
+        &mut self,
+        from: NodeId,
+        view: u64,
+        op_number: u64,
+        commit_number: u64,
+        op: BrokerOp,
+        out: &mut Outbox,
+    ) {
+        if self.status == ReplicaStatus::Recovering {
+            return;
+        }
+        // Model-checker fault injection: accept a Prepare from a stale
+        // view as if it were current. A primary deposed by a view change
+        // can then split the group's logs at one op number — the
+        // divergence the view comparison exists to prevent
+        // (`viewchange_stale_view` twin in
+        // crates/verify/tests/replication.rs).
+        let stale_ok = rebeca_verify::inject::enabled("viewchange_stale_view");
+        if view < self.view && !stale_ok {
+            return;
+        }
+        if view > self.view {
+            // We missed a view change: fetch state from the new primary.
+            self.state_transfer(from, out);
+            return;
+        }
+        if self.status != ReplicaStatus::Normal {
+            return;
+        }
+        if op_number == self.log.op_number() + 1 {
+            self.log.append(op);
+        } else if op_number > self.log.op_number() + 1 {
+            // Gap: we lost an earlier Prepare — full state transfer.
+            self.state_transfer(from, out);
+            return;
+        }
+        // Duplicate (op_number <= log): fall through to the cumulative ack.
+        self.commit_to(commit_number);
+        out.push((
+            from,
+            ReplicaMsg::PrepareOk {
+                view: self.view,
+                op_number: self.log.op_number(),
+                replica: self.cfg.me as u32,
+            },
+        ));
+    }
+
+    fn on_prepare_ok(&mut self, view: u64, op_number: u64, replica: usize, out: &mut Outbox) {
+        if view != self.view || !self.is_primary() || replica >= self.ack_high.len() {
+            return;
+        }
+        if op_number > self.ack_high[replica] {
+            self.ack_high[replica] = op_number;
+        }
+        self.maybe_commit(out);
+    }
+
+    fn on_commit(&mut self, from: NodeId, view: u64, commit_number: u64, out: &mut Outbox) {
+        if self.status != ReplicaStatus::Normal || view < self.view {
+            return;
+        }
+        if view > self.view || commit_number > self.log.op_number() {
+            // Behind (missed a view change or lost Prepares): catch up.
+            self.state_transfer(from, out);
+            return;
+        }
+        self.commit_to(commit_number);
+    }
+
+    /// Asks `from` for its full state via a fresh recovery probe round,
+    /// *without* leaving Normal status: a lagging replica keeps serving
+    /// its committed prefix while it catches up.
+    fn state_transfer(&mut self, from: NodeId, out: &mut Outbox) {
+        self.nonce += 1;
+        self.rec_responded = vec![false; self.cfg.group.len()];
+        self.rec_best = None;
+        out.push((from, ReplicaMsg::Recovery { replica: self.cfg.me as u32, nonce: self.nonce }));
+    }
+
+    fn on_start_view_change(&mut self, view: u64, replica: usize, out: &mut Outbox) {
+        if replica >= self.svc_votes.len() || self.status == ReplicaStatus::Recovering {
+            return;
+        }
+        if view < self.view {
+            return;
+        }
+        if view > self.view {
+            self.begin_view_change(view, out);
+        }
+        if view == self.view && self.status == ReplicaStatus::ViewChange {
+            self.svc_votes[replica] = true;
+            self.maybe_do_view_change(out);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_do_view_change(
+        &mut self,
+        view: u64,
+        last_normal: u64,
+        commit_number: u64,
+        log: Vec<BrokerOp>,
+        replica: usize,
+        out: &mut Outbox,
+    ) {
+        if replica >= self.dvc.len() || self.status == ReplicaStatus::Recovering {
+            return;
+        }
+        if view < self.view {
+            return;
+        }
+        if view > self.view {
+            self.begin_view_change(view, out);
+        }
+        if self.status != ReplicaStatus::ViewChange || self.cfg.primary_of(view) != self.cfg.me {
+            return;
+        }
+        self.dvc[replica] = Some(DvcPayload { view, last_normal, commit_number, log });
+        self.maybe_start_view(out);
+    }
+
+    fn on_start_view(
+        &mut self,
+        view: u64,
+        commit_number: u64,
+        log: Vec<BrokerOp>,
+        out: &mut Outbox,
+    ) {
+        if view < self.view || self.status == ReplicaStatus::Recovering {
+            return;
+        }
+        self.view = view;
+        self.log.replace(log);
+        self.commit_to(commit_number);
+        self.status = ReplicaStatus::Normal;
+        self.last_normal = view;
+        self.dvc_sent = false;
+        if self.cfg.primary_of(view) != self.cfg.me {
+            out.push((
+                self.primary_node(),
+                ReplicaMsg::PrepareOk {
+                    view: self.view,
+                    op_number: self.log.op_number(),
+                    replica: self.cfg.me as u32,
+                },
+            ));
+        }
+        self.flush_pending(out);
+    }
+
+    fn on_recovery(&mut self, replica: usize, nonce: u64, out: &mut Outbox) {
+        if replica >= self.cfg.group.len() || replica == self.cfg.me {
+            return;
+        }
+        let normal = self.status == ReplicaStatus::Normal;
+        out.push((
+            self.cfg.group[replica],
+            ReplicaMsg::RecoveryResponse {
+                view: self.view,
+                nonce,
+                commit_number: self.commit_number,
+                log: if normal { self.log.to_vec() } else { Vec::new() },
+                normal,
+                replica: self.cfg.me as u32,
+            },
+        ));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_recovery_response(
+        &mut self,
+        view: u64,
+        nonce: u64,
+        commit_number: u64,
+        log: Vec<BrokerOp>,
+        normal: bool,
+        replica: usize,
+        out: &mut Outbox,
+    ) {
+        if nonce != self.nonce || replica >= self.rec_responded.len() || replica == self.cfg.me {
+            return;
+        }
+        self.rec_responded[replica] = true;
+        if normal {
+            let better = match &self.rec_best {
+                None => true,
+                Some(b) => (view, log.len() as u64) > (b.view, b.log.len() as u64),
+            };
+            if better {
+                self.rec_best = Some(DvcPayload { view, last_normal: view, commit_number, log });
+            }
+        }
+        let responded = self.rec_responded.iter().filter(|r| **r).count();
+        let others = self.cfg.group.len() - 1;
+        if self.status == ReplicaStatus::Recovering {
+            if let Some(best) = &self.rec_best {
+                // A normal member answered and, with us, a majority has
+                // spoken: adopt its state (its log contains every
+                // committed op of any view ≤ its own).
+                if responded + 1 >= self.cfg.quorum() {
+                    let best = best.clone();
+                    self.adopt(best, out);
+                }
+            } else if responded == others {
+                // Everybody answered and nobody holds state: this is a
+                // fresh group boot. Start view 0 empty.
+                self.status = ReplicaStatus::Normal;
+                self.view = 0;
+                self.last_normal = 0;
+                self.flush_pending(out);
+            }
+        } else if self.status == ReplicaStatus::Normal {
+            // Normal-status state transfer (we fell behind in our own
+            // view, or missed a view change): adopt anything strictly
+            // ahead of us.
+            let ahead = match &self.rec_best {
+                Some(b) => {
+                    (b.view, b.log.len() as u64) > (self.view, self.log.op_number())
+                        && b.commit_number >= self.commit_number
+                }
+                None => false,
+            };
+            if ahead {
+                let best = self.rec_best.clone().expect("checked above");
+                self.adopt(best, out);
+            }
+        }
+    }
+
+    /// Adopts a foreign normal state wholesale (recovery completion or
+    /// normal-status state transfer).
+    fn adopt(&mut self, best: DvcPayload, out: &mut Outbox) {
+        debug_assert!(best.commit_number >= self.commit_number);
+        self.view = best.view;
+        self.last_normal = best.view;
+        self.log.replace(best.log);
+        self.commit_number = best.commit_number.min(self.log.op_number()).max(self.commit_number);
+        self.status = ReplicaStatus::Normal;
+        self.rec_best = None;
+        if self.cfg.primary_of(self.view) == self.cfg.me {
+            // We recovered as the acting primary (e.g. a rebooted broker
+            // whose group never elected past it): re-assert the view so
+            // backups realign and re-ack.
+            self.ack_high = vec![0; self.cfg.group.len()];
+            self.ack_high[self.cfg.me] = self.log.op_number();
+            self.broadcast(
+                &ReplicaMsg::StartView {
+                    view: self.view,
+                    commit_number: self.commit_number,
+                    log: self.log.to_vec(),
+                },
+                out,
+            );
+        } else {
+            out.push((
+                self.primary_node(),
+                ReplicaMsg::PrepareOk {
+                    view: self.view,
+                    op_number: self.log.op_number(),
+                    replica: self.cfg.me as u32,
+                },
+            ));
+        }
+        self.flush_pending(out);
+    }
+
+    /// Applies every committed-but-unapplied op through `apply`, advancing
+    /// the applied cursor. The caller owns what "apply" means: the broker
+    /// replica rebuilds its routing table, a log backup discards.
+    pub fn drain_committed(&mut self, mut apply: impl FnMut(&BrokerOp)) -> u64 {
+        let mut drained = 0;
+        while self.applied < self.commit_number {
+            self.applied += 1;
+            let op = self.log.get(self.applied).expect("commit number is bounded by the log");
+            apply(op);
+            drained += 1;
+        }
+        drained
+    }
+}
+
+#[cfg(all(test, not(rebeca_verify)))]
+mod tests {
+    use super::*;
+    use rebeca_core::ClientId;
+
+    fn group3() -> Vec<Replica> {
+        let nodes: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        (0..3).map(|me| Replica::new(ReplicaConfig { group: nodes.clone(), me })).collect()
+    }
+
+    fn op(i: u32) -> BrokerOp {
+        BrokerOp::ClientAttach { client: ClientId::new(i), node: NodeId::new(10 + i) }
+    }
+
+    /// Delivers every queued message until the group quiesces.
+    fn pump(replicas: &mut [Replica], outboxes: &mut [Outbox]) {
+        loop {
+            let mut moved = false;
+            for i in 0..replicas.len() {
+                let msgs = std::mem::take(&mut outboxes[i]);
+                let from = replicas[i].me_node();
+                for (to, msg) in msgs {
+                    moved = true;
+                    // Addresses outside the slice model dead peers: the
+                    // runtime drops sends on downed links the same way.
+                    let Some(dest) = replicas.iter().position(|r| r.me_node() == to) else {
+                        continue;
+                    };
+                    let mut out = std::mem::take(&mut outboxes[dest]);
+                    replicas[dest].on_msg(from, msg, &mut out);
+                    outboxes[dest] = out;
+                }
+            }
+            if !moved {
+                return;
+            }
+        }
+    }
+
+    fn boot(replicas: &mut [Replica], outboxes: &mut [Outbox]) {
+        for (r, out) in replicas.iter_mut().zip(outboxes.iter_mut()) {
+            r.start(out);
+        }
+        pump(replicas, outboxes);
+    }
+
+    #[test]
+    fn group_of_one_commits_immediately() {
+        let mut r = Replica::new(ReplicaConfig { group: vec![NodeId::new(0)], me: 0 });
+        let mut out = Outbox::new();
+        assert_eq!(r.status(), ReplicaStatus::Normal);
+        r.submit(op(1), &mut out);
+        assert!(out.is_empty(), "nobody to talk to");
+        assert_eq!(r.commit_number(), 1);
+        let mut applied = Vec::new();
+        r.drain_committed(|o| applied.push(o.clone()));
+        assert_eq!(applied, vec![op(1)]);
+    }
+
+    #[test]
+    fn fresh_group_boots_normal_and_replicates() {
+        let mut rs = group3();
+        let mut outs = vec![Outbox::new(), Outbox::new(), Outbox::new()];
+        boot(&mut rs, &mut outs);
+        for r in &rs {
+            assert_eq!(r.status(), ReplicaStatus::Normal, "fresh boot goes normal at view 0");
+            assert_eq!(r.view(), 0);
+        }
+        assert!(rs[0].is_primary());
+
+        rs[0].submit(op(1), &mut outs[0]);
+        rs[0].submit(op(2), &mut outs[0]);
+        pump(&mut rs, &mut outs);
+        for r in &rs {
+            assert_eq!(r.op_number(), 2);
+            assert_eq!(r.commit_number(), 2, "quorum of PrepareOks commits");
+        }
+    }
+
+    #[test]
+    fn backup_forwards_to_primary() {
+        let mut rs = group3();
+        let mut outs = vec![Outbox::new(), Outbox::new(), Outbox::new()];
+        boot(&mut rs, &mut outs);
+        rs[1].submit(op(7), &mut outs[1]);
+        pump(&mut rs, &mut outs);
+        assert_eq!(rs[0].commit_number(), 1);
+        assert_eq!(rs[0].log().get(1), Some(&op(7)));
+    }
+
+    #[test]
+    fn primary_death_elects_the_next_view_and_keeps_committed_ops() {
+        let mut rs = group3();
+        let mut outs = vec![Outbox::new(), Outbox::new(), Outbox::new()];
+        boot(&mut rs, &mut outs);
+        rs[0].submit(op(1), &mut outs[0]);
+        pump(&mut rs, &mut outs);
+        assert_eq!(rs[2].commit_number(), 1);
+
+        // The primary's process dies; 1 and 2 are told by the supervisor.
+        rs[1].on_peer_change(NodeId::new(0), false, &mut outs[1]);
+        rs[2].on_peer_change(NodeId::new(0), false, &mut outs[2]);
+        // Its links are down: deliveries to node 0 would be dropped. Keep
+        // them queued (pump only targets live members) by draining 0's
+        // inbox messages nowhere: simplest is to delete them.
+        let mut rs_live = rs.split_off(1);
+        for out in &mut outs {
+            out.retain(|(to, _)| to.raw() != 0);
+        }
+        pump(&mut rs_live, &mut outs[1..]);
+        assert_eq!(rs_live[0].view(), 1);
+        assert!(rs_live[0].is_primary(), "member 1 is the primary of view 1");
+        assert_eq!(rs_live[1].view(), 1);
+        assert!(!rs_live[1].is_primary());
+        assert_eq!(rs_live[0].commit_number(), 1, "committed op survives the view change");
+        assert_eq!(rs_live[0].log().get(1), Some(&op(1)));
+
+        // The new primary keeps serving.
+        rs_live[0].submit(op(2), &mut outs[1]);
+        for out in &mut outs {
+            out.retain(|(to, _)| to.raw() != 0);
+        }
+        pump(&mut rs_live, &mut outs[1..]);
+        assert_eq!(rs_live[0].commit_number(), 2);
+        assert_eq!(rs_live[1].commit_number(), 2);
+    }
+
+    #[test]
+    fn reboot_recovers_state_without_resubscription() {
+        let mut rs = group3();
+        let mut outs = vec![Outbox::new(), Outbox::new(), Outbox::new()];
+        boot(&mut rs, &mut outs);
+        rs[0].submit(op(1), &mut outs[0]);
+        rs[0].submit(op(2), &mut outs[0]);
+        pump(&mut rs, &mut outs);
+
+        // Member 0 (the primary) is SIGKILLed and respawns empty.
+        let cfg = rs[0].config().clone();
+        rs[0] = Replica::new(cfg);
+        outs[0].clear();
+        assert_eq!(rs[0].status(), ReplicaStatus::Recovering);
+        rs[0].start(&mut outs[0]);
+        pump(&mut rs, &mut outs);
+
+        assert_eq!(rs[0].status(), ReplicaStatus::Normal);
+        assert_eq!(rs[0].op_number(), 2, "log recovered from the group");
+        assert_eq!(rs[0].commit_number(), 2);
+        let mut applied = Vec::new();
+        rs[0].drain_committed(|o| applied.push(o.clone()));
+        assert_eq!(applied, vec![op(1), op(2)], "recovery replays the whole log");
+        assert!(rs[0].is_primary(), "nobody elected past it, so it resumes as primary");
+    }
+
+    #[test]
+    fn ops_submitted_while_recovering_queue_and_flush() {
+        let mut rs = group3();
+        let mut outs = vec![Outbox::new(), Outbox::new(), Outbox::new()];
+        // Submit before the probe round completes: must queue.
+        rs[0].submit(op(5), &mut outs[0]);
+        assert_eq!(rs[0].pending_len(), 1);
+        boot(&mut rs, &mut outs);
+        pump(&mut rs, &mut outs);
+        assert_eq!(rs[0].pending_len(), 0);
+        assert_eq!(rs[1].commit_number(), 1, "queued op commits after boot");
+        assert_eq!(rs[1].log().get(1), Some(&op(5)));
+    }
+
+    #[test]
+    fn stale_prepare_is_rejected_after_a_view_change() {
+        let mut rs = group3();
+        let mut outs = vec![Outbox::new(), Outbox::new(), Outbox::new()];
+        boot(&mut rs, &mut outs);
+        // Move 1 and 2 to view 1 behind 0's back.
+        rs[1].on_peer_change(NodeId::new(0), false, &mut outs[1]);
+        rs[2].on_peer_change(NodeId::new(0), false, &mut outs[2]);
+        let mut live = rs.split_off(1);
+        for out in &mut outs {
+            out.retain(|(to, _)| to.raw() != 0);
+        }
+        pump(&mut live, &mut outs[1..]);
+        assert_eq!(live[1].view(), 1);
+
+        // The deposed primary of view 0 gasps a Prepare.
+        let before = live[1].op_number();
+        live[1].on_msg(
+            NodeId::new(0),
+            ReplicaMsg::Prepare { view: 0, op_number: before + 1, commit_number: 0, op: op(9) },
+            &mut outs[2],
+        );
+        assert_eq!(live[1].op_number(), before, "stale-view Prepare must not append");
+    }
+
+    #[test]
+    fn tick_retransmits_until_the_probe_answers() {
+        let nodes: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let mut r = Replica::new(ReplicaConfig { group: nodes, me: 0 });
+        let mut out = Outbox::new();
+        r.start(&mut out);
+        assert_eq!(out.len(), 2, "probes both peers");
+        out.clear();
+        r.tick(&mut out);
+        assert_eq!(out.len(), 2, "unanswered probes retransmit");
+        // One peer answers (not normal): only the other is re-probed.
+        r.on_msg(
+            NodeId::new(1),
+            ReplicaMsg::RecoveryResponse {
+                view: 0,
+                nonce: 1,
+                commit_number: 0,
+                log: Vec::new(),
+                normal: false,
+                replica: 1,
+            },
+            &mut out,
+        );
+        out.clear();
+        r.tick(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, NodeId::new(2));
+    }
+}

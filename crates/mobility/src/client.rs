@@ -228,7 +228,8 @@ impl Node<Message> for MobileClientNode {
             | Message::Forward { .. }
             | Message::SubForward { .. }
             | Message::UnsubForward { .. }
-            | Message::Routed { .. } => {}
+            | Message::Routed { .. }
+            | Message::Replica(_) => {}
         }
     }
 

@@ -1,0 +1,193 @@
+//! Replication seam for the relocation buffers.
+//!
+//! Physical mobility buffers notifications for disconnected clients inside
+//! the border broker ([`RelocationBuffers`]) — state that dies with the
+//! broker process unless it is replicated. [`LoggedBuffers`] wraps the
+//! mutation subset of [`RelocationBuffers`] that matters across a crash
+//! (store, flush, relocate) and records each mutation as a
+//! [`BufferOp`](rebeca_broker::replication::BufferOp), the mobility arm of
+//! the broker replication op log. A replica that applies the same op
+//! sequence converges on the same per-client buffers, so a respawned
+//! border broker can keep honouring the paper's lossless-relocation
+//! contract without the client noticing ([`LoggedBuffers::rebuild`]).
+//!
+//! Arrival-side state (hold-back queues) is deliberately *not* logged: it
+//! only exists during an active hand-over round-trip, which a crashed
+//! broker cannot resume anyway — the client-side reconnect restarts it.
+
+use crate::physical::RelocationBuffers;
+use rebeca_broker::replication::BufferOp;
+use rebeca_core::{BrokerId, ClientId, Notification, SimTime};
+use std::sync::Arc;
+
+/// [`RelocationBuffers`] with an attached mutation log.
+///
+/// Every durable mutation goes through this wrapper and is recorded as a
+/// [`BufferOp`]; the host (a replicated broker node) periodically
+/// [takes](LoggedBuffers::take_ops) the recorded ops and submits them to
+/// its replica group. Read-side and arrival-side state pass through to the
+/// inner buffers untouched.
+#[derive(Debug, Default)]
+pub struct LoggedBuffers {
+    inner: RelocationBuffers,
+    ops: Vec<BufferOp>,
+}
+
+impl LoggedBuffers {
+    /// Creates empty logged relocation state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds relocation state by replaying a committed op sequence —
+    /// the recovery path of a respawned border broker. Buffer timestamps
+    /// restart at `now`: the op log carries no wall-clock, so the TTL
+    /// clock of recovered buffers begins at recovery (strictly more
+    /// conservative than the original deadline — buffers live longer,
+    /// never shorter).
+    pub fn rebuild(now: SimTime, ops: &[BufferOp]) -> Self {
+        let mut this = Self::new();
+        for op in ops {
+            this.apply(now, op);
+        }
+        // Replayed ops are already committed — do not re-log them.
+        this.ops.clear();
+        this
+    }
+
+    /// Applies one committed op from a replica peer without re-logging it
+    /// (backups mirror the primary's mutations through this).
+    pub fn apply(&mut self, now: SimTime, op: &BufferOp) {
+        match op {
+            BufferOp::Store { client, notification } => {
+                self.inner.buffer(now, *client, Arc::clone(notification));
+            }
+            BufferOp::Flush { client } => {
+                let _ = self.inner.take_buffer(*client);
+                let _ = self.inner.finish_drain(*client);
+            }
+            BufferOp::Relocate { client, to } => {
+                self.inner.begin_drain(*client, *to);
+            }
+        }
+    }
+
+    /// Buffers a notification for a disconnected client, logging a
+    /// [`BufferOp::Store`].
+    pub fn buffer(&mut self, now: SimTime, client: ClientId, n: Arc<Notification>) {
+        self.ops.push(BufferOp::Store { client, notification: Arc::clone(&n) });
+        self.inner.buffer(now, client, n);
+    }
+
+    /// Takes (and removes) the buffer of a client, logging a
+    /// [`BufferOp::Flush`] — the replay-to-new-border hand-off.
+    pub fn take_buffer(&mut self, client: ClientId) -> Vec<Arc<Notification>> {
+        self.ops.push(BufferOp::Flush { client });
+        let _ = self.inner.finish_drain(client);
+        self.inner.take_buffer(client)
+    }
+
+    /// Marks a client as draining towards its new border broker, logging a
+    /// [`BufferOp::Relocate`].
+    pub fn begin_drain(&mut self, client: ClientId, to: BrokerId) {
+        self.ops.push(BufferOp::Relocate { client, to });
+        self.inner.begin_drain(client, to);
+    }
+
+    /// Drains the ops recorded since the last call — the host submits
+    /// these to its replica group.
+    pub fn take_ops(&mut self) -> Vec<BufferOp> {
+        std::mem::take(&mut self.ops)
+    }
+
+    /// Number of recorded, not-yet-taken ops.
+    pub fn pending_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The wrapped buffers — read access and non-replicated (arrival-side)
+    /// state.
+    pub fn inner(&self) -> &RelocationBuffers {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped buffers for *non-durable* state
+    /// (hold-back queues, TTL sweeps). Mutating the store/flush/relocate
+    /// subset through this bypasses the log and will diverge replicas —
+    /// use the logging methods instead.
+    pub fn inner_mut(&mut self) -> &mut RelocationBuffers {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(i: u64) -> Arc<Notification> {
+        Arc::new(Notification::builder().attr("seq", i as i64).publish(
+            ClientId::new(1),
+            i,
+            SimTime::from_secs(i),
+        ))
+    }
+
+    /// Every logged mutation replayed through `rebuild` reproduces the
+    /// observable relocation state of the original.
+    #[test]
+    fn replay_converges_on_the_original_state() {
+        let now = SimTime::from_secs(1);
+        let mut live = LoggedBuffers::new();
+        let (a, b) = (ClientId::new(1), ClientId::new(2));
+        live.buffer(now, a, note(0));
+        live.buffer(now, a, note(1));
+        live.buffer(now, b, note(2));
+        live.begin_drain(b, BrokerId::new(3));
+        let ops = live.take_ops();
+        assert_eq!(ops.len(), 4);
+        assert_eq!(live.pending_ops(), 0);
+
+        let mut twin = LoggedBuffers::rebuild(now, &ops);
+        assert_eq!(twin.pending_ops(), 0, "replayed ops are not re-logged");
+        assert_eq!(twin.inner().buffering_count(), live.inner().buffering_count());
+        assert_eq!(twin.inner().buffered_notifications(), live.inner().buffered_notifications());
+        assert_eq!(twin.inner().drain_target(b), Some(BrokerId::new(3)));
+
+        // The recovered twin hands the same notifications to the client.
+        let from_live: Vec<u64> = live.take_buffer(a).iter().map(|n| n.seq()).collect();
+        let from_twin: Vec<u64> = twin.take_buffer(a).iter().map(|n| n.seq()).collect();
+        assert_eq!(from_live, vec![0, 1]);
+        assert_eq!(from_twin, from_live, "no re-subscription, no loss");
+    }
+
+    /// A flush clears the buffer *and* any drain marker on replay, exactly
+    /// like the live `take_buffer`.
+    #[test]
+    fn flush_op_ends_a_drain() {
+        let now = SimTime::ZERO;
+        let c = ClientId::new(7);
+        let mut live = LoggedBuffers::new();
+        live.buffer(now, c, note(0));
+        live.begin_drain(c, BrokerId::new(2));
+        let taken = live.take_buffer(c);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(live.inner().drain_target(c), None);
+
+        let twin = LoggedBuffers::rebuild(now, &live.take_ops());
+        assert_eq!(twin.inner().buffering_count(), 0);
+        assert_eq!(twin.inner().drain_target(c), None);
+    }
+
+    /// `apply` mirrors a committed op without logging it — the backup
+    /// path never echoes ops back into the group.
+    #[test]
+    fn apply_does_not_relog() {
+        let mut backup = LoggedBuffers::new();
+        backup.apply(
+            SimTime::ZERO,
+            &BufferOp::Store { client: ClientId::new(1), notification: note(0) },
+        );
+        assert_eq!(backup.pending_ops(), 0);
+        assert_eq!(backup.inner().buffered_notifications(), 1);
+    }
+}

@@ -82,6 +82,19 @@ pub trait Node<M: Payload>: Send {
         let _ = (ctx, timer, tag);
     }
 
+    /// Invoked when the runtime learns that `peer` became unreachable
+    /// (`up == false`) or reachable again (`up == true`). In the
+    /// multi-process runtime the link supervisor drives this: a peer
+    /// process death reports every node behind the dead peer as down, a
+    /// successful restart handshake reports them back up. The
+    /// deterministic simulator never calls it — links there change by
+    /// harness script, not by crash detection. Default: ignore;
+    /// failure-aware nodes (e.g. the replication layer's view-change
+    /// trigger) override it.
+    fn on_peer_change(&mut self, ctx: &mut Ctx<'_, M>, peer: NodeId, up: bool) {
+        let _ = (ctx, peer, up);
+    }
+
     /// Upcast for harness-side state inspection.
     fn as_any(&self) -> &dyn Any;
 

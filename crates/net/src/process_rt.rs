@@ -72,8 +72,18 @@ use std::time::{Duration, Instant};
 pub struct PeerId(usize);
 
 enum Envelope<M> {
-    Msg { from: NodeId, msg: M },
+    Msg {
+        from: NodeId,
+        msg: M,
+    },
     SetLinkNotice, // wake-up so link changes are observed promptly
+    /// Supervisor verdict on a peer process: every node in `nodes` (the
+    /// nodes hosted behind one peer link) became unreachable or reachable
+    /// again. Dispatched to each local node's `on_peer_change`.
+    PeerChange {
+        nodes: Arc<Vec<NodeId>>,
+        up: bool,
+    },
     Stop,
 }
 
@@ -719,6 +729,13 @@ impl<M: Payload + Wire> Supervisor<M> {
         for tx in self.senders.iter().flatten() {
             let _ = tx.send(Envelope::SetLinkNotice);
         }
+        // Failure-detector verdict to every local node: the nodes behind
+        // this peer are unreachable until the link restarts (the
+        // replication layer's view-change trigger).
+        let down_nodes = Arc::new(self.peers[i].behind.clone());
+        for tx in self.senders.iter().flatten() {
+            let _ = tx.send(Envelope::PeerChange { nodes: Arc::clone(&down_nodes), up: false });
+        }
         self.peers[i].saved_routes = saved;
         // Drain-and-drop the send buffer: releases any producer blocked on
         // the dead link and tells the old writer (if it is the surviving
@@ -845,6 +862,10 @@ impl<M: Payload + Wire> Supervisor<M> {
         }
         for tx in self.senders.iter().flatten() {
             let _ = tx.send(Envelope::SetLinkNotice);
+        }
+        let up_nodes = Arc::new(self.peers[i].behind.clone());
+        for tx in self.senders.iter().flatten() {
+            let _ = tx.send(Envelope::PeerChange { nodes: Arc::clone(&up_nodes), up: true });
         }
     }
 }
@@ -1142,6 +1163,23 @@ fn run_node<M: Payload + Wire>(
                 );
             }
             Ok(Envelope::SetLinkNotice) => {}
+            Ok(Envelope::PeerChange { nodes, up }) => {
+                for n in nodes.iter() {
+                    invoke(
+                        node.as_mut(),
+                        me,
+                        now_fn(t0),
+                        &mut next_timer,
+                        &mut timers,
+                        &mut pending,
+                        &mut cancelled,
+                        &sinks,
+                        &buffers,
+                        &links,
+                        |nd, ctx| nd.on_peer_change(ctx, *n, up),
+                    );
+                }
+            }
             Ok(Envelope::Stop) => return node,
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return node,

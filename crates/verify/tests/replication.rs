@@ -1,0 +1,292 @@
+//! Model-checks the replica-group view-change arbitration from
+//! `rebeca-broker` — the real production state machine
+//! ([`rebeca_broker::replication::Replica`]), sans-io, driven under the
+//! checker's scheduler.
+//!
+//! Run with: `RUSTFLAGS="--cfg rebeca_verify" cargo test -p rebeca-verify --release`
+//!
+//! The scenario: a 3-member group boots fresh and commits two ops, then
+//! the primary dies with a third op in flight. The two survivors race —
+//! the supervisor's peer-down notices and the dead primary's last
+//! `Prepare`s are interleaved exhaustively — and whatever the order, the
+//! view change must elect exactly one new primary, never lose an op any
+//! member committed, and keep the survivors' committed prefixes
+//! identical.
+//!
+//! Two injected twins prove the checker would catch the classic bugs:
+//!
+//! * `viewchange_stale_view` — `on_prepare` accepts a Prepare from a
+//!   stale view, so the deposed primary's dying gasp splits the
+//!   survivors' logs at one op number.
+//! * `commit_before_quorum` — the primary commits on its own append
+//!   without waiting for a backup majority, so the view change loses a
+//!   "committed" op.
+#![cfg(rebeca_verify)]
+
+use rebeca_broker::replication::{
+    BrokerOp, Outbox, Replica, ReplicaConfig, ReplicaMsg, ReplicaStatus,
+};
+use rebeca_core::ClientId;
+use rebeca_net::NodeId;
+use rebeca_verify::shim::{thread, Mutex};
+use rebeca_verify::Checker;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+fn op(i: u32) -> BrokerOp {
+    BrokerOp::ClientAttach { client: ClientId::new(i), node: NodeId::new(100 + i) }
+}
+
+/// Delivers every queued message until the full (pre-crash) group
+/// quiesces — the deterministic prologue, before any scheduling points.
+fn pump_full(replicas: &mut [Replica], outboxes: &mut [Outbox]) {
+    loop {
+        let mut moved = false;
+        for i in 0..replicas.len() {
+            let msgs = std::mem::take(&mut outboxes[i]);
+            let from = replicas[i].me_node();
+            for (to, msg) in msgs {
+                moved = true;
+                let Some(dest) = replicas.iter().position(|r| r.me_node() == to) else {
+                    continue;
+                };
+                let mut out = std::mem::take(&mut outboxes[dest]);
+                replicas[dest].on_msg(from, msg, &mut out);
+                outboxes[dest] = out;
+            }
+        }
+        if !moved {
+            return;
+        }
+    }
+}
+
+/// The two survivors plus the network between them. Sends addressed to
+/// the dead primary are dropped, exactly as the process runtime drops
+/// writes on a downed link.
+struct Survivors {
+    dead: NodeId,
+    live: Vec<Replica>,
+    queue: VecDeque<(NodeId, NodeId, ReplicaMsg)>,
+    /// Per-survivor commit high-water, for the monotonicity invariant.
+    last_commit: Vec<u64>,
+}
+
+impl Survivors {
+    fn feed(&mut self, from: NodeId, out: Outbox) {
+        for (to, msg) in out {
+            self.queue.push_back((from, to, msg));
+        }
+    }
+
+    fn deliver(&mut self, from: NodeId, to: NodeId, msg: ReplicaMsg) {
+        if to == self.dead {
+            return;
+        }
+        let i = self
+            .live
+            .iter()
+            .position(|r| r.me_node() == to)
+            .expect("messages go to a group member");
+        let mut out = Outbox::new();
+        self.live[i].on_msg(from, msg, &mut out);
+        assert!(
+            self.live[i].commit_number() >= self.last_commit[i],
+            "a replica's commit number never regresses"
+        );
+        self.last_commit[i] = self.live[i].commit_number();
+        self.feed(to, out);
+    }
+
+    /// One racing step: the next queued message addressed to survivor `i`.
+    fn deliver_next_to(&mut self, i: usize) {
+        let node = self.live[i].me_node();
+        let Some(pos) = self.queue.iter().position(|(_, to, _)| *to == node) else {
+            return;
+        };
+        let (from, to, msg) = self.queue.remove(pos).expect("position just found");
+        self.deliver(from, to, msg);
+    }
+
+    /// The supervisor's down event for the dead primary at survivor `i`.
+    fn peer_down(&mut self, i: usize) {
+        let mut out = Outbox::new();
+        let node = self.live[i].me_node();
+        self.live[i].on_peer_change(self.dead, false, &mut out);
+        self.feed(node, out);
+    }
+
+    fn pump(&mut self) {
+        while let Some((from, to, msg)) = self.queue.pop_front() {
+            self.deliver(from, to, msg);
+        }
+    }
+}
+
+/// Boots a fresh 3-group, commits two ops, then kills the primary with a
+/// third op prepared but unacknowledged, and interleaves the survivors'
+/// peer-down notices against the dead primary's in-flight `Prepare`s.
+fn primary_crash_body() {
+    // Deterministic prologue: fresh boot, two committed ops.
+    let nodes: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+    let mut rs: Vec<Replica> =
+        (0..3).map(|me| Replica::new(ReplicaConfig { group: nodes.clone(), me })).collect();
+    let mut outs = vec![Outbox::new(), Outbox::new(), Outbox::new()];
+    for (r, out) in rs.iter_mut().zip(outs.iter_mut()) {
+        r.start(out);
+    }
+    pump_full(&mut rs, &mut outs);
+    rs[0].submit(op(1), &mut outs[0]);
+    rs[0].submit(op(2), &mut outs[0]);
+    pump_full(&mut rs, &mut outs);
+
+    // The dying gasp: op 3 is prepared, then the primary is gone before
+    // any acknowledgement returns. Whatever any member considered
+    // committed at this instant must survive the view change.
+    rs[0].submit(op(3), &mut outs[0]);
+    let committed: Vec<BrokerOp> = {
+        let high = rs.iter().max_by_key(|r| r.commit_number()).expect("three members");
+        (1..=high.commit_number())
+            .map(|n| high.log().get(n).expect("committed ops are in the log").clone())
+            .collect()
+    };
+    let dead = nodes[0];
+    let in_flight: Outbox = std::mem::take(&mut outs[0]);
+    rs.remove(0);
+    let last_commit = rs.iter().map(|r| r.commit_number()).collect();
+    let mut sv = Survivors { dead, live: rs, queue: VecDeque::new(), last_commit };
+    sv.feed(dead, in_flight);
+    let st = Arc::new(Mutex::new(sv));
+
+    // Racing phase: each survivor's peer-down notice and the delivery of
+    // its in-flight Prepare are four schedulable events — a Prepare can
+    // land before or after its receiver heard the primary died.
+    let handles: Vec<_> = [0usize, 1]
+        .into_iter()
+        .flat_map(|i| {
+            let down = {
+                let st = Arc::clone(&st);
+                thread::spawn(move || st.lock().peer_down(i))
+            };
+            let net = {
+                let st = Arc::clone(&st);
+                thread::spawn(move || st.lock().deliver_next_to(i))
+            };
+            [down, net]
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("racing survivor step");
+    }
+
+    // Deterministic epilogue: drain the view change to quiescence.
+    let mut sv = st.lock();
+    sv.pump();
+
+    // Invariant: the survivors agree on a view past the crash, and
+    // exactly one of them leads it.
+    let views: Vec<u64> = sv.live.iter().map(|r| r.view()).collect();
+    assert_eq!(views[0], views[1], "survivors converge on one view");
+    assert!(views[0] >= 1, "the crash forces a view change");
+    for r in &sv.live {
+        assert_eq!(r.status(), ReplicaStatus::Normal, "survivors settle back to Normal");
+    }
+    let primaries = sv.live.iter().filter(|r| r.is_primary()).count();
+    assert_eq!(primaries, 1, "exactly one primary per view");
+
+    // The deposed primary gasps once more: a Prepare from the old view
+    // arriving after the new view started must be rejected.
+    let victim = sv.live.iter().position(|r| !r.is_primary()).expect("one backup");
+    let gasp_to = sv.live[victim].me_node();
+    let gasp = ReplicaMsg::Prepare {
+        view: 0,
+        op_number: sv.live[victim].op_number() + 1,
+        commit_number: committed.len() as u64,
+        op: op(66),
+    };
+    sv.deliver(dead, gasp_to, gasp);
+
+    // New-view traffic commits over whatever the logs now hold.
+    let leader = sv.live.iter().position(|r| r.is_primary()).expect("one primary");
+    let mut out = Outbox::new();
+    sv.live[leader].submit(op(4), &mut out);
+    let from = sv.live[leader].me_node();
+    sv.feed(from, out);
+    sv.pump();
+
+    // Invariant: nothing that was committed before the crash vanished.
+    let leader_r = &sv.live[leader];
+    assert!(
+        leader_r.commit_number() >= committed.len() as u64,
+        "commit number regressed across the view change: {} < {}",
+        leader_r.commit_number(),
+        committed.len()
+    );
+    for (i, want) in committed.iter().enumerate() {
+        let n = i as u64 + 1;
+        assert_eq!(
+            leader_r.log().get(n),
+            Some(want),
+            "a committed op was lost by the view change (op {n})"
+        );
+    }
+
+    // Invariant: the survivors' committed prefixes are identical.
+    let (a, b) = (&sv.live[0], &sv.live[1]);
+    let common = a.commit_number().min(b.commit_number());
+    for n in 1..=common {
+        assert_eq!(a.log().get(n), b.log().get(n), "committed prefixes diverged at op {n}");
+    }
+}
+
+#[test]
+fn crash_view_change_keeps_committed_ops() {
+    Checker::new("crash_view_change_keeps_committed_ops").check(primary_crash_body).assert_ok();
+}
+
+/// Injected bug: `on_prepare` skips the view comparison, so the deposed
+/// primary's post-view-change gasp is appended by one survivor but not
+/// the other — the log split the stale-view rejection exists to prevent.
+/// The checker must find it, and the printed schedule must replay
+/// deterministically.
+#[test]
+fn injected_stale_view_is_caught_and_replays() {
+    let report = Checker::new("injected_stale_view_is_caught_and_replays")
+        .inject("viewchange_stale_view")
+        .check(primary_crash_body);
+    let failure = report.assert_fails();
+    assert!(
+        failure.message.contains("committed prefixes diverged"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    let replay = Checker::new("injected_stale_view_is_caught_and_replays")
+        .inject("viewchange_stale_view")
+        .schedule(&failure.schedule)
+        .check(primary_crash_body);
+    assert_eq!(replay.explored, 1, "a replay explores exactly one schedule");
+    assert_eq!(replay.assert_fails().message, failure.message);
+}
+
+/// Injected bug: the primary commits on its own append without a backup
+/// majority. In the schedule where both survivors hear of the crash
+/// before either in-flight Prepare lands, the "committed" op 3 exists in
+/// no surviving log — the lost-commit the quorum rule exists to prevent.
+#[test]
+fn injected_commit_before_quorum_is_caught_and_replays() {
+    let report = Checker::new("injected_commit_before_quorum_is_caught_and_replays")
+        .inject("commit_before_quorum")
+        .check(primary_crash_body);
+    let failure = report.assert_fails();
+    assert!(
+        failure.message.contains("a committed op was lost"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    let replay = Checker::new("injected_commit_before_quorum_is_caught_and_replays")
+        .inject("commit_before_quorum")
+        .schedule(&failure.schedule)
+        .check(primary_crash_body);
+    assert_eq!(replay.explored, 1, "a replay explores exactly one schedule");
+    assert_eq!(replay.assert_fails().message, failure.message);
+}

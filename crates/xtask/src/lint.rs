@@ -82,8 +82,19 @@ const LOCK_PATTERNS: &[(&str, &str)] = &[
 /// are the transport layer: frame-tag and link-down-cause dispatch must
 /// name every variant so a new frame kind or failure cause forces the
 /// reassembler, the peer loops and the supervisor to decide.
-const HANDLER_FILES: &[&str] =
-    &["broker.rs", "client.rs", "replicator.rs", "wire.rs", "process_rt.rs", "supervisor.rs"];
+/// `replica.rs` and `replicated.rs` are the replication layer: replica
+/// messages and broker-op application must enumerate every variant so a
+/// new protocol or log-op kind forces the state machine to decide.
+const HANDLER_FILES: &[&str] = &[
+    "broker.rs",
+    "client.rs",
+    "replicator.rs",
+    "wire.rs",
+    "process_rt.rs",
+    "supervisor.rs",
+    "replica.rs",
+    "replicated.rs",
+];
 
 fn is_ident_char(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_'

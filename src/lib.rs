@@ -189,6 +189,26 @@
 //! two-process deployment delivery-identical to the threaded runtime —
 //! including a link drop + reconnect across the real socket.
 //!
+//! ## Replication: surviving broker crashes
+//!
+//! A supervised link heals the wires after a broker process is killed,
+//! but the reborn process would come back with an empty routing table.
+//! [`SystemBuilder::replication`] arms the broker-state replication layer
+//! ([`broker::replication`]): every broker's table and mobility-buffer
+//! mutations become a deterministic op log replicated across a group of
+//! `group_size` members with viewstamped-replication-style primary/backup
+//! semantics. The per-notification route path never touches the log (the
+//! allocation-regression suite asserts zero steady-state allocations with
+//! replication enabled; `BENCH_replication_pr10.json` records that
+//! publish throughput is unchanged while churn pays the quorum round
+//! trips). Under [`SystemBuilder::build_process_partition`] each broker's
+//! backups are placed in *different* processes than the broker, so a
+//! SIGKILLed process recovers its state by probing its group across the
+//! healed link — no client ever re-subscribes. Group health is observable
+//! via [`System::replication_stats`]; `examples/replicated_group.rs` is
+//! the two-process walkthrough and `tests/process_soak.rs` the
+//! seed-replayable kill/recover proof. Default `group_size` 1 = off.
+//!
 //! ## Migrating from the panicking API
 //!
 //! Earlier revisions of this facade modelled uncertain operations as
@@ -241,6 +261,9 @@ pub use rebeca_mobility::{
 };
 pub use rebeca_net::{NetMetrics, Topology};
 
+use rebeca_broker::replication::{
+    ReplicaNode, ReplicatedBrokerNode, ReplicationMetrics, ReplicationStats,
+};
 use rebeca_broker::{BrokerCore, BrokerNode, ClientNode, LocalBroker};
 use rebeca_mobility::{MobileBrokerNode, MobileClientNode, ReplicatorNode};
 use rebeca_net::{LinkConfig, NodeId, World};
@@ -302,6 +325,7 @@ pub struct SystemBuilder {
     seed: u64,
     shards: usize,
     reconnect: Option<rebeca_net::ReconnectPolicy>,
+    replication: usize,
 }
 
 impl SystemBuilder {
@@ -322,6 +346,7 @@ impl SystemBuilder {
             seed: 42,
             shards: default_shard_count(),
             reconnect: None,
+            replication: 1,
         }
     }
 
@@ -375,6 +400,27 @@ impl SystemBuilder {
         self
     }
 
+    /// Replicates every broker's mutation state (routing-table churn and
+    /// mobility-buffer operations) across a replica group of `group_size`
+    /// members: the broker itself plus `group_size - 1` log backups, kept
+    /// consistent through a Viewstamped-Replication-style op log (see
+    /// [`broker::replication`]). A broker whose process dies is either
+    /// succeeded by a backup (view change) or — once respawned — recovers
+    /// its full routing table and relocation buffers from its group
+    /// *without any client re-subscribing*. Replication sits on the
+    /// mutation path only; the zero-allocation notification route path is
+    /// untouched.
+    ///
+    /// Default 1 — replication off, brokers run bare exactly as before.
+    /// `group_size` must be between 2 and the broker count, and currently
+    /// requires the static deployment (validated by
+    /// [`SystemBuilder::build`]).
+    #[must_use]
+    pub fn replication(mut self, group_size: usize) -> Self {
+        self.replication = group_size;
+        self
+    }
+
     /// Arms link supervision with automatic reconnection for
     /// [`build_process_partition`](SystemBuilder::build_process_partition)
     /// deployments: a peer process that dies is re-dialed (or re-accepted)
@@ -403,6 +449,28 @@ impl SystemBuilder {
             return Err(RebecaError::InvalidDeployment(
                 "shard count must be at least 1 (1 = unsharded)".into(),
             ));
+        }
+        if self.replication == 0 {
+            return Err(RebecaError::InvalidDeployment(
+                "replication group size must be at least 1 (1 = off)".into(),
+            ));
+        }
+        if self.replication > 1 {
+            if !matches!(self.deployment, Deployment::Static) {
+                return Err(RebecaError::InvalidDeployment(
+                    "broker-state replication currently requires the static \
+                     deployment; mobility tiers ride on unreplicated brokers"
+                        .into(),
+                ));
+            }
+            if self.replication > n {
+                return Err(RebecaError::InvalidDeployment(format!(
+                    "replication group size {} exceeds the broker count {n}: \
+                     each backup is co-hosted with a *different* broker so a \
+                     process death never takes a whole group down",
+                    self.replication
+                )));
+            }
         }
         if let Some(locations) = &self.locations {
             for (broker, _) in locations.iter() {
@@ -462,6 +530,16 @@ impl SystemBuilder {
         // table and local-delivery index resolves identical symbols (see
         // the "Notification lifecycle" section of the crate docs).
         let interner = Arc::new(SharedInterner::new());
+        let g = self.replication;
+        let replication_metrics = (g > 1).then(|| Arc::new(ReplicationMetrics::default()));
+        // Backup j of broker b lives at node n + b*(g-1) + j, appended
+        // directly after the broker tier so client numbering stays the
+        // same whether or not replication is on.
+        let group_of = |b: usize| -> Vec<NodeId> {
+            let mut group = vec![NodeId::new(b as u32)];
+            group.extend((0..g - 1).map(|j| NodeId::new((n + b * (g - 1) + j) as u32)));
+            group
+        };
         for b in topology.brokers() {
             let core = BrokerCore::with_shards(
                 b,
@@ -479,9 +557,18 @@ impl SystemBuilder {
                         cfg.clone(),
                     )));
                 }
-                _ => {
-                    world.add_node(Box::new(BrokerNode::new(core)));
-                }
+                _ => match &replication_metrics {
+                    Some(metrics) => {
+                        world.add_node(Box::new(ReplicatedBrokerNode::new(
+                            core,
+                            group_of(b.raw() as usize),
+                            Arc::clone(metrics),
+                        )));
+                    }
+                    None => {
+                        world.add_node(Box::new(BrokerNode::new(core)));
+                    }
+                },
             }
         }
         for (a, b) in topology.edges() {
@@ -490,6 +577,26 @@ impl SystemBuilder {
                 broker_nodes[b.raw() as usize],
                 link.clone(),
             );
+        }
+
+        // Replica-group backups with a full link mesh per group.
+        if let Some(metrics) = &replication_metrics {
+            for b in 0..n {
+                let group = group_of(b);
+                for j in 1..g {
+                    let id = world.add_node(Box::new(ReplicaNode::new(
+                        group.clone(),
+                        j,
+                        Arc::clone(metrics),
+                    )));
+                    debug_assert_eq!(id, group[j], "backup placement formula");
+                }
+                for i in 0..g {
+                    for k in (i + 1)..g {
+                        world.connect(group[i], group[k], link.clone());
+                    }
+                }
+            }
         }
 
         // Replicators.
@@ -530,6 +637,8 @@ impl SystemBuilder {
             interner,
             link,
             shards: self.shards,
+            replication: self.replication,
+            replication_metrics,
             clients: Vec::new(),
             next_client: 0,
             next_sub: 0,
@@ -593,6 +702,18 @@ impl SystemBuilder {
         let topology = Arc::new(self.topology);
         let broker_nodes: Arc<Vec<NodeId>> = Arc::new((0..n as u32).map(NodeId::new).collect());
         let interner = Arc::new(SharedInterner::new());
+        let g = self.replication;
+        let replication_metrics = (g > 1).then(|| Arc::new(ReplicationMetrics::default()));
+        // Same placement formula as the simulator build: backup p of
+        // broker b (group position p ∈ 1..g) is node n + b*(g-1) + (p-1),
+        // hosted by the process of broker (b+p) mod n — each group member
+        // lives in a *different* process, so one process death never takes
+        // a quorum down.
+        let group_of = |b: usize| -> Vec<NodeId> {
+            let mut group = vec![NodeId::new(b as u32)];
+            group.extend((0..g - 1).map(|j| NodeId::new((n + b * (g - 1) + j) as u32)));
+            group
+        };
         let mut ids = Vec::with_capacity(n);
         for b in topology.brokers() {
             if hosted.contains(&b) {
@@ -604,7 +725,14 @@ impl SystemBuilder {
                     Arc::clone(&interner),
                     self.shards,
                 );
-                ids.push(rt.add_local(Box::new(BrokerNode::new(core))));
+                match &replication_metrics {
+                    Some(metrics) => ids.push(rt.add_local(Box::new(ReplicatedBrokerNode::new(
+                        core,
+                        group_of(b.raw() as usize),
+                        Arc::clone(metrics),
+                    )))),
+                    None => ids.push(rt.add_local(Box::new(BrokerNode::new(core)))),
+                }
             } else {
                 let peer = peer_of(b).ok_or_else(|| {
                     RebecaError::InvalidDeployment(format!(
@@ -614,8 +742,43 @@ impl SystemBuilder {
                 ids.push(rt.add_remote(peer));
             }
         }
+        if let Some(metrics) = &replication_metrics {
+            for b in 0..n {
+                let group = group_of(b);
+                for p in 1..g {
+                    let host = BrokerId::new(((b + p) % n) as u32);
+                    let id = if hosted.contains(&host) {
+                        rt.add_local(Box::new(ReplicaNode::new(
+                            group.clone(),
+                            p,
+                            Arc::clone(metrics),
+                        )))
+                    } else {
+                        let peer = peer_of(host).ok_or_else(|| {
+                            RebecaError::InvalidDeployment(format!(
+                                "backup {p} of broker B{b} lives with broker {host}, \
+                                 which is not hosted here and has no peer connection"
+                            ))
+                        })?;
+                        rt.add_remote(peer)
+                    };
+                    debug_assert_eq!(id, group[p], "backup placement formula");
+                }
+            }
+        }
         for (a, b) in topology.edges() {
             rt.connect(ids[a.raw() as usize], ids[b.raw() as usize]);
+        }
+        // Full link mesh inside each replica group.
+        if replication_metrics.is_some() {
+            for b in 0..n {
+                let group = group_of(b);
+                for i in 0..g {
+                    for k in (i + 1)..g {
+                        rt.connect(group[i], group[k]);
+                    }
+                }
+            }
         }
         Ok(ids)
     }
@@ -661,6 +824,8 @@ pub struct System {
     interner: Arc<SharedInterner>,
     link: LinkConfig,
     shards: usize,
+    replication: usize,
+    replication_metrics: Option<Arc<ReplicationMetrics>>,
     clients: Vec<ClientInfo>,
     next_client: u32,
     next_sub: u32,
@@ -688,6 +853,18 @@ impl System {
     /// partitioned into (1 = unsharded).
     pub fn shard_count(&self) -> usize {
         self.shards
+    }
+
+    /// Replica-group size each broker's mutation state is replicated
+    /// across (1 = replication off; see [`SystemBuilder::replication`]).
+    pub fn replication_factor(&self) -> usize {
+        self.replication
+    }
+
+    /// Aggregate replication counters across every broker's replica group;
+    /// `None` when replication is off.
+    pub fn replication_stats(&self) -> Option<ReplicationStats> {
+        self.replication_metrics.as_ref().map(|m| m.snapshot())
     }
 
     fn check_broker(&self, broker: BrokerId) -> Result<usize, RebecaError> {
@@ -1055,6 +1232,8 @@ impl System {
             Ok(b.core().stats())
         } else if let Some(b) = self.world.node_as::<MobileBrokerNode>(node) {
             Ok(b.core().stats())
+        } else if let Some(b) = self.world.node_as::<ReplicatedBrokerNode>(node) {
+            Ok(b.core().stats())
         } else {
             Ok(BrokerStats::default())
         }
@@ -1071,6 +1250,8 @@ impl System {
         if let Some(b) = self.world.node_as::<BrokerNode>(node) {
             Ok(b.core().router().entry_count())
         } else if let Some(b) = self.world.node_as::<MobileBrokerNode>(node) {
+            Ok(b.core().router().entry_count())
+        } else if let Some(b) = self.world.node_as::<ReplicatedBrokerNode>(node) {
             Ok(b.core().router().entry_count())
         } else {
             Ok(0)
@@ -1233,6 +1414,47 @@ mod tests {
         sys.run_for(SimDuration::from_secs(1));
         assert_eq!(sys.total_vc_count(), 0);
         Ok(())
+    }
+
+    #[test]
+    fn replicated_brokers_deliver_and_log_mutations() -> Result<(), RebecaError> {
+        let mut sys = SystemBuilder::new(Topology::line(3)?).replication(3).build()?;
+        assert_eq!(sys.replication_factor(), 3);
+        let publisher = sys.add_client(BrokerId::new(0))?;
+        let consumer = sys.add_client(BrokerId::new(2))?;
+        sys.run_for(SimDuration::from_secs(1));
+        sys.subscribe(consumer, Filter::builder().eq("service", "t").build())?;
+        sys.run_for(SimDuration::from_secs(1));
+        sys.publish(publisher, Notification::builder().attr("service", "t"))?;
+        sys.run_for(SimDuration::from_secs(1));
+        assert_eq!(sys.delivered(consumer)?.len(), 1, "delivery through replicated brokers");
+        assert!(sys.table_size(BrokerId::new(2))? >= 1);
+        let stats = sys.replication_stats().expect("replication is on");
+        assert!(stats.ops_logged >= 2, "attach + subscribe were logged, got {stats:?}");
+        // The counter aggregates over every group member: each of the 3
+        // replicas commits each op.
+        assert_eq!(stats.ops_committed, 3 * stats.ops_logged, "all members commit everything");
+        assert_eq!(stats.ops_applied, stats.ops_logged, "the broker applies each op once");
+        assert_eq!(stats.view_changes, 0, "nobody died");
+        Ok(())
+    }
+
+    #[test]
+    fn replication_validation_rejects_bad_configs() {
+        // Group larger than the broker tier.
+        let err = SystemBuilder::new(Topology::line(2).unwrap()).replication(3).build();
+        assert!(matches!(err, Err(RebecaError::InvalidDeployment(_))), "{err:?}");
+        // Zero is not a group.
+        let err = SystemBuilder::new(Topology::line(2).unwrap()).replication(0).build();
+        assert!(matches!(err, Err(RebecaError::InvalidDeployment(_))), "{err:?}");
+        // Mobility deployments are not replicable yet.
+        let err = SystemBuilder::new(Topology::line(3).unwrap())
+            .replication(2)
+            .deployment(Deployment::replicated_defaults())
+            .build();
+        assert!(matches!(err, Err(RebecaError::InvalidDeployment(_))), "{err:?}");
+        // replication(1) is the default no-op.
+        assert!(SystemBuilder::new(Topology::line(2).unwrap()).replication(1).build().is_ok());
     }
 
     #[test]

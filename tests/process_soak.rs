@@ -17,6 +17,14 @@
 //! replayed, nothing from the recovery lost — with zero FIFO violations,
 //! zero duplicates, and zero thread panics on either side.
 //!
+//! A third scenario arms **replication** (`SystemBuilder::replication(3)`):
+//! the SIGKILLed process takes the *primary* of broker 2's replica group
+//! with it, and the respawned generation never re-subscribes. The reborn
+//! broker must refetch its op log from the group's surviving backups (both
+//! parked in the parent process by the placement formula), replay it into a
+//! fresh routing table, and deliver the post-recovery batch with zero
+//! misses — crash recovery without client re-subscription.
+//!
 //! The child processes are this very test binary re-executed with
 //! `--exact <child test>` and role/seed/socket environment variables — the
 //! same trick `examples/live_processes.rs` uses. On any failure the master
@@ -96,16 +104,20 @@ impl Script {
     }
 }
 
-fn publish(send: &impl Fn(NodeId, Message), marks: &[i64]) {
+fn publish_at(send: &impl Fn(NodeId, Message), publisher: NodeId, marks: &[i64]) {
     for &m in marks {
         send(
-            PUBLISHER,
+            publisher,
             Message::AppPublish {
                 attrs: Notification::builder().attr("service", "soak").attr("mark", m),
             },
         );
         std::thread::sleep(Duration::from_millis(5));
     }
+}
+
+fn publish(send: &impl Fn(NodeId, Message), marks: &[i64]) {
+    publish_at(send, PUBLISHER, marks);
 }
 
 /// What one consumer saw, comparable across runtimes.
@@ -663,6 +675,272 @@ fn killed_broker_process_recovers_with_zero_loss() {
     });
     if let Err(panic) = result {
         eprintln!("\nkill/recover soak FAILED under master seed {seed}");
+        eprintln!(
+            "reproduce with: REBECA_SOAK_SEED={seed} cargo test --release --test process_soak\n"
+        );
+        std::panic::resume_unwind(panic);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replicated kill/recover soak: SIGKILL the *primary* of a 3-replica group
+// mid-scenario, respawn it, and prove the reborn process rebuilds its
+// routing table from its replica group — zero miss rate without any client
+// re-subscribing.
+// ---------------------------------------------------------------------------
+
+use rebeca::broker::replication::ReplicatedBrokerNode;
+
+/// Replica-group size for the replicated soak: every broker's op log lives
+/// on the broker plus two backups, each placed in the *other* process.
+const R_GROUP: usize = 3;
+
+/// Global node table with `.replication(3)` on 3 brokers: 0..=2 brokers,
+/// 3..=8 log backups (two per broker, allocated by the facade right after
+/// the brokers), then the clients.
+const R_PUBLISHER: NodeId = NodeId::new(9);
+const R_CONSUMER_A: NodeId = NodeId::new(10);
+const R_CONSUMER_B: NodeId = NodeId::new(11);
+
+/// Builds the child half of the replicated deployment: broker 2 (primary
+/// of its group), the backups the placement formula co-hosts with it
+/// (one each for brokers 0 and 1), and consumer A.
+fn replicated_child_runtime(
+    sock: &std::path::Path,
+    dial_timeout: Duration,
+) -> ProcessRuntime<Message> {
+    let mut rt: ProcessRuntime<Message> = ProcessRuntime::new();
+    let peer = rt.dial_uds(sock, dial_timeout).expect("dial parent process");
+    let builder = SystemBuilder::new(Topology::line(BROKERS).expect("non-empty"))
+        .strategy(RoutingStrategy::Simple)
+        .replication(R_GROUP);
+    builder
+        .build_process_partition(&mut rt, &[BrokerId::new(2)], |_| Some(peer))
+        .expect("deploy child partition");
+    rt.add_remote(peer); // publisher lives in the parent
+    rt.add_local(Box::new(ClientNode::new(ClientId::new(2), Some(NodeId::new(2)))));
+    rt.add_remote(peer); // consumer B lives in the parent
+    rt.connect(R_PUBLISHER, NodeId::new(0));
+    rt.connect(R_CONSUMER_A, NodeId::new(2));
+    rt.connect(R_CONSUMER_B, NodeId::new(1));
+    rt
+}
+
+/// Parent half of the replicated kill/recover soak. Hosts brokers 0–1 and
+/// broker 2's two log backups; SIGKILLs the generation-1 child (taking
+/// broker 2's group primary with it), publishes into the outage, respawns,
+/// and returns what the reborn consumer A saw, its panic count, broker 2's
+/// recovered routing-table size, the parent's link metrics, and consumer B.
+fn run_replicated_kill_recover(
+    script: &KillScript,
+    seed: u64,
+) -> (Observed, u64, usize, LinkMetrics, Observed) {
+    let sock = std::env::temp_dir().join(format!("rebeca-repl-soak-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let spawn_child = |generation: &str| {
+        std::process::Command::new(&exe)
+            .args(["replicated_kill_recover_child", "--exact", "--nocapture"])
+            .env(ROLE_ENV, generation)
+            .env(SOCK_ENV, &sock)
+            .env(SEED_ENV, seed.to_string())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn child process")
+    };
+    let mut gen1 = spawn_child("repl-gen1");
+
+    let mut rt: ProcessRuntime<Message> = ProcessRuntime::new();
+    let peer = rt.listen_uds(&sock).expect("accept generation-1 child");
+    let builder = SystemBuilder::new(Topology::line(BROKERS).expect("non-empty"))
+        .strategy(RoutingStrategy::Simple)
+        .replication(R_GROUP)
+        .reconnect_policy(ReconnectPolicy {
+            initial: Duration::from_millis(10),
+            max: Duration::from_millis(100),
+            jitter: 0.2,
+            max_attempts: 600,
+        });
+    builder
+        .build_process_partition(&mut rt, &[BrokerId::new(0), BrokerId::new(1)], |_| Some(peer))
+        .expect("deploy parent partition");
+    rt.add_local(Box::new(ClientNode::new(ClientId::new(1), Some(NodeId::new(0)))));
+    rt.add_remote(peer); // consumer A lives in the child
+    rt.add_local(Box::new(ClientNode::new(ClientId::new(3), Some(NodeId::new(1)))));
+    rt.connect(R_PUBLISHER, NodeId::new(0));
+    rt.connect(R_CONSUMER_A, NodeId::new(2));
+    rt.connect(R_CONSUMER_B, NodeId::new(1));
+    let metrics = rt.metrics_handle();
+    rt.start();
+
+    std::thread::sleep(Duration::from_millis(100));
+    rt.send_external(
+        R_CONSUMER_B,
+        Message::AppSubscribe { id: SubscriptionId::new(2), filter: script.filter_b() },
+    );
+    let send = |to, msg| rt.send_external(to, msg);
+
+    // Generation 1's subscription floods the routing tables *and* commits
+    // into broker 2's replica group (its two backups live right here in
+    // the parent). Then the first live batch flows.
+    std::thread::sleep(Duration::from_millis(800));
+    publish_at(&send, R_PUBLISHER, &script.batch1);
+    std::thread::sleep(Duration::from_millis(300));
+
+    // SIGKILL the group primary: broker 2's process dies with no goodbye
+    // frame. Its backups keep the committed log; the parent's supervisor
+    // sees the dead socket.
+    gen1.kill().expect("SIGKILL generation-1 child");
+    let _ = gen1.wait(); // reap; it died by signal, so no status assert
+    assert!(
+        wait_until(Duration::from_secs(10), || !rt.peer_status(peer).up),
+        "parent never noticed the SIGKILL"
+    );
+
+    // Published into the outage: dead-ends at broker 1, still delivered to
+    // the parent-local consumer B.
+    publish_at(&send, R_PUBLISHER, &script.kill_window);
+
+    // Rebirth. Generation 2 dials the same path and — crucially — never
+    // re-subscribes: broker 2 must refetch its state from the group.
+    let gen2 = spawn_child("repl-gen2");
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            let st = rt.peer_status(peer);
+            st.up && st.restarts >= 1
+        }),
+        "link never healed after the respawn"
+    );
+
+    // Broker 2's recovery probe round and log replay ride the healed link
+    // (retransmitted every replica tick, so one lost probe cannot wedge
+    // it); no client traffic is needed. Then the post-recovery batch.
+    std::thread::sleep(Duration::from_millis(800));
+    publish_at(&send, R_PUBLISHER, &script.batch2);
+    std::thread::sleep(Duration::from_millis(600));
+
+    let out = gen2.wait_with_output().expect("wait for generation-2 child");
+    let nodes = rt.stop();
+    let _ = std::fs::remove_file(&sock);
+    assert!(out.status.success(), "generation-2 child failed");
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let a = child_observed(&stdout);
+    let a_panics: u64 = child_field(&stdout, "SOAK-A-PANICS:").parse().expect("panic count");
+    let table: usize = child_field(&stdout, "SOAK-TABLE:").parse().expect("table size");
+
+    let b_node = nodes[R_CONSUMER_B.raw() as usize]
+        .as_ref()
+        .expect("consumer B is local to the parent")
+        .as_any()
+        .downcast_ref::<ClientNode>()
+        .expect("client node");
+    (a, a_panics, table, metrics.snapshot(), observe(b_node))
+}
+
+/// Child-process half of the replicated soak: a no-op under a normal test
+/// run. Generation 1 subscribes and idles until SIGKILLed; generation 2
+/// dials the same socket and **does not subscribe** — if the reborn
+/// broker 2 fails to recover consumer A's subscription from its replica
+/// group, the post-recovery batch simply never arrives.
+#[test]
+fn replicated_kill_recover_child() {
+    let role = std::env::var(ROLE_ENV).unwrap_or_default();
+    if role != "repl-gen1" && role != "repl-gen2" {
+        return;
+    }
+    let sock = PathBuf::from(std::env::var(SOCK_ENV).expect("socket path env"));
+    let seed: u64 = std::env::var(SEED_ENV).expect("seed env").parse().expect("seed");
+    let script = KillScript::derive(seed);
+
+    let mut rt = replicated_child_runtime(&sock, Duration::from_secs(15));
+    let metrics = rt.metrics_handle();
+    rt.start();
+    std::thread::sleep(Duration::from_millis(100));
+
+    if role == "repl-gen1" {
+        rt.send_external(
+            R_CONSUMER_A,
+            Message::AppSubscribe { id: SubscriptionId::new(1), filter: script.filter_a() },
+        );
+        // Nothing to report: this generation exists to be SIGKILLed.
+        std::thread::sleep(Duration::from_secs(600));
+        rt.stop();
+        return;
+    }
+
+    // Generation 2: no re-subscription — recovery is the broker's job.
+    // The parent publishes the post-recovery batch only after watching the
+    // link heal, so a generous fixed sleep is race-free.
+    std::thread::sleep(Duration::from_millis(5000));
+    let nodes = rt.stop();
+    let client = nodes[R_CONSUMER_A.raw() as usize]
+        .as_ref()
+        .expect("consumer A is local to the child")
+        .as_any()
+        .downcast_ref::<ClientNode>()
+        .expect("client node");
+    let seen = observe(client);
+    let broker = nodes[2]
+        .as_ref()
+        .expect("broker 2 is local to the child")
+        .as_any()
+        .downcast_ref::<ReplicatedBrokerNode>()
+        .expect("replicated broker node");
+    let marks: Vec<String> = seen.marks.iter().map(|m| m.to_string()).collect();
+    println!("SOAK-A-MARKS: {}", marks.join(" "));
+    println!("SOAK-A-FIFO: {}", seen.fifo_violations);
+    println!("SOAK-A-DUP: {}", seen.duplicates);
+    println!("SOAK-A-PANICS: {}", metrics.snapshot().thread_panics);
+    println!("SOAK-TABLE: {}", broker.core().router().entry_count());
+}
+
+#[test]
+fn replicated_primary_kill_recovers_without_resubscription() {
+    if std::env::var(ROLE_ENV).is_ok() {
+        return; // never recurse inside a child re-execution
+    }
+    let seed: u64 = match std::env::var("REBECA_SOAK_SEED") {
+        Ok(s) => s.parse().expect("REBECA_SOAK_SEED must be a u64"),
+        Err(_) => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos() as u64,
+    };
+    println!("replicated kill/recover soak master seed: {seed}");
+
+    let result = std::panic::catch_unwind(|| {
+        let script = KillScript::derive(seed);
+        let (a, a_panics, table, metrics, b) = run_replicated_kill_recover(&script, seed);
+
+        // Non-vacuous: every post-recovery mark matches consumer A's
+        // filter only above the threshold, and the reborn consumer saw
+        // *something* — which it could only do through the recovered table.
+        assert!(!a.marks.is_empty(), "the reborn consumer A saw nothing at all");
+        assert_eq!(
+            a.marks,
+            script.expected_a_reborn(),
+            "reborn consumer A missed post-recovery marks without ever re-subscribing"
+        );
+        assert_eq!(a.fifo_violations, 0, "reborn consumer A: FIFO violated");
+        assert_eq!(a.duplicates, 0, "reborn consumer A: duplicate deliveries");
+        assert!(
+            table >= 1,
+            "broker 2 came back with an empty routing table: recovery never adopted the log"
+        );
+
+        assert_eq!(b.marks, script.expected_b(), "consumer B vs oracle");
+        assert_eq!(b.fifo_violations, 0, "consumer B: FIFO violated");
+        assert_eq!(b.duplicates, 0, "consumer B: duplicate deliveries");
+
+        assert!(metrics.link_downs >= 1, "the SIGKILL must register as a link down");
+        assert!(metrics.link_restarts >= 1, "the respawn must register as a link restart");
+        assert_eq!(metrics.thread_panics, 0, "parent link threads must never panic");
+        assert_eq!(a_panics, 0, "generation-2 link threads must never panic");
+    });
+    if let Err(panic) = result {
+        eprintln!("\nreplicated kill/recover soak FAILED under master seed {seed}");
         eprintln!(
             "reproduce with: REBECA_SOAK_SEED={seed} cargo test --release --test process_soak\n"
         );
